@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench experiments fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every table/figure of the paper (see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/bench -experiment all -scale 13 -ranks 1,2,4,8 -threads 2 -roots 3
+
+fuzz:
+	go test -fuzz FuzzReadEdgeList -fuzztime 30s ./internal/graph/
+	go test -fuzz FuzzBuilderInvariants -fuzztime 30s ./internal/graph/
+
+clean:
+	go clean ./...

@@ -1,0 +1,99 @@
+// Command analyze computes shortest-path-based network measures — the
+// applications the paper's introduction motivates SSSP with — on a
+// generated or saved graph: connectivity structure, degree skew,
+// closeness centrality of sampled vertices, and weighted diameter
+// bounds.
+//
+// Usage:
+//
+//	analyze -scale 16 -ranks 8
+//	analyze -input graph.bin -candidates 16 -sweeps 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parsssp/internal/analytics"
+	"parsssp/internal/graph"
+	"parsssp/internal/rmat"
+	"parsssp/internal/sssp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+	var (
+		family     = flag.Int("family", 1, "R-MAT family (1 or 2)")
+		scale      = flag.Int("scale", 14, "log2 vertex count for generated graphs")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		input      = flag.String("input", "", "binary edge-list file (overrides generation)")
+		ranks      = flag.Int("ranks", 4, "logical ranks")
+		threads    = flag.Int("threads", 2, "worker threads per rank")
+		delta      = flag.Uint("delta", 25, "bucket width Δ for the SSSP queries")
+		candidates = flag.Int("candidates", 8, "vertices sampled for closeness ranking")
+		sweeps     = flag.Int("sweeps", 4, "SSSP sweeps for the diameter bounds")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*input, *family, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Structure.
+	st := g.Stats()
+	_, comps := g.Components()
+	lc := g.LargestComponent()
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("degrees: min %d, mean %.1f, max %d (p99 %d)\n",
+		st.Min, st.Mean, st.Max, g.DegreePercentile(0.99))
+	fmt.Printf("connectivity: %d components; largest holds %d vertices (%.1f%%)\n",
+		comps, len(lc), 100*float64(len(lc))/float64(g.NumVertices()))
+
+	opts := sssp.LBOptOptions(graph.Weight(*delta))
+	opts.Threads = *threads
+
+	// Closeness ranking over sampled vertices of the largest component.
+	sample, err := sssp.PickRoots(g, *candidates, *seed^0xA11A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := analytics.TopKCloseness(g, *ranks, sample, *candidates, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("closeness centrality (sampled):")
+	for i, r := range ranked {
+		fmt.Printf("  %2d. vertex %8d  score %.6f  degree %d\n",
+			i+1, r.V, r.Score, g.Degree(r.V))
+	}
+
+	// Diameter bounds of the largest component.
+	if len(lc) > 1 {
+		b, err := analytics.Diameter(g, *ranks, lc[0], opts, *sweeps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("weighted diameter of the largest component: in [%d, %d] after %d sweeps (peripheral vertex %d)\n",
+			b.Lower, b.Upper, b.Sweeps, b.Peripheral)
+	}
+
+	// Hop diameter via BFS for contrast.
+	if len(lc) > 0 {
+		bfs := g.BFS(lc[0])
+		fmt.Printf("hop eccentricity of vertex %d: %d levels\n", lc[0], bfs.Depth)
+	}
+}
+
+func loadGraph(input string, family, scale int, seed uint64) (*graph.Graph, error) {
+	if input != "" {
+		return graph.LoadGraphFile(input) // .gr = DIMACS, else binary
+	}
+	p := rmat.Family1(scale, seed)
+	if family == 2 {
+		p = rmat.Family2(scale, seed)
+	}
+	return rmat.Generate(p)
+}

@@ -1,0 +1,79 @@
+// Command bench regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// outcomes).
+//
+// Usage:
+//
+//	bench -experiment fig10 -scale 13 -ranks 1,2,4,8 -threads 2 -roots 4
+//	bench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"parsssp/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		experiment = flag.String("experiment", "all",
+			"experiment name ("+strings.Join(expt.Names(), "|")+") or 'all'")
+		scale   = flag.Int("scale", 13, "log2 vertices per rank (weak scaling)")
+		ranks   = flag.String("ranks", "1,2,4,8", "comma-separated rank counts")
+		threads = flag.Int("threads", 2, "worker threads per rank")
+		roots   = flag.Int("roots", 4, "random roots per data point")
+		seed    = flag.Uint64("seed", 0xC0FFEE, "random seed")
+		latency = flag.Duration("latency", 0,
+			"synthetic per-collective network latency (e.g. 100us) emulating a real interconnect")
+		jsonOut = flag.String("json", "", "also write structured results to this JSON file")
+	)
+	flag.Parse()
+
+	cfg := expt.DefaultConfig()
+	cfg.ScalePerRank = *scale
+	cfg.Threads = *threads
+	cfg.Roots = *roots
+	cfg.Seed = *seed
+	cfg.CollectiveLatency = *latency
+	cfg.Ranks = cfg.Ranks[:0]
+	for _, part := range strings.Split(*ranks, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r < 1 {
+			log.Fatalf("bad rank count %q", part)
+		}
+		cfg.Ranks = append(cfg.Ranks, r)
+	}
+
+	var results map[string]interface{}
+	if *experiment == "all" {
+		all, err := expt.RunAll(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = all
+	} else {
+		runner, ok := expt.Registry[*experiment]
+		if !ok {
+			log.Fatalf("unknown experiment %q; available: %s, all",
+				*experiment, strings.Join(expt.Names(), ", "))
+		}
+		fmt.Printf("###### experiment %s ######\n", *experiment)
+		res, err := runner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = map[string]interface{}{*experiment: res}
+	}
+	if *jsonOut != "" {
+		if err := expt.ExportJSON(*jsonOut, cfg, results); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}

@@ -1,0 +1,241 @@
+// Command sssp runs a single-source shortest path query on a generated or
+// saved graph and prints performance statistics.
+//
+// Usage:
+//
+//	sssp [flags]
+//
+// Examples:
+//
+//	sssp -family 1 -scale 16 -ranks 8 -algo opt -delta 25
+//	sssp -input graph.bin -algo del -delta 40 -root 7
+//	sssp -family 2 -scale 14 -algo opt -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+	"parsssp/internal/sssp"
+	"parsssp/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sssp: ")
+	var (
+		family   = flag.Int("family", 1, "R-MAT family (1 = Graph500 BFS spec, 2 = SSSP spec)")
+		scale    = flag.Int("scale", 14, "log2 of the vertex count for generated graphs")
+		seed     = flag.Uint64("seed", 42, "random seed for graph generation")
+		input    = flag.String("input", "", "binary edge-list file (overrides generation)")
+		ranks    = flag.Int("ranks", 4, "number of logical ranks")
+		threads  = flag.Int("threads", 2, "worker threads per rank")
+		algo     = flag.String("algo", "opt", "algorithm: plain|del|prune|opt|lbopt|dijkstra|bellmanford")
+		delta    = flag.Uint("delta", 25, "bucket width Δ (0 = auto-tune over the paper's candidate grid)")
+		root     = flag.Int("root", 0, "source vertex (-1 = first non-isolated)")
+		split    = flag.Int("split", 0, "vertex-splitting degree threshold (0 = off, -1 = auto)")
+		cyclic   = flag.Bool("cyclic", false, "use cyclic instead of block vertex distribution")
+		verify   = flag.Bool("verify", false, "check distances against sequential Dijkstra")
+		tree     = flag.Bool("tree", false, "validate the SSSP tree structurally (Graph500-style)")
+		trace    = flag.Bool("trace", false, "print a per-epoch execution trace")
+		timeline = flag.Bool("timeline", false, "print the per-phase execution timeline")
+		batch    = flag.Int("batch", 0, "run N random roots and report harmonic mean TEPS (Graph500 style)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*input, *family, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	deltaW := graph.Weight(*delta)
+	if *delta == 0 {
+		deltaW = autoTuneDelta(g, *ranks, *seed, *algo, *threads)
+	}
+	opts, err := algoOptions(*algo, deltaW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Threads = *threads
+	if *trace {
+		opts.Trace = os.Stderr
+	}
+	if *timeline {
+		opts.RecordPhases = true
+	}
+
+	if *batch > 0 {
+		runBatchMode(g, *ranks, *batch, *seed, opts)
+		return
+	}
+
+	src := graph.Vertex(*root)
+	if *root < 0 {
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Degree(graph.Vertex(v)) > 0 {
+				src = graph.Vertex(v)
+				break
+			}
+		}
+	}
+
+	res, err := runQuery(g, *ranks, src, opts, *split, *cyclic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printStats(g, res)
+	if *timeline {
+		if err := sssp.FormatTimeline(os.Stdout, res.Stats.PhaseLog); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *verify {
+		if err := validate.Distances(g, src, res.Dist); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("verify: distances match sequential Dijkstra")
+	}
+	if *tree {
+		if *split != 0 {
+			log.Fatal("-tree is incompatible with -split (proxies change the tree)")
+		}
+		if err := validate.CheckTree(g, src, res.Dist, res.Parent); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("tree: SSSP tree is structurally valid")
+	}
+}
+
+// autoTuneDelta sweeps the paper's Δ candidates with quick trial
+// queries and returns the fastest.
+func autoTuneDelta(g *graph.Graph, ranks int, seed uint64, algo string, threads int) graph.Weight {
+	opts, err := algoOptions(algo, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Threads = threads
+	roots, err := sssp.PickRoots(g, 2, seed^0x7A7A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sssp.TuneDelta(g, ranks, roots, opts, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auto-tune: Δ=%d fastest (trials: %v)\n", res.Best, res.Trials)
+	return res.Best
+}
+
+// runBatchMode runs the Graph500-style multi-root measurement.
+func runBatchMode(g *graph.Graph, ranks, keys int, seed uint64, opts sssp.Options) {
+	roots, err := sssp.PickRoots(g, keys, seed^0x5353)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sssp.RunBatch(g, ranks, roots, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch: %d search keys on %d ranks\n", keys, ranks)
+	fmt.Printf("harmonic mean TEPS: %.4g (%.4f GTEPS)\n",
+		res.HarmonicMeanTEPS, res.HarmonicMeanTEPS/1e9)
+	fmt.Printf("mean time: %.2f ms  mean relaxations: %.0f\n",
+		res.MeanTimeSeconds*1e3, res.MeanRelaxations)
+}
+
+func loadGraph(input string, family, scale int, seed uint64) (*graph.Graph, error) {
+	if input != "" {
+		return graph.LoadGraphFile(input) // .gr = DIMACS, else binary
+	}
+	p := rmat.Family1(scale, seed)
+	if family == 2 {
+		p = rmat.Family2(scale, seed)
+	}
+	return rmat.Generate(p)
+}
+
+func algoOptions(name string, delta graph.Weight) (sssp.Options, error) {
+	switch name {
+	case "plain":
+		return sssp.Options{Delta: delta}, nil
+	case "del":
+		return sssp.DelOptions(delta), nil
+	case "prune":
+		return sssp.PruneOptions(delta), nil
+	case "opt":
+		return sssp.OptOptions(delta), nil
+	case "lbopt":
+		return sssp.LBOptOptions(delta), nil
+	case "dijkstra":
+		return sssp.DijkstraOptions(), nil
+	case "bellmanford":
+		return sssp.BellmanFordOptions(), nil
+	default:
+		return sssp.Options{}, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func runQuery(g *graph.Graph, ranks int, src graph.Vertex, opts sssp.Options,
+	split int, cyclic bool) (*sssp.Result, error) {
+	kind := partition.Block
+	if cyclic || split != 0 {
+		kind = partition.Cyclic
+	}
+	work := g
+	var sr *partition.SplitResult
+	if split != 0 {
+		opt := partition.SplitOptions{DegreeThreshold: split, MaxProxies: ranks}
+		if split < 0 {
+			opt = partition.AutoSplitOptions(g, ranks)
+			fmt.Printf("split: auto threshold %d\n", opt.DegreeThreshold)
+		}
+		var err error
+		sr, err = partition.SplitHeavyVertices(g, opt)
+		if err != nil {
+			return nil, err
+		}
+		work = sr.Graph
+		if sr.NumSplit > 0 {
+			fmt.Printf("split: %d heavy vertices into %d proxies\n",
+				sr.NumSplit, work.NumVertices()-g.NumVertices())
+		}
+	}
+	pd, err := partition.New(kind, work.NumVertices(), ranks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sssp.RunDistributed(work, pd, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sr != nil {
+		res.Dist = sr.RestrictDistances(res.Dist)
+	}
+	return res, nil
+}
+
+func printStats(g *graph.Graph, res *sssp.Result) {
+	s := &res.Stats
+	fmt.Printf("time: %v  (bucket overhead %v, relax+comm %v)\n", s.Total, s.BktTime, s.OtherTime)
+	fmt.Printf("GTEPS: %.4f\n", s.GTEPS(g.NumEdges()))
+	fmt.Printf("reached: %d / %d vertices\n", s.Reached, g.NumVertices())
+	fmt.Printf("epochs: %d  phases: %d  hybrid-switched: %v (BF rounds %d)\n",
+		s.Epochs, s.Phases, s.HybridSwitched, s.BFPhases)
+	r := s.Relax
+	fmt.Printf("relaxations: total %d  short %d  outer-short %d  long-push %d  requests %d  responses %d  bellman-ford %d\n",
+		r.Total(), r.ShortPush, r.OuterShortPush, r.LongPush, r.PullRequests, r.PullResponses, r.BellmanFord)
+	fmt.Printf("decisions: %v\n", s.Decisions)
+	fmt.Printf("traffic: %d exchanges, %d messages, %.2f MB sent\n",
+		s.Traffic.ExchangeCalls, s.Traffic.MessagesSent, float64(s.Traffic.BytesSent)/1e6)
+	if len(os.Args) > 0 && s.Total > 0 {
+		fmt.Printf("relax rate: %.2f M/s\n", float64(r.Total())/s.Total.Seconds()/1e6)
+	}
+}

@@ -1,0 +1,135 @@
+// Command ssspd is the multi-process distributed SSSP runner: each OS
+// process is one rank of a TCP message-passing machine (the repo's MPI
+// substitute). All ranks must be started with identical flags except
+// -rank.
+//
+// Usage (two ranks on one host):
+//
+//	ssspd -rank 0 -addrs 127.0.0.1:9410,127.0.0.1:9411 -scale 12 &
+//	ssspd -rank 1 -addrs 127.0.0.1:9410,127.0.0.1:9411 -scale 12
+//
+// Rank 0 gathers all distances at the end, prints the machine-wide
+// statistics, and (with -verify) checks against sequential Dijkstra.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/comm/tcptransport"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+	"parsssp/internal/sssp"
+	"parsssp/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		rank    = flag.Int("rank", 0, "this process's rank")
+		addrs   = flag.String("addrs", "127.0.0.1:9410,127.0.0.1:9411", "comma-separated host:port per rank")
+		family  = flag.Int("family", 1, "R-MAT family (1 or 2)")
+		scale   = flag.Int("scale", 12, "log2 vertex count")
+		seed    = flag.Uint64("seed", 42, "graph seed (must match across ranks)")
+		threads = flag.Int("threads", 2, "worker threads per rank")
+		delta   = flag.Uint("delta", 25, "bucket width Δ")
+		root    = flag.Int("root", 0, "source vertex")
+		verify  = flag.Bool("verify", false, "rank 0 checks distances against Dijkstra")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("ssspd[%d]: ", *rank))
+
+	addrList := strings.Split(*addrs, ",")
+	for i := range addrList {
+		addrList[i] = strings.TrimSpace(addrList[i])
+	}
+
+	// Every rank generates the same graph deterministically; in a real
+	// deployment each rank would generate or load only its partition, but
+	// the CSR is shared-read here for simplicity.
+	p := rmat.Family1(*scale, *seed)
+	if *family == 2 {
+		p = rmat.Family2(*scale, *seed)
+	}
+	g, err := rmat.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t, err := tcptransport.New(tcptransport.Config{Addrs: addrList, Rank: *rank})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer t.Close()
+
+	pd, err := partition.New(partition.Block, g.NumVertices(), len(addrList))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := sssp.OptOptions(graph.Weight(*delta))
+	opts.Threads = *threads
+
+	rr, err := sssp.RunRank(g, pd, graph.Vertex(*root), opts, t, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done: %v, %d local relaxations",
+		rr.Stats.Total, rr.Stats.Relax.Total())
+
+	dist, err := gatherDistances(t, pd, rr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if t.Rank() == 0 {
+		var reached int64
+		for _, d := range dist {
+			if d < graph.Inf {
+				reached++
+			}
+		}
+		fmt.Printf("machine: %d ranks, graph %d vertices / %d edges\n",
+			t.Size(), g.NumVertices(), g.NumEdges())
+		fmt.Printf("time %v, GTEPS %.4f, reached %d\n",
+			rr.Stats.Total, rr.Stats.GTEPS(g.NumEdges()), reached)
+		if *verify {
+			if err := validate.Distances(g, graph.Vertex(*root), dist); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("verify: distances match sequential Dijkstra")
+		}
+	}
+}
+
+// gatherDistances sends every rank's local distances to rank 0, which
+// assembles the global array (other ranks return nil).
+func gatherDistances(t comm.Transport, pd partition.Dist, rr *sssp.RankResult) ([]graph.Dist, error) {
+	payload := make([]byte, 8*len(rr.LocalDist))
+	for i, d := range rr.LocalDist {
+		binary.LittleEndian.PutUint64(payload[8*i:], uint64(d))
+	}
+	out := make([][]byte, t.Size())
+	out[0] = payload
+	in, err := t.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	if t.Rank() != 0 {
+		return nil, nil
+	}
+	dist := make([]graph.Dist, pd.NumVertices())
+	for r, buf := range in {
+		n := pd.Count(r)
+		if len(buf) != 8*n {
+			return nil, fmt.Errorf("gather: rank %d sent %d bytes, want %d", r, len(buf), 8*n)
+		}
+		for li := 0; li < n; li++ {
+			dist[pd.Global(r, li)] = graph.Dist(binary.LittleEndian.Uint64(buf[8*li:]))
+		}
+	}
+	return dist, nil
+}

@@ -1,0 +1,82 @@
+package parsssp_test
+
+import (
+	"fmt"
+
+	"parsssp"
+)
+
+// Example demonstrates the minimal end-to-end flow: build a graph, run
+// the optimized algorithm, read a distance.
+func Example() {
+	g, err := parsssp.FromEdges(4, []parsssp.Edge{
+		{U: 0, V: 1, W: 7},
+		{U: 1, V: 2, W: 2},
+		{U: 0, V: 2, W: 14},
+		{U: 2, V: 3, W: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := parsssp.Run(g, 2, 0, parsssp.OptOptions(5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dist to 3:", res.Dist[3])
+	// Output: dist to 3: 12
+}
+
+// ExamplePathTo reconstructs the actual shortest path from the parent
+// pointers of a completed run.
+func ExamplePathTo() {
+	g, _ := parsssp.FromEdges(4, []parsssp.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}, {U: 0, V: 3, W: 10},
+	})
+	res, _ := parsssp.Run(g, 1, 0, parsssp.DelOptions(2))
+	path, _ := parsssp.PathTo(res.Parent, 3)
+	fmt.Println(path)
+	// Output: [0 1 2 3]
+}
+
+// ExampleValidateTree shows the Graph500-style structural check on a
+// run's output.
+func ExampleValidateTree() {
+	g, _ := parsssp.FromEdges(3, []parsssp.Edge{{U: 0, V: 1, W: 4}, {U: 1, V: 2, W: 5}})
+	res, _ := parsssp.Run(g, 2, 0, parsssp.OptOptions(3))
+	if err := parsssp.ValidateTree(g, 0, res.Dist, res.Parent); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	fmt.Println("tree valid")
+	// Output: tree valid
+}
+
+// ExampleRunBatch measures several queries Graph500-style and reports
+// the harmonic-mean rate.
+func ExampleRunBatch() {
+	g, _ := parsssp.GenerateRMAT1(10, 42)
+	roots, _ := parsssp.PickRoots(g, 4, 7)
+	batch, _ := parsssp.RunBatch(g, 2, roots, parsssp.OptOptions(25))
+	fmt.Println("queries:", len(batch.PerRoot), "rate positive:", batch.HarmonicMeanTEPS > 0)
+	// Output: queries: 4 rate positive: true
+}
+
+// ExampleDiameter brackets a component's weighted diameter with a few
+// SSSP sweeps.
+func ExampleDiameter() {
+	g, _ := parsssp.FromEdges(5, []parsssp.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 2}, {U: 3, V: 4, W: 2},
+	})
+	b, _ := parsssp.Diameter(g, 1, 2, parsssp.OptOptions(3), 4)
+	fmt.Printf("diameter in [%d, %d]\n", b.Lower, b.Upper)
+	// Output: diameter in [8, 8]
+}
+
+// ExampleTuneDelta picks the fastest Δ for a workload automatically.
+func ExampleTuneDelta() {
+	g, _ := parsssp.GenerateRMAT1(10, 1)
+	roots, _ := parsssp.PickRoots(g, 1, 2)
+	res, _ := parsssp.TuneDelta(g, 2, roots, parsssp.OptOptions(25), []parsssp.Weight{10, 40})
+	fmt.Println("trials:", len(res.Trials), "best in set:", res.Best == 10 || res.Best == 40)
+	// Output: trials: 2 best in set: true
+}

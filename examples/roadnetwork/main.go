@@ -1,0 +1,77 @@
+// Road-network routing: the opposite regime from R-MAT graphs — uniform
+// low degree, large diameter — where the Δ parameter trade-off looks very
+// different. The paper's §II characterization (work done vs number of
+// phases) is directly visible here: small Δ does little redundant work
+// but needs many buckets; large Δ collapses the buckets but re-relaxes
+// edges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parsssp"
+)
+
+func main() {
+	// A 300×300 grid "city" with travel times 1–60 per segment.
+	g, err := parsssp.GenerateGrid(300, 300, 1, 60, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("road network: %d intersections, %d segments\n",
+		g.NumVertices(), g.NumEdges())
+
+	const ranks = 4
+	src := parsssp.Vertex(0) // north-west corner
+
+	fmt.Println("\nΔ sweep (Opt algorithm, 4 ranks):")
+	fmt.Printf("%8s %12s %10s %10s %12s\n", "Δ", "time", "epochs", "phases", "relaxations")
+	for _, delta := range []parsssp.Weight{1, 10, 30, 60, 120, 600} {
+		opts := parsssp.OptOptions(delta)
+		opts.Threads = 2
+		res, err := parsssp.Run(g, ranks, src, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12v %10d %10d %12d\n",
+			delta, res.Stats.Total, res.Stats.Epochs, res.Stats.Phases, res.Stats.Relax.Total())
+	}
+
+	// Route length report: distances to the other three corners.
+	opts := parsssp.OptOptions(30)
+	opts.Threads = 2
+	res, err := parsssp.Run(g, ranks, src, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 300
+	corners := map[string]parsssp.Vertex{
+		"north-east": parsssp.Vertex(n - 1),
+		"south-west": parsssp.Vertex((n - 1) * n),
+		"south-east": parsssp.Vertex(n*n - 1),
+	}
+	fmt.Println("\nshortest travel times from the north-west corner:")
+	for name, v := range corners {
+		fmt.Printf("  %-10s %d\n", name, res.Dist[v])
+	}
+
+	// Reconstruct the actual route to the far corner from the parent
+	// pointers.
+	route, err := parsssp.PathTo(res.Parent, corners["south-east"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroute to the south-east corner passes %d intersections\n", len(route))
+
+	ref, err := parsssp.Dijkstra(g, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := range res.Dist {
+		if res.Dist[v] != ref.Dist[v] {
+			log.Fatalf("mismatch at %d", v)
+		}
+	}
+	fmt.Println("verified against sequential Dijkstra")
+}

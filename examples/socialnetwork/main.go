@@ -1,0 +1,79 @@
+// Social-network analytics: the workload class that motivates the paper
+// (§I — web-scale social graphs with heavy-tailed degree distributions).
+//
+// This example builds a skewed social graph, compares the baseline
+// Δ-stepping algorithm (Del) against the fully optimized one (Opt) the
+// way the paper's §IV.H does, and then uses shortest-path distances for a
+// small analytics task: closeness centrality of a handful of users.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parsssp"
+)
+
+func main() {
+	// A Friendster-like stand-in: 40k users, heavy-tailed degrees.
+	g, err := parsssp.GenerateRMAT1(15, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := struct{ n, maxDeg int }{g.NumVertices(), g.MaxDegree()}
+	fmt.Printf("social graph: %d users, %d ties, hubbiest user has %d ties\n",
+		stats.n, g.NumEdges(), stats.maxDeg)
+
+	const ranks = 8
+	root := firstActive(g)
+
+	// Baseline vs optimized, as in the paper's real-world table.
+	del := parsssp.DelOptions(40)
+	del.Threads = 2
+	opt := parsssp.LBOptOptions(40)
+	opt.Threads = 2
+
+	resDel, err := parsssp.Run(g, ranks, root, del)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resOpt, err := parsssp.Run(g, ranks, root, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Del-40: %8v, %9d relaxations\n", resDel.Stats.Total, resDel.Stats.Relax.Total())
+	fmt.Printf("Opt-40: %8v, %9d relaxations (%.1fx fewer)\n",
+		resOpt.Stats.Total, resOpt.Stats.Relax.Total(),
+		float64(resDel.Stats.Relax.Total())/float64(resOpt.Stats.Relax.Total()))
+
+	// Closeness centrality of sampled users (one SSSP query each), via
+	// the analytics API.
+	seeds, err := parsssp.PickRoots(g, 6, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := parsssp.TopKCloseness(g, ranks, seeds, 4, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("closeness centrality (higher = more central):")
+	for _, r := range ranked {
+		fmt.Printf("  user %6d: %.6f (degree %d)\n", r.V, r.Score, g.Degree(r.V))
+	}
+
+	// How wide is the network? Weighted diameter bounds in a few sweeps.
+	b, err := parsssp.Diameter(g, ranks, root, opt, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weighted diameter of the main component: between %d and %d\n", b.Lower, b.Upper)
+}
+
+func firstActive(g *parsssp.Graph) parsssp.Vertex {
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(parsssp.Vertex(v)) > 0 {
+			return parsssp.Vertex(v)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module parsssp
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package analytics builds the complex-network measures the paper cites
+// as SSSP's motivating applications (§I: centrality analysis [1], [2])
+// on top of the distributed engine. Every measure here reduces to one or
+// more SSSP queries, so the paper's performance work translates directly
+// into analysis throughput.
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/sssp"
+)
+
+// Closeness returns the closeness centrality of src: (r−1) / Σ d(src,v)
+// over the r reached vertices, normalized by the reached fraction as in
+// Wasserman–Faust so that values are comparable across disconnected
+// graphs. Returns 0 for isolated sources.
+func Closeness(g *graph.Graph, numRanks int, src graph.Vertex, opts sssp.Options) (float64, error) {
+	m, err := sssp.NewMachine(g, numRanks, opts)
+	if err != nil {
+		return 0, err
+	}
+	return closenessOn(m, g, src)
+}
+
+// closenessOn computes closeness with an existing machine.
+func closenessOn(m *sssp.Machine, g *graph.Graph, src graph.Vertex) (float64, error) {
+	res, err := m.Query(src)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var reached float64
+	for _, d := range res.Dist {
+		if d < graph.Inf && d > 0 {
+			sum += float64(d)
+			reached++
+		}
+	}
+	if sum == 0 {
+		return 0, nil
+	}
+	n := float64(g.NumVertices())
+	return (reached / sum) * (reached / (n - 1)), nil
+}
+
+// Eccentricity returns the greatest finite distance from src, along with
+// the vertex attaining it.
+func Eccentricity(g *graph.Graph, numRanks int, src graph.Vertex, opts sssp.Options) (graph.Dist, graph.Vertex, error) {
+	m, err := sssp.NewMachine(g, numRanks, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return eccentricityOn(m, src)
+}
+
+// eccentricityOn computes eccentricity with an existing machine.
+func eccentricityOn(m *sssp.Machine, src graph.Vertex) (graph.Dist, graph.Vertex, error) {
+	res, err := m.Query(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	var ecc graph.Dist
+	far := src
+	for v, d := range res.Dist {
+		if d < graph.Inf && d > ecc {
+			ecc = d
+			far = graph.Vertex(v)
+		}
+	}
+	return ecc, far, nil
+}
+
+// DiameterBounds estimates the weighted diameter of src's component with
+// a two-sweep style procedure generalized over several rounds: each
+// round runs SSSP from the currently farthest vertex. The diameter lies
+// in [Lower, Upper] where Lower is the largest eccentricity observed and
+// Upper is twice the smallest (triangle inequality).
+type DiameterBounds struct {
+	Lower, Upper graph.Dist
+	// Sweeps is the number of SSSP queries performed.
+	Sweeps int
+	// Peripheral is the most distant vertex found.
+	Peripheral graph.Vertex
+}
+
+// Diameter estimates the component diameter with up to maxSweeps SSSP
+// queries, stopping early when the bounds meet.
+func Diameter(g *graph.Graph, numRanks int, src graph.Vertex,
+	opts sssp.Options, maxSweeps int) (*DiameterBounds, error) {
+	if maxSweeps < 1 {
+		return nil, fmt.Errorf("analytics: maxSweeps must be >= 1")
+	}
+	m, err := sssp.NewMachine(g, numRanks, opts)
+	if err != nil {
+		return nil, err
+	}
+	bounds := &DiameterBounds{Upper: graph.Dist(math.MaxInt64 / 4), Peripheral: src}
+	cur := src
+	minEcc := graph.Dist(math.MaxInt64 / 4)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		ecc, far, err := eccentricityOn(m, cur)
+		if err != nil {
+			return nil, err
+		}
+		bounds.Sweeps++
+		if ecc > bounds.Lower {
+			bounds.Lower = ecc
+			bounds.Peripheral = far
+		}
+		if ecc < minEcc {
+			minEcc = ecc
+		}
+		if 2*minEcc < bounds.Upper {
+			bounds.Upper = 2 * minEcc
+		}
+		if bounds.Upper <= bounds.Lower {
+			bounds.Upper = bounds.Lower // bounds met: exact
+			break
+		}
+		if far == cur {
+			break // isolated or fully settled
+		}
+		cur = far
+	}
+	if bounds.Upper < bounds.Lower {
+		bounds.Upper = bounds.Lower
+	}
+	return bounds, nil
+}
+
+// TopKCloseness ranks the given candidate vertices by closeness
+// centrality, descending, returning at most k entries.
+type RankedVertex struct {
+	V     graph.Vertex
+	Score float64
+}
+
+// TopKCloseness computes closeness for each candidate (one SSSP query
+// per candidate) and returns the k highest.
+func TopKCloseness(g *graph.Graph, numRanks int, candidates []graph.Vertex,
+	k int, opts sssp.Options) ([]RankedVertex, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("analytics: k must be >= 1")
+	}
+	m, err := sssp.NewMachine(g, numRanks, opts)
+	if err != nil {
+		return nil, err
+	}
+	ranked := make([]RankedVertex, 0, len(candidates))
+	for _, v := range candidates {
+		score, err := closenessOn(m, g, v)
+		if err != nil {
+			return nil, err
+		}
+		ranked = append(ranked, RankedVertex{v, score})
+	}
+	// Insertion sort by descending score (candidate lists are small).
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && ranked[j].Score > ranked[j-1].Score; j-- {
+			ranked[j], ranked[j-1] = ranked[j-1], ranked[j]
+		}
+	}
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked, nil
+}

@@ -1,0 +1,165 @@
+package analytics
+
+import (
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/rmat"
+	"parsssp/internal/sssp"
+)
+
+func opts() sssp.Options { return sssp.OptOptions(25) }
+
+func TestClosenessStar(t *testing.T) {
+	// Star center: distance w to each of n-1 leaves.
+	g, err := gen.Star(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Closeness(g, 2, 0, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center: reached=10, sum=40, n-1=10 → (10/40)*(10/10) = 0.25.
+	if got != 0.25 {
+		t.Errorf("center closeness = %v, want 0.25", got)
+	}
+	// Leaf: reached=10, sum = 4 + 9*8 = 76 → (10/76)*(10/10).
+	leaf, err := Closeness(g, 2, 1, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 / 76.0
+	if diff := leaf - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("leaf closeness = %v, want %v", leaf, want)
+	}
+	if leaf >= got {
+		t.Error("leaf more central than the hub")
+	}
+}
+
+func TestClosenessIsolated(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 1, V: 2, W: 1}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Closeness(g, 1, 0, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("isolated closeness = %v", c)
+	}
+}
+
+func TestEccentricityPath(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc, far, err := Eccentricity(g, 2, 0, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc != 9 || far != 3 {
+		t.Errorf("ecc = %d via %d, want 9 via 3", ecc, far)
+	}
+	// Middle vertex has smaller eccentricity.
+	mid, _, err := Eccentricity(g, 2, 1, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != 7 {
+		t.Errorf("middle eccentricity = %d, want 7", mid)
+	}
+}
+
+func TestDiameterPathExact(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{2, 3, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starting from the middle, sweeps must find the true diameter 10.
+	b, err := Diameter(g, 2, 2, opts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower != 10 {
+		t.Errorf("diameter lower bound %d, want 10", b.Lower)
+	}
+	if b.Upper < b.Lower {
+		t.Errorf("bounds inverted: [%d, %d]", b.Lower, b.Upper)
+	}
+}
+
+func TestDiameterBoundsContainTruth(t *testing.T) {
+	g, err := rmat.Generate(rmat.Family2(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src graph.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(graph.Vertex(v)) > 4 {
+			src = graph.Vertex(v)
+			break
+		}
+	}
+	b, err := Diameter(g, 3, src, opts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force the component diameter.
+	base, err := sssp.Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth graph.Dist
+	for v, d := range base.Dist {
+		if d >= graph.Inf {
+			continue
+		}
+		res, err := sssp.Dijkstra(g, graph.Vertex(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dd := range res.Dist {
+			if dd < graph.Inf && dd > truth {
+				truth = dd
+			}
+		}
+	}
+	if truth < b.Lower || truth > b.Upper {
+		t.Errorf("true diameter %d outside bounds [%d, %d]", truth, b.Lower, b.Upper)
+	}
+}
+
+func TestDiameterValidation(t *testing.T) {
+	g, _ := gen.Path([]graph.Weight{1})
+	if _, err := Diameter(g, 1, 0, opts(), 0); err == nil {
+		t.Error("maxSweeps=0 accepted")
+	}
+}
+
+func TestTopKCloseness(t *testing.T) {
+	g, err := gen.Star(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := TopKCloseness(g, 2, []graph.Vertex{5, 0, 7}, 2, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("got %d results", len(ranked))
+	}
+	if ranked[0].V != 0 {
+		t.Errorf("hub not ranked first: %+v", ranked)
+	}
+	if ranked[0].Score < ranked[1].Score {
+		t.Error("ranking not descending")
+	}
+	if _, err := TopKCloseness(g, 2, nil, 0, opts()); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package bfs
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"parsssp/internal/comm/memtransport"
+	"parsssp/internal/comm/tcptransport"
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+)
+
+func TestBFSCyclicDistribution(t *testing.T) {
+	g, err := gen.Random(300, 1500, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := partition.MustNew(partition.Cyclic, g.NumVertices(), 4)
+	group, err := memtransport.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithTransports(g, pd, 0, Options{}, group.Endpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.BFS(0)
+	for v := range want.Hops {
+		if res.Hops[v] != want.Hops[v] {
+			t.Fatalf("cyclic: hops[%d] = %d, want %d", v, res.Hops[v], want.Hops[v])
+		}
+	}
+}
+
+func TestBFSOverTCP(t *testing.T) {
+	const ranks = 2
+	g, err := rmat.Generate(rmat.Family1(10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src graph.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(graph.Vertex(v)) > 4 {
+			src = graph.Vertex(v)
+			break
+		}
+	}
+	addrs := make([]string, ranks)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	pd := partition.MustNew(partition.Block, g.NumVertices(), ranks)
+
+	engines := make([]*rankBFS, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := tcptransport.New(tcptransport.Config{
+				Addrs: addrs, Rank: r, DialTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer tr.Close()
+			e := newRankBFS(g, pd, src, Options{}, tr)
+			errs[r] = e.run()
+			engines[r] = e
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	want := g.BFS(src)
+	for r, e := range engines {
+		for li := 0; li < e.nLocal; li++ {
+			v := pd.Global(r, li)
+			if e.hops[li] != want.Hops[v] {
+				t.Fatalf("TCP BFS: hops[%d] = %d, want %d", v, e.hops[li], want.Hops[v])
+			}
+		}
+	}
+}
+
+func TestBFSAlphaBetaExtremes(t *testing.T) {
+	g, err := rmat.Generate(rmat.Family1(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alpha=1 forces bottom-up almost immediately; Beta=1 switches back
+	// as soon as the frontier dips below n. Correctness must hold at the
+	// extremes.
+	for _, opts := range []Options{
+		{Alpha: 1, Beta: 1},
+		{Alpha: 1000000, Beta: 1000000},
+	} {
+		checkAgainstSequential(t, g, 0, 3, opts)
+	}
+}

@@ -1,0 +1,147 @@
+package bfs
+
+import (
+	"fmt"
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/rmat"
+)
+
+// checkAgainstSequential compares the distributed BFS with the
+// sequential reference in package graph.
+func checkAgainstSequential(t *testing.T, g *graph.Graph, src graph.Vertex,
+	ranks int, opts Options) *Result {
+	t.Helper()
+	res, err := Run(g, ranks, src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.BFS(src)
+	for v := range want.Hops {
+		if res.Hops[v] != want.Hops[v] {
+			t.Fatalf("hops[%d] = %d, want %d (ranks=%d opts=%+v)",
+				v, res.Hops[v], want.Hops[v], ranks, opts)
+		}
+	}
+	if res.Reached != int64(want.Reached) {
+		t.Fatalf("Reached = %d, want %d", res.Reached, want.Reached)
+	}
+	// Parent consistency: every reached non-source vertex has a parent
+	// one level above connected by a real edge.
+	for v := range res.Hops {
+		if res.Hops[v] < 0 {
+			if res.Parent[v] != NoParent {
+				t.Fatalf("unreached vertex %d has parent %d", v, res.Parent[v])
+			}
+			continue
+		}
+		if graph.Vertex(v) == src {
+			if res.Parent[v] != src {
+				t.Fatalf("source parent = %d", res.Parent[v])
+			}
+			continue
+		}
+		p := res.Parent[v]
+		if res.Hops[p] != res.Hops[v]-1 {
+			t.Fatalf("parent of %d at level %d, vertex at %d", v, res.Hops[p], res.Hops[v])
+		}
+		nbr, _ := g.Neighbors(graph.Vertex(v))
+		found := false
+		for _, u := range nbr {
+			if u == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("parent edge (%d,%d) does not exist", p, v)
+		}
+	}
+	return res
+}
+
+func TestBFSPathGraph(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2, 4} {
+		checkAgainstSequential(t, g, 0, ranks, Options{})
+	}
+}
+
+func TestBFSGrid(t *testing.T) {
+	g, err := gen.Grid(20, 20, 1, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSequential(t, g, 0, 3, Options{})
+	checkAgainstSequential(t, g, 0, 3, Options{ForceTopDown: true})
+}
+
+func TestBFSRMATWithDirectionSwitch(t *testing.T) {
+	g, err := rmat.Generate(rmat.Family1(11, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src graph.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(graph.Vertex(v)) > 8 {
+			src = graph.Vertex(v)
+			break
+		}
+	}
+	res := checkAgainstSequential(t, g, src, 4, Options{})
+	if res.BottomUpLevels == 0 {
+		t.Error("direction optimization never switched to bottom-up on a skewed graph")
+	}
+	topDown := checkAgainstSequential(t, g, src, 4, Options{ForceTopDown: true})
+	if topDown.BottomUpLevels != 0 {
+		t.Error("ForceTopDown executed bottom-up levels")
+	}
+	// Direction optimization must inspect fewer edges (that is its whole
+	// point on skewed graphs).
+	if res.EdgesInspected >= topDown.EdgesInspected {
+		t.Errorf("direction-optimized BFS inspected %d edges, top-down %d",
+			res.EdgesInspected, topDown.EdgesInspected)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g, err := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 3, V: 4, W: 1},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkAgainstSequential(t, g, 0, 2, Options{})
+	if res.Reached != 3 {
+		t.Errorf("Reached = %d, want 3", res.Reached)
+	}
+}
+
+func TestBFSSourceValidation(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, 1, 9, Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestBFSManyConfigs(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g, err := gen.Random(300, 1800, 50, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ranks := range []int{1, 3, 5} {
+			t.Run(fmt.Sprintf("seed=%d/ranks=%d", seed, ranks), func(t *testing.T) {
+				checkAgainstSequential(t, g, 0, ranks, Options{})
+			})
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package bfs
+
+import (
+	"encoding/binary"
+
+	"parsssp/internal/graph"
+)
+
+// Top-down records are (v, parent) pairs: "v is reachable at the current
+// depth via parent".
+const recordSize = 8
+
+func appendVisit(buf []byte, v, parent graph.Vertex) []byte {
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], v)
+	binary.LittleEndian.PutUint32(rec[4:8], parent)
+	return append(buf, rec[:]...)
+}
+
+func decodeVisit(buf []byte, i int) (v, parent graph.Vertex) {
+	off := i * recordSize
+	return binary.LittleEndian.Uint32(buf[off : off+4]),
+		binary.LittleEndian.Uint32(buf[off+4 : off+8])
+}
+
+// topDownStep expands the frontier by pushing adjacency.
+func (e *rankBFS) topDownStep(depth int32) error {
+	for dst := range e.out {
+		e.out[dst] = e.out[dst][:0]
+	}
+	for _, li := range e.frontier {
+		v := e.global(li)
+		nbr, _ := e.g.Neighbors(v)
+		e.edgesInspected += int64(len(nbr))
+		for _, u := range nbr {
+			dst := e.pd.Owner(u)
+			e.out[dst] = appendVisit(e.out[dst], u, v)
+		}
+	}
+	in, err := e.t.Exchange(e.out)
+	if err != nil {
+		return err
+	}
+	for _, buf := range in {
+		n := len(buf) / recordSize
+		for i := 0; i < n; i++ {
+			v, parent := decodeVisit(buf, i)
+			li := e.pd.LocalIndex(v)
+			if e.hops[li] >= 0 {
+				continue
+			}
+			e.hops[li] = depth
+			e.parent[li] = parent
+			e.next = append(e.next, uint32(li))
+			e.reached++
+		}
+	}
+	return nil
+}
+
+// bottomUpStep has every unvisited vertex look for a parent in the
+// frontier. The frontier and visited sets are shared as allgathered
+// bitmaps.
+func (e *rankBFS) bottomUpStep(depth int32) error {
+	if err := e.gatherBitmaps(); err != nil {
+		return err
+	}
+	for li := 0; li < e.nLocal; li++ {
+		if e.hops[li] >= 0 {
+			continue
+		}
+		v := e.global(uint32(li))
+		nbr, _ := e.g.Neighbors(v)
+		scanned := len(nbr)
+		for i, u := range nbr {
+			if testBit(e.frontierBits, u) {
+				scanned = i + 1
+				e.hops[li] = depth
+				e.parent[li] = u
+				e.next = append(e.next, uint32(li))
+				e.reached++
+				break
+			}
+		}
+		e.edgesInspected += int64(scanned)
+	}
+	return nil
+}
+
+// gatherBitmaps builds the global frontier bitmap from every rank's
+// local frontier via an allgather-style exchange of packed local bits.
+func (e *rankBFS) gatherBitmaps() error {
+	n := e.g.NumVertices()
+	if e.frontierBits == nil {
+		e.frontierBits = make([]byte, (n+7)/8)
+	} else {
+		for i := range e.frontierBits {
+			e.frontierBits[i] = 0
+		}
+	}
+	// Pack local frontier membership (one bit per local index). The
+	// bitmap goes to every rank through a dedicated buffer slice: e.out
+	// must never hold multiple aliases of one array, or a later top-down
+	// step would interleave records from different destinations in the
+	// shared backing storage.
+	local := make([]byte, (e.nLocal+7)/8)
+	for _, li := range e.frontier {
+		local[li/8] |= 1 << (li % 8)
+	}
+	if e.bitOut == nil {
+		e.bitOut = make([][]byte, e.size)
+	}
+	for dst := range e.bitOut {
+		e.bitOut[dst] = local
+	}
+	in, err := e.t.Exchange(e.bitOut)
+	if err != nil {
+		return err
+	}
+	for r, buf := range in {
+		count := e.pd.Count(r)
+		for li := 0; li < count; li++ {
+			if buf[li/8]&(1<<(li%8)) != 0 {
+				setBit(e.frontierBits, e.pd.Global(r, li))
+			}
+		}
+	}
+	return nil
+}
+
+func setBit(bits []byte, v graph.Vertex)       { bits[v/8] |= 1 << (v % 8) }
+func testBit(bits []byte, v graph.Vertex) bool { return bits[v/8]&(1<<(v%8)) != 0 }

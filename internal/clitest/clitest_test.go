@@ -1,0 +1,179 @@
+// Package clitest builds the repository's command binaries and exercises
+// them end-to-end: graph generation to file, queries over generated and
+// saved graphs, verification flags, the benchmark harness, and the
+// multi-process TCP runner.
+package clitest
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// binaries builds all cmd/... tools once per test run and returns the
+// directory holding them.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "parsssp-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"sssp", "rmatgen", "bench", "ssspd", "analyze"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "parsssp/cmd/"+tool)
+			cmd.Dir = repoRoot()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("building %s: %v\n%s", tool, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+// repoRoot locates the module root (two levels above this package).
+func repoRoot() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestSSSPVerify(t *testing.T) {
+	out := run(t, "sssp", "-scale", "11", "-ranks", "3", "-algo", "opt", "-verify", "-tree", "-root", "-1")
+	if !strings.Contains(out, "verify: distances match") {
+		t.Errorf("missing verification line:\n%s", out)
+	}
+	if !strings.Contains(out, "tree: SSSP tree is structurally valid") {
+		t.Errorf("missing tree line:\n%s", out)
+	}
+	if !strings.Contains(out, "GTEPS:") {
+		t.Errorf("missing GTEPS line:\n%s", out)
+	}
+}
+
+func TestSSSPAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"plain", "del", "prune", "opt", "lbopt", "dijkstra", "bellmanford"} {
+		out := run(t, "sssp", "-scale", "10", "-ranks", "2", "-algo", algo, "-verify", "-root", "-1")
+		if !strings.Contains(out, "verify: distances match") {
+			t.Errorf("%s failed verification:\n%s", algo, out)
+		}
+	}
+}
+
+func TestSSSPBatchMode(t *testing.T) {
+	out := run(t, "sssp", "-scale", "10", "-ranks", "2", "-batch", "3")
+	if !strings.Contains(out, "harmonic mean TEPS") {
+		t.Errorf("missing batch output:\n%s", out)
+	}
+}
+
+func TestRmatgenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	out := run(t, "rmatgen", "-scale", "10", "-family", "2", "-o", path)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("rmatgen output: %s", out)
+	}
+	out = run(t, "sssp", "-input", path, "-ranks", "2", "-verify", "-root", "-1")
+	if !strings.Contains(out, "verify: distances match") {
+		t.Errorf("saved-graph query failed:\n%s", out)
+	}
+}
+
+func TestBenchExperiment(t *testing.T) {
+	out := run(t, "bench", "-experiment", "fig8", "-scale", "8", "-ranks", "1,2", "-roots", "1")
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "RMAT-1") {
+		t.Errorf("bench fig8 output:\n%s", out)
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binaries(t), "bench"), "-experiment", "nope")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	out := run(t, "analyze", "-scale", "11", "-ranks", "2", "-candidates", "3", "-sweeps", "3")
+	for _, want := range []string{"connectivity:", "closeness centrality", "weighted diameter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in analyze output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSSSPAutoTuneAndJSON(t *testing.T) {
+	out := run(t, "sssp", "-scale", "10", "-ranks", "2", "-delta", "0", "-root", "-1")
+	if !strings.Contains(out, "auto-tune:") {
+		t.Errorf("missing auto-tune output:\n%s", out)
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "r.json")
+	out = run(t, "bench", "-experiment", "fig8", "-scale", "8", "-ranks", "1", "-roots", "1", "-json", jsonPath)
+	if !strings.Contains(out, "wrote "+jsonPath) {
+		t.Errorf("missing JSON confirmation:\n%s", out)
+	}
+	if _, err := os.Stat(jsonPath); err != nil {
+		t.Errorf("JSON file not written: %v", err)
+	}
+}
+
+func TestSSSPDTwoProcesses(t *testing.T) {
+	addrs := "127.0.0.1:9733,127.0.0.1:9734"
+	bin := filepath.Join(binaries(t), "ssspd")
+	c1 := exec.Command(bin, "-rank", "1", "-addrs", addrs, "-scale", "10")
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c0 := exec.Command(bin, "-rank", "0", "-addrs", addrs, "-scale", "10", "-verify")
+	out0, err0 := c0.CombinedOutput()
+	err1 := c1.Wait()
+	if err0 != nil {
+		t.Fatalf("rank 0: %v\n%s", err0, out0)
+	}
+	if err1 != nil {
+		t.Fatalf("rank 1: %v", err1)
+	}
+	if !strings.Contains(string(out0), "verify: distances match") {
+		t.Errorf("ssspd rank 0 output:\n%s", out0)
+	}
+}
+
+func TestDIMACSWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	grPath := filepath.Join(dir, "g.gr")
+	out := run(t, "rmatgen", "-scale", "10", "-o", grPath)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("rmatgen output: %s", out)
+	}
+	out = run(t, "sssp", "-input", grPath, "-ranks", "2", "-verify", "-root", "-1")
+	if !strings.Contains(out, "verify: distances match") {
+		t.Errorf("DIMACS query failed:\n%s", out)
+	}
+}

@@ -1,0 +1,162 @@
+// Package comm defines the message-passing substrate that stands in for
+// the MPI/SPI communication layer of the paper's Blue Gene/Q
+// implementation.
+//
+// The SSSP engine is written against the Transport interface, which
+// provides exactly the collectives the paper's algorithm needs:
+//
+//   - Exchange — the per-superstep all-to-all personalized exchange
+//     (MPI_Alltoallv): relaxations, pull requests and pull responses all
+//     travel through it.
+//   - AllreduceInt64 — the termination checks, next-bucket computation and
+//     the push/pull cost aggregation.
+//   - Barrier — bulk-synchronous phase boundaries.
+//
+// Two implementations exist: memtransport (logical ranks inside one
+// process, used for all benchmarks) and tcptransport (a hand-rolled
+// length-prefixed RPC over TCP, letting separate OS processes form a real
+// distributed machine). Both are deterministic given deterministic inputs.
+package comm
+
+import "fmt"
+
+// ReduceOp selects the elementwise reduction applied by AllreduceInt64.
+type ReduceOp int
+
+const (
+	// Sum adds the contributions of all ranks.
+	Sum ReduceOp = iota
+	// Min takes the elementwise minimum.
+	Min
+	// Max takes the elementwise maximum.
+	Max
+)
+
+// String returns the op name.
+func (op ReduceOp) String() string {
+	switch op {
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", int(op))
+	}
+}
+
+// Apply reduces b into a elementwise and returns a.
+func (op ReduceOp) Apply(a, b []int64) []int64 {
+	for i := range a {
+		switch op {
+		case Sum:
+			a[i] += b[i]
+		case Min:
+			if b[i] < a[i] {
+				a[i] = b[i]
+			}
+		case Max:
+			if b[i] > a[i] {
+				a[i] = b[i]
+			}
+		}
+	}
+	return a
+}
+
+// Transport is one rank's endpoint of a P-rank message-passing machine.
+// All methods with collective semantics (Exchange, AllreduceInt64,
+// Barrier) must be called by every rank in the same order; mixing orders
+// deadlocks, exactly as in MPI.
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Exchange sends out[i] to rank i (out[Rank()] is delivered locally)
+	// and returns in, where in[i] is the buffer sent by rank i to this
+	// rank in the same collective call. nil and empty buffers are allowed.
+	// The returned buffers are owned by the caller until the next call.
+	Exchange(out [][]byte) (in [][]byte, err error)
+	// AllreduceInt64 reduces vals elementwise across all ranks with op and
+	// returns the result (same on every rank).
+	AllreduceInt64(vals []int64, op ReduceOp) ([]int64, error)
+	// Barrier blocks until every rank has entered it.
+	Barrier() error
+	// Close releases resources. The transport must not be used afterwards.
+	Close() error
+}
+
+// TrafficStats accumulates wire-level counters for a transport.
+type TrafficStats struct {
+	// ExchangeCalls is the number of Exchange collectives.
+	ExchangeCalls int64
+	// BytesSent counts payload bytes this rank sent to other ranks
+	// (excluding the local self-delivery).
+	BytesSent int64
+	// BytesReceived counts payload bytes received from other ranks.
+	BytesReceived int64
+	// MessagesSent counts non-empty buffers sent to other ranks.
+	MessagesSent int64
+	// AllreduceCalls counts AllreduceInt64 collectives.
+	AllreduceCalls int64
+	// BarrierCalls counts Barrier collectives.
+	BarrierCalls int64
+}
+
+// Counting wraps a Transport and accumulates TrafficStats. It is not safe
+// for concurrent use by multiple goroutines, matching the underlying
+// collectives' calling discipline (one caller per rank).
+type Counting struct {
+	T     Transport
+	Stats TrafficStats
+}
+
+// NewCounting returns a counting wrapper around t.
+func NewCounting(t Transport) *Counting { return &Counting{T: t} }
+
+// Rank implements Transport.
+func (c *Counting) Rank() int { return c.T.Rank() }
+
+// Size implements Transport.
+func (c *Counting) Size() int { return c.T.Size() }
+
+// Exchange implements Transport, counting payload traffic.
+func (c *Counting) Exchange(out [][]byte) ([][]byte, error) {
+	c.Stats.ExchangeCalls++
+	me := c.T.Rank()
+	for i, b := range out {
+		if i == me || len(b) == 0 {
+			continue
+		}
+		c.Stats.BytesSent += int64(len(b))
+		c.Stats.MessagesSent++
+	}
+	in, err := c.T.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range in {
+		if i == me {
+			continue
+		}
+		c.Stats.BytesReceived += int64(len(b))
+	}
+	return in, nil
+}
+
+// AllreduceInt64 implements Transport.
+func (c *Counting) AllreduceInt64(vals []int64, op ReduceOp) ([]int64, error) {
+	c.Stats.AllreduceCalls++
+	return c.T.AllreduceInt64(vals, op)
+}
+
+// Barrier implements Transport.
+func (c *Counting) Barrier() error {
+	c.Stats.BarrierCalls++
+	return c.T.Barrier()
+}
+
+// Close implements Transport.
+func (c *Counting) Close() error { return c.T.Close() }

@@ -1,0 +1,64 @@
+package comm
+
+import "time"
+
+// Latent wraps a Transport and adds a fixed delay to every collective,
+// emulating the network latency of a real distributed machine on an
+// in-process one. The paper's bulk-synchronous overheads (each phase and
+// bucket costs at least one network round trip, ~microseconds on Blue
+// Gene/Q at half a microsecond base latency plus software) vanish when
+// ranks are goroutines; Latent restores them so phase-count effects —
+// like Dijkstra's many-buckets penalty in Figure 9 — show up in
+// wall-clock measurements.
+type Latent struct {
+	T Transport
+	// Delay is added to every Exchange, AllreduceInt64 and Barrier.
+	Delay time.Duration
+	// BytesPerSecond, when nonzero, adds a serialization term to
+	// Exchange: payloadBytes / BytesPerSecond, modelling link bandwidth
+	// on top of base latency.
+	BytesPerSecond float64
+}
+
+// NewLatent wraps t with a per-collective delay.
+func NewLatent(t Transport, delay time.Duration) *Latent {
+	return &Latent{T: t, Delay: delay}
+}
+
+// Rank implements Transport.
+func (l *Latent) Rank() int { return l.T.Rank() }
+
+// Size implements Transport.
+func (l *Latent) Size() int { return l.T.Size() }
+
+// Exchange implements Transport with the configured delay plus the
+// bandwidth serialization term for this rank's outgoing payload.
+func (l *Latent) Exchange(out [][]byte) ([][]byte, error) {
+	delay := l.Delay
+	if l.BytesPerSecond > 0 {
+		var bytes int
+		for i, b := range out {
+			if i != l.T.Rank() {
+				bytes += len(b)
+			}
+		}
+		delay += time.Duration(float64(bytes) / l.BytesPerSecond * float64(time.Second))
+	}
+	time.Sleep(delay)
+	return l.T.Exchange(out)
+}
+
+// AllreduceInt64 implements Transport with the configured delay.
+func (l *Latent) AllreduceInt64(vals []int64, op ReduceOp) ([]int64, error) {
+	time.Sleep(l.Delay)
+	return l.T.AllreduceInt64(vals, op)
+}
+
+// Barrier implements Transport with the configured delay.
+func (l *Latent) Barrier() error {
+	time.Sleep(l.Delay)
+	return l.T.Barrier()
+}
+
+// Close implements Transport.
+func (l *Latent) Close() error { return l.T.Close() }

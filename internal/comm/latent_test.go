@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatentForwards(t *testing.T) {
+	fake := &fakeTransport{rank: 1, size: 2, inject: [][]byte{nil, []byte("x")}}
+	l := NewLatent(fake, time.Millisecond)
+	if l.Rank() != 1 || l.Size() != 2 {
+		t.Error("Rank/Size not forwarded")
+	}
+	in, err := l.Exchange(make([][]byte, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(in[1]) != "x" {
+		t.Errorf("payload not forwarded: %q", in[1])
+	}
+	res, err := l.AllreduceInt64([]int64{7}, Sum)
+	if err != nil || res[0] != 7 {
+		t.Errorf("allreduce not forwarded: %v %v", res, err)
+	}
+	if err := l.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatentDelays(t *testing.T) {
+	fake := &fakeTransport{rank: 0, size: 1, inject: [][]byte{nil}}
+	const delay = 20 * time.Millisecond
+	l := NewLatent(fake, delay)
+	start := time.Now()
+	if _, err := l.Exchange(make([][]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("Exchange returned after %v, want >= %v", elapsed, delay)
+	}
+}
+
+func TestLatentBandwidthTerm(t *testing.T) {
+	fake := &fakeTransport{rank: 0, size: 2, inject: [][]byte{nil, nil}}
+	l := &Latent{T: fake, BytesPerSecond: 1e6} // 1 MB/s
+	out := make([][]byte, 2)
+	out[1] = make([]byte, 50_000) // 50 ms at 1 MB/s
+	start := time.Now()
+	if _, err := l.Exchange(out); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("bandwidth term not applied: %v", elapsed)
+	}
+	// Self-delivery must be free.
+	out = make([][]byte, 2)
+	out[0] = make([]byte, 1_000_000)
+	start = time.Now()
+	if _, err := l.Exchange(out); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("self-delivery charged bandwidth: %v", elapsed)
+	}
+}

@@ -1,0 +1,160 @@
+// Package memtransport implements comm.Transport for P logical ranks
+// running as goroutines inside one process.
+//
+// It is the transport used by all in-process experiments: delivery is a
+// shared P×P buffer matrix guarded by a reusable barrier, so an Exchange
+// costs two barrier waits and zero copies (buffers are handed over by
+// reference). Results are deterministic: in[i] on every rank is exactly
+// what rank i passed as out, with no reordering.
+package memtransport
+
+import (
+	"errors"
+	"sync"
+
+	"parsssp/internal/comm"
+)
+
+// Group is a P-rank in-process communicator. Create one with New and hand
+// Rank(i) to each of the P goroutines.
+type Group struct {
+	size int
+	// mailbox[src][dst] is the buffer in flight from src to dst.
+	mailbox [][][]byte
+	// reduce[rank] holds each rank's Allreduce contribution.
+	reduce [][]int64
+	bar    *barrier
+}
+
+// New creates a communicator with size ranks.
+func New(size int) (*Group, error) {
+	if size < 1 {
+		return nil, errors.New("memtransport: size must be >= 1")
+	}
+	g := &Group{
+		size:    size,
+		mailbox: make([][][]byte, size),
+		reduce:  make([][]int64, size),
+		bar:     newBarrier(size),
+	}
+	for i := range g.mailbox {
+		g.mailbox[i] = make([][]byte, size)
+	}
+	return g, nil
+}
+
+// Rank returns the transport endpoint for rank r.
+func (g *Group) Rank(r int) comm.Transport {
+	if r < 0 || r >= g.size {
+		panic("memtransport: rank out of range")
+	}
+	return &endpoint{g: g, rank: r}
+}
+
+// Endpoints returns all size endpoints, index == rank.
+func (g *Group) Endpoints() []comm.Transport {
+	eps := make([]comm.Transport, g.size)
+	for i := range eps {
+		eps[i] = g.Rank(i)
+	}
+	return eps
+}
+
+type endpoint struct {
+	g     *Group
+	rank  int
+	in    [][]byte // reused result slice
+	arena [][]byte // reused copies of received buffers
+}
+
+func (e *endpoint) Rank() int { return e.rank }
+func (e *endpoint) Size() int { return e.g.size }
+
+func (e *endpoint) Exchange(out [][]byte) ([][]byte, error) {
+	g := e.g
+	if len(out) != g.size {
+		return nil, errors.New("memtransport: Exchange buffer count != size")
+	}
+	// Deposit this rank's outgoing row.
+	copy(g.mailbox[e.rank], out)
+	g.bar.wait()
+	// Collect this rank's incoming column. Buffers are copied into a
+	// per-endpoint arena: the Transport contract gives received buffers
+	// to the receiver, while senders are free to reuse their out buffers
+	// as soon as Exchange returns.
+	if e.in == nil {
+		e.in = make([][]byte, g.size)
+		e.arena = make([][]byte, g.size)
+	}
+	for src := 0; src < g.size; src++ {
+		buf := g.mailbox[src][e.rank]
+		if src == e.rank {
+			e.in[src] = buf // local delivery: same goroutine, no reuse hazard
+			continue
+		}
+		e.arena[src] = append(e.arena[src][:0], buf...)
+		e.in[src] = e.arena[src]
+	}
+	// Second barrier: nobody may start the next deposit before everyone
+	// has collected this round.
+	g.bar.wait()
+	return e.in, nil
+}
+
+func (e *endpoint) AllreduceInt64(vals []int64, op comm.ReduceOp) ([]int64, error) {
+	g := e.g
+	g.reduce[e.rank] = vals
+	g.bar.wait()
+	// The result is freshly allocated: callers may hold results from
+	// several collectives at once (e.g. a Sum and a Max side by side), so
+	// a reused buffer would silently alias them.
+	res := make([]int64, len(vals))
+	copy(res, g.reduce[0])
+	for r := 1; r < g.size; r++ {
+		other := g.reduce[r]
+		if len(other) != len(vals) {
+			return nil, errors.New("memtransport: Allreduce length mismatch across ranks")
+		}
+		op.Apply(res, other)
+	}
+	g.bar.wait()
+	return res, nil
+}
+
+func (e *endpoint) Barrier() error {
+	e.g.bar.wait()
+	return nil
+}
+
+func (e *endpoint) Close() error { return nil }
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,262 @@
+package memtransport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"parsssp/internal/comm"
+)
+
+// runRanks executes fn on every rank concurrently and fails the test on
+// any returned error.
+func runRanks(t *testing.T, size int, fn func(t comm.Transport) error) {
+	t.Helper()
+	g, err := New(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(g.Rank(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	g, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Rank out of range did not panic")
+		}
+	}()
+	g.Rank(2)
+}
+
+func TestExchangeDelivery(t *testing.T) {
+	const size = 4
+	runRanks(t, size, func(tr comm.Transport) error {
+		me := tr.Rank()
+		out := make([][]byte, size)
+		for dst := range out {
+			out[dst] = []byte(fmt.Sprintf("from %d to %d", me, dst))
+		}
+		in, err := tr.Exchange(out)
+		if err != nil {
+			return err
+		}
+		for src := range in {
+			want := fmt.Sprintf("from %d to %d", src, me)
+			if string(in[src]) != want {
+				return fmt.Errorf("in[%d] = %q, want %q", src, in[src], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestExchangeEmptyAndNil(t *testing.T) {
+	const size = 3
+	runRanks(t, size, func(tr comm.Transport) error {
+		out := make([][]byte, size)
+		out[0] = []byte{}
+		in, err := tr.Exchange(out)
+		if err != nil {
+			return err
+		}
+		for src := range in {
+			if len(in[src]) != 0 {
+				return fmt.Errorf("expected empty delivery, got %d bytes", len(in[src]))
+			}
+		}
+		return nil
+	})
+}
+
+func TestExchangeBufferOwnership(t *testing.T) {
+	// A sender reusing its out buffer after Exchange must not corrupt
+	// what receivers already collected.
+	const size = 2
+	runRanks(t, size, func(tr comm.Transport) error {
+		me := tr.Rank()
+		out := make([][]byte, size)
+		buf := []byte{byte(me), byte(me)}
+		out[1-me] = buf
+		in, err := tr.Exchange(out)
+		if err != nil {
+			return err
+		}
+		got := append([]byte(nil), in[1-me]...)
+		// Trash the send buffer and run another collective round.
+		buf[0], buf[1] = 0xFF, 0xFF
+		if _, err := tr.AllreduceInt64([]int64{1}, comm.Sum); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, in[1-me]) {
+			return fmt.Errorf("received buffer changed after sender reuse")
+		}
+		if in[1-me][0] != byte(1-me) {
+			return fmt.Errorf("received %v, want sender id %d", in[1-me], 1-me)
+		}
+		return nil
+	})
+}
+
+func TestExchangeWrongLength(t *testing.T) {
+	g, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Rank(0).Exchange(make([][]byte, 2)); err == nil {
+		t.Error("wrong buffer count accepted")
+	}
+}
+
+func TestAllreduceOps(t *testing.T) {
+	const size = 4
+	runRanks(t, size, func(tr comm.Transport) error {
+		me := int64(tr.Rank())
+		sum, err := tr.AllreduceInt64([]int64{me, 1}, comm.Sum)
+		if err != nil {
+			return err
+		}
+		if sum[0] != 0+1+2+3 || sum[1] != size {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		min, err := tr.AllreduceInt64([]int64{me * 10}, comm.Min)
+		if err != nil {
+			return err
+		}
+		if min[0] != 0 {
+			return fmt.Errorf("min = %v", min)
+		}
+		max, err := tr.AllreduceInt64([]int64{me * 10}, comm.Max)
+		if err != nil {
+			return err
+		}
+		if max[0] != 30 {
+			return fmt.Errorf("max = %v", max)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceEmpty(t *testing.T) {
+	runRanks(t, 2, func(tr comm.Transport) error {
+		res, err := tr.AllreduceInt64(nil, comm.Sum)
+		if err != nil {
+			return err
+		}
+		if len(res) != 0 {
+			return fmt.Errorf("empty allreduce returned %v", res)
+		}
+		return nil
+	})
+}
+
+func TestManyRounds(t *testing.T) {
+	// Stress the barrier reuse across mixed collectives.
+	const size = 5
+	runRanks(t, size, func(tr comm.Transport) error {
+		for round := 0; round < 200; round++ {
+			me := tr.Rank()
+			out := make([][]byte, size)
+			for dst := range out {
+				out[dst] = []byte{byte(me), byte(dst), byte(round)}
+			}
+			in, err := tr.Exchange(out)
+			if err != nil {
+				return err
+			}
+			for src := range in {
+				if in[src][0] != byte(src) || in[src][2] != byte(round) {
+					return fmt.Errorf("round %d: bad delivery from %d", round, src)
+				}
+			}
+			if err := tr.Barrier(); err != nil {
+				return err
+			}
+			v, err := tr.AllreduceInt64([]int64{int64(round)}, comm.Max)
+			if err != nil {
+				return err
+			}
+			if v[0] != int64(round) {
+				return fmt.Errorf("allreduce round tag %d != %d", v[0], round)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSingleRank(t *testing.T) {
+	runRanks(t, 1, func(tr comm.Transport) error {
+		in, err := tr.Exchange([][]byte{[]byte("self")})
+		if err != nil {
+			return err
+		}
+		if string(in[0]) != "self" {
+			return fmt.Errorf("self delivery = %q", in[0])
+		}
+		v, err := tr.AllreduceInt64([]int64{7}, comm.Sum)
+		if err != nil {
+			return err
+		}
+		if v[0] != 7 {
+			return fmt.Errorf("allreduce = %v", v)
+		}
+		return tr.Close()
+	})
+}
+
+func TestEndpoints(t *testing.T) {
+	g, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := g.Endpoints()
+	if len(eps) != 3 {
+		t.Fatalf("Endpoints returned %d", len(eps))
+	}
+	for i, ep := range eps {
+		if ep.Rank() != i || ep.Size() != 3 {
+			t.Errorf("endpoint %d reports rank %d size %d", i, ep.Rank(), ep.Size())
+		}
+	}
+}
+
+func TestAllreduceResultsIndependent(t *testing.T) {
+	// Regression for the decision-heuristic aliasing bug: results of two
+	// consecutive reductions must not share storage.
+	runRanks(t, 2, func(tr comm.Transport) error {
+		me := int64(tr.Rank())
+		sums, err := tr.AllreduceInt64([]int64{me + 1}, comm.Sum)
+		if err != nil {
+			return err
+		}
+		sumBefore := sums[0]
+		if _, err := tr.AllreduceInt64([]int64{me * 100}, comm.Max); err != nil {
+			return err
+		}
+		if sums[0] != sumBefore {
+			return fmt.Errorf("earlier Allreduce result mutated: %d -> %d", sumBefore, sums[0])
+		}
+		return nil
+	})
+}

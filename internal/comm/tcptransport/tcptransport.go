@@ -1,0 +1,347 @@
+// Package tcptransport implements comm.Transport over TCP sockets,
+// forming a real multi-process message-passing machine on commodity
+// networks. It is the stand-in for the MPI/SPI layer of the paper's Blue
+// Gene/Q implementation (no MPI ecosystem exists for Go, so the RPC layer
+// is rolled by hand).
+//
+// Topology is a full mesh: every pair of ranks shares one TCP connection.
+// Rank identities are established by a fixed-size handshake; afterwards
+// all traffic is length-prefixed binary frames. The collectives are
+// implemented directly on the mesh:
+//
+//   - Exchange: write one frame to every peer, read one frame from every
+//     peer. TCP ordering plus the lockstep collective discipline make
+//     frame matching trivial — the k-th frame on a connection belongs to
+//     the k-th collective.
+//   - AllreduceInt64: an allgather of the encoded vectors (an Exchange of
+//     the same payload to all peers) followed by a local reduction.
+//   - Barrier: a zero-length Allreduce.
+//
+// Frame format (little-endian): u32 payload length, then payload. The
+// handshake frame is: u32 magic, u32 rank.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"parsssp/internal/comm"
+)
+
+const handshakeMagic = 0x50415253 // "PARS"
+
+// maxFrame bounds a single frame payload; larger Exchange buffers are an
+// error (they indicate a runaway workload rather than a legitimate need).
+const maxFrame = 1 << 30
+
+// Config describes the machine: one address per rank. Rank i listens on
+// Addrs[i]; all ranks must share an identical Addrs slice.
+type Config struct {
+	// Addrs[i] is the host:port endpoint of rank i.
+	Addrs []string
+	// Rank is this process's rank.
+	Rank int
+	// DialTimeout bounds connection establishment to each peer; zero
+	// means 10 seconds.
+	DialTimeout time.Duration
+	// DialRetry is the interval between connection attempts while peers
+	// start up; zero means 50ms.
+	DialRetry time.Duration
+}
+
+// Transport is a TCP-backed comm.Transport endpoint.
+type Transport struct {
+	rank  int
+	size  int
+	ln    net.Listener
+	conns []net.Conn // conns[p] is the connection to rank p; nil for self
+	inbox []chan frame
+	errs  chan error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type frame struct {
+	payload []byte
+	err     error
+}
+
+// New establishes the mesh and returns this rank's endpoint. It blocks
+// until connections to all peers are up. Ranks may start in any order
+// within the dial timeout.
+func New(cfg Config) (*Transport, error) {
+	size := len(cfg.Addrs)
+	if size < 1 {
+		return nil, errors.New("tcptransport: empty address list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= size {
+		return nil, fmt.Errorf("tcptransport: rank %d out of range [0,%d)", cfg.Rank, size)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 50 * time.Millisecond
+	}
+	t := &Transport{
+		rank:  cfg.Rank,
+		size:  size,
+		conns: make([]net.Conn, size),
+		inbox: make([]chan frame, size),
+		errs:  make(chan error, size),
+	}
+	for p := range t.inbox {
+		t.inbox[p] = make(chan frame, 1)
+	}
+	if size == 1 {
+		return t, nil
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+	}
+	t.ln = ln
+
+	// Lower ranks dial higher ranks; higher ranks accept from lower ones.
+	// That fixes one connection per unordered pair with no tie-breaking.
+	type dialResult struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	results := make(chan dialResult, size)
+	for p := cfg.Rank + 1; p < size; p++ {
+		go func(p int) {
+			conn, err := dialWithRetry(cfg.Addrs[p], cfg.DialTimeout, cfg.DialRetry)
+			if err == nil {
+				err = writeHandshake(conn, cfg.Rank)
+			}
+			results <- dialResult{p, conn, err}
+		}(p)
+	}
+	go func() {
+		for i := 0; i < cfg.Rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				results <- dialResult{-1, nil, err}
+				return
+			}
+			peer, err := readHandshake(conn)
+			if err != nil || peer < 0 || peer >= size {
+				conn.Close()
+				results <- dialResult{-1, nil, fmt.Errorf("tcptransport: bad handshake: %v", err)}
+				return
+			}
+			results <- dialResult{peer, conn, nil}
+		}
+	}()
+
+	needed := size - 1
+	for i := 0; i < needed; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Close()
+			return nil, r.err
+		}
+		if t.conns[r.peer] != nil {
+			r.conn.Close()
+			t.Close()
+			return nil, fmt.Errorf("tcptransport: duplicate connection from rank %d", r.peer)
+		}
+		t.conns[r.peer] = r.conn
+	}
+	// One reader goroutine per peer keeps frames ordered per connection.
+	for p, conn := range t.conns {
+		if conn == nil {
+			continue
+		}
+		go t.readLoop(p, conn)
+	}
+	return t, nil
+}
+
+func dialWithRetry(addr string, timeout, retry time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, retry)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcptransport: dial %s: %w", addr, err)
+		}
+		time.Sleep(retry)
+	}
+}
+
+func writeHandshake(conn net.Conn, rank int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:4], handshakeMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(rank))
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readHandshake(conn net.Conn) (int, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return -1, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != handshakeMagic {
+		return -1, errors.New("tcptransport: bad magic")
+	}
+	return int(binary.LittleEndian.Uint32(buf[4:8])), nil
+}
+
+// readLoop reads frames from peer p and delivers them to the inbox.
+func (t *Transport) readLoop(p int, conn net.Conn) {
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.inbox[p] <- frame{err: err}
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			t.inbox[p] <- frame{err: fmt.Errorf("tcptransport: oversized frame %d from rank %d", n, p)}
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.inbox[p] <- frame{err: err}
+			return
+		}
+		t.inbox[p] <- frame{payload: payload}
+	}
+}
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank implements comm.Transport.
+func (t *Transport) Rank() int { return t.rank }
+
+// Size implements comm.Transport.
+func (t *Transport) Size() int { return t.size }
+
+// Exchange implements comm.Transport.
+func (t *Transport) Exchange(out [][]byte) ([][]byte, error) {
+	if len(out) != t.size {
+		return nil, errors.New("tcptransport: Exchange buffer count != size")
+	}
+	for p, b := range out {
+		if p != t.rank && len(b) > maxFrame {
+			return nil, fmt.Errorf("tcptransport: buffer for rank %d exceeds frame limit", p)
+		}
+	}
+	// Write concurrently to avoid head-of-line blocking across peers.
+	var wg sync.WaitGroup
+	writeErr := make(chan error, t.size)
+	for p, conn := range t.conns {
+		if conn == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(conn net.Conn, payload []byte) {
+			defer wg.Done()
+			if err := writeFrame(conn, payload); err != nil {
+				writeErr <- err
+			}
+		}(conn, out[p])
+	}
+	in := make([][]byte, t.size)
+	in[t.rank] = out[t.rank]
+	for p := range t.conns {
+		if t.conns[p] == nil {
+			continue
+		}
+		f := <-t.inbox[p]
+		if f.err != nil {
+			return nil, fmt.Errorf("tcptransport: receive from rank %d: %w", p, f.err)
+		}
+		in[p] = f.payload
+	}
+	wg.Wait()
+	select {
+	case err := <-writeErr:
+		return nil, err
+	default:
+	}
+	return in, nil
+}
+
+// AllreduceInt64 implements comm.Transport as allgather + local reduce.
+func (t *Transport) AllreduceInt64(vals []int64, op comm.ReduceOp) ([]int64, error) {
+	payload := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(payload[8*i:], uint64(v))
+	}
+	out := make([][]byte, t.size)
+	for p := range out {
+		out[p] = payload
+	}
+	in, err := t.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	// Freshly allocated: callers may hold results of several collectives
+	// at once (see memtransport for the rationale).
+	res := make([]int64, len(vals))
+	copy(res, vals)
+	other := make([]int64, len(vals))
+	for p, buf := range in {
+		if p == t.rank {
+			continue
+		}
+		if len(buf) != 8*len(vals) {
+			return nil, fmt.Errorf("tcptransport: Allreduce length mismatch from rank %d", p)
+		}
+		for i := range other {
+			other[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		op.Apply(res, other)
+	}
+	return res, nil
+}
+
+// Barrier implements comm.Transport.
+func (t *Transport) Barrier() error {
+	_, err := t.AllreduceInt64(nil, comm.Sum)
+	return err
+}
+
+// Close implements comm.Transport.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		if t.ln != nil {
+			t.closeErr = t.ln.Close()
+		}
+		for _, conn := range t.conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	})
+	return t.closeErr
+}

@@ -1,0 +1,271 @@
+package tcptransport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"parsssp/internal/comm"
+)
+
+// freeAddrs reserves n distinct loopback ports and returns them as
+// host:port strings. The listeners are closed, so a tiny race window
+// exists; tests retry the machine once if setup fails.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// runMachine starts a full mesh of size ranks in-process and runs fn on
+// each.
+func runMachine(t *testing.T, size int, fn func(tr comm.Transport) error) {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		addrs := freeAddrs(t, size)
+		trs := make([]*Transport, size)
+		setupErrs := make([]error, size)
+		var wg sync.WaitGroup
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				trs[r], setupErrs[r] = New(Config{
+					Addrs: addrs, Rank: r,
+					DialTimeout: 5 * time.Second,
+				})
+			}(r)
+		}
+		wg.Wait()
+		lastErr = nil
+		for _, err := range setupErrs {
+			if err != nil {
+				lastErr = err
+			}
+		}
+		if lastErr != nil {
+			for _, tr := range trs {
+				if tr != nil {
+					tr.Close()
+				}
+			}
+			continue // port-reuse race; retry with fresh ports
+		}
+		errs := make([]error, size)
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				errs[r] = fn(trs[r])
+			}(r)
+		}
+		wg.Wait()
+		for _, tr := range trs {
+			tr.Close()
+		}
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		return
+	}
+	t.Fatalf("machine setup failed twice: %v", lastErr)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Addrs: []string{"a", "b"}, Rank: 5}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestSingleRankNoSockets(t *testing.T) {
+	tr, err := New(Config{Addrs: []string{"127.0.0.1:1"}, Rank: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	in, err := tr.Exchange([][]byte{[]byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(in[0]) != "hi" {
+		t.Errorf("self delivery %q", in[0])
+	}
+}
+
+func TestExchangeTwoRanks(t *testing.T) {
+	runMachine(t, 2, func(tr comm.Transport) error {
+		me := tr.Rank()
+		out := make([][]byte, 2)
+		out[1-me] = []byte(fmt.Sprintf("payload-from-%d", me))
+		in, err := tr.Exchange(out)
+		if err != nil {
+			return err
+		}
+		want := fmt.Sprintf("payload-from-%d", 1-me)
+		if string(in[1-me]) != want {
+			return fmt.Errorf("got %q, want %q", in[1-me], want)
+		}
+		return nil
+	})
+}
+
+func TestExchangeFourRanksManyRounds(t *testing.T) {
+	const size = 4
+	runMachine(t, size, func(tr comm.Transport) error {
+		me := tr.Rank()
+		for round := 0; round < 50; round++ {
+			out := make([][]byte, size)
+			for dst := range out {
+				out[dst] = []byte{byte(me), byte(dst), byte(round)}
+			}
+			in, err := tr.Exchange(out)
+			if err != nil {
+				return err
+			}
+			for src := range in {
+				if in[src][0] != byte(src) || in[src][1] != byte(me) || in[src][2] != byte(round) {
+					return fmt.Errorf("round %d: bad frame from %d: %v", round, src, in[src])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestLargeFrames(t *testing.T) {
+	runMachine(t, 2, func(tr comm.Transport) error {
+		me := tr.Rank()
+		big := make([]byte, 1<<20)
+		for i := range big {
+			big[i] = byte(me + i)
+		}
+		out := make([][]byte, 2)
+		out[1-me] = big
+		in, err := tr.Exchange(out)
+		if err != nil {
+			return err
+		}
+		peer := 1 - me
+		if len(in[peer]) != len(big) {
+			return fmt.Errorf("got %d bytes", len(in[peer]))
+		}
+		for i := 0; i < len(big); i += 99991 {
+			if in[peer][i] != byte(peer+i) {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllreduceAndBarrier(t *testing.T) {
+	const size = 3
+	runMachine(t, size, func(tr comm.Transport) error {
+		me := int64(tr.Rank())
+		sum, err := tr.AllreduceInt64([]int64{me, -me}, comm.Sum)
+		if err != nil {
+			return err
+		}
+		if sum[0] != 3 || sum[1] != -3 {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		min, err := tr.AllreduceInt64([]int64{me}, comm.Min)
+		if err != nil {
+			return err
+		}
+		if min[0] != 0 {
+			return fmt.Errorf("min = %v", min)
+		}
+		return tr.Barrier()
+	})
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	tr, err := New(Config{Addrs: []string{"127.0.0.1:1"}, Rank: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	// Rank 1 never starts; rank 0 must give up within the dial timeout.
+	addrs := freeAddrs(t, 2)
+	start := time.Now()
+	_, err := New(Config{
+		Addrs: addrs, Rank: 0,
+		DialTimeout: 300 * time.Millisecond,
+		DialRetry:   50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("connected to a non-existent peer")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial timeout took %v", elapsed)
+	}
+}
+
+func TestExchangeAfterPeerClose(t *testing.T) {
+	// When a peer dies, collectives must fail with an error rather than
+	// hang forever or panic.
+	addrs := freeAddrs(t, 2)
+	trs := make([]*Transport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = New(Config{Addrs: addrs, Rank: r, DialTimeout: 5 * time.Second})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Skipf("setup race on rank %d: %v", r, err) // port reuse; covered elsewhere
+		}
+	}
+	trs[1].Close()
+	out := make([][]byte, 2)
+	out[1] = []byte("hello")
+	if _, err := trs[0].Exchange(out); err == nil {
+		t.Error("Exchange against a closed peer succeeded")
+	}
+	trs[0].Close()
+}
+
+func TestExchangeWrongBufferCount(t *testing.T) {
+	tr, err := New(Config{Addrs: []string{"127.0.0.1:1"}, Rank: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Exchange(make([][]byte, 3)); err == nil {
+		t.Error("wrong buffer count accepted")
+	}
+}

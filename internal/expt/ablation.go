@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"fmt"
+
+	"parsssp/internal/sssp"
+)
+
+// AblationResult isolates the contribution of each design choice called
+// out in DESIGN.md: the IOS refinement, the pull-request estimator, the
+// load-imbalance weight λ in the push/pull cost model, the hybridization
+// threshold τ, and the heavy-vertex chunking threshold π.
+type AblationResult struct {
+	// Rows[group][variant] is the averaged measurement.
+	Rows map[string]map[string]Point
+	// Groups and Variants preserve presentation order.
+	Groups   []string
+	Variants map[string][]string
+}
+
+// ablationVariants enumerates the configurations, all derived from the
+// Opt-25 preset so each group varies exactly one knob.
+func ablationVariants(threads int) (groups []string, variants map[string][]string, opts map[string]map[string]sssp.Options) {
+	mk := func(mutate func(*sssp.Options)) sssp.Options {
+		o := sssp.LBOptOptions(25)
+		o.Threads = threads
+		mutate(&o)
+		return o
+	}
+	groups = []string{"ios", "estimator", "lambda", "tau", "pi", "apply"}
+	variants = map[string][]string{
+		"ios":       {"with-ios", "without-ios"},
+		"estimator": {"exact", "expectation", "histogram"},
+		"lambda":    {"0.00", "0.25", "0.50", "1.00"},
+		"tau":       {"0.2", "0.4", "0.6", "0.8"},
+		"pi":        {"16", "64", "256"},
+		"apply":     {"serial", "parallel"},
+	}
+	opts = map[string]map[string]sssp.Options{
+		"ios": {
+			"with-ios":    mk(func(o *sssp.Options) {}),
+			"without-ios": mk(func(o *sssp.Options) { o.IOS = false }),
+		},
+		"estimator": {
+			"exact":       mk(func(o *sssp.Options) { o.Estimator = sssp.EstimatorExact }),
+			"expectation": mk(func(o *sssp.Options) { o.Estimator = sssp.EstimatorExpectation }),
+			"histogram":   mk(func(o *sssp.Options) { o.Estimator = sssp.EstimatorHistogram }),
+		},
+		"lambda": {
+			"0.00": mk(func(o *sssp.Options) { o.ImbalanceWeight = 0 }),
+			"0.25": mk(func(o *sssp.Options) { o.ImbalanceWeight = 0.25 }),
+			"0.50": mk(func(o *sssp.Options) { o.ImbalanceWeight = 0.5 }),
+			"1.00": mk(func(o *sssp.Options) { o.ImbalanceWeight = 1 }),
+		},
+		"tau": {
+			"0.2": mk(func(o *sssp.Options) { o.Tau = 0.2 }),
+			"0.4": mk(func(o *sssp.Options) { o.Tau = 0.4 }),
+			"0.6": mk(func(o *sssp.Options) { o.Tau = 0.6 }),
+			"0.8": mk(func(o *sssp.Options) { o.Tau = 0.8 }),
+		},
+		"pi": {
+			"16":  mk(func(o *sssp.Options) { o.HeavyThreshold = 16 }),
+			"64":  mk(func(o *sssp.Options) { o.HeavyThreshold = 64 }),
+			"256": mk(func(o *sssp.Options) { o.HeavyThreshold = 256 }),
+		},
+		"apply": {
+			"serial":   mk(func(o *sssp.Options) {}),
+			"parallel": mk(func(o *sssp.Options) { o.ParallelApply = true }),
+		},
+	}
+	return groups, variants, opts
+}
+
+// Ablation measures each variant on an RMAT-1 graph at the largest
+// configured rank count.
+func Ablation(cfg Config) (*AblationResult, error) {
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	g, err := cfg.generate(RMAT1, ranks)
+	if err != nil {
+		return nil, err
+	}
+	roots := pickRoots(g, cfg.Roots, cfg.Seed+31)
+	groups, variants, optTable := ablationVariants(cfg.Threads)
+	res := &AblationResult{
+		Rows:     map[string]map[string]Point{},
+		Groups:   groups,
+		Variants: variants,
+	}
+	tw := cfg.newTable("Ablation — design-choice sweeps (LB-Opt-25 base, RMAT-1)",
+		"group", "variant", "GTEPS", "relaxations", "phases", "buckets")
+	for _, group := range groups {
+		res.Rows[group] = map[string]Point{}
+		for _, variant := range variants[group] {
+			p, err := cfg.measure(g, ranks, roots, optTable[group][variant])
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s/%s: %w", group, variant, err)
+			}
+			res.Rows[group][variant] = p
+			fmt.Fprintln(tw, row(group, variant, p.GTEPS, p.Relaxations, p.Phases, p.Buckets))
+		}
+	}
+	return res, tw.Flush()
+}

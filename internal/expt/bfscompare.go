@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"parsssp/internal/bfs"
+	"parsssp/internal/graph"
+	"parsssp/internal/sssp"
+)
+
+// BFSCompareResult reproduces the Figure 1 discussion: "SSSP is only two
+// to five times slower than BFS on the same machine configuration, graph
+// type and level of optimization".
+type BFSCompareResult struct {
+	Rows []BFSCompareRow
+}
+
+// BFSCompareRow is one family's measurement.
+type BFSCompareRow struct {
+	Family    Family
+	Scale     int
+	Ranks     int
+	BFSGTEPS  float64
+	SSSPGTEPS float64
+	// Slowdown is BFSGTEPS / SSSPGTEPS; the paper observes 2–5.
+	Slowdown float64
+}
+
+// BFSCompare measures direction-optimized BFS and the final SSSP
+// algorithm on identical graphs, machines and roots.
+func BFSCompare(cfg Config) (*BFSCompareResult, error) {
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	res := &BFSCompareResult{}
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		g, err := cfg.generate(fam, ranks)
+		if err != nil {
+			return nil, err
+		}
+		roots := pickRoots(g, cfg.Roots, cfg.Seed+uint64(fam)*3)
+		delta := uint32(25)
+		if fam == RMAT2 {
+			delta = 40
+		}
+		ssspOpts := sssp.LBOptOptions(delta)
+		ssspOpts.Threads = cfg.Threads
+
+		var bfsGTEPS, ssspGTEPS float64
+		for _, root := range roots {
+			bres, err := timeBFS(g, ranks, root)
+			if err != nil {
+				return nil, err
+			}
+			bfsGTEPS += bres
+			srun, err := cfg.run(g, ranks, root, ssspOpts)
+			if err != nil {
+				return nil, err
+			}
+			ssspGTEPS += srun.Stats.GTEPS(g.NumEdges())
+		}
+		bfsGTEPS /= float64(len(roots))
+		ssspGTEPS /= float64(len(roots))
+		row := BFSCompareRow{
+			Family: fam, Scale: cfg.scaleFor(ranks), Ranks: ranks,
+			BFSGTEPS: bfsGTEPS, SSSPGTEPS: ssspGTEPS,
+		}
+		if ssspGTEPS > 0 {
+			row.Slowdown = bfsGTEPS / ssspGTEPS
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	tw := cfg.newTable("Figure 1 discussion — BFS vs SSSP on the same machine",
+		"family", "scale", "ranks", "BFS GTEPS", "SSSP GTEPS", "SSSP slowdown")
+	for _, r := range res.Rows {
+		fmt.Fprintln(tw, row(r.Family, r.Scale, r.Ranks, r.BFSGTEPS, r.SSSPGTEPS, r.Slowdown))
+	}
+	return res, tw.Flush()
+}
+
+// timeBFS runs one direction-optimized BFS and returns its GTEPS.
+func timeBFS(g *graph.Graph, ranks int, root graph.Vertex) (float64, error) {
+	start := time.Now()
+	if _, err := bfs.Run(g, ranks, root, bfs.Options{}); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("bfscompare: degenerate timing")
+	}
+	return float64(g.NumEdges()) / elapsed / 1e9, nil
+}

@@ -1,0 +1,211 @@
+// Package expt is the benchmark harness that regenerates every table and
+// figure of the paper's experimental section (§IV) at laptop scale.
+//
+// Each experiment is a function taking a Config and returning a
+// structured result that it also pretty-prints. The paper ran weak
+// scaling with 2^23 vertices per Blue Gene/Q node on 32–32,768 nodes;
+// here the same sweeps run with a configurable vertices-per-rank budget
+// over in-process ranks. Absolute GTEPS numbers differ from the paper's
+// hardware by construction — the comparisons that must (and do) hold are
+// the shapes: which algorithm wins, by what factor, and where behaviour
+// crosses over. See EXPERIMENTS.md for the recorded outcomes.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/comm/memtransport"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+	"parsssp/internal/rng"
+	"parsssp/internal/sssp"
+)
+
+// Family identifies one of the paper's two R-MAT parameter families.
+type Family int
+
+const (
+	// RMAT1 is the Graph500 BFS spec (A=0.57, B=C=0.19).
+	RMAT1 Family = 1
+	// RMAT2 is the proposed Graph500 SSSP spec (A=0.50, B=C=0.10).
+	RMAT2 Family = 2
+)
+
+// String returns "RMAT-1" or "RMAT-2".
+func (f Family) String() string { return fmt.Sprintf("RMAT-%d", int(f)) }
+
+// Params returns the rmat parameters of the family at a scale.
+func (f Family) Params(scale int, seed uint64) rmat.Params {
+	if f == RMAT2 {
+		return rmat.Family2(scale, seed)
+	}
+	return rmat.Family1(scale, seed)
+}
+
+// Config controls experiment sizing. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// ScalePerRank is log2 of the vertices owned by each rank under weak
+	// scaling (the paper used 23).
+	ScalePerRank int
+	// Ranks is the list of rank counts for scaling sweeps; each must be a
+	// power of two.
+	Ranks []int
+	// Threads is the worker-goroutine count per rank.
+	Threads int
+	// Roots is the number of random source vertices each data point is
+	// averaged over.
+	Roots int
+	// Seed selects all random streams.
+	Seed uint64
+	// CollectiveLatency, when nonzero, adds a synthetic delay to every
+	// collective (comm.Latent), emulating network round trips on the
+	// in-process machine. Phase-count effects (Figure 9's Dijkstra
+	// penalty, Figure 10b's bucket overheads) only appear in wall-clock
+	// terms with realistic latency.
+	CollectiveLatency time.Duration
+	// Out receives the printed tables; nil means os.Stdout.
+	Out io.Writer
+}
+
+// DefaultConfig returns a configuration sized for a laptop: scale 13 per
+// rank (8k vertices/rank, 128k edges/rank) over 1–8 ranks.
+func DefaultConfig() Config {
+	return Config{
+		ScalePerRank: 13,
+		Ranks:        []int{1, 2, 4, 8},
+		Threads:      2,
+		Roots:        4,
+		Seed:         0xC0FFEE,
+	}
+}
+
+func (c *Config) out() io.Writer {
+	if c.Out == nil {
+		return os.Stdout
+	}
+	return c.Out
+}
+
+// scaleFor returns the weak-scaling graph scale for a rank count.
+func (c *Config) scaleFor(ranks int) int {
+	s := c.ScalePerRank
+	for r := ranks; r > 1; r >>= 1 {
+		s++
+	}
+	return s
+}
+
+// generate builds the weak-scaling graph of a family for a rank count.
+func (c *Config) generate(f Family, ranks int) (*graph.Graph, error) {
+	return rmat.Generate(f.Params(c.scaleFor(ranks), c.Seed))
+}
+
+// pickRoots selects n deterministic non-isolated source vertices.
+func pickRoots(g *graph.Graph, n int, seed uint64) []graph.Vertex {
+	gen := rng.NewXoshiro256(seed)
+	roots := make([]graph.Vertex, 0, n)
+	nv := g.NumVertices()
+	for len(roots) < n {
+		v := graph.Vertex(gen.IntN(nv))
+		if g.Degree(v) > 0 {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}
+
+// Point is one averaged measurement of an algorithm on a graph.
+type Point struct {
+	// Ranks and Scale identify the weak-scaling configuration.
+	Ranks, Scale int
+	// GTEPS is the mean traversal rate over the roots.
+	GTEPS float64
+	// Relaxations is the mean total relaxation count.
+	Relaxations float64
+	// Phases and Buckets are the mean phase and epoch counts.
+	Phases, Buckets float64
+	// BktTimeFrac is mean BktTime / (BktTime + OtherTime).
+	BktTimeFrac float64
+	// TimeMS is the mean query wall-clock in milliseconds.
+	TimeMS float64
+}
+
+// run executes one query, inserting the configured collective latency.
+func (c *Config) run(g *graph.Graph, ranks int, root graph.Vertex, opts sssp.Options) (*sssp.Result, error) {
+	pd, err := partition.New(partition.Block, g.NumVertices(), ranks)
+	if err != nil {
+		return nil, err
+	}
+	group, err := memtransport.New(ranks)
+	if err != nil {
+		return nil, err
+	}
+	transports := group.Endpoints()
+	if c.CollectiveLatency > 0 {
+		for i, t := range transports {
+			transports[i] = comm.NewLatent(t, c.CollectiveLatency)
+		}
+	}
+	return sssp.RunWithTransports(g, pd, root, opts, transports)
+}
+
+// measure runs opts on g for each root and averages.
+func (c *Config) measure(g *graph.Graph, ranks int, roots []graph.Vertex, opts sssp.Options) (Point, error) {
+	var p Point
+	for _, root := range roots {
+		res, err := c.run(g, ranks, root, opts)
+		if err != nil {
+			return p, err
+		}
+		p.GTEPS += res.Stats.GTEPS(g.NumEdges())
+		p.Relaxations += float64(res.Stats.Relax.Total())
+		p.Phases += float64(res.Stats.Phases)
+		p.Buckets += float64(res.Stats.Epochs)
+		p.TimeMS += float64(res.Stats.Total.Milliseconds())
+		tot := res.Stats.BktTime + res.Stats.OtherTime
+		if tot > 0 {
+			p.BktTimeFrac += res.Stats.BktTime.Seconds() / tot.Seconds()
+		}
+	}
+	n := float64(len(roots))
+	p.GTEPS /= n
+	p.Relaxations /= n
+	p.Phases /= n
+	p.Buckets /= n
+	p.TimeMS /= n
+	p.BktTimeFrac /= n
+	p.Ranks = ranks
+	return p, nil
+}
+
+// newTable returns a tabwriter on the config output with a header line.
+func (c *Config) newTable(title string, columns ...interface{}) *tabwriter.Writer {
+	fmt.Fprintf(c.out(), "\n== %s ==\n", title)
+	tw := tabwriter.NewWriter(c.out(), 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, row(columns...))
+	return tw
+}
+
+// row formats a tab-separated table row.
+func row(cells ...interface{}) string {
+	s := ""
+	for i, cell := range cells {
+		if i > 0 {
+			s += "\t"
+		}
+		switch v := cell.(type) {
+		case float64:
+			s += fmt.Sprintf("%.3g", v)
+		default:
+			s += fmt.Sprint(v)
+		}
+	}
+	return s
+}

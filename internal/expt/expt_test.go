@@ -1,0 +1,454 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"parsssp/internal/sssp"
+)
+
+// ssspOptsForLatencyTest returns a deterministic multi-phase option set.
+func ssspOptsForLatencyTest() sssp.Options {
+	o := sssp.DelOptions(25)
+	o.Threads = 1
+	return o
+}
+
+// tinyConfig keeps experiment tests fast while preserving R-MAT skew.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ScalePerRank = 9
+	cfg.Ranks = []int{1, 2}
+	cfg.Roots = 2
+	cfg.Threads = 2
+	cfg.Out = &bytes.Buffer{}
+	return cfg
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScalePerRank = 10
+	cases := map[int]int{1: 10, 2: 11, 4: 12, 8: 13}
+	for ranks, want := range cases {
+		if got := cfg.scaleFor(ranks); got != want {
+			t.Errorf("scaleFor(%d) = %d, want %d", ranks, got, want)
+		}
+	}
+	if RMAT1.String() != "RMAT-1" || RMAT2.String() != "RMAT-2" {
+		t.Error("family names wrong")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	res, err := Fig3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		rows := res.Rows[fam]
+		// Work-done ordering (paper §II-B): Dijkstra ≤ Del ≤ Bellman-Ford.
+		if rows["BellmanFord"].Relaxations < rows["Del-25"].Relaxations {
+			t.Errorf("%s: BF relaxations %v below Del-25 %v",
+				fam, rows["BellmanFord"].Relaxations, rows["Del-25"].Relaxations)
+		}
+		// Phase ordering: Bellman-Ford ≤ Del ≤ Dijkstra.
+		if rows["Dijkstra"].Phases < rows["Del-25"].Phases {
+			t.Errorf("%s: Dijkstra phases %v below Del-25 %v",
+				fam, rows["Dijkstra"].Phases, rows["Del-25"].Phases)
+		}
+		if rows["BellmanFord"].Phases > rows["Del-25"].Phases {
+			t.Errorf("%s: BF phases %v above Del-25 %v",
+				fam, rows["BellmanFord"].Phases, rows["Del-25"].Phases)
+		}
+		// Pruning cuts work below the baseline.
+		if rows["Prune-25"].Relaxations >= rows["Del-25"].Relaxations {
+			t.Errorf("%s: Prune-25 relaxations %v not below Del-25 %v",
+				fam, rows["Prune-25"].Relaxations, rows["Del-25"].Relaxations)
+		}
+		// Hybrid cuts buckets.
+		if rows["Hybrid-25"].Buckets >= rows["Del-25"].Buckets {
+			t.Errorf("%s: Hybrid-25 buckets %v not below Del-25 %v",
+				fam, rows["Hybrid-25"].Buckets, rows["Del-25"].Buckets)
+		}
+	}
+}
+
+func TestFig4LongPhaseDominance(t *testing.T) {
+	res, err := Fig4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShortTotal+res.LongTotal == 0 {
+		t.Fatal("no relaxations recorded")
+	}
+	// Paper Figure 4: long-edge phases dominate on RMAT-1.
+	if res.LongTotal < res.ShortTotal {
+		t.Errorf("long relaxations %d below short %d; dominance inverted",
+			res.LongTotal, res.ShortTotal)
+	}
+}
+
+func TestFig6PullBeatsPush(t *testing.T) {
+	res, err := Fig6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PullRelax >= res.PushRelax {
+		t.Errorf("heuristic run (%d relax) not below all-push (%d)",
+			res.PullRelax, res.PushRelax)
+	}
+	pulls := 0
+	for _, m := range res.HeuristicDecisions {
+		if m.String() == "pull" {
+			pulls++
+		}
+	}
+	if pulls == 0 {
+		t.Error("heuristic never chose pull on the clique example")
+	}
+}
+
+func TestFig7CensusConsistency(t *testing.T) {
+	res, err := Fig7(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	var forward, backSelf int64
+	for _, b := range res.Buckets {
+		forward += b.ForwardEdges
+		backSelf += b.SelfEdges + b.BackwardEdges
+	}
+	if forward == 0 {
+		t.Error("census found no forward edges")
+	}
+	// Self+backward relaxations are the redundant ones pruning targets;
+	// on a skewed graph they must exist.
+	if backSelf == 0 {
+		t.Error("census found no redundant (self/backward) edges")
+	}
+}
+
+func TestFig8SkewGrowth(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Scales) - 1
+	if res.MaxDegree[RMAT1][last] <= res.MaxDegree[RMAT2][last] {
+		t.Errorf("RMAT-1 max degree %d not above RMAT-2 %d at top scale",
+			res.MaxDegree[RMAT1][last], res.MaxDegree[RMAT2][last])
+	}
+	if res.MaxDegree[RMAT1][last] <= res.MaxDegree[RMAT1][0] {
+		t.Errorf("RMAT-1 max degree does not grow with scale: %v", res.MaxDegree[RMAT1])
+	}
+}
+
+func TestFig9DeltaTradeoffs(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(cfg.Ranks) - 1
+	// Relaxations grow with Δ; buckets shrink with Δ.
+	if res.Series["Del-1"][last].Relaxations > res.Series["Del-inf"][last].Relaxations {
+		t.Errorf("Del-1 relaxations above Del-inf")
+	}
+	if res.Series["Del-1"][last].Buckets < res.Series["Del-inf"][last].Buckets {
+		t.Errorf("Del-1 buckets below Del-inf")
+	}
+}
+
+func TestGraph500Procedure(t *testing.T) {
+	res, err := Graph500(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.HarmonicMeanTEPS <= 0 {
+			t.Errorf("%s: degenerate harmonic mean", r.Family)
+		}
+		if !r.Validated {
+			t.Errorf("%s: tree validation failed", r.Family)
+		}
+	}
+}
+
+func TestStrongScalingRuns(t *testing.T) {
+	res, err := StrongScaling(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].GTEPS <= 0 {
+		t.Errorf("degenerate strong-scaling points: %+v", res.Points)
+	}
+	if res.Efficiency[0] != 1 {
+		t.Errorf("base efficiency %v, want 1", res.Efficiency[0])
+	}
+}
+
+func TestPushPullMostlyOptimal(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Roots = 2
+	res, err := PushPull(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalCount*2 < len(res.Cases) {
+		t.Errorf("heuristic optimal on only %d/%d cases", res.OptimalCount, len(res.Cases))
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Error("Names() inconsistent with Registry")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Error("Names() not sorted")
+		}
+	}
+	for _, want := range []string{"fig3", "fig10", "fig12", "pushpull", "realworld", "ablation", "graph500"} {
+		if _, ok := Registry[want]; !ok {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+}
+
+func TestTableOutputFormat(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	cfg.Out = &buf
+	if _, err := Fig8(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "RMAT-1") {
+		t.Errorf("table output malformed:\n%s", out)
+	}
+}
+
+func TestBFSComparePaperRange(t *testing.T) {
+	res, err := BFSCompare(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.BFSGTEPS <= 0 || r.SSSPGTEPS <= 0 {
+			t.Errorf("%s: degenerate rates %+v", r.Family, r)
+		}
+		// BFS must be faster (it is the computationally simpler problem);
+		// the paper observes a 2–5× gap at scale, looser here.
+		if r.Slowdown < 1 {
+			t.Errorf("%s: SSSP faster than BFS (%v)", r.Family, r.Slowdown)
+		}
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/out.json"
+	if err := ExportJSON(path, cfg, map[string]interface{}{"fig8": res}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Config  Config
+		Results map[string]json.RawMessage
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Config.ScalePerRank != cfg.ScalePerRank {
+		t.Errorf("config round trip: %+v", doc.Config)
+	}
+	if _, ok := doc.Results["fig8"]; !ok {
+		t.Error("fig8 result missing from export")
+	}
+}
+
+func TestFig10Analysis(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ScalePerRank = 8
+	res, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Main == nil || res.DeltaSweep == nil || res.LB == nil {
+		t.Fatal("missing panels")
+	}
+	last := len(cfg.Ranks) - 1
+	// Pruning cuts relaxations at every point.
+	if res.Main.Series["Prune-25"][last].Relaxations >= res.Main.Series["Del-25"][last].Relaxations {
+		t.Error("Prune-25 did not cut relaxations vs Del-25")
+	}
+	// Hybridization collapses buckets.
+	if res.Main.Series["Opt-25"][last].Buckets >= res.Main.Series["Del-25"][last].Buckets {
+		t.Error("Opt-25 did not cut buckets vs Del-25")
+	}
+}
+
+func TestFig11Analysis(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ScalePerRank = 8
+	res, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LB != nil {
+		t.Error("Figure 11 must not include the LB panel")
+	}
+	if len(res.Main.Series["Opt-25"]) != len(cfg.Ranks) {
+		t.Error("missing data points")
+	}
+}
+
+func TestFig12AndTable1(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ScalePerRank = 8
+	f, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		for i, g := range f.GTEPS[fam] {
+			if g <= 0 {
+				t.Errorf("%s point %d: GTEPS %v", fam, i, g)
+			}
+		}
+	}
+	tbl, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || tbl.Rows[0].GTEPS <= 0 {
+		t.Errorf("table1 rows: %+v", tbl.Rows)
+	}
+}
+
+func TestRealWorldSpeedup(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := RealWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Speedup <= 0.5 {
+			t.Errorf("%s: Opt catastrophically slower than Del (%v)", r.Name, r.Speedup)
+		}
+	}
+}
+
+func TestAblationSweeps(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ScalePerRank = 8
+	res, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, group := range res.Groups {
+		for _, variant := range res.Variants[group] {
+			p, ok := res.Rows[group][variant]
+			if !ok || p.GTEPS <= 0 {
+				t.Errorf("%s/%s: missing or degenerate point", group, variant)
+			}
+		}
+	}
+	// IOS removal must raise relaxations.
+	if res.Rows["ios"]["without-ios"].Relaxations <= res.Rows["ios"]["with-ios"].Relaxations {
+		t.Error("IOS ablation did not raise relaxations")
+	}
+}
+
+func TestSplitScalingImbalance(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ScalePerRank = 8
+	res, err := SplitScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Ranks {
+		if res.ImbalanceNoSplit[i] < 1 || res.ImbalanceSplit[i] < 1 {
+			t.Errorf("imbalance below 1 at point %d", i)
+		}
+		if res.Split[i].GTEPS <= 0 {
+			t.Errorf("degenerate split GTEPS at point %d", i)
+		}
+	}
+}
+
+func TestTimelineExperiment(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Timeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) == 0 {
+		t.Fatal("empty timeline")
+	}
+	var total int64
+	for _, v := range res.ByKind {
+		total += v
+	}
+	if total == 0 {
+		t.Error("timeline recorded no relaxations")
+	}
+}
+
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	cfg := tinyConfig()
+	cfg.ScalePerRank = 8
+	cfg.Roots = 1
+	results, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Registry) {
+		t.Errorf("RunAll returned %d results for %d experiments", len(results), len(Registry))
+	}
+}
+
+func TestCollectiveLatencyConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ScalePerRank = 8
+	cfg.CollectiveLatency = 200 * time.Microsecond
+	g, err := cfg.generate(RMAT1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := pickRoots(g, 1, 1)
+	slow, err := cfg.measure(g, 2, roots, ssspOptsForLatencyTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CollectiveLatency = 0
+	fast, err := cfg.measure(g, 2, roots, ssspOptsForLatencyTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TimeMS <= fast.TimeMS {
+		t.Errorf("latency injection had no effect: %v <= %v", slow.TimeMS, fast.TimeMS)
+	}
+}

@@ -1,0 +1,228 @@
+package expt
+
+import (
+	"fmt"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/rmat"
+	"parsssp/internal/sssp"
+)
+
+// Fig3Result reproduces Figure 3: per-algorithm phase counts (a) and
+// relaxation counts (b) on sample graphs of both families.
+type Fig3Result struct {
+	// Rows[family][algorithm] holds the averaged measurement.
+	Rows map[Family]map[string]Point
+	// Order lists the algorithms in presentation order.
+	Order []string
+}
+
+// fig3Algorithms is the paper's Figure 3 lineup: the basic algorithms,
+// three Δ-stepping settings, and the proposed Hybrid and Prune variants.
+func fig3Algorithms() ([]string, map[string]sssp.Options) {
+	order := []string{"BellmanFord", "Dijkstra", "Del-10", "Del-25", "Del-40", "Hybrid-25", "Prune-25"}
+	hyb := sssp.DelOptions(25)
+	hyb.Hybrid = true
+	return order, map[string]sssp.Options{
+		"BellmanFord": sssp.BellmanFordOptions(),
+		"Dijkstra":    sssp.DijkstraOptions(),
+		"Del-10":      sssp.DelOptions(10),
+		"Del-25":      sssp.DelOptions(25),
+		"Del-40":      sssp.DelOptions(40),
+		"Hybrid-25":   hyb,
+		"Prune-25":    sssp.PruneOptions(25),
+	}
+}
+
+// Fig3 runs the Figure 3 comparison on single graphs of both families at
+// the configured per-rank scale times the largest rank count.
+func Fig3(cfg Config) (*Fig3Result, error) {
+	order, algos := fig3Algorithms()
+	res := &Fig3Result{Rows: map[Family]map[string]Point{}, Order: order}
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		g, err := cfg.generate(fam, ranks)
+		if err != nil {
+			return nil, err
+		}
+		roots := pickRoots(g, cfg.Roots, cfg.Seed+uint64(fam))
+		res.Rows[fam] = map[string]Point{}
+		for _, name := range order {
+			opts := algos[name]
+			opts.Threads = cfg.Threads
+			p, err := cfg.measure(g, ranks, roots, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s/%s: %w", fam, name, err)
+			}
+			p.Scale = cfg.scaleFor(ranks)
+			res.Rows[fam][name] = p
+		}
+	}
+	tw := cfg.newTable("Figure 3 — phases and relaxations by algorithm",
+		"family", "algorithm", "phases", "buckets", "relaxations")
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		for _, name := range order {
+			p := res.Rows[fam][name]
+			fmt.Fprintln(tw, row(fam, name, p.Phases, p.Buckets, p.Relaxations))
+		}
+	}
+	return res, tw.Flush()
+}
+
+// Fig4Result reproduces Figure 4: the phase-wise distribution of
+// relaxations for Del-25, demonstrating the dominance of long-edge
+// phases.
+type Fig4Result struct {
+	// Buckets holds per-epoch short- and long-phase relaxation counts.
+	Buckets []sssp.BucketStats
+	// ShortTotal and LongTotal aggregate the two phase kinds.
+	ShortTotal, LongTotal int64
+}
+
+// Fig4 runs Del-25 on an RMAT-1 graph and reports the per-bucket
+// relaxation split.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	g, err := cfg.generate(RMAT1, ranks)
+	if err != nil {
+		return nil, err
+	}
+	root := pickRoots(g, 1, cfg.Seed)[0]
+	opts := sssp.DelOptions(25)
+	opts.Threads = cfg.Threads
+	run, err := sssp.Run(g, ranks, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Buckets: run.Stats.Buckets}
+	tw := cfg.newTable("Figure 4 — phase-wise relaxations (Del-25, RMAT-1)",
+		"bucket", "short phases", "short relax", "long relax")
+	for _, b := range res.Buckets {
+		res.ShortTotal += b.ShortRelax
+		res.LongTotal += b.LongRelax
+		fmt.Fprintln(tw, row(b.Index, b.ShortPhases, b.ShortRelax, b.LongRelax))
+	}
+	fmt.Fprintln(tw, row("total", "", res.ShortTotal, res.LongTotal))
+	return res, tw.Flush()
+}
+
+// Fig6Result reproduces the Figure 6 illustration: on the root–clique–
+// pendant construction, the pull mechanism beats push on the clique
+// bucket.
+type Fig6Result struct {
+	// PushRelax and PullRelax are the total relaxation counts (requests
+	// and responses counted separately) under all-push and under the
+	// heuristic (which picks pull for the clique bucket).
+	PushRelax, PullRelax int64
+	// HeuristicDecisions is the per-epoch decision sequence chosen.
+	HeuristicDecisions []sssp.Mode
+}
+
+// Fig6 builds the clique illustration graph and compares forced-push with
+// the decision heuristic.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	// Δ=5; root→clique weight 10 puts the clique in bucket 2; clique→
+	// pendant weight 10 puts the pendants in bucket 4, as in the paper.
+	g, err := gen.CliqueChain(5, 5, 10, 10, 10)
+	if err != nil {
+		return nil, err
+	}
+	push := sssp.ModePush
+	optsPush := sssp.PruneOptions(5)
+	optsPush.ForceMode = &push
+	runPush, err := sssp.Run(g, 2, 0, optsPush)
+	if err != nil {
+		return nil, err
+	}
+	optsHeur := sssp.PruneOptions(5)
+	runHeur, err := sssp.Run(g, 2, 0, optsHeur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{
+		PushRelax:          runPush.Stats.Relax.Total(),
+		PullRelax:          runHeur.Stats.Relax.Total(),
+		HeuristicDecisions: runHeur.Stats.Decisions,
+	}
+	tw := cfg.newTable("Figure 6 — pull benefit on the clique example",
+		"strategy", "relaxations", "decisions")
+	fmt.Fprintln(tw, row("all-push", res.PushRelax, "push,push,push"))
+	fmt.Fprintln(tw, row("heuristic", res.PullRelax, fmt.Sprint(res.HeuristicDecisions)))
+	return res, tw.Flush()
+}
+
+// Fig7Result reproduces Figure 7: the per-bucket long-edge category
+// census (self/backward/forward) and pull-request counts that motivate
+// per-bucket push/pull decisions.
+type Fig7Result struct {
+	Buckets []sssp.BucketStats
+}
+
+// Fig7 runs Prune-25 in census mode on an RMAT-1 graph.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	g, err := cfg.generate(RMAT1, ranks)
+	if err != nil {
+		return nil, err
+	}
+	root := pickRoots(g, 1, cfg.Seed)[0]
+	opts := sssp.PruneOptions(25)
+	opts.Census = true
+	opts.Threads = cfg.Threads
+	run, err := sssp.Run(g, ranks, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Buckets: run.Stats.Buckets}
+	tw := cfg.newTable("Figure 7 — long-edge census per bucket (Prune-25 census mode, RMAT-1)",
+		"bucket", "self", "backward", "forward", "push total", "pull requests")
+	for _, b := range res.Buckets {
+		pushTotal := b.SelfEdges + b.BackwardEdges + b.ForwardEdges
+		fmt.Fprintln(tw, row(b.Index, b.SelfEdges, b.BackwardEdges, b.ForwardEdges,
+			pushTotal, b.Requests))
+	}
+	return res, tw.Flush()
+}
+
+// Fig8Result reproduces Figure 8: maximum degree by scale for both
+// families, the skew indicator motivating load balancing.
+type Fig8Result struct {
+	Scales []int
+	// MaxDegree[family][i] is the maximum degree at Scales[i].
+	MaxDegree map[Family][]int
+}
+
+// Fig8 sweeps graph scales and reports the maximum degree of each family.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	res := &Fig8Result{MaxDegree: map[Family][]int{}}
+	base := cfg.ScalePerRank
+	for s := base; s < base+5; s++ {
+		res.Scales = append(res.Scales, s)
+	}
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		for _, s := range res.Scales {
+			g, err := rmat.Generate(fam.Params(s, cfg.Seed))
+			if err != nil {
+				return nil, err
+			}
+			res.MaxDegree[fam] = append(res.MaxDegree[fam], g.MaxDegree())
+		}
+	}
+	tw := cfg.newTable("Figure 8 — maximum degree by scale", "scale", "RMAT-1", "RMAT-2")
+	for i, s := range res.Scales {
+		fmt.Fprintln(tw, row(s, res.MaxDegree[RMAT1][i], res.MaxDegree[RMAT2][i]))
+	}
+	return res, tw.Flush()
+}
+
+// degreeThresholdFor picks a vertex-splitting threshold from the graph's
+// degree distribution: comfortably above the mean, far below the maximum.
+func degreeThresholdFor(g *graph.Graph) int {
+	st := g.Stats()
+	t := int(st.Mean * 8)
+	if t < 16 {
+		t = 16
+	}
+	return t
+}

@@ -1,0 +1,269 @@
+package expt
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/sssp"
+)
+
+// ScalingResult is a weak-scaling sweep: one Point per (algorithm, rank
+// count).
+type ScalingResult struct {
+	Family Family
+	// Series[name][i] is the measurement of algorithm name at
+	// cfg.Ranks[i].
+	Series map[string][]Point
+	// Order lists series in presentation order.
+	Order []string
+}
+
+// sweep measures every algorithm in algos across the weak-scaling rank
+// list of cfg on graphs of fam.
+func sweep(cfg Config, fam Family, order []string, algos map[string]sssp.Options) (*ScalingResult, error) {
+	res := &ScalingResult{Family: fam, Series: map[string][]Point{}, Order: order}
+	for _, ranks := range cfg.Ranks {
+		g, err := cfg.generate(fam, ranks)
+		if err != nil {
+			return nil, err
+		}
+		roots := pickRoots(g, cfg.Roots, cfg.Seed+uint64(ranks))
+		for _, name := range order {
+			opts := algos[name]
+			opts.Threads = cfg.Threads
+			p, err := cfg.measure(g, ranks, roots, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/ranks=%d: %w", fam, name, ranks, err)
+			}
+			p.Scale = cfg.scaleFor(ranks)
+			res.Series[name] = append(res.Series[name], p)
+		}
+	}
+	return res, nil
+}
+
+// print renders the sweep as one table per metric selector.
+func (r *ScalingResult) print(cfg Config, title string, metric string, sel func(Point) float64) error {
+	cols := []interface{}{"ranks", "scale"}
+	for _, name := range r.Order {
+		cols = append(cols, name)
+	}
+	tw := cfg.newTable(fmt.Sprintf("%s — %s (%s)", title, metric, r.Family), cols...)
+	for i, ranks := range cfg.Ranks {
+		cells := []interface{}{ranks, cfg.scaleFor(ranks)}
+		for _, name := range r.Order {
+			cells = append(cells, sel(r.Series[name][i]))
+		}
+		fmt.Fprintln(tw, row(cells...))
+	}
+	return tw.Flush()
+}
+
+// Fig9 reproduces Figure 9: weak-scaling GTEPS of the Δ-stepping
+// algorithm (with edge classification) for Δ from 1 (Dijkstra) to ∞
+// (Bellman-Ford) on RMAT-1.
+func Fig9(cfg Config) (*ScalingResult, error) {
+	order := []string{"Del-1", "Del-5", "Del-10", "Del-25", "Del-50", "Del-100", "Del-inf"}
+	algos := map[string]sssp.Options{
+		"Del-1":   sssp.DelOptions(1),
+		"Del-5":   sssp.DelOptions(5),
+		"Del-10":  sssp.DelOptions(10),
+		"Del-25":  sssp.DelOptions(25),
+		"Del-50":  sssp.DelOptions(50),
+		"Del-100": sssp.DelOptions(100),
+		"Del-inf": sssp.BellmanFordOptions(),
+	}
+	res, err := sweep(cfg, RMAT1, order, algos)
+	if err != nil {
+		return nil, err
+	}
+	return res, res.print(cfg, "Figure 9", "GTEPS", func(p Point) float64 { return p.GTEPS })
+}
+
+// FigAnalysisResult bundles the Figure 10/11 panels for one family.
+type FigAnalysisResult struct {
+	// Main compares Del-25, Prune-25 and Opt-25 (panels a–d).
+	Main *ScalingResult
+	// DeltaSweep compares Opt-10/25/40 (panel e).
+	DeltaSweep *ScalingResult
+	// LB compares LB-Opt-10/25/40 (panel f; Figure 10 only).
+	LB *ScalingResult
+}
+
+// figAnalysis runs the paper's per-family analysis (Figures 10 and 11):
+// heuristic lineup, Δ sweep of OPT, and optionally the load-balanced
+// variant.
+func figAnalysis(cfg Config, fam Family, withLB bool) (*FigAnalysisResult, error) {
+	mainOrder := []string{"Del-25", "Prune-25", "Opt-25"}
+	main, err := sweep(cfg, fam, mainOrder, map[string]sssp.Options{
+		"Del-25":   sssp.DelOptions(25),
+		"Prune-25": sssp.PruneOptions(25),
+		"Opt-25":   sssp.OptOptions(25),
+	})
+	if err != nil {
+		return nil, err
+	}
+	title := "Figure 10"
+	if fam == RMAT2 {
+		title = "Figure 11"
+	}
+	if err := main.print(cfg, title+"a", "GTEPS", func(p Point) float64 { return p.GTEPS }); err != nil {
+		return nil, err
+	}
+	if err := main.print(cfg, title+"b", "bucket-overhead fraction of time", func(p Point) float64 { return p.BktTimeFrac }); err != nil {
+		return nil, err
+	}
+	if err := main.print(cfg, title+"c", "relaxations", func(p Point) float64 { return p.Relaxations }); err != nil {
+		return nil, err
+	}
+	if err := main.print(cfg, title+"d", "buckets", func(p Point) float64 { return p.Buckets }); err != nil {
+		return nil, err
+	}
+
+	deltaOrder := []string{"Opt-10", "Opt-25", "Opt-40"}
+	deltaSweep, err := sweep(cfg, fam, deltaOrder, map[string]sssp.Options{
+		"Opt-10": sssp.OptOptions(10),
+		"Opt-25": sssp.OptOptions(25),
+		"Opt-40": sssp.OptOptions(40),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := deltaSweep.print(cfg, title+"e", "GTEPS", func(p Point) float64 { return p.GTEPS }); err != nil {
+		return nil, err
+	}
+
+	res := &FigAnalysisResult{Main: main, DeltaSweep: deltaSweep}
+	if withLB {
+		lbOrder := []string{"LBOpt-10", "LBOpt-25", "LBOpt-40"}
+		lb, err := sweep(cfg, fam, lbOrder, map[string]sssp.Options{
+			"LBOpt-10": sssp.LBOptOptions(10),
+			"LBOpt-25": sssp.LBOptOptions(25),
+			"LBOpt-40": sssp.LBOptOptions(40),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := lb.print(cfg, title+"f", "GTEPS with load balancing", func(p Point) float64 { return p.GTEPS }); err != nil {
+			return nil, err
+		}
+		res.LB = lb
+	}
+	return res, nil
+}
+
+// Fig10 reproduces the Figure 10 analysis on RMAT-1 (including the
+// load-balancing panel).
+func Fig10(cfg Config) (*FigAnalysisResult, error) { return figAnalysis(cfg, RMAT1, true) }
+
+// Fig11 reproduces the Figure 11 analysis on RMAT-2 (no load-balancing
+// panel: the paper found it unnecessary for this family).
+func Fig11(cfg Config) (*FigAnalysisResult, error) { return figAnalysis(cfg, RMAT2, false) }
+
+// Fig12Result reproduces Figure 12: the large-system weak-scaling GTEPS
+// table of the final algorithms (Δ=25 for RMAT-1 with two-tier load
+// balancing, Δ=40 for RMAT-2).
+type Fig12Result struct {
+	Ranks []int
+	// GTEPS[family][i] is the rate at Ranks[i].
+	GTEPS map[Family][]float64
+}
+
+// Fig12 sweeps the largest configured systems with the final algorithm of
+// each family.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	res := &Fig12Result{Ranks: cfg.Ranks, GTEPS: map[Family][]float64{}}
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		for _, ranks := range cfg.Ranks {
+			g, err := cfg.generate(fam, ranks)
+			if err != nil {
+				return nil, err
+			}
+			roots := pickRoots(g, cfg.Roots, cfg.Seed+uint64(ranks))
+			var gteps float64
+			if fam == RMAT1 {
+				// Final RMAT-1 algorithm: LB-Opt-25 plus inter-node vertex
+				// splitting of extreme-degree vertices.
+				opts := sssp.LBOptOptions(25)
+				opts.Threads = cfg.Threads
+				threshold := degreeThresholdFor(g)
+				for _, root := range roots {
+					run, err := runWithSplit(g, ranks, root, opts, threshold)
+					if err != nil {
+						return nil, err
+					}
+					gteps += run.Stats.GTEPS(g.NumEdges())
+				}
+				gteps /= float64(len(roots))
+			} else {
+				opts := sssp.OptOptions(40)
+				opts.Threads = cfg.Threads
+				p, err := cfg.measure(g, ranks, roots, opts)
+				if err != nil {
+					return nil, err
+				}
+				gteps = p.GTEPS
+			}
+			res.GTEPS[fam] = append(res.GTEPS[fam], gteps)
+		}
+	}
+	tw := cfg.newTable("Figure 12 — final algorithms, weak scaling GTEPS",
+		"ranks", "scale", "RMAT-1 (LB-Opt-25 + split)", "RMAT-2 (Opt-40)")
+	for i, ranks := range cfg.Ranks {
+		fmt.Fprintln(tw, row(ranks, cfg.scaleFor(ranks), res.GTEPS[RMAT1][i], res.GTEPS[RMAT2][i]))
+	}
+	return res, tw.Flush()
+}
+
+// Table1Result reproduces the paper's Figure 1 "this paper" rows: the
+// headline configuration of both families at the largest system size.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one headline measurement.
+type Table1Row struct {
+	Family   Family
+	Ranks    int
+	Scale    int
+	Vertices int
+	Edges    int64
+	GTEPS    float64
+}
+
+// Table1 measures the headline configurations.
+func Table1(cfg Config) (*Table1Result, error) {
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	res := &Table1Result{}
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		g, err := cfg.generate(fam, ranks)
+		if err != nil {
+			return nil, err
+		}
+		roots := pickRoots(g, cfg.Roots, cfg.Seed)
+		delta := graph.Weight(25)
+		if fam == RMAT2 {
+			delta = 40
+		}
+		opts := sssp.LBOptOptions(delta)
+		opts.Threads = cfg.Threads
+		p, err := cfg.measure(g, ranks, roots, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Family:   fam,
+			Ranks:    ranks,
+			Scale:    cfg.scaleFor(ranks),
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			GTEPS:    p.GTEPS,
+		})
+	}
+	tw := cfg.newTable("Figure 1 — headline SSSP rates (this reproduction)",
+		"family", "ranks", "scale", "vertices", "edges", "GTEPS")
+	for _, r := range res.Rows {
+		fmt.Fprintln(tw, row(r.Family, r.Ranks, r.Scale, r.Vertices, r.Edges, r.GTEPS))
+	}
+	return res, tw.Flush()
+}

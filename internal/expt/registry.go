@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Runner executes one experiment, printing its tables to cfg.Out and
+// returning its structured result (for JSON export and tests).
+type Runner func(cfg Config) (interface{}, error)
+
+// Registry maps experiment names (as used by cmd/bench -experiment) to
+// runners.
+var Registry = map[string]Runner{
+	"table1":        func(c Config) (interface{}, error) { return Table1(c) },
+	"fig3":          func(c Config) (interface{}, error) { return Fig3(c) },
+	"fig4":          func(c Config) (interface{}, error) { return Fig4(c) },
+	"fig6":          func(c Config) (interface{}, error) { return Fig6(c) },
+	"fig7":          func(c Config) (interface{}, error) { return Fig7(c) },
+	"fig8":          func(c Config) (interface{}, error) { return Fig8(c) },
+	"fig9":          func(c Config) (interface{}, error) { return Fig9(c) },
+	"fig10":         func(c Config) (interface{}, error) { return Fig10(c) },
+	"fig11":         func(c Config) (interface{}, error) { return Fig11(c) },
+	"fig12":         func(c Config) (interface{}, error) { return Fig12(c) },
+	"pushpull":      func(c Config) (interface{}, error) { return PushPull(c) },
+	"realworld":     func(c Config) (interface{}, error) { return RealWorld(c) },
+	"ablation":      func(c Config) (interface{}, error) { return Ablation(c) },
+	"strongscaling": func(c Config) (interface{}, error) { return StrongScaling(c) },
+	"graph500":      func(c Config) (interface{}, error) { return Graph500(c) },
+	"splitscaling":  func(c Config) (interface{}, error) { return SplitScaling(c) },
+	"bfscompare":    func(c Config) (interface{}, error) { return BFSCompare(c) },
+	"timeline":      func(c Config) (interface{}, error) { return Timeline(c) },
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for name := range Registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunAll executes every experiment in name order and returns the
+// structured results keyed by experiment name.
+func RunAll(cfg Config) (map[string]interface{}, error) {
+	results := make(map[string]interface{}, len(Registry))
+	for _, name := range Names() {
+		fmt.Fprintf(cfg.out(), "\n###### experiment %s ######\n", name)
+		res, err := Registry[name](cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", name, err)
+		}
+		results[name] = res
+	}
+	return results, nil
+}
+
+// ExportJSON writes experiment results (as returned by RunAll or a
+// single Runner) to path as indented JSON, together with the
+// configuration that produced them.
+func ExportJSON(path string, cfg Config, results map[string]interface{}) error {
+	doc := struct {
+		Config  Config                 `json:"config"`
+		Results map[string]interface{} `json:"results"`
+	}{cfg, results}
+	// The config's writer is not serializable.
+	doc.Config.Out = nil
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("expt: encoding results: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

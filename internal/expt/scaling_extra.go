@@ -1,0 +1,192 @@
+package expt
+
+import (
+	"fmt"
+
+	"parsssp/internal/partition"
+	"parsssp/internal/sssp"
+	"parsssp/internal/validate"
+)
+
+// StrongScalingResult fixes the graph and varies the machine size — the
+// complement of the paper's weak-scaling sweeps (its title promises
+// strong scaling; weak scaling is what §IV reports, so both are
+// provided).
+type StrongScalingResult struct {
+	Family Family
+	Scale  int
+	// Points[i] measures cfg.Ranks[i] ranks on the same graph.
+	Points []Point
+	// Efficiency[i] is GTEPS(i) / (GTEPS(0) · Ranks[i]/Ranks[0]).
+	Efficiency []float64
+}
+
+// StrongScaling measures the final RMAT-1 algorithm on a fixed graph
+// across the configured rank counts.
+func StrongScaling(cfg Config) (*StrongScalingResult, error) {
+	scale := cfg.scaleFor(cfg.Ranks[len(cfg.Ranks)-1])
+	g, err := cfg.generate(RMAT1, cfg.Ranks[len(cfg.Ranks)-1])
+	if err != nil {
+		return nil, err
+	}
+	roots := pickRoots(g, cfg.Roots, cfg.Seed+77)
+	res := &StrongScalingResult{Family: RMAT1, Scale: scale}
+	for _, ranks := range cfg.Ranks {
+		opts := sssp.LBOptOptions(25)
+		opts.Threads = cfg.Threads
+		p, err := cfg.measure(g, ranks, roots, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Scale = scale
+		res.Points = append(res.Points, p)
+	}
+	base := res.Points[0]
+	for i, p := range res.Points {
+		ideal := base.GTEPS * float64(cfg.Ranks[i]) / float64(cfg.Ranks[0])
+		if ideal > 0 {
+			res.Efficiency = append(res.Efficiency, p.GTEPS/ideal)
+		} else {
+			res.Efficiency = append(res.Efficiency, 0)
+		}
+	}
+	tw := cfg.newTable(fmt.Sprintf("Strong scaling — LB-Opt-25 on a fixed scale-%d RMAT-1 graph", scale),
+		"ranks", "GTEPS", "time (ms)", "parallel efficiency")
+	for i, p := range res.Points {
+		fmt.Fprintln(tw, row(cfg.Ranks[i], p.GTEPS, p.TimeMS, res.Efficiency[i]))
+	}
+	return res, tw.Flush()
+}
+
+// Graph500Result is the Graph500-style submission row: harmonic mean
+// TEPS over many random search keys, with tree validation.
+type Graph500Result struct {
+	Rows []Graph500Row
+}
+
+// Graph500Row is one family's measurement.
+type Graph500Row struct {
+	Family           Family
+	Scale            int
+	Ranks            int
+	Keys             int
+	HarmonicMeanTEPS float64
+	Validated        bool
+}
+
+// Graph500 runs the benchmark procedure: generate, pick search keys,
+// query each, validate trees structurally, report harmonic mean TEPS.
+func Graph500(cfg Config) (*Graph500Result, error) {
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	res := &Graph500Result{}
+	for _, fam := range []Family{RMAT1, RMAT2} {
+		g, err := cfg.generate(fam, ranks)
+		if err != nil {
+			return nil, err
+		}
+		roots, err := sssp.PickRoots(g, cfg.Roots, cfg.Seed+uint64(fam))
+		if err != nil {
+			return nil, err
+		}
+		delta := uint32(25)
+		if fam == RMAT2 {
+			delta = 40
+		}
+		opts := sssp.LBOptOptions(delta)
+		opts.Threads = cfg.Threads
+		batch, err := sssp.RunBatch(g, ranks, roots, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Tree validation for the first key (validating all keys is
+		// O(keys·m); one structural check per family demonstrates the
+		// procedure).
+		run, err := sssp.Run(g, ranks, roots[0], opts)
+		if err != nil {
+			return nil, err
+		}
+		validated := validate.CheckTree(g, roots[0], run.Dist, run.Parent) == nil
+		res.Rows = append(res.Rows, Graph500Row{
+			Family:           fam,
+			Scale:            cfg.scaleFor(ranks),
+			Ranks:            ranks,
+			Keys:             len(roots),
+			HarmonicMeanTEPS: batch.HarmonicMeanTEPS,
+			Validated:        validated,
+		})
+	}
+	tw := cfg.newTable("Graph500-style submission rows (harmonic mean TEPS)",
+		"family", "scale", "ranks", "keys", "hmean TEPS", "tree valid")
+	for _, r := range res.Rows {
+		fmt.Fprintln(tw, row(r.Family, r.Scale, r.Ranks, r.Keys, r.HarmonicMeanTEPS, r.Validated))
+	}
+	return res, tw.Flush()
+}
+
+// SplitScalingResult compares LB-Opt with and without inter-node vertex
+// splitting on the most skewed family — the paper's §III-E two-tier
+// claim.
+type SplitScalingResult struct {
+	Ranks   []int
+	NoSplit []Point
+	Split   []Point
+	// Imbalance holds the per-rank load-imbalance factor (max/mean
+	// relaxations) without and with splitting.
+	ImbalanceNoSplit []float64
+	ImbalanceSplit   []float64
+}
+
+// SplitScaling measures the effect of auto-configured vertex splitting.
+func SplitScaling(cfg Config) (*SplitScalingResult, error) {
+	res := &SplitScalingResult{Ranks: cfg.Ranks}
+	for _, ranks := range cfg.Ranks {
+		g, err := cfg.generate(RMAT1, ranks)
+		if err != nil {
+			return nil, err
+		}
+		roots := pickRoots(g, cfg.Roots, cfg.Seed+uint64(ranks)*13)
+		opts := sssp.LBOptOptions(25)
+		opts.Threads = cfg.Threads
+		plain, err := cfg.measure(g, ranks, roots, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.NoSplit = append(res.NoSplit, plain)
+
+		var split Point
+		var imbPlain, imbSplit float64
+		auto := partition.AutoSplitOptions(g, ranks)
+		for _, root := range roots {
+			base, err := cfg.run(g, ranks, root, opts)
+			if err != nil {
+				return nil, err
+			}
+			imbPlain += base.Stats.Imbalance()
+			run, err := runWithSplit(g, ranks, root, opts, auto.DegreeThreshold)
+			if err != nil {
+				return nil, err
+			}
+			imbSplit += run.Stats.Imbalance()
+			split.GTEPS += run.Stats.GTEPS(g.NumEdges())
+			split.Relaxations += float64(run.Stats.Relax.Total())
+		}
+		n := float64(len(roots))
+		split.GTEPS /= n
+		split.Relaxations /= n
+		split.Ranks = ranks
+		res.Split = append(res.Split, split)
+		res.ImbalanceNoSplit = append(res.ImbalanceNoSplit, imbPlain/n)
+		res.ImbalanceSplit = append(res.ImbalanceSplit, imbSplit/n)
+	}
+	tw := cfg.newTable("Vertex splitting — LB-Opt-25 on RMAT-1 with and without proxies",
+		"ranks", "GTEPS no-split", "GTEPS split", "ratio", "imbalance no-split", "imbalance split")
+	for i, ranks := range cfg.Ranks {
+		ratio := 0.0
+		if res.NoSplit[i].GTEPS > 0 {
+			ratio = res.Split[i].GTEPS / res.NoSplit[i].GTEPS
+		}
+		fmt.Fprintln(tw, row(ranks, res.NoSplit[i].GTEPS, res.Split[i].GTEPS, ratio,
+			res.ImbalanceNoSplit[i], res.ImbalanceSplit[i]))
+	}
+	return res, tw.Flush()
+}

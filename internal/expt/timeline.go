@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"fmt"
+
+	"parsssp/internal/sssp"
+)
+
+// TimelineResult is the per-phase execution timeline of one Opt query —
+// Figure 4 at phase (rather than bucket) granularity, including the
+// Bellman-Ford tail that hybridization appends.
+type TimelineResult struct {
+	Phases []sssp.PhaseRecord
+	// ByKind aggregates relaxations per phase kind.
+	ByKind map[string]int64
+}
+
+// Timeline records and prints the phase timeline of an Opt-25 query on
+// RMAT-1.
+func Timeline(cfg Config) (*TimelineResult, error) {
+	ranks := cfg.Ranks[len(cfg.Ranks)-1]
+	g, err := cfg.generate(RMAT1, ranks)
+	if err != nil {
+		return nil, err
+	}
+	root := pickRoots(g, 1, cfg.Seed)[0]
+	opts := sssp.OptOptions(25)
+	opts.Threads = cfg.Threads
+	opts.RecordPhases = true
+	run, err := cfg.run(g, ranks, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &TimelineResult{Phases: run.Stats.PhaseLog, ByKind: map[string]int64{}}
+	tw := cfg.newTable("Execution timeline — Opt-25 on RMAT-1, one query",
+		"#", "bucket", "kind", "active", "relaxations", "duration")
+	for i, p := range res.Phases {
+		res.ByKind[p.Kind.String()] += p.Relax
+		bucket := fmt.Sprint(p.Bucket)
+		if p.Bucket < 0 {
+			bucket = "-"
+		}
+		fmt.Fprintln(tw, row(i, bucket, p.Kind.String(), p.Active, p.Relax, p.Duration.String()))
+	}
+	fmt.Fprintln(tw, row("", "", "by kind", "", fmt.Sprint(res.ByKind), ""))
+	return res, tw.Flush()
+}

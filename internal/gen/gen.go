@@ -1,0 +1,189 @@
+// Package gen provides auxiliary graph constructions used by examples,
+// tests and the real-world-graph stand-ins of the experimental harness.
+//
+// Unlike package rmat, which reproduces the paper's benchmark inputs,
+// these generators build structured graphs (grids, paths, cliques) with
+// known shortest-path answers, random graphs for property testing, and
+// heavy-tailed social-network stand-ins for the paper's §IV.H table.
+package gen
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/rng"
+)
+
+// Path returns a path graph v0 - v1 - ... - v_{n-1} with the given edge
+// weights (len(weights) must be n-1). Shortest distances from v0 are the
+// prefix sums, which tests rely on.
+func Path(weights []graph.Weight) (*graph.Graph, error) {
+	n := len(weights) + 1
+	edges := make([]graph.Edge, len(weights))
+	for i, w := range weights {
+		edges[i] = graph.Edge{U: graph.Vertex(i), V: graph.Vertex(i + 1), W: w}
+	}
+	return graph.FromEdges(n, edges, graph.BuildOptions{})
+}
+
+// Star returns a star with center 0 and n-1 leaves, each edge of weight w.
+func Star(n int, w graph.Weight) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: star needs n >= 1, got %d", n)
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.Vertex(i), W: w})
+	}
+	return graph.FromEdges(n, edges, graph.BuildOptions{})
+}
+
+// Grid returns a rows×cols grid graph with weights drawn uniformly from
+// [minW, maxW]. Vertex (r, c) has id r*cols+c. Grid graphs have large
+// diameter and uniform degree — the opposite regime from R-MAT — and are
+// used by the road-network example.
+func Grid(rows, cols int, minW, maxW graph.Weight, seed uint64) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: grid needs positive dims, got %d×%d", rows, cols)
+	}
+	if maxW < minW {
+		return nil, fmt.Errorf("gen: grid weight range [%d,%d] inverted", minW, maxW)
+	}
+	gen := rng.NewXoshiro256(seed)
+	span := int(maxW-minW) + 1
+	var edges []graph.Edge
+	id := func(r, c int) graph.Vertex { return graph.Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1),
+					W: minW + graph.Weight(gen.IntN(span))})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c),
+					W: minW + graph.Weight(gen.IntN(span))})
+			}
+		}
+	}
+	return graph.FromEdges(rows*cols, edges, graph.BuildOptions{})
+}
+
+// Random returns an Erdős–Rényi-style multigraph sample: m undirected
+// edges with independently uniform endpoints and weights in [0, maxW].
+// Self-loops and parallel edges are collapsed by the builder. Used heavily
+// in randomized correctness tests.
+func Random(n int, m int, maxW graph.Weight, seed uint64) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: random graph needs n >= 1, got %d", n)
+	}
+	gen := rng.NewXoshiro256(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			U: graph.Vertex(gen.IntN(n)),
+			V: graph.Vertex(gen.IntN(n)),
+			W: graph.Weight(gen.IntN(int(maxW) + 1)),
+		}
+	}
+	return graph.FromEdges(n, edges, graph.BuildOptions{})
+}
+
+// CliqueChain builds the paper's Figure 6 illustration graph: a root
+// connected to every vertex of a k-clique by weight-rootW edges, and p
+// pendant ("isolated" in the paper's wording) vertices each connected to
+// every clique vertex by weight-pendantW edges. Clique-internal edges have
+// weight cliqueW.
+//
+// Layout: vertex 0 is the root, vertices 1..k are the clique, vertices
+// k+1..k+p are the pendants.
+func CliqueChain(k, p int, rootW, cliqueW, pendantW graph.Weight) (*graph.Graph, error) {
+	if k < 1 || p < 0 {
+		return nil, fmt.Errorf("gen: clique chain needs k>=1, p>=0; got k=%d p=%d", k, p)
+	}
+	n := 1 + k + p
+	var edges []graph.Edge
+	for i := 1; i <= k; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.Vertex(i), W: rootW})
+		for j := i + 1; j <= k; j++ {
+			edges = append(edges, graph.Edge{U: graph.Vertex(i), V: graph.Vertex(j), W: cliqueW})
+		}
+		for q := 0; q < p; q++ {
+			edges = append(edges, graph.Edge{U: graph.Vertex(i), V: graph.Vertex(k + 1 + q), W: pendantW})
+		}
+	}
+	return graph.FromEdges(n, edges, graph.BuildOptions{})
+}
+
+// SocialParams configures a heavy-tailed social-graph stand-in; see
+// Social.
+type SocialParams struct {
+	N          int     // number of vertices
+	AvgDegree  int     // average number of undirected edges per vertex
+	Skew       float64 // R-MAT 'A' parameter driving the degree tail (0.45–0.65)
+	MaxWeight  graph.Weight
+	Seed       uint64
+	NumHubSeed int // extra edges attached to the hubbiest vertices
+}
+
+// Social builds a scrambled R-MAT-like graph with the requested size and
+// average degree, used as the stand-in for Friendster/Orkut/LiveJournal
+// (the SNAP downloads are unavailable offline; see DESIGN.md). The Skew
+// parameter controls how heavy the degree tail is.
+func Social(p SocialParams) (*graph.Graph, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("gen: social graph needs N >= 2, got %d", p.N)
+	}
+	if p.AvgDegree < 1 {
+		return nil, fmt.Errorf("gen: social graph needs AvgDegree >= 1, got %d", p.AvgDegree)
+	}
+	if p.MaxWeight == 0 {
+		p.MaxWeight = 255
+	}
+	skew := p.Skew
+	if skew == 0 {
+		skew = 0.57
+	}
+	// Round N up to a power of two for the recursive bisection, then fold
+	// overflowing ids back into range with a mix (keeps the tail shape).
+	scale := 1
+	for 1<<scale < p.N {
+		scale++
+	}
+	gen := rng.NewXoshiro256(p.Seed)
+	b := (1 - skew) / 3 // distribute the remainder over B, C, D equally
+	m := p.N * p.AvgDegree
+	edges := make([]graph.Edge, 0, m+p.NumHubSeed)
+	for i := 0; i < m; i++ {
+		var u, v uint32
+		for level := 0; level < scale; level++ {
+			r := gen.Float64()
+			var bu, bv uint32
+			switch {
+			case r < skew:
+			case r < skew+b:
+				bv = 1
+			case r < skew+2*b:
+				bu = 1
+			default:
+				bu, bv = 1, 1
+			}
+			u = u<<1 | bu
+			v = v<<1 | bv
+		}
+		uu := int(u) % p.N
+		vv := int(v) % p.N
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(uu), V: graph.Vertex(vv),
+			W: graph.Weight(gen.IntN(int(p.MaxWeight) + 1)),
+		})
+	}
+	// Hub seeding: attach extra random edges to vertex 0's neighborhood to
+	// guarantee a Friendster-like super-hub even at small N.
+	for i := 0; i < p.NumHubSeed; i++ {
+		edges = append(edges, graph.Edge{
+			U: 0, V: graph.Vertex(gen.IntN(p.N)),
+			W: graph.Weight(gen.IntN(int(p.MaxWeight) + 1)),
+		})
+	}
+	return graph.FromEdges(p.N, edges, graph.BuildOptions{})
+}

@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"testing"
+
+	"parsssp/internal/graph"
+)
+
+func TestPathDistances(t *testing.T) {
+	g, err := Path([]graph.Weight{3, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("path has %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 || g.Degree(3) != 1 {
+		t.Errorf("unexpected degrees %d %d %d", g.Degree(0), g.Degree(1), g.Degree(3))
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	g, err := Star(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 5 {
+		t.Errorf("center degree %d, want 5", g.Degree(0))
+	}
+	for v := graph.Vertex(1); v < 6; v++ {
+		if g.Degree(v) != 1 {
+			t.Errorf("leaf %d degree %d", v, g.Degree(v))
+		}
+	}
+	if _, err := Star(0, 1); err == nil {
+		t.Error("Star(0) accepted")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g, err := Grid(3, 4, 1, 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 12 {
+		t.Fatalf("vertices = %d, want 12", g.NumVertices())
+	}
+	// 3 rows × 3 horizontal + 2 vertical × 4 cols = 9 + 8 = 17 edges.
+	if g.NumEdges() != 17 {
+		t.Errorf("edges = %d, want 17", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corner degrees 2, edge degrees 3, interior 4.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree %d, want 2", g.Degree(0))
+	}
+	if g.Degree(5) != 4 {
+		t.Errorf("interior degree %d, want 4", g.Degree(5))
+	}
+	if _, err := Grid(0, 3, 1, 2, 0); err == nil {
+		t.Error("Grid(0,3) accepted")
+	}
+	if _, err := Grid(3, 3, 5, 2, 0); err == nil {
+		t.Error("inverted weight range accepted")
+	}
+}
+
+func TestGridWeightRange(t *testing.T) {
+	g, err := Grid(10, 10, 5, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.W < 5 || e.W > 8 {
+			t.Fatalf("weight %d outside [5,8]", e.W)
+		}
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	g, err := Random(50, 300, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 300 {
+		t.Errorf("edge count %d outside (0, 300]", g.NumEdges())
+	}
+	if _, err := Random(0, 5, 1, 0); err == nil {
+		t.Error("Random(0 vertices) accepted")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, _ := Random(30, 100, 255, 42)
+	b, _ := Random(30, 100, 255, 42)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestCliqueChainStructure(t *testing.T) {
+	k, p := 4, 3
+	g, err := CliqueChain(k, p, 10, 5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1+k+p {
+		t.Fatalf("vertices = %d, want %d", g.NumVertices(), 1+k+p)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != k {
+		t.Errorf("root degree %d, want %d", g.Degree(0), k)
+	}
+	// Clique member: root + (k-1) clique peers + p pendants.
+	if g.Degree(1) != 1+(k-1)+p {
+		t.Errorf("clique degree %d, want %d", g.Degree(1), 1+(k-1)+p)
+	}
+	for q := 0; q < p; q++ {
+		if g.Degree(graph.Vertex(1+k+q)) != k {
+			t.Errorf("pendant %d degree %d, want %d", q, g.Degree(graph.Vertex(1+k+q)), k)
+		}
+	}
+	if _, err := CliqueChain(0, 1, 1, 1, 1); err == nil {
+		t.Error("CliqueChain(k=0) accepted")
+	}
+}
+
+func TestSocialShape(t *testing.T) {
+	g, err := Social(SocialParams{N: 2000, AvgDegree: 8, Skew: 0.57, Seed: 3, NumHubSeed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Max < 4*int(st.Mean) {
+		t.Errorf("social graph lacks skew: max %d, mean %.1f", st.Max, st.Mean)
+	}
+	if _, err := Social(SocialParams{N: 1, AvgDegree: 2}); err == nil {
+		t.Error("Social(N=1) accepted")
+	}
+	if _, err := Social(SocialParams{N: 10, AvgDegree: 0}); err == nil {
+		t.Error("Social(AvgDegree=0) accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+import "sort"
+
+// This file provides structural analysis utilities used by the
+// experiment harness and the load-balancing heuristics: unweighted BFS
+// (hop distances bound the Bellman-Ford phase count), connected
+// components (root selection and reachability reporting), and degree
+// tail summaries (vertex-splitting threshold selection).
+
+// BFSResult holds hop distances from a source.
+type BFSResult struct {
+	// Hops[v] is the minimum edge count from the source to v, or -1 if
+	// unreachable.
+	Hops []int32
+	// Depth is the maximum finite hop count — the depth of the BFS tree.
+	// The Bellman-Ford phase count is bounded by Depth+1.
+	Depth int32
+	// Reached is the number of vertices with finite hop count.
+	Reached int
+}
+
+// BFS computes unweighted hop distances from src.
+func (g *Graph) BFS(src Vertex) *BFSResult {
+	n := g.NumVertices()
+	res := &BFSResult{Hops: make([]int32, n)}
+	for i := range res.Hops {
+		res.Hops[i] = -1
+	}
+	res.Hops[src] = 0
+	res.Reached = 1
+	frontier := []Vertex{src}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []Vertex
+		for _, u := range frontier {
+			nbr, _ := g.Neighbors(u)
+			for _, v := range nbr {
+				if res.Hops[v] < 0 {
+					res.Hops[v] = depth
+					res.Depth = depth
+					res.Reached++
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+// Components labels connected components. The returned slice maps each
+// vertex to a component id in [0, count); ids are assigned in order of
+// the smallest vertex in each component.
+func (g *Graph) Components() (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []Vertex
+	for v := 0; v < n; v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[v] = id
+		stack = append(stack[:0], Vertex(v))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nbr, _ := g.Neighbors(u)
+			for _, w := range nbr {
+				if labels[w] < 0 {
+					labels[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the vertices of the largest connected
+// component, in increasing id order.
+func (g *Graph) LargestComponent() []Vertex {
+	labels, count := g.Components()
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for id, sz := range sizes {
+		if sz > sizes[best] {
+			best = id
+		}
+	}
+	out := make([]Vertex, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			out = append(out, Vertex(v))
+		}
+	}
+	return out
+}
+
+// DegreeHistogram returns the degree distribution as (degree, count)
+// pairs sorted by increasing degree.
+type DegreeBin struct {
+	Degree int
+	Count  int
+}
+
+// DegreeHistogram computes the exact degree histogram.
+func (g *Graph) DegreeHistogram() []DegreeBin {
+	counts := map[int]int{}
+	for v := 0; v < g.NumVertices(); v++ {
+		counts[g.Degree(Vertex(v))]++
+	}
+	bins := make([]DegreeBin, 0, len(counts))
+	for d, c := range counts {
+		bins = append(bins, DegreeBin{d, c})
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].Degree < bins[j].Degree })
+	return bins
+}
+
+// DegreePercentile returns the smallest degree d such that at least
+// fraction p of the vertices have degree <= d. p must be in (0, 1].
+func (g *Graph) DegreePercentile(p float64) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	target := int(p * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for _, bin := range g.DegreeHistogram() {
+		cum += bin.Count
+		if cum >= target {
+			return bin.Degree
+		}
+	}
+	return g.MaxDegree()
+}

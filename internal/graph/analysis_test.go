@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSPath(t *testing.T) {
+	// Path 0-1-2-3 regardless of weights.
+	g := mustBuild(t, 4, []Edge{{0, 1, 9}, {1, 2, 1}, {2, 3, 200}}, BuildOptions{})
+	res := g.BFS(0)
+	want := []int32{0, 1, 2, 3}
+	for v, h := range want {
+		if res.Hops[v] != h {
+			t.Errorf("hops[%d] = %d, want %d", v, res.Hops[v], h)
+		}
+	}
+	if res.Depth != 3 || res.Reached != 4 {
+		t.Errorf("Depth=%d Reached=%d", res.Depth, res.Reached)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := mustBuild(t, 4, []Edge{{0, 1, 1}, {2, 3, 1}}, BuildOptions{})
+	res := g.BFS(0)
+	if res.Hops[2] != -1 || res.Hops[3] != -1 {
+		t.Error("unreachable vertices have finite hops")
+	}
+	if res.Reached != 2 || res.Depth != 1 {
+		t.Errorf("Reached=%d Depth=%d", res.Reached, res.Depth)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := mustBuild(t, 7, []Edge{
+		{0, 1, 1}, {1, 2, 1}, // component 0: {0,1,2}
+		{3, 4, 1}, // component 1: {3,4}
+		// 5, 6 isolated: components 2 and 3
+	}, BuildOptions{})
+	labels, count := g.Components()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("vertices 0,1,2 not in one component")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Error("vertices 3,4 mislabeled")
+	}
+	if labels[5] == labels[6] || labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Error("isolated vertices mislabeled")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := mustBuild(t, 6, []Edge{
+		{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, // triangle
+		{3, 4, 1},
+	}, BuildOptions{})
+	lc := g.LargestComponent()
+	if len(lc) != 3 || lc[0] != 0 || lc[1] != 1 || lc[2] != 2 {
+		t.Errorf("LargestComponent = %v", lc)
+	}
+	empty := mustBuild(t, 0, nil, BuildOptions{})
+	if empty.LargestComponent() != nil {
+		t.Error("empty graph has a component")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := mustBuild(t, 4, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}}, BuildOptions{})
+	bins := g.DegreeHistogram()
+	// Degrees: 3, 1, 1, 1 → bins (1,3), (3,1).
+	if len(bins) != 2 || bins[0] != (DegreeBin{1, 3}) || bins[1] != (DegreeBin{3, 1}) {
+		t.Errorf("histogram = %v", bins)
+	}
+}
+
+func TestDegreePercentile(t *testing.T) {
+	g := mustBuild(t, 4, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}}, BuildOptions{})
+	if got := g.DegreePercentile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := g.DegreePercentile(1.0); got != 3 {
+		t.Errorf("p100 = %d, want 3", got)
+	}
+	empty := mustBuild(t, 0, nil, BuildOptions{})
+	if empty.DegreePercentile(0.5) != 0 {
+		t.Error("empty graph percentile nonzero")
+	}
+}
+
+func TestBFSConsistentWithComponents(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g, err := FromEdges(80, randomEdges(r, 80, 120), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _ := g.Components()
+	res := g.BFS(0)
+	for v := 0; v < 80; v++ {
+		sameComp := labels[v] == labels[0]
+		reached := res.Hops[v] >= 0
+		if sameComp != reached {
+			t.Fatalf("vertex %d: component match %v but BFS reached %v", v, sameComp, reached)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuildOptions controls edge-list to CSR conversion.
+type BuildOptions struct {
+	// KeepSelfLoops retains self-loop edges. Self-loops never affect
+	// shortest distances, so the default is to drop them (as Graph500
+	// implementations do).
+	KeepSelfLoops bool
+	// KeepParallelEdges retains parallel (duplicate endpoint) edges. When
+	// false (the default), only the minimum-weight edge between each vertex
+	// pair is kept; the others can never be on a shortest path.
+	KeepParallelEdges bool
+}
+
+// FromEdges builds a CSR graph with n vertices from an undirected edge
+// list. Each input edge is inserted in both directions. Endpoints must be
+// < n.
+func FromEdges(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
+		}
+	}
+	work := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U == e.V && !opt.KeepSelfLoops {
+			continue
+		}
+		work = append(work, e)
+	}
+	if !opt.KeepParallelEdges {
+		work = dedupMinWeight(work)
+	}
+
+	// Counting sort into CSR: each undirected edge contributes an entry at
+	// both endpoints (a self-loop contributes two entries at its vertex).
+	offsets := make([]int64, n+1)
+	for _, e := range work {
+		offsets[e.U+1]++
+		offsets[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	total := offsets[n]
+	adj := make([]Vertex, total)
+	weights := make([]Weight, total)
+	cursor := make([]int64, n)
+	for _, e := range work {
+		i := offsets[e.U] + cursor[e.U]
+		adj[i], weights[i] = e.V, e.W
+		cursor[e.U]++
+		j := offsets[e.V] + cursor[e.V]
+		adj[j], weights[j] = e.U, e.W
+		cursor[e.V]++
+	}
+	g := &Graph{offsets: offsets, adj: adj, weights: weights, numEdge: int64(len(work))}
+	g.sortRows()
+	return g, nil
+}
+
+// dedupMinWeight collapses parallel edges, keeping the minimum weight per
+// unordered endpoint pair. Order of the result is deterministic.
+func dedupMinWeight(edges []Edge) []Edge {
+	norm := make([]Edge, len(edges))
+	for i, e := range edges {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		norm[i] = e
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		a, b := norm[i], norm[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.W < b.W
+	})
+	out := norm[:0]
+	for i, e := range norm {
+		if i > 0 && e.U == out[len(out)-1].U && e.V == out[len(out)-1].V {
+			continue // duplicate with weight >= kept minimum
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// sortRows sorts each vertex's adjacency by ascending weight, breaking
+// ties by neighbor id so the representation is canonical.
+func (g *Graph) sortRows() {
+	for v := 0; v < g.NumVertices(); v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		row := rowSorter{adj: g.adj[lo:hi], w: g.weights[lo:hi]}
+		sort.Sort(row)
+	}
+}
+
+type rowSorter struct {
+	adj []Vertex
+	w   []Weight
+}
+
+func (r rowSorter) Len() int { return len(r.adj) }
+func (r rowSorter) Less(i, j int) bool {
+	if r.w[i] != r.w[j] {
+		return r.w[i] < r.w[j]
+	}
+	return r.adj[i] < r.adj[j]
+}
+func (r rowSorter) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// FromCSR constructs a Graph directly from raw CSR arrays. The arrays are
+// taken over by the graph (not copied). Rows are re-sorted by weight and
+// the structure is validated unless skipValidate is set; numEdge must be
+// half the number of CSR entries.
+func FromCSR(offsets []int64, adj []Vertex, weights []Weight, skipValidate bool) (*Graph, error) {
+	if len(offsets) == 0 || len(adj) != len(weights) {
+		return nil, fmt.Errorf("graph: malformed CSR arrays")
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd CSR entry count %d cannot be symmetric", len(adj))
+	}
+	g := &Graph{offsets: offsets, adj: adj, weights: weights, numEdge: int64(len(adj) / 2)}
+	g.sortRows()
+	if !skipValidate {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

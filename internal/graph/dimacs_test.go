@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1, 7}, {1, 2, 0}, {2, 0, 255}}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, 3, edges); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p sp 3 3") {
+		t.Errorf("missing problem line:\n%s", out)
+	}
+	if !strings.Contains(out, "a 1 2 7") {
+		t.Errorf("missing 1-based arc:\n%s", out)
+	}
+	n, back, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(back) != 3 {
+		t.Fatalf("n=%d m=%d", n, len(back))
+	}
+	for i := range edges {
+		if back[i] != edges[i] {
+			t.Errorf("edge %d = %+v, want %+v", i, back[i], edges[i])
+		}
+	}
+}
+
+func TestDIMACSParsesRealisticFile(t *testing.T) {
+	input := `c 9th DIMACS style file
+c with comments and blank lines
+
+p sp 4 3
+a 1 2 10
+a 2 3 20
+a 4 1 30
+`
+	n, edges, err := ReadDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(edges) != 3 {
+		t.Fatalf("n=%d m=%d", n, len(edges))
+	}
+	if edges[2] != (Edge{U: 3, V: 0, W: 30}) {
+		t.Errorf("edge 2 = %+v", edges[2])
+	}
+}
+
+func TestDIMACSRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no problem line": "a 1 2 3\n",
+		"bad problem":     "p xx 3 3\n",
+		"bad arity":       "p sp 3 3\na 1 2\n",
+		"non-numeric":     "p sp 3 3\na 1 2 x\n",
+		"out of range":    "p sp 3 3\na 1 9 5\n",
+		"unknown record":  "p sp 3 3\nz nope\n",
+		"negative weight": "p sp 3 3\na 1 2 -4\n",
+	}
+	for name, input := range cases {
+		if _, _, err := ReadDIMACS(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDIMACSSymmetricArcsCollapse(t *testing.T) {
+	// Both directions of one road: a single undirected edge must remain.
+	input := "p sp 2 2\na 1 2 9\na 2 1 9\n"
+	n, edges, err := ReadDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromEdges(n, edges, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("m = %d, want 1 after collapsing symmetric arcs", g.NumEdges())
+	}
+}
+
+func TestDIMACSFileAndAutoDetect(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	edges := randomEdges(r, 50, 200)
+	dir := t.TempDir()
+	grPath := filepath.Join(dir, "g.gr")
+	if err := SaveDIMACSFile(grPath, 50, edges); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveEdgeListFile(binPath, 50, edges); err != nil {
+		t.Fatal(err)
+	}
+	gGr, err := LoadGraphFile(grPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBin, err := LoadGraphFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gGr.NumEdges() != gBin.NumEdges() || gGr.NumVertices() != gBin.NumVertices() {
+		t.Errorf("formats disagree: gr %d/%d vs bin %d/%d",
+			gGr.NumVertices(), gGr.NumEdges(), gBin.NumVertices(), gBin.NumEdges())
+	}
+	for v := 0; v < 50; v++ {
+		if gGr.Degree(Vertex(v)) != gBin.Degree(Vertex(v)) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+	if _, err := LoadGraphFile(filepath.Join(dir, "missing.gr")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets run their seed corpus under plain `go test` and can be
+// explored further with `go test -fuzz`.
+
+// FuzzReadEdgeList hardens the binary loader against malformed input: it
+// must error or succeed, never panic, and successful reads must
+// round-trip through the builder.
+func FuzzReadEdgeList(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteEdgeList(&buf, 4, []Edge{{0, 1, 2}, {2, 3, 255}})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PARSSSP1"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[10] ^= 0x40 // inflate the vertex count
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatalf("negative vertex count %d accepted", n)
+		}
+		if n > 1<<20 {
+			return // legitimate but too large to build in a fuzz iteration
+		}
+		// A well-formed file may still reference out-of-range vertices;
+		// the builder must reject those gracefully.
+		g, err := FromEdges(n, edges, BuildOptions{})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loader produced invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzBuilderInvariants throws arbitrary edge soup at the builder.
+func FuzzBuilderInvariants(f *testing.F) {
+	f.Add(uint16(5), []byte{0, 1, 10, 1, 2, 20})
+	f.Add(uint16(1), []byte{0, 0, 0})
+	f.Add(uint16(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, nRaw uint16, raw []byte) {
+		n := int(nRaw) % 300
+		var edges []Edge
+		for i := 0; i+2 < len(raw); i += 3 {
+			if n == 0 {
+				break
+			}
+			edges = append(edges, Edge{
+				U: Vertex(int(raw[i]) % n),
+				V: Vertex(int(raw[i+1]) % n),
+				W: Weight(raw[i+2]),
+			})
+		}
+		g, err := FromEdges(n, edges, BuildOptions{})
+		if err != nil {
+			t.Fatalf("in-range edges rejected: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("builder invariants broken: %v", err)
+		}
+		var degSum int64
+		for v := 0; v < n; v++ {
+			degSum += int64(g.Degree(Vertex(v)))
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m %d", degSum, 2*g.NumEdges())
+		}
+	})
+}

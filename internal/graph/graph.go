@@ -1,0 +1,252 @@
+// Package graph provides the weighted undirected graph representation used
+// by all SSSP algorithms in parsssp.
+//
+// Graphs are stored in compressed sparse row (CSR) form: a single offsets
+// array of length N+1 and parallel adjacency/weight arrays of length 2M
+// (each undirected edge appears once per endpoint). Vertex identifiers are
+// dense uint32 values in [0, N).
+//
+// The adjacency list of every vertex is sorted by edge weight. This makes
+// short/long edge classification (the basis of the paper's pruning
+// heuristics) a single binary search per (vertex, Δ) pair, and makes the
+// exact pull-request count — the number of incident edges with weight in a
+// range [a, b) — another binary search.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vertex is a dense vertex identifier in [0, NumVertices).
+type Vertex = uint32
+
+// Weight is a non-negative edge weight. Inputs generated per the Graph500
+// SSSP proposal use weights in [0, 255]; internal transformations (vertex
+// splitting) may introduce zero-weight edges.
+type Weight = uint32
+
+// Dist is a tentative or final shortest-path distance.
+type Dist = int64
+
+// Inf is the distance of an unreached vertex. It is chosen so that
+// Inf + maxWeight cannot overflow int64.
+const Inf Dist = math.MaxInt64 / 4
+
+// Edge is one undirected edge with its weight, used during construction
+// and for edge-list interchange.
+type Edge struct {
+	U, V Vertex
+	W    Weight
+}
+
+// Graph is an immutable weighted undirected graph in CSR form. Use a
+// Builder or FromEdges to construct one.
+type Graph struct {
+	offsets []int64  // len N+1; adjacency of v is [offsets[v], offsets[v+1])
+	adj     []Vertex // len 2M
+	weights []Weight // len 2M; sorted ascending within each vertex's range
+	numEdge int64    // M, number of undirected edges
+}
+
+// NumVertices returns N, the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns M, the number of undirected edges. Each contributes two
+// CSR entries.
+func (g *Graph) NumEdges() int64 { return g.numEdge }
+
+// Degree returns the number of CSR entries (incident edge endpoints) of v.
+func (g *Graph) Degree(v Vertex) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency and weight slices of v, sorted by
+// ascending weight. The slices alias the graph's internal storage and must
+// not be modified.
+func (g *Graph) Neighbors(v Vertex) ([]Vertex, []Weight) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.adj[lo:hi], g.weights[lo:hi]
+}
+
+// AdjOffsets returns the CSR row bounds of v, for callers that index the
+// shared arrays directly.
+func (g *Graph) AdjOffsets(v Vertex) (lo, hi int64) {
+	return g.offsets[v], g.offsets[v+1]
+}
+
+// AdjAt returns the i-th CSR entry (global index into the shared arrays).
+func (g *Graph) AdjAt(i int64) (Vertex, Weight) {
+	return g.adj[i], g.weights[i]
+}
+
+// ShortEdgeEnd returns, for vertex v and bucket width delta, the index
+// (relative to v's adjacency) of the first edge with weight >= delta.
+// Edges before it are "short", edges from it on are "long" in the sense of
+// Meyer and Sanders' edge classification.
+func (g *Graph) ShortEdgeEnd(v Vertex, delta Weight) int {
+	_, ws := g.Neighbors(v)
+	return sort.Search(len(ws), func(i int) bool { return ws[i] >= delta })
+}
+
+// CountWeightRange returns the number of edges incident on v with weight
+// in the half-open range [a, b). This is the exact pull-request count used
+// by the push/pull decision heuristic.
+func (g *Graph) CountWeightRange(v Vertex, a, b Weight) int {
+	if b <= a {
+		return 0
+	}
+	_, ws := g.Neighbors(v)
+	lo := sort.Search(len(ws), func(i int) bool { return ws[i] >= a })
+	hi := sort.Search(len(ws), func(i int) bool { return ws[i] >= b })
+	return hi - lo
+}
+
+// MaxWeight returns the maximum edge weight in the graph, or 0 for an
+// edgeless graph.
+func (g *Graph) MaxWeight() Weight {
+	var mw Weight
+	for _, w := range g.weights {
+		if w > mw {
+			mw = w
+		}
+	}
+	return mw
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	maxd := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(Vertex(v)); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// DegreeStats summarizes the degree distribution of a graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// NumAbove[i] counts vertices with degree > thresholds[i] as passed
+	// to Stats.
+	NumAbove []int
+}
+
+// Stats computes degree statistics; thresholds selects the degree cut-offs
+// for NumAbove (used to size heavy-vertex load-balancing decisions).
+func (g *Graph) Stats(thresholds ...int) DegreeStats {
+	n := g.NumVertices()
+	st := DegreeStats{Min: math.MaxInt, NumAbove: make([]int, len(thresholds))}
+	if n == 0 {
+		st.Min = 0
+		return st
+	}
+	var sum int64
+	for v := 0; v < n; v++ {
+		d := g.Degree(Vertex(v))
+		sum += int64(d)
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		for i, t := range thresholds {
+			if d > t {
+				st.NumAbove[i]++
+			}
+		}
+	}
+	st.Mean = float64(sum) / float64(n)
+	return st
+}
+
+// Validate checks structural invariants: monotone offsets, in-range
+// adjacency targets, weight-sorted rows, and symmetric edges (every CSR
+// entry (u,v,w) has a matching (v,u,w)). It is O(M log M) and intended for
+// tests and tools, not hot paths.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.offsets) == 0 {
+		return errors.New("graph: missing offsets")
+	}
+	if g.offsets[0] != 0 {
+		return errors.New("graph: offsets[0] != 0")
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if g.offsets[n] != int64(len(g.adj)) || len(g.adj) != len(g.weights) {
+		return errors.New("graph: offsets/adjacency length mismatch")
+	}
+	if int64(len(g.adj)) != 2*g.numEdge {
+		return fmt.Errorf("graph: numEdge %d inconsistent with %d CSR entries",
+			g.numEdge, len(g.adj))
+	}
+	type half struct {
+		u, v Vertex
+		w    Weight
+	}
+	halves := make([]half, 0, len(g.adj))
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			if int(g.adj[i]) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, g.adj[i])
+			}
+			if i > lo && g.weights[i] < g.weights[i-1] {
+				return fmt.Errorf("graph: adjacency of vertex %d not weight-sorted", v)
+			}
+			halves = append(halves, half{Vertex(v), g.adj[i], g.weights[i]})
+		}
+	}
+	key := func(h half) uint64 {
+		return uint64(h.u)<<32 | uint64(h.v)
+	}
+	sort.Slice(halves, func(i, j int) bool {
+		if key(halves[i]) != key(halves[j]) {
+			return key(halves[i]) < key(halves[j])
+		}
+		return halves[i].w < halves[j].w
+	})
+	// For symmetry, the sorted multiset of (u,v,w) must equal the sorted
+	// multiset of (v,u,w).
+	mirror := make([]half, len(halves))
+	for i, h := range halves {
+		mirror[i] = half{h.v, h.u, h.w}
+	}
+	sort.Slice(mirror, func(i, j int) bool {
+		if key(mirror[i]) != key(mirror[j]) {
+			return key(mirror[i]) < key(mirror[j])
+		}
+		return mirror[i].w < mirror[j].w
+	})
+	for i := range halves {
+		if halves[i] != mirror[i] {
+			return fmt.Errorf("graph: asymmetric edge near (%d,%d,w=%d)",
+				halves[i].u, halves[i].v, halves[i].w)
+		}
+	}
+	return nil
+}
+
+// Edges returns all undirected edges with U <= V, in deterministic order.
+// Self-loops appear once; each undirected edge appears once.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdge)
+	for v := 0; v < g.NumVertices(); v++ {
+		nbr, ws := g.Neighbors(Vertex(v))
+		for i, u := range nbr {
+			if Vertex(v) <= u {
+				out = append(out, Edge{Vertex(v), u, ws[i]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, n int, edges []Edge, opt BuildOptions) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges, opt)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustBuild(t, 0, nil, BuildOptions{})
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph has %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.MaxDegree() != 0 || g.MaxWeight() != 0 {
+		t.Errorf("empty graph MaxDegree/MaxWeight nonzero")
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := mustBuild(t, 5, nil, BuildOptions{})
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Errorf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	for v := Vertex(0); v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	g := mustBuild(t, 3, []Edge{{0, 1, 5}, {1, 2, 3}, {2, 0, 7}}, BuildOptions{})
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	for v := Vertex(0); v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	nbr, ws := g.Neighbors(0)
+	if len(nbr) != 2 || nbr[0] != 1 || ws[0] != 5 || nbr[1] != 2 || ws[1] != 7 {
+		t.Errorf("neighbors(0) = %v %v, want weight-sorted [1:5 2:7]", nbr, ws)
+	}
+}
+
+func TestSelfLoopPolicy(t *testing.T) {
+	edges := []Edge{{0, 0, 9}, {0, 1, 2}}
+	dropped := mustBuild(t, 2, edges, BuildOptions{})
+	if dropped.NumEdges() != 1 || dropped.Degree(0) != 1 {
+		t.Errorf("self-loop not dropped: m=%d deg0=%d", dropped.NumEdges(), dropped.Degree(0))
+	}
+	kept := mustBuild(t, 2, edges, BuildOptions{KeepSelfLoops: true})
+	if kept.NumEdges() != 2 || kept.Degree(0) != 3 {
+		t.Errorf("self-loop not kept: m=%d deg0=%d", kept.NumEdges(), kept.Degree(0))
+	}
+}
+
+func TestParallelEdgePolicy(t *testing.T) {
+	edges := []Edge{{0, 1, 9}, {1, 0, 2}, {0, 1, 5}}
+	g := mustBuild(t, 2, edges, BuildOptions{})
+	if g.NumEdges() != 1 {
+		t.Fatalf("parallel edges not collapsed: m=%d", g.NumEdges())
+	}
+	_, ws := g.Neighbors(0)
+	if len(ws) != 1 || ws[0] != 2 {
+		t.Errorf("kept weight %v, want minimum 2", ws)
+	}
+	kept := mustBuild(t, 2, edges, BuildOptions{KeepParallelEdges: true})
+	if kept.NumEdges() != 3 || kept.Degree(0) != 3 {
+		t.Errorf("parallel edges not kept: m=%d deg=%d", kept.NumEdges(), kept.Degree(0))
+	}
+}
+
+func TestOutOfRangeEdge(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 2, 1}}, BuildOptions{}); err == nil {
+		t.Error("edge to vertex 2 in a 2-vertex graph did not error")
+	}
+	if _, err := FromEdges(-1, nil, BuildOptions{}); err == nil {
+		t.Error("negative vertex count did not error")
+	}
+}
+
+func TestShortEdgeEnd(t *testing.T) {
+	g := mustBuild(t, 5, []Edge{
+		{0, 1, 1}, {0, 2, 5}, {0, 3, 10}, {0, 4, 10},
+	}, BuildOptions{})
+	cases := []struct {
+		delta Weight
+		want  int
+	}{
+		{1, 0}, {2, 1}, {5, 1}, {6, 2}, {10, 2}, {11, 4}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := g.ShortEdgeEnd(0, c.delta); got != c.want {
+			t.Errorf("ShortEdgeEnd(0, %d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+}
+
+func TestCountWeightRange(t *testing.T) {
+	g := mustBuild(t, 6, []Edge{
+		{0, 1, 2}, {0, 2, 4}, {0, 3, 4}, {0, 4, 9}, {0, 5, 20},
+	}, BuildOptions{})
+	cases := []struct {
+		a, b Weight
+		want int
+	}{
+		{0, 100, 5}, {2, 3, 1}, {4, 5, 2}, {4, 4, 0}, {5, 4, 0},
+		{3, 10, 3}, {10, 20, 0}, {20, 21, 1}, {21, 100, 0},
+	}
+	for _, c := range cases {
+		if got := g.CountWeightRange(0, c.a, c.b); got != c.want {
+			t.Errorf("CountWeightRange(0, %d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := mustBuild(t, 4, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}}, BuildOptions{})
+	st := g.Stats(1, 2)
+	if st.Min != 1 || st.Max != 3 {
+		t.Errorf("Min/Max = %d/%d, want 1/3", st.Min, st.Max)
+	}
+	if st.Mean != 1.5 {
+		t.Errorf("Mean = %v, want 1.5", st.Mean)
+	}
+	if st.NumAbove[0] != 1 || st.NumAbove[1] != 1 {
+		t.Errorf("NumAbove = %v, want [1 1]", st.NumAbove)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	orig := []Edge{{0, 1, 3}, {2, 1, 7}, {3, 4, 1}, {0, 4, 9}}
+	g := mustBuild(t, 5, orig, BuildOptions{})
+	back := g.Edges()
+	if int64(len(back)) != g.NumEdges() {
+		t.Fatalf("Edges returned %d, want %d", len(back), g.NumEdges())
+	}
+	norm := func(es []Edge) []Edge {
+		out := make([]Edge, len(es))
+		for i, e := range es {
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			out[i] = e
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].U != out[j].U {
+				return out[i].U < out[j].U
+			}
+			if out[i].V != out[j].V {
+				return out[i].V < out[j].V
+			}
+			return out[i].W < out[j].W
+		})
+		return out
+	}
+	if !reflect.DeepEqual(norm(orig), norm(back)) {
+		t.Errorf("edge multiset changed: %v vs %v", norm(orig), norm(back))
+	}
+}
+
+func TestFromCSR(t *testing.T) {
+	// Path 0-1-2 with weights 4, 6.
+	offsets := []int64{0, 1, 3, 4}
+	adj := []Vertex{1, 0, 2, 1}
+	weights := []Weight{4, 4, 6, 6}
+	g, err := FromCSR(offsets, adj, weights, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.Degree(1) != 2 {
+		t.Errorf("m=%d deg(1)=%d", g.NumEdges(), g.Degree(1))
+	}
+	// Asymmetric CSR must fail validation.
+	bad := []Vertex{1, 0, 2, 0}
+	if _, err := FromCSR([]int64{0, 1, 3, 4}, bad, []Weight{4, 4, 6, 6}, false); err == nil {
+		t.Error("asymmetric CSR passed validation")
+	}
+	// Odd entry count must fail.
+	if _, err := FromCSR([]int64{0, 1}, []Vertex{0}, []Weight{1}, false); err == nil {
+		t.Error("odd CSR entry count passed")
+	}
+}
+
+func TestAdjOffsetsConsistent(t *testing.T) {
+	g := mustBuild(t, 4, []Edge{{0, 1, 2}, {0, 2, 3}, {1, 3, 4}}, BuildOptions{})
+	for v := Vertex(0); v < 4; v++ {
+		lo, hi := g.AdjOffsets(v)
+		nbr, ws := g.Neighbors(v)
+		if int(hi-lo) != len(nbr) {
+			t.Fatalf("offsets span %d, neighbors %d", hi-lo, len(nbr))
+		}
+		for i := lo; i < hi; i++ {
+			a, w := g.AdjAt(i)
+			if a != nbr[i-lo] || w != ws[i-lo] {
+				t.Fatalf("AdjAt(%d) = (%d,%d), want (%d,%d)", i, a, w, nbr[i-lo], ws[i-lo])
+			}
+		}
+	}
+}
+
+// randomEdges draws a reproducible random edge list for property tests.
+func randomEdges(r *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			U: Vertex(r.Intn(n)),
+			V: Vertex(r.Intn(n)),
+			W: Weight(r.Intn(256)),
+		}
+	}
+	return edges
+}
+
+func TestQuickBuildInvariants(t *testing.T) {
+	// Property: for any random edge list, the built graph passes
+	// Validate, has weight-sorted rows, and degree sum = 2M.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		m := r.Intn(200)
+		g, err := FromEdges(n, randomEdges(r, n, m), BuildOptions{})
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		var degSum int64
+		for v := 0; v < n; v++ {
+			degSum += int64(g.Degree(Vertex(v)))
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountWeightRangeMatchesScan(t *testing.T) {
+	// Property: the binary-search count equals a linear scan.
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g, err := FromEdges(n, randomEdges(r, n, 100), BuildOptions{})
+		if err != nil {
+			return false
+		}
+		a, b := Weight(aRaw), Weight(bRaw)
+		for v := 0; v < n; v++ {
+			_, ws := g.Neighbors(Vertex(v))
+			scan := 0
+			for _, w := range ws {
+				if w >= a && w < b {
+					scan++
+				}
+			}
+			if g.CountWeightRange(Vertex(v), a, b) != scan {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShortEdgeEndMatchesScan(t *testing.T) {
+	f := func(seed int64, deltaRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g, err := FromEdges(n, randomEdges(r, n, 80), BuildOptions{})
+		if err != nil {
+			return false
+		}
+		delta := Weight(deltaRaw)
+		for v := 0; v < n; v++ {
+			_, ws := g.Neighbors(Vertex(v))
+			scan := 0
+			for _, w := range ws {
+				if w < delta {
+					scan++
+				}
+			}
+			if g.ShortEdgeEnd(Vertex(v), delta) != scan {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary edge-list format (little-endian):
+//
+//	magic   [8]byte  "PARSSSP1"
+//	n       uint64   number of vertices
+//	m       uint64   number of undirected edges
+//	edges   m × { u uint32, v uint32, w uint32 }
+//
+// The format is deliberately trivial: it round-trips the generator output
+// so experiments can be re-run on identical inputs.
+
+var magic = [8]byte{'P', 'A', 'R', 'S', 'S', 'S', 'P', '1'}
+
+// WriteEdgeList writes n and the undirected edge list to w.
+func WriteEdgeList(w io.Writer, n int, edges []Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [12]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:4], e.U)
+		binary.LittleEndian.PutUint32(rec[4:8], e.V)
+		binary.LittleEndian.PutUint32(rec[8:12], e.W)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList reads an edge list written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (n int, edges []Edge, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var mg [8]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return 0, nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if mg != magic {
+		return 0, nil, fmt.Errorf("graph: bad magic %q", mg)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	nRaw := binary.LittleEndian.Uint64(hdr[0:8])
+	m := binary.LittleEndian.Uint64(hdr[8:16])
+	// Vertex ids are uint32, so more than 2^32 vertices cannot be
+	// addressed; edge counts beyond 2^34 are equally implausible.
+	if nRaw > 1<<32 {
+		return 0, nil, fmt.Errorf("graph: implausible vertex count %d", nRaw)
+	}
+	const maxEdges = 1 << 34
+	if m > maxEdges {
+		return 0, nil, fmt.Errorf("graph: implausible edge count %d", m)
+	}
+	n = int(nRaw)
+	// Allocation grows with the data actually read, never trusting the
+	// header alone: a malicious or truncated header cannot force a huge
+	// up-front allocation.
+	const chunk = 1 << 16
+	initial := m
+	if initial > chunk {
+		initial = chunk
+	}
+	edges = make([]Edge, 0, initial)
+	var rec [12]byte
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return 0, nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		edges = append(edges, Edge{
+			U: binary.LittleEndian.Uint32(rec[0:4]),
+			V: binary.LittleEndian.Uint32(rec[4:8]),
+			W: binary.LittleEndian.Uint32(rec[8:12]),
+		})
+	}
+	return n, edges, nil
+}
+
+// SaveEdgeListFile writes the edge list to path, creating or truncating it.
+func SaveEdgeListFile(path string, n int, edges []Edge) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteEdgeList(f, n, edges)
+}
+
+// LoadEdgeListFile reads an edge list file written by SaveEdgeListFile.
+func LoadEdgeListFile(path string) (int, []Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}

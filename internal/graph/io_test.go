@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1, 255}, {2, 3, 0}, {1, 1, 17}}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, 4, edges); err != nil {
+		t.Fatal(err)
+	}
+	n, back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("n = %d, want 4", n)
+	}
+	if len(back) != len(edges) {
+		t.Fatalf("read %d edges, want %d", len(back), len(edges))
+	}
+	for i := range edges {
+		if back[i] != edges[i] {
+			t.Errorf("edge %d = %+v, want %+v", i, back[i], edges[i])
+		}
+	}
+}
+
+func TestEdgeListEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	n, edges, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || len(edges) != 0 {
+		t.Errorf("got n=%d, %d edges", n, len(edges))
+	}
+}
+
+func TestEdgeListBadMagic(t *testing.T) {
+	buf := bytes.NewBufferString("NOTMAGIC................")
+	if _, _, err := ReadEdgeList(buf); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestEdgeListTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, 3, []Edge{{0, 1, 2}, {1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 20, len(full) - 3} {
+		if _, _, err := ReadEdgeList(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestEdgeListImplausibleCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	// n = 1, m = 2^40 (implausible).
+	hdr := make([]byte, 16)
+	hdr[0] = 1
+	hdr[13] = 1 // little-endian 2^40
+	buf.Write(hdr)
+	if _, _, err := ReadEdgeList(&buf); err == nil {
+		t.Error("implausible edge count accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	edges := randomEdges(r, 100, 500)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveEdgeListFile(path, 100, edges); err != nil {
+		t.Fatal(err)
+	}
+	n, back, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || len(back) != len(edges) {
+		t.Fatalf("n=%d m=%d, want 100/%d", n, len(back), len(edges))
+	}
+	for i := range edges {
+		if back[i] != edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := LoadEdgeListFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -1,0 +1,42 @@
+package graph
+
+import "fmt"
+
+// Induced extracts the subgraph induced by the given vertex set: the
+// returned graph has len(vertices) vertices, relabeled densely in the
+// order given, and exactly the edges of g with both endpoints in the
+// set. The second return value maps new ids back to original ids.
+//
+// Typical use is restricting experiments to the largest connected
+// component: Induced(g.LargestComponent()).
+func (g *Graph) Induced(vertices []Vertex) (*Graph, []Vertex, error) {
+	n := g.NumVertices()
+	newID := make(map[Vertex]Vertex, len(vertices))
+	for i, v := range vertices {
+		if int(v) >= n {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range", v)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		newID[v] = Vertex(i)
+	}
+	var edges []Edge
+	for _, v := range vertices {
+		nbr, ws := g.Neighbors(v)
+		for i, u := range nbr {
+			nu, ok := newID[u]
+			if !ok || v >= u {
+				continue // keep each undirected edge once; self-loops are
+				// irrelevant for shortest paths and dropped
+			}
+			edges = append(edges, Edge{U: newID[v], V: nu, W: ws[i]})
+		}
+	}
+	sub, err := FromEdges(len(vertices), edges, BuildOptions{KeepParallelEdges: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	back := append([]Vertex(nil), vertices...)
+	return sub, back, nil
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInducedTriangleFromSquare(t *testing.T) {
+	// Square 0-1-2-3-0 plus diagonal 0-2; induce {0,1,2}.
+	g := mustBuild(t, 4, []Edge{
+		{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {0, 2, 5},
+	}, BuildOptions{})
+	sub, back, err := g.Induced([]Vertex{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced has %d vertices, %d edges; want 3, 3", sub.NumVertices(), sub.NumEdges())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != 0 || back[2] != 2 {
+		t.Errorf("back map %v", back)
+	}
+}
+
+func TestInducedRelabeling(t *testing.T) {
+	g := mustBuild(t, 5, []Edge{{3, 4, 7}}, BuildOptions{})
+	sub, back, err := g.Induced([]Vertex{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New ids follow the given order: 4→0, 3→1.
+	if sub.NumEdges() != 1 {
+		t.Fatalf("edges = %d", sub.NumEdges())
+	}
+	nbr, ws := sub.Neighbors(0)
+	if len(nbr) != 1 || nbr[0] != 1 || ws[0] != 7 {
+		t.Errorf("neighbors(0) = %v %v", nbr, ws)
+	}
+	if back[0] != 4 || back[1] != 3 {
+		t.Errorf("back = %v", back)
+	}
+}
+
+func TestInducedValidation(t *testing.T) {
+	g := mustBuild(t, 3, []Edge{{0, 1, 1}}, BuildOptions{})
+	if _, _, err := g.Induced([]Vertex{0, 5}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, _, err := g.Induced([]Vertex{0, 0}); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+}
+
+func TestInducedLargestComponent(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g, err := FromEdges(200, randomEdges(r, 200, 220), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := g.LargestComponent()
+	sub, back, err := g.Induced(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The induced largest component must be connected: BFS from 0
+	// reaches everything.
+	res := sub.BFS(0)
+	if res.Reached != sub.NumVertices() {
+		t.Errorf("induced component disconnected: reached %d of %d",
+			res.Reached, sub.NumVertices())
+	}
+	// Degrees within the component are preserved when all neighbors are
+	// inside it (true for whole components).
+	for newV, origV := range back {
+		if sub.Degree(Vertex(newV)) != g.Degree(origV) {
+			t.Fatalf("degree changed for %d: %d vs %d",
+				origV, sub.Degree(Vertex(newV)), g.Degree(origV))
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package partition
+
+import "parsssp/internal/graph"
+
+// AutoSplitOptions implements the paper's (unpublished) "robust
+// heuristics to determine the thresholds π and π′": it derives a
+// vertex-splitting configuration from the graph's degree distribution
+// and the machine size.
+//
+// The rationale mirrors §III-E: splitting pays off only for vertices
+// whose neighborhood alone dominates a rank's fair share of edges. The
+// threshold is therefore a multiple of the per-rank average load,
+// clamped from below by the 99.9th degree percentile so that at most a
+// tail sliver of vertices is ever split, and proxies are capped at the
+// rank count (one proxy per rank saturates the available parallelism).
+func AutoSplitOptions(g *graph.Graph, numRanks int) SplitOptions {
+	n := g.NumVertices()
+	if n == 0 || numRanks < 1 {
+		return SplitOptions{DegreeThreshold: 1, MaxProxies: 1}
+	}
+	avgLoad := float64(2*g.NumEdges()) / float64(numRanks)
+	threshold := int(avgLoad / 4)
+	if p := g.DegreePercentile(0.999); p > threshold {
+		threshold = p
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	return SplitOptions{
+		DegreeThreshold: threshold,
+		TargetDegree:    threshold,
+		MaxProxies:      numRanks,
+	}
+}
+
+// NeedsSplitting reports whether the graph's degree skew warrants
+// inter-node vertex splitting on a machine of numRanks ranks: the paper
+// found intra-node balancing sufficient until single vertices exceed a
+// rank's fair share of edges.
+func NeedsSplitting(g *graph.Graph, numRanks int) bool {
+	if g.NumVertices() == 0 || numRanks < 2 {
+		return false
+	}
+	fairShare := float64(2*g.NumEdges()) / float64(numRanks)
+	return float64(g.MaxDegree()) > fairShare/2
+}

@@ -1,0 +1,71 @@
+package partition
+
+import (
+	"testing"
+
+	"parsssp/internal/gen"
+)
+
+func TestAutoSplitOptionsStar(t *testing.T) {
+	// A star: the hub holds every edge, so splitting must trigger and
+	// the threshold must sit below the hub degree.
+	g, err := gen.Star(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 8
+	if !NeedsSplitting(g, ranks) {
+		t.Fatal("star hub not flagged for splitting")
+	}
+	opt := AutoSplitOptions(g, ranks)
+	if opt.DegreeThreshold < 1 || opt.DegreeThreshold >= g.MaxDegree() {
+		t.Errorf("threshold %d outside (0, maxdeg %d)", opt.DegreeThreshold, g.MaxDegree())
+	}
+	if opt.MaxProxies != ranks {
+		t.Errorf("MaxProxies = %d, want %d", opt.MaxProxies, ranks)
+	}
+	sr, err := SplitHeavyVertices(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.NumSplit == 0 {
+		t.Error("auto options split nothing on a star")
+	}
+	splitPreservesDistances(t, g, opt, 0)
+}
+
+func TestAutoSplitOptionsUniform(t *testing.T) {
+	// A grid has no skew: nothing should be flagged.
+	g, err := gen.Grid(40, 40, 1, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NeedsSplitting(g, 8) {
+		t.Error("uniform grid flagged for splitting")
+	}
+	opt := AutoSplitOptions(g, 8)
+	sr, err := SplitHeavyVertices(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.NumSplit != 0 {
+		t.Errorf("auto options split %d vertices of a uniform grid", sr.NumSplit)
+	}
+}
+
+func TestAutoSplitDegenerate(t *testing.T) {
+	empty, err := gen.Path(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NeedsSplitting(empty, 4) {
+		t.Error("single-vertex graph flagged")
+	}
+	opt := AutoSplitOptions(empty, 4)
+	if opt.DegreeThreshold < 1 {
+		t.Error("degenerate options invalid")
+	}
+	if NeedsSplitting(empty, 1) {
+		t.Error("single rank flagged")
+	}
+}

@@ -1,0 +1,130 @@
+// Package partition implements vertex-to-rank distribution and the
+// inter-node load-balancing transformation (vertex splitting) of the
+// paper.
+//
+// Two distributions are provided. Block distribution assigns contiguous
+// vertex ranges to ranks, as in the paper's base implementation. Cyclic
+// distribution assigns vertex v to rank v mod P; it is the natural
+// companion of vertex splitting, because the proxies a split creates get
+// consecutive identifiers and therefore land on consecutive distinct ranks
+// — the paper's "distribute their incident edges among other processing
+// nodes" — without any explicit placement machinery.
+package partition
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+)
+
+// Kind selects a distribution strategy.
+type Kind int
+
+const (
+	// Block assigns contiguous ranges of ⌈n/p⌉ vertices per rank.
+	Block Kind = iota
+	// Cyclic assigns vertex v to rank v mod p.
+	Cyclic
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Dist maps vertices to owning ranks and local indices, in O(1) both
+// ways. The zero value is not valid; use New.
+type Dist struct {
+	kind Kind
+	n    int // number of vertices
+	p    int // number of ranks
+	per  int // block size (Block kind)
+}
+
+// New creates a distribution of n vertices over p ranks.
+func New(kind Kind, n, p int) (Dist, error) {
+	if n < 0 || p < 1 {
+		return Dist{}, fmt.Errorf("partition: invalid n=%d p=%d", n, p)
+	}
+	per := 0
+	if kind == Block {
+		per = (n + p - 1) / p
+		if per == 0 {
+			per = 1
+		}
+	}
+	return Dist{kind: kind, n: n, p: p, per: per}, nil
+}
+
+// MustNew is New that panics on error, for static configurations.
+func MustNew(kind Kind, n, p int) Dist {
+	d, err := New(kind, n, p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Kind returns the distribution strategy.
+func (d Dist) Kind() Kind { return d.kind }
+
+// NumVertices returns n.
+func (d Dist) NumVertices() int { return d.n }
+
+// NumRanks returns p.
+func (d Dist) NumRanks() int { return d.p }
+
+// Owner returns the rank owning v.
+func (d Dist) Owner(v graph.Vertex) int {
+	if d.kind == Cyclic {
+		return int(v) % d.p
+	}
+	r := int(v) / d.per
+	if r >= d.p {
+		r = d.p - 1
+	}
+	return r
+}
+
+// LocalIndex returns v's index within its owner's local arrays.
+func (d Dist) LocalIndex(v graph.Vertex) int {
+	if d.kind == Cyclic {
+		return int(v) / d.p
+	}
+	return int(v) - d.Owner(v)*d.per
+}
+
+// Global returns the vertex with local index li on the given rank.
+func (d Dist) Global(rank, li int) graph.Vertex {
+	if d.kind == Cyclic {
+		return graph.Vertex(li*d.p + rank)
+	}
+	return graph.Vertex(rank*d.per + li)
+}
+
+// Count returns the number of vertices owned by rank.
+func (d Dist) Count(rank int) int {
+	if d.kind == Cyclic {
+		// Vertices v < n with v ≡ rank (mod p).
+		if rank >= d.n {
+			return 0
+		}
+		return (d.n-rank-1)/d.p + 1
+	}
+	lo := rank * d.per
+	if lo >= d.n {
+		return 0
+	}
+	hi := lo + d.per
+	if hi > d.n {
+		hi = d.n
+	}
+	return hi - lo
+}

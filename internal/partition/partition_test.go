@@ -1,0 +1,137 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parsssp/internal/graph"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Block, -1, 2); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := New(Block, 5, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on bad input")
+		}
+	}()
+	MustNew(Cyclic, 1, 0)
+}
+
+func TestKindString(t *testing.T) {
+	if Block.String() != "block" || Cyclic.String() != "cyclic" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind stringer empty")
+	}
+}
+
+// checkRoundTrip verifies the Owner/LocalIndex/Global/Count consistency
+// invariants for a distribution.
+func checkRoundTrip(t *testing.T, d Dist) {
+	t.Helper()
+	n, p := d.NumVertices(), d.NumRanks()
+	totals := make([]int, p)
+	for v := 0; v < n; v++ {
+		owner := d.Owner(graph.Vertex(v))
+		if owner < 0 || owner >= p {
+			t.Fatalf("owner(%d) = %d out of range", v, owner)
+		}
+		li := d.LocalIndex(graph.Vertex(v))
+		if li < 0 || li >= d.Count(owner) {
+			t.Fatalf("local(%d) = %d outside count %d", v, li, d.Count(owner))
+		}
+		if back := d.Global(owner, li); back != graph.Vertex(v) {
+			t.Fatalf("Global(%d, %d) = %d, want %d", owner, li, back, v)
+		}
+		totals[owner]++
+	}
+	sum := 0
+	for r := 0; r < p; r++ {
+		if totals[r] != d.Count(r) {
+			t.Fatalf("rank %d: Count=%d, actual=%d", r, d.Count(r), totals[r])
+		}
+		sum += d.Count(r)
+	}
+	if sum != n {
+		t.Fatalf("counts sum to %d, want %d", sum, n)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{0, 1}, {1, 1}, {10, 1}, {10, 3}, {10, 10}, {10, 16}, {1000, 7},
+	} {
+		checkRoundTrip(t, MustNew(Block, tc.n, tc.p))
+	}
+}
+
+func TestCyclicRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{0, 1}, {1, 1}, {10, 1}, {10, 3}, {10, 10}, {10, 16}, {1000, 7},
+	} {
+		checkRoundTrip(t, MustNew(Cyclic, tc.n, tc.p))
+	}
+}
+
+func TestBlockContiguity(t *testing.T) {
+	d := MustNew(Block, 100, 4)
+	prev := 0
+	for v := 1; v < 100; v++ {
+		o := d.Owner(graph.Vertex(v))
+		if o < prev {
+			t.Fatalf("block owners not monotone at %d", v)
+		}
+		prev = o
+	}
+}
+
+func TestCyclicSpread(t *testing.T) {
+	d := MustNew(Cyclic, 100, 4)
+	for v := 0; v < 100; v++ {
+		if d.Owner(graph.Vertex(v)) != v%4 {
+			t.Fatalf("cyclic owner(%d) = %d", v, d.Owner(graph.Vertex(v)))
+		}
+	}
+}
+
+func TestQuickDistributionInvariants(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8, kindRaw bool) bool {
+		n := int(nRaw) % 2000
+		p := 1 + int(pRaw)%32
+		kind := Block
+		if kindRaw {
+			kind = Cyclic
+		}
+		d, err := New(kind, n, p)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for r := 0; r < p; r++ {
+			c := d.Count(r)
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		if sum != n {
+			return false
+		}
+		for v := 0; v < n; v += 1 + n/64 {
+			o := d.Owner(graph.Vertex(v))
+			if d.Global(o, d.LocalIndex(graph.Vertex(v))) != graph.Vertex(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+)
+
+// SplitOptions configures inter-node vertex splitting (paper §III-E).
+type SplitOptions struct {
+	// DegreeThreshold is the paper's π′: vertices with degree above it are
+	// split.
+	DegreeThreshold int
+	// TargetDegree is the approximate degree of each proxy; the number of
+	// proxies for a split vertex u is ⌈deg(u)/TargetDegree⌉, capped at
+	// MaxProxies. Zero means DegreeThreshold.
+	TargetDegree int
+	// MaxProxies caps the number of proxies per vertex; zero means no cap.
+	MaxProxies int
+}
+
+// SplitResult is the outcome of SplitHeavyVertices.
+type SplitResult struct {
+	// Graph is the transformed graph: original vertices keep their ids;
+	// proxies occupy ids [OriginalN, Graph.NumVertices()).
+	Graph *graph.Graph
+	// OriginalN is the vertex count before splitting.
+	OriginalN int
+	// ProxyOwner[i] is the original vertex that proxy OriginalN+i belongs
+	// to.
+	ProxyOwner []graph.Vertex
+	// NumSplit is the number of vertices that were split.
+	NumSplit int
+}
+
+// SplitHeavyVertices implements the paper's inter-node load-balancing
+// transformation: every vertex u with degree above π′ is given ℓ proxies
+// u₁..uℓ connected to u by zero-weight edges, and u's original edges are
+// partitioned round-robin among the proxies. Shortest distances in the
+// transformed graph equal those of the original for all original vertices
+// (the zero-weight edges make each proxy's distance equal to u's).
+//
+// Proxies receive consecutive identifiers starting at the original vertex
+// count, so under a Cyclic distribution they land on consecutive distinct
+// ranks — spreading the heavy vertex's edges over the machine.
+//
+// An edge between two split vertices is re-homed on a proxy at both
+// endpoints, with independent round-robin counters.
+func SplitHeavyVertices(g *graph.Graph, opt SplitOptions) (*SplitResult, error) {
+	if opt.DegreeThreshold < 1 {
+		return nil, fmt.Errorf("partition: split threshold must be >= 1, got %d", opt.DegreeThreshold)
+	}
+	target := opt.TargetDegree
+	if target == 0 {
+		target = opt.DegreeThreshold
+	}
+	if target < 1 {
+		return nil, fmt.Errorf("partition: split target degree must be >= 1, got %d", opt.TargetDegree)
+	}
+	n := g.NumVertices()
+
+	// Pass 1: decide the proxy layout.
+	numProxies := make([]int, n)
+	totalProxies := 0
+	numSplit := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.Vertex(v))
+		if d <= opt.DegreeThreshold {
+			continue
+		}
+		l := (d + target - 1) / target
+		if opt.MaxProxies > 0 && l > opt.MaxProxies {
+			l = opt.MaxProxies
+		}
+		if l < 2 {
+			l = 2
+		}
+		numProxies[v] = l
+		totalProxies += l
+		numSplit++
+	}
+	if numSplit == 0 {
+		return &SplitResult{Graph: g, OriginalN: n}, nil
+	}
+
+	proxyBase := make([]int, n) // first proxy id of v (valid when numProxies[v] > 0)
+	proxyOwner := make([]graph.Vertex, totalProxies)
+	next := n
+	for v := 0; v < n; v++ {
+		if numProxies[v] == 0 {
+			continue
+		}
+		proxyBase[v] = next
+		for i := 0; i < numProxies[v]; i++ {
+			proxyOwner[next-n+i] = graph.Vertex(v)
+		}
+		next += numProxies[v]
+	}
+
+	// Pass 2: rewrite the edge list. Round-robin counters advance per
+	// re-homed endpoint so each proxy receives ~deg/ℓ edges.
+	rr := make([]int, n)
+	home := func(v graph.Vertex) graph.Vertex {
+		l := numProxies[v]
+		if l == 0 {
+			return v
+		}
+		p := graph.Vertex(proxyBase[v] + rr[v]%l)
+		rr[v]++
+		return p
+	}
+	orig := g.Edges()
+	edges := make([]graph.Edge, 0, len(orig)+totalProxies)
+	for _, e := range orig {
+		edges = append(edges, graph.Edge{U: home(e.U), V: home(e.V), W: e.W})
+	}
+	for v := 0; v < n; v++ {
+		for i := 0; i < numProxies[v]; i++ {
+			edges = append(edges, graph.Edge{
+				U: graph.Vertex(v), V: graph.Vertex(proxyBase[v] + i), W: 0,
+			})
+		}
+	}
+	// Parallel edges must be preserved here: two original edges (u,x,w1),
+	// (u,x,w2) may land on different proxies, and collapsing (proxy,x)
+	// pairs is harmless but collapsing is keyed on endpoints anyway; keep
+	// whatever the builder's dedup does — it only ever removes
+	// non-shortest parallel edges, which cannot change distances.
+	ng, err := graph.FromEdges(n+totalProxies, edges, graph.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &SplitResult{
+		Graph:      ng,
+		OriginalN:  n,
+		ProxyOwner: proxyOwner,
+		NumSplit:   numSplit,
+	}, nil
+}
+
+// RestrictDistances maps distances computed on the split graph back to the
+// original vertex set (it simply truncates the proxy tail).
+func (r *SplitResult) RestrictDistances(dist []graph.Dist) []graph.Dist {
+	if len(dist) < r.OriginalN {
+		return dist
+	}
+	return dist[:r.OriginalN]
+}

@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+)
+
+func TestSplitValidation(t *testing.T) {
+	g, err := gen.Star(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SplitHeavyVertices(g, SplitOptions{DegreeThreshold: 0}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := SplitHeavyVertices(g, SplitOptions{DegreeThreshold: 2, TargetDegree: -1}); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestSplitNoHeavyVertices(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SplitHeavyVertices(g, SplitOptions{DegreeThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Graph != g || sr.NumSplit != 0 {
+		t.Error("no-op split did not return the original graph")
+	}
+}
+
+func TestSplitStar(t *testing.T) {
+	// A star's center (degree 9) split with threshold 3 and target 3
+	// should get 3 proxies of ~3 leaves each.
+	g, err := gen.Star(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SplitHeavyVertices(g, SplitOptions{DegreeThreshold: 3, TargetDegree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.NumSplit != 1 {
+		t.Fatalf("NumSplit = %d, want 1", sr.NumSplit)
+	}
+	if sr.Graph.NumVertices() != 13 {
+		t.Fatalf("split graph has %d vertices, want 13", sr.Graph.NumVertices())
+	}
+	if err := sr.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Proxies own all original edges; the center keeps only zero-weight
+	// proxy links.
+	_, ws := sr.Graph.Neighbors(0)
+	for _, w := range ws {
+		if w != 0 {
+			t.Errorf("center kept a non-proxy edge of weight %d", w)
+		}
+	}
+	for i, owner := range sr.ProxyOwner {
+		if owner != 0 {
+			t.Errorf("proxy %d owner = %d, want 0", i, owner)
+		}
+	}
+	// Max proxy degree should be balanced: 3 original edges + 1 link.
+	for p := 10; p < 13; p++ {
+		d := sr.Graph.Degree(graph.Vertex(p))
+		if d < 3 || d > 4 {
+			t.Errorf("proxy %d degree %d outside [3,4]", p, d)
+		}
+	}
+}
+
+// splitPreservesDistances checks the core invariant with a brute-force
+// Dijkstra on both graphs.
+func splitPreservesDistances(t *testing.T, g *graph.Graph, opt SplitOptions, src graph.Vertex) {
+	t.Helper()
+	sr, err := SplitHeavyVertices(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := dijkstraRef(g, src)
+	got := dijkstraRef(sr.Graph, src)
+	got = sr.RestrictDistances(got)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d after split, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSplitPreservesDistancesRandom(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := gen.Random(200, 2000, 255, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		splitPreservesDistances(t, g, SplitOptions{DegreeThreshold: 8, MaxProxies: 4}, 0)
+		splitPreservesDistances(t, g, SplitOptions{DegreeThreshold: 20}, 1)
+	}
+}
+
+func TestSplitSourceIsSplit(t *testing.T) {
+	// Distances must survive even when the source itself is split.
+	g, err := gen.Star(20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitPreservesDistances(t, g, SplitOptions{DegreeThreshold: 4}, 0)
+}
+
+func TestSplitMaxProxies(t *testing.T) {
+	g, err := gen.Star(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SplitHeavyVertices(g, SplitOptions{DegreeThreshold: 4, TargetDegree: 4, MaxProxies: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.Graph.NumVertices() - g.NumVertices(); got != 3 {
+		t.Errorf("proxies = %d, want cap 3", got)
+	}
+}
+
+// dijkstraRef is a minimal Dijkstra used to avoid importing the sssp
+// package (which imports partition) in these tests.
+func dijkstraRef(g *graph.Graph, src graph.Vertex) []graph.Dist {
+	n := g.NumVertices()
+	dist := make([]graph.Dist, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[src] = 0
+	done := make([]bool, n)
+	for {
+		u, best := -1, graph.Inf
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		nbr, ws := g.Neighbors(graph.Vertex(u))
+		for i, v := range nbr {
+			if nd := best + graph.Dist(ws[i]); nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+}

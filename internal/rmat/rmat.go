@@ -1,0 +1,221 @@
+// Package rmat generates R-MAT (Recursive MATrix) scale-free random graphs
+// following the Graph500 specifications used in the paper's evaluation.
+//
+// An R-MAT edge is drawn by recursively descending a 2^scale × 2^scale
+// adjacency matrix: at each of the scale levels one of the four quadrants
+// is selected with probabilities (A, B, C, D), fixing one bit of each
+// endpoint. Skewed parameters concentrate edges on low-numbered rows,
+// producing the heavy-tailed degree distributions that drive every effect
+// studied in the paper (long-phase dominance, pull benefit, load
+// imbalance). Vertex ids are scrambled with a mixing permutation so vertex
+// number carries no degree information, as in the Graph500 reference code.
+//
+// Two parameter families from the paper:
+//
+//	Family1 (Graph500 BFS spec):   A=0.57, B=C=0.19, D=0.05
+//	Family2 (Graph500 SSSP spec):  A=0.50, B=C=0.10, D=0.30
+//
+// Both use edge factor 16 (M = 16·N undirected edges) and integer weights
+// drawn uniformly from [0, MaxWeight] = [0, 255].
+package rmat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/rng"
+)
+
+// MaxWeight is the inclusive upper bound of generated edge weights, per
+// the Graph500 SSSP benchmark proposal.
+const MaxWeight = 255
+
+// DefaultEdgeFactor is the Graph500 edge factor: undirected edges per
+// vertex.
+const DefaultEdgeFactor = 16
+
+// Params configures an R-MAT generator.
+type Params struct {
+	// Scale is log2 of the number of vertices.
+	Scale int
+	// EdgeFactor is the number of undirected edges per vertex; 0 means
+	// DefaultEdgeFactor.
+	EdgeFactor int
+	// A, B, C are the R-MAT quadrant probabilities; D = 1-A-B-C.
+	A, B, C float64
+	// MaxWeight is the inclusive maximum edge weight; 0 means the package
+	// default (255).
+	MaxWeight uint32
+	// Seed selects the random stream. The same (Params, Seed) always
+	// produces the same graph, independent of worker count.
+	Seed uint64
+	// NoScramble disables the vertex permutation (useful in tests, where
+	// the raw R-MAT locality is asserted directly).
+	NoScramble bool
+}
+
+// Family1 returns the RMAT-1 parameters (Graph500 BFS spec) at the given
+// scale and seed.
+func Family1(scale int, seed uint64) Params {
+	return Params{Scale: scale, A: 0.57, B: 0.19, C: 0.19, Seed: seed}
+}
+
+// Family2 returns the RMAT-2 parameters (proposed Graph500 SSSP spec) at
+// the given scale and seed.
+func Family2(scale int, seed uint64) Params {
+	return Params{Scale: scale, A: 0.50, B: 0.10, C: 0.10, Seed: seed}
+}
+
+func (p Params) edgeFactor() int {
+	if p.EdgeFactor == 0 {
+		return DefaultEdgeFactor
+	}
+	return p.EdgeFactor
+}
+
+func (p Params) maxWeight() uint32 {
+	if p.MaxWeight == 0 {
+		return MaxWeight
+	}
+	return p.MaxWeight
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Scale < 1 || p.Scale > 31 {
+		return fmt.Errorf("rmat: scale %d out of range [1,31]", p.Scale)
+	}
+	if p.edgeFactor() < 1 {
+		return fmt.Errorf("rmat: edge factor %d < 1", p.EdgeFactor)
+	}
+	d := 1 - p.A - p.B - p.C
+	if p.A < 0 || p.B < 0 || p.C < 0 || d < 0 {
+		return fmt.Errorf("rmat: invalid quadrant probabilities A=%v B=%v C=%v D=%v",
+			p.A, p.B, p.C, d)
+	}
+	return nil
+}
+
+// NumVertices returns 2^Scale.
+func (p Params) NumVertices() int { return 1 << p.Scale }
+
+// NumEdges returns the number of undirected edges that will be generated.
+func (p Params) NumEdges() int64 {
+	return int64(p.NumVertices()) * int64(p.edgeFactor())
+}
+
+// genChunks is the fixed number of logical generation substreams. Chunk c
+// always draws from substream c regardless of how many workers execute,
+// so the generated graph depends only on (Params, Seed) — never on the
+// machine's CPU count.
+const genChunks = 64
+
+// Edges generates the edge list. Generation is parallel and
+// deterministic: the edge range is divided into genChunks fixed chunks,
+// chunk c is always produced from substream c of the seed, and workers
+// claim chunks dynamically.
+func Edges(p Params) ([]graph.Edge, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.NumEdges()
+	edges := make([]graph.Edge, m)
+	if m == 0 {
+		return edges, nil
+	}
+	chunkSize := (m + genChunks - 1) / genChunks
+	workers := runtime.NumCPU()
+	if workers > genChunks {
+		workers = genChunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := atomic.AddInt64(&next, 1) - 1
+				if c >= genChunks {
+					return
+				}
+				lo := c * chunkSize
+				hi := lo + chunkSize
+				if hi > m {
+					hi = m
+				}
+				if lo >= hi {
+					continue
+				}
+				gen := rng.Substream(p.Seed, int(c))
+				for i := lo; i < hi; i++ {
+					edges[i] = p.drawEdge(gen)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return edges, nil
+}
+
+// drawEdge draws one undirected weighted edge.
+func (p Params) drawEdge(gen *rng.Xoshiro256) graph.Edge {
+	var u, v uint32
+	a, b, c := p.A, p.B, p.C
+	for level := 0; level < p.Scale; level++ {
+		r := gen.Float64()
+		var bu, bv uint32
+		switch {
+		case r < a:
+			// top-left: no bits set
+		case r < a+b:
+			bv = 1
+		case r < a+b+c:
+			bu = 1
+		default:
+			bu, bv = 1, 1
+		}
+		u = u<<1 | bu
+		v = v<<1 | bv
+	}
+	if !p.NoScramble {
+		u = p.scramble(u)
+		v = p.scramble(v)
+	}
+	w := uint32(gen.IntN(int(p.maxWeight()) + 1))
+	return graph.Edge{U: u, V: v, W: w}
+}
+
+// scramble applies a seed-dependent pseudo-random permutation of vertex
+// ids within [0, 2^Scale). Each round composes two bijections on the
+// Scale-bit domain: multiplication by an odd constant modulo 2^Scale and a
+// right xorshift (both are invertible), so the whole map is a permutation.
+func (p Params) scramble(v uint32) uint32 {
+	if p.Scale < 2 {
+		return v
+	}
+	mask := uint64(1)<<p.Scale - 1
+	x := uint64(v)
+	shift := uint(p.Scale) / 2
+	for round := 0; round < 3; round++ {
+		mult := rng.Mix64(p.Seed+uint64(round)) | 1 // odd => bijective mod 2^Scale
+		add := rng.Mix64(p.Seed ^ uint64(round+7))
+		x = (x*mult + add) & mask
+		x ^= x >> shift
+	}
+	return uint32(x)
+}
+
+// Generate produces the final CSR graph: edges are generated, self-loops
+// dropped and parallel edges collapsed to their minimum weight (the
+// standard Graph500 preprocessing for SSSP).
+func Generate(p Params) (*graph.Graph, error) {
+	edges, err := Edges(p)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromEdges(p.NumVertices(), edges, graph.BuildOptions{})
+}

@@ -1,0 +1,209 @@
+package rmat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeCountAndRange(t *testing.T) {
+	p := Family1(10, 1)
+	edges, err := Edges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(edges)) != p.NumEdges() {
+		t.Fatalf("generated %d edges, want %d", len(edges), p.NumEdges())
+	}
+	n := uint32(p.NumVertices())
+	for i, e := range edges {
+		if e.U >= n || e.V >= n {
+			t.Fatalf("edge %d endpoints (%d,%d) out of range %d", i, e.U, e.V, n)
+		}
+		if e.W > MaxWeight {
+			t.Fatalf("edge %d weight %d > %d", i, e.W, MaxWeight)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p := Family2(9, 77)
+	a, err := Edges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Edges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedsProduceDifferentGraphs(t *testing.T) {
+	a, err := Edges(Family1(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Edges(Family1(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/100 {
+		t.Errorf("%d/%d identical edges across different seeds", same, len(a))
+	}
+}
+
+func TestScramblePermutation(t *testing.T) {
+	// scramble must be a bijection on [0, 2^scale) for both parities of
+	// scale.
+	for _, scale := range []int{5, 6, 11, 12} {
+		p := Params{Scale: scale, A: 0.25, B: 0.25, C: 0.25, Seed: 5}
+		seen := make([]bool, 1<<scale)
+		for v := 0; v < 1<<scale; v++ {
+			s := p.scramble(uint32(v))
+			if int(s) >= len(seen) {
+				t.Fatalf("scale %d: scramble(%d) = %d out of range", scale, v, s)
+			}
+			if seen[s] {
+				t.Fatalf("scale %d: scramble collision at %d", scale, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestSkewFamilyContrast(t *testing.T) {
+	// RMAT-1 must be markedly more skewed than RMAT-2 (paper Figure 8).
+	g1, err := Generate(Family1(12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(Family2(12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.MaxDegree() <= g2.MaxDegree() {
+		t.Errorf("RMAT-1 max degree %d not above RMAT-2 %d", g1.MaxDegree(), g2.MaxDegree())
+	}
+	if g1.MaxDegree() < 8*DefaultEdgeFactor {
+		t.Errorf("RMAT-1 max degree %d lacks heavy tail", g1.MaxDegree())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{Scale: 0, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 40, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 5, A: 0.8, B: 0.2, C: 0.2},  // sums > 1
+		{Scale: 5, A: -0.1, B: 0.5, C: 0.5}, // negative
+		{Scale: 5, A: 0.25, B: 0.25, C: 0.25, EdgeFactor: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params %+v accepted", i, p)
+		}
+	}
+	if err := Family1(5, 0).Validate(); err != nil {
+		t.Errorf("Family1 params rejected: %v", err)
+	}
+}
+
+func TestGenerateBuildsValidGraph(t *testing.T) {
+	g, err := Generate(Family1(9, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 512 {
+		t.Errorf("vertices = %d, want 512", g.NumVertices())
+	}
+	// Dedup and self-loop removal shrink the edge count but not below a
+	// sane fraction for this density.
+	if g.NumEdges() < 512*4 || g.NumEdges() > 512*16 {
+		t.Errorf("edge count %d outside plausible range", g.NumEdges())
+	}
+}
+
+func TestCustomEdgeFactorAndWeight(t *testing.T) {
+	p := Family1(8, 5)
+	p.EdgeFactor = 4
+	p.MaxWeight = 7
+	edges, err := Edges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 256*4 {
+		t.Fatalf("edge count %d, want %d", len(edges), 256*4)
+	}
+	for _, e := range edges {
+		if e.W > 7 {
+			t.Fatalf("weight %d > 7", e.W)
+		}
+	}
+}
+
+func TestNoScrambleLocality(t *testing.T) {
+	// Without scrambling, skewed R-MAT concentrates endpoints on low ids:
+	// vertex 0 must be the (or nearly the) highest-degree vertex.
+	p := Family1(10, 6)
+	p.NoScramble = true
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) < g.MaxDegree()/2 {
+		t.Errorf("vertex 0 degree %d, max %d: expected hub at id 0 without scrambling",
+			g.Degree(0), g.MaxDegree())
+	}
+}
+
+func TestQuickEndpointsInRange(t *testing.T) {
+	f := func(seedRaw uint16, scaleRaw uint8) bool {
+		scale := 2 + int(scaleRaw)%8
+		p := Family2(scale, uint64(seedRaw))
+		p.EdgeFactor = 2
+		edges, err := Edges(p)
+		if err != nil {
+			return false
+		}
+		n := uint32(1) << scale
+		for _, e := range edges {
+			if e.U >= n || e.V >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsRoughlyUniform(t *testing.T) {
+	p := Family1(12, 8)
+	edges, err := Edges(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [4]int
+	for _, e := range edges {
+		counts[e.W/64]++
+	}
+	want := len(edges) / 4
+	for q, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("weight quartile %d has %d edges, want ≈%d", q, c, want)
+		}
+	}
+}

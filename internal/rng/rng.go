@@ -1,0 +1,146 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout parsssp for reproducible graph generation and
+// workload construction.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny stateless-feeling generator, primarily used for
+//     seeding and for hash-style scrambling of vertex identifiers.
+//   - Xoshiro256: xoshiro256**, a high-quality generator with an O(1)
+//     Jump operation that advances the stream by 2^128 steps. Jump makes
+//     it possible to carve one logical random stream into many
+//     non-overlapping substreams, one per worker, so parallel graph
+//     generation is deterministic regardless of the number of workers.
+//
+// None of the generators here are cryptographically secure; they are
+// simulation-grade, matching the random processes used by the Graph500
+// reference implementations.
+package rng
+
+import "math/bits"
+
+// SplitMix64 is the SplitMix64 generator of Steele, Lea and Flood. Its
+// zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a strong 64-bit
+// mixing function (a bijection) useful for scrambling vertex identifiers.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 implements the xoshiro256** 1.0 generator of Blackman and
+// Vigna. It must be created with NewXoshiro256; the zero value is invalid
+// (an all-zero state is a fixed point).
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a xoshiro256** generator seeded from seed via
+// SplitMix64, per the authors' recommendation.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next returns the next 64-bit value in the sequence.
+func (x *Xoshiro256) Next() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	// Use the top 53 bits for a uniform double in [0,1).
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Uint32 returns a uniformly distributed uint32.
+func (x *Xoshiro256) Uint32() uint32 {
+	return uint32(x.Next() >> 32)
+}
+
+// IntN returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0.
+func (x *Xoshiro256) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method over 64 bits.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		hi, lo := bits.Mul64(x.Next(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// jumpPoly is the characteristic polynomial used by Jump; it advances the
+// generator by 2^128 calls to Next.
+var jumpPoly = [4]uint64{
+	0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+	0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls
+// to Next. Repeated Jump calls produce non-overlapping substreams.
+func (x *Xoshiro256) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, jp := range jumpPoly {
+		for b := uint(0); b < 64; b++ {
+			if jp&(1<<b) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Next()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
+// Substream returns a new generator positioned i jumps (i.e. i*2^128
+// steps) ahead of a fresh generator with the given seed. Substreams with
+// distinct i never overlap for any realistic sequence length.
+func Substream(seed uint64, i int) *Xoshiro256 {
+	x := NewXoshiro256(seed)
+	for k := 0; k < i; k++ {
+		x.Jump()
+	}
+	return x
+}

@@ -1,0 +1,92 @@
+package sssp
+
+import "sync"
+
+// This file implements the ownership-partitioned parallel apply path of
+// applyRelaxIn; see the comment there for the model.
+
+// parallelApplyThreshold is the record count below which the serial
+// apply path beats spawning workers. A variable so tests can force the
+// parallel path on small inputs.
+var parallelApplyThreshold = 2048
+
+// totalRelaxRecords counts relax records across received buffers.
+func totalRelaxRecords(in [][]byte) int {
+	total := 0
+	for _, buf := range in {
+		total += numRelaxRecords(buf)
+	}
+	return total
+}
+
+// bucketAdd is a staged bucket-store insertion.
+type bucketAdd struct {
+	bucket int64
+	li     uint32
+}
+
+// applyStaging is one thread's private output of a parallel apply pass.
+type applyStaging struct {
+	adds   []bucketAdd
+	active []uint32
+}
+
+// applyRelaxParallel applies records on T threads: thread t processes
+// exactly the records whose target satisfies li mod T == t, so dist,
+// parent, bucketOf and mark writes are disjoint across threads. The
+// shared structures (bucket store, nextActive) receive per-thread
+// staging merged by a short serial pass.
+func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) {
+	if len(r.applyStage) < T {
+		r.applyStage = make([]applyStaging, T)
+	}
+	stage := r.applyStage[:T]
+	for t := range stage {
+		stage[t].adds = stage[t].adds[:0]
+		stage[t].active = stage[t].active[:0]
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < T; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			st := &stage[t]
+			k := r.curK
+			for _, buf := range in {
+				n := numRelaxRecords(buf)
+				for i := 0; i < n; i++ {
+					v, par, nd := decodeRelax(buf, i)
+					li := r.local(v)
+					if li%T != t || nd >= r.dist[li] {
+						continue
+					}
+					r.dist[li] = nd
+					r.parent[li] = par
+					if r.hybridMode {
+						if r.mark[li] != r.stamp {
+							r.mark[li] = r.stamp
+							st.active = append(st.active, uint32(li))
+						}
+						continue
+					}
+					nb := nd / r.dd
+					if nb != r.bucketOf[li] {
+						r.bucketOf[li] = nb
+						st.adds = append(st.adds, bucketAdd{nb, uint32(li)})
+					}
+					if activate && nb == k && r.mark[li] != r.stamp {
+						r.mark[li] = r.stamp
+						st.active = append(st.active, uint32(li))
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	for t := range stage {
+		for _, a := range stage[t].adds {
+			r.store.add(a.bucket, a.li)
+		}
+		r.nextActive = append(r.nextActive, stage[t].active...)
+	}
+}

@@ -1,0 +1,96 @@
+package sssp
+
+import (
+	"fmt"
+	"math"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/rng"
+)
+
+// This file implements Graph500-style batched measurement: the benchmark
+// runs SSSP from many random search keys over one graph and reports the
+// harmonic mean TEPS across them (the harmonic mean is the correct
+// aggregate for rates over a fixed workload).
+
+// BatchResult is the outcome of a multi-root measurement.
+type BatchResult struct {
+	// Roots are the source vertices, in run order.
+	Roots []graph.Vertex
+	// PerRoot holds each root's statistics.
+	PerRoot []Stats
+	// HarmonicMeanTEPS is the Graph500 aggregate rate.
+	HarmonicMeanTEPS float64
+	// MeanRelaxations is the arithmetic mean of the total relaxations.
+	MeanRelaxations float64
+	// MeanTimeSeconds is the arithmetic mean query wall-clock.
+	MeanTimeSeconds float64
+	// Edges is the m used in the TEPS computations.
+	Edges int64
+}
+
+// PickRoots selects n deterministic non-isolated search keys, as the
+// Graph500 harness does (keys must have at least one edge).
+func PickRoots(g *graph.Graph, n int, seed uint64) ([]graph.Vertex, error) {
+	nv := g.NumVertices()
+	if nv == 0 {
+		return nil, fmt.Errorf("sssp: cannot pick roots in an empty graph")
+	}
+	hasEdges := false
+	for v := 0; v < nv; v++ {
+		if g.Degree(graph.Vertex(v)) > 0 {
+			hasEdges = true
+			break
+		}
+	}
+	if !hasEdges {
+		return nil, fmt.Errorf("sssp: graph has no edges; no valid roots")
+	}
+	gen := rng.NewXoshiro256(seed)
+	roots := make([]graph.Vertex, 0, n)
+	for len(roots) < n {
+		v := graph.Vertex(gen.IntN(nv))
+		if g.Degree(v) > 0 {
+			roots = append(roots, v)
+		}
+	}
+	return roots, nil
+}
+
+// RunBatch executes one SSSP query per root on a shared in-process
+// Machine and aggregates Graph500-style statistics. Transports and all
+// engine state are reused across queries, as a real deployment would.
+func RunBatch(g *graph.Graph, numRanks int, roots []graph.Vertex, opts Options) (*BatchResult, error) {
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("sssp: RunBatch needs at least one root")
+	}
+	machine, err := NewMachine(g, numRanks, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BatchResult{
+		Roots: append([]graph.Vertex(nil), roots...),
+		Edges: g.NumEdges(),
+	}
+	var invSum float64
+	for _, root := range roots {
+		run, err := machine.Query(root)
+		if err != nil {
+			return nil, fmt.Errorf("sssp: batch root %d: %w", root, err)
+		}
+		res.PerRoot = append(res.PerRoot, run.Stats)
+		teps := run.Stats.TEPS(res.Edges)
+		if teps <= 0 || math.IsInf(teps, 0) {
+			return nil, fmt.Errorf("sssp: degenerate TEPS for root %d", root)
+		}
+		invSum += 1 / teps
+		res.MeanRelaxations += float64(run.Stats.Relax.Total())
+		res.MeanTimeSeconds += run.Stats.Total.Seconds()
+	}
+	n := float64(len(roots))
+	res.HarmonicMeanTEPS = n / invSum
+	res.MeanRelaxations /= n
+	res.MeanTimeSeconds /= n
+	return res, nil
+}

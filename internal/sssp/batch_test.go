@@ -1,0 +1,95 @@
+package sssp
+
+import (
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+)
+
+func TestPickRoots(t *testing.T) {
+	g, err := gen.Star(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := PickRoots(g, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 8 {
+		t.Fatalf("got %d roots", len(roots))
+	}
+	for _, r := range roots {
+		if g.Degree(r) == 0 {
+			t.Errorf("root %d is isolated", r)
+		}
+	}
+	// Deterministic.
+	again, err := PickRoots(g, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range roots {
+		if roots[i] != again[i] {
+			t.Error("PickRoots not deterministic")
+		}
+	}
+}
+
+func TestPickRootsEdgeless(t *testing.T) {
+	g, err := graph.FromEdges(5, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PickRoots(g, 1, 0); err == nil {
+		t.Error("edgeless graph produced roots")
+	}
+	empty, err := graph.FromEdges(0, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PickRoots(empty, 1, 0); err == nil {
+		t.Error("empty graph produced roots")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	g := rmatTestGraph
+	roots, err := PickRoots(g, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatch(g, 3, roots, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRoot) != 4 {
+		t.Fatalf("got %d per-root stats", len(res.PerRoot))
+	}
+	if res.HarmonicMeanTEPS <= 0 {
+		t.Errorf("harmonic mean TEPS %v", res.HarmonicMeanTEPS)
+	}
+	// The harmonic mean is at most the max and at least the min rate.
+	min, max := res.PerRoot[0].TEPS(res.Edges), res.PerRoot[0].TEPS(res.Edges)
+	for _, s := range res.PerRoot {
+		teps := s.TEPS(res.Edges)
+		if teps < min {
+			min = teps
+		}
+		if teps > max {
+			max = teps
+		}
+	}
+	if res.HarmonicMeanTEPS < min*0.999 || res.HarmonicMeanTEPS > max*1.001 {
+		t.Errorf("harmonic mean %v outside [%v, %v]", res.HarmonicMeanTEPS, min, max)
+	}
+	if res.MeanRelaxations <= 0 || res.MeanTimeSeconds <= 0 {
+		t.Errorf("degenerate means: %+v", res)
+	}
+}
+
+func TestRunBatchNoRoots(t *testing.T) {
+	if _, err := RunBatch(rmatTestGraph, 2, nil, OptOptions(25)); err == nil {
+		t.Error("empty root list accepted")
+	}
+}

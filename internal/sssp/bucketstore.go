@@ -1,0 +1,76 @@
+package sssp
+
+// bucketStore holds each rank's bucket lists (local vertex indices keyed
+// by bucket index) with lazy deletion: when a vertex's tentative distance
+// improves it is appended to its new bucket's list, and the entry in the
+// old list goes stale. Stale entries are filtered against bucketOf when a
+// list is read. Because tentative distances only decrease, a vertex is
+// appended to any given bucket at most once, so lists never contain
+// duplicates of valid entries.
+type bucketStore struct {
+	lists map[int64][]uint32
+}
+
+func newBucketStore() bucketStore {
+	return bucketStore{lists: make(map[int64][]uint32)}
+}
+
+// add records that local vertex li now belongs to bucket k.
+func (s *bucketStore) add(k int64, li uint32) {
+	s.lists[k] = append(s.lists[k], li)
+}
+
+// list returns bucket k's list without removing it; entries may be stale.
+func (s *bucketStore) list(k int64) []uint32 { return s.lists[k] }
+
+// take removes and returns bucket k's list, unfiltered.
+func (s *bucketStore) take(k int64) []uint32 {
+	l := s.lists[k]
+	delete(s.lists, k)
+	return l
+}
+
+// nextNonEmpty returns the smallest bucket index > k that contains at
+// least one valid entry according to bucketOf, or infBucket if none.
+// Visited lists are compacted in place (stale entries dropped) and fully
+// stale lists are deleted, so the amortized cost over a run is linear in
+// the number of insertions.
+func (s *bucketStore) nextNonEmpty(k int64, bucketOf []int64) int64 {
+	for {
+		best := int64(infBucket)
+		for idx := range s.lists {
+			if idx > k && idx < best {
+				best = idx
+			}
+		}
+		if best == int64(infBucket) {
+			return best
+		}
+		l := s.lists[best]
+		valid := l[:0]
+		for _, li := range l {
+			if bucketOf[li] == best {
+				valid = append(valid, li)
+			}
+		}
+		if len(valid) > 0 {
+			s.lists[best] = valid
+			return best
+		}
+		delete(s.lists, best)
+	}
+}
+
+// countValid returns the number of valid entries in bucket k.
+func (s *bucketStore) countValid(k int64, bucketOf []int64) int64 {
+	var c int64
+	for _, li := range s.lists[k] {
+		if bucketOf[li] == k {
+			c++
+		}
+	}
+	return c
+}
+
+// drop discards bucket k entirely.
+func (s *bucketStore) drop(k int64) { delete(s.lists, k) }

@@ -1,0 +1,180 @@
+package sssp
+
+import (
+	"fmt"
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+)
+
+// Edge-case graphs that stress specific engine paths: degenerate sizes,
+// extreme weight regimes, and pathological degree distributions.
+
+func TestSingleVertexGraph(t *testing.T) {
+	g, err := graph.FromEdges(1, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, g, 1, 0, OptOptions(5))
+	if res.Dist[0] != 0 || res.Stats.Reached != 1 {
+		t.Errorf("single vertex: dist %d reached %d", res.Dist[0], res.Stats.Reached)
+	}
+	if res.Parent[0] != 0 {
+		t.Errorf("source parent %d, want self", res.Parent[0])
+	}
+}
+
+func TestMoreRanksThanVertices(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, g, 8, 0, OptOptions(5)) // 3 vertices, 8 ranks
+	want := []graph.Dist{0, 2, 5}
+	for v, d := range want {
+		if res.Dist[v] != d {
+			t.Errorf("dist[%d] = %d, want %d", v, res.Dist[v], d)
+		}
+	}
+}
+
+func TestAllZeroWeights(t *testing.T) {
+	// Zero-weight chains must settle within bucket 0's short phases.
+	edges := make([]graph.Edge, 0, 49)
+	for i := 0; i < 49; i++ {
+		edges = append(edges, graph.Edge{U: graph.Vertex(i), V: graph.Vertex(i + 1), W: 0})
+	}
+	g, err := graph.FromEdges(50, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkAgainstDijkstra(t, g, 0, 3, OptOptions(10))
+	if res.Stats.Epochs != 1 {
+		t.Errorf("zero-weight graph used %d epochs, want 1", res.Stats.Epochs)
+	}
+	for v := range res.Dist {
+		if res.Dist[v] != 0 {
+			t.Errorf("dist[%d] = %d, want 0", v, res.Dist[v])
+		}
+	}
+}
+
+func TestAllWeightsEqualDelta(t *testing.T) {
+	// Every weight equal to Δ: all edges are long, short phases are
+	// no-ops, everything flows through the long-edge machinery.
+	g, err := gen.Grid(12, 12, 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkAgainstDijkstra(t, g, 0, 3, PruneOptions(5))
+	if res.Stats.Relax.ShortPush != 0 {
+		t.Errorf("short relaxations %d on an all-long graph", res.Stats.Relax.ShortPush)
+	}
+}
+
+func TestAllWeightsBelowDelta(t *testing.T) {
+	// Δ above every weight: all edges short, one epoch, no long phases.
+	g, err := gen.Grid(12, 12, 1, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkAgainstDijkstra(t, g, 0, 3, PruneOptions(10000))
+	if res.Stats.Epochs != 1 {
+		t.Errorf("epochs = %d, want 1 with Δ above all weights", res.Stats.Epochs)
+	}
+	if res.Stats.Relax.LongPush != 0 || res.Stats.Relax.PullRequests != 0 {
+		t.Errorf("long-edge work on an all-short graph: %+v", res.Stats.Relax)
+	}
+}
+
+func TestHeavyHubWithLoadBalancing(t *testing.T) {
+	// A star inside a ring: one vertex of extreme degree exercises the
+	// edge-chunking path with a tiny chunk size.
+	n := 400
+	edges := make([]graph.Edge, 0, 2*n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.Vertex(i), W: graph.Weight(10 + i%50)})
+	}
+	for i := 1; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: graph.Vertex(i), V: graph.Vertex(i + 1), W: 3})
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := LBOptOptions(25)
+	opts.Threads = 4
+	opts.HeavyThreshold = 8
+	checkAgainstDijkstra(t, g, 0, 3, opts)
+}
+
+func TestParallelAndSelfLoopInput(t *testing.T) {
+	// The default builder collapses these; distances must match Dijkstra
+	// on the cleaned graph.
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 9}, {U: 0, V: 1, W: 4}, {U: 1, V: 0, W: 7},
+		{U: 1, V: 1, W: 1}, {U: 1, V: 2, W: 2},
+	}
+	g, err := graph.FromEdges(3, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkAgainstDijkstra(t, g, 0, 2, OptOptions(3))
+	if res.Dist[1] != 4 || res.Dist[2] != 6 {
+		t.Errorf("dist = %v, want [0 4 6]", res.Dist)
+	}
+}
+
+func TestLargeWeightsSmallDelta(t *testing.T) {
+	// Maximum weights with Δ=1: extreme bucket indices.
+	g, err := gen.Path([]graph.Weight{255, 255, 255})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstDijkstra(t, g, 0, 2, DelOptions(1))
+}
+
+func TestManySmallComponents(t *testing.T) {
+	// 20 disjoint triangles; only the source's is reached.
+	var edges []graph.Edge
+	for c := 0; c < 20; c++ {
+		base := graph.Vertex(3 * c)
+		edges = append(edges,
+			graph.Edge{U: base, V: base + 1, W: 1},
+			graph.Edge{U: base + 1, V: base + 2, W: 2},
+			graph.Edge{U: base + 2, V: base, W: 3},
+		)
+	}
+	g, err := graph.FromEdges(60, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkAgainstDijkstra(t, g, 0, 4, OptOptions(2))
+	if res.Stats.Reached != 3 {
+		t.Errorf("reached %d vertices, want 3", res.Stats.Reached)
+	}
+}
+
+func TestIsolatedSource(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 1, V: 2, W: 5}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, g, 2, 0, OptOptions(5))
+	if res.Stats.Reached != 1 || res.Dist[0] != 0 {
+		t.Errorf("isolated source: reached %d, dist0 %d", res.Stats.Reached, res.Dist[0])
+	}
+}
+
+func TestWideDeltaSweepOnGrid(t *testing.T) {
+	g, err := gen.Grid(15, 15, 1, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []graph.Weight{1, 2, 7, 31, 59, 60, 61, 500} {
+		t.Run(fmt.Sprintf("delta=%d", delta), func(t *testing.T) {
+			checkAgainstDijkstra(t, g, 0, 3, OptOptions(delta))
+		})
+	}
+}

@@ -1,0 +1,595 @@
+package sssp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+)
+
+// rmatTestGraph caches a small skewed graph shared by heuristic tests.
+var rmatTestGraph = func() *graph.Graph {
+	g, err := rmat.Generate(rmat.Family1(11, 123))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}()
+
+func testRoot(g *graph.Graph) graph.Vertex {
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(graph.Vertex(v)) > 8 {
+			return graph.Vertex(v)
+		}
+	}
+	return 0
+}
+
+func mustRun(t *testing.T, g *graph.Graph, ranks int, src graph.Vertex, opts Options) *Result {
+	t.Helper()
+	res, err := Run(g, ranks, src, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestDijkstraRelaxesEveryEdgeTwice(t *testing.T) {
+	g, err := gen.Grid(20, 20, 1, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relaxations != 2*g.NumEdges() {
+		t.Errorf("Dijkstra relaxations = %d, want %d", res.Relaxations, 2*g.NumEdges())
+	}
+	if res.Reached != int64(g.NumVertices()) {
+		t.Errorf("Reached = %d, want all %d", res.Reached, g.NumVertices())
+	}
+}
+
+func TestWorkPhaseTradeoffSequential(t *testing.T) {
+	// Paper §II-B: work(Dijkstra) ≤ work(Δ) ≤ work(BF) and
+	// phases(BF) ≤ phases(Δ) ≤ phases(Dijkstra), loosely verified.
+	g := rmatTestGraph
+	src := testRoot(g)
+	dij, err := Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BellmanFord(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := SeqDeltaStepping(g, src, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Relaxations < dij.Relaxations {
+		t.Errorf("BF relaxations %d < Dijkstra %d", bf.Relaxations, dij.Relaxations)
+	}
+	if mid.Phases > 4*bf.Phases && mid.Phases > dij.Phases {
+		t.Errorf("Δ-stepping phases %d exceed both endpoints (BF %d)", mid.Phases, bf.Phases)
+	}
+}
+
+func TestPruneReducesRelaxations(t *testing.T) {
+	// The pruning heuristic must cut relaxations substantially on a
+	// skewed graph (paper: ~5x on RMAT-1).
+	g := rmatTestGraph
+	src := testRoot(g)
+	del := mustRun(t, g, 4, src, DelOptions(25))
+	prune := mustRun(t, g, 4, src, PruneOptions(25))
+	if prune.Stats.Relax.Total() >= del.Stats.Relax.Total() {
+		t.Errorf("Prune relaxations %d not below Del %d",
+			prune.Stats.Relax.Total(), del.Stats.Relax.Total())
+	}
+}
+
+func TestHybridReducesEpochs(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	prune := mustRun(t, g, 4, src, PruneOptions(25))
+	opt := mustRun(t, g, 4, src, OptOptions(25))
+	if !opt.Stats.HybridSwitched {
+		t.Fatalf("hybrid never switched (settled fraction too low?)")
+	}
+	if opt.Stats.Epochs >= prune.Stats.Epochs {
+		t.Errorf("Opt epochs %d not below Prune %d", opt.Stats.Epochs, prune.Stats.Epochs)
+	}
+	if opt.Stats.BFPhases == 0 {
+		t.Error("hybrid switch recorded no Bellman-Ford rounds")
+	}
+}
+
+func TestIOSReducesShortRelaxations(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	with := PruneOptions(25)
+	without := PruneOptions(25)
+	without.IOS = false
+	a := mustRun(t, g, 4, src, with)
+	b := mustRun(t, g, 4, src, without)
+	// IOS moves outer-short relaxations out of the iterative phases; the
+	// combined short-edge work must not grow, and some edges must have
+	// been suppressed.
+	iosShort := a.Stats.Relax.ShortPush + a.Stats.Relax.OuterShortPush
+	if iosShort > b.Stats.Relax.ShortPush {
+		t.Errorf("IOS short work %d exceeds non-IOS %d", iosShort, b.Stats.Relax.ShortPush)
+	}
+	if a.Stats.Relax.Skipped == 0 {
+		t.Error("IOS suppressed no relaxations")
+	}
+}
+
+func TestCensusAccounting(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	opts := PruneOptions(25)
+	opts.Census = true
+	res := mustRun(t, g, 4, src, opts)
+	var categorized int64
+	for _, b := range res.Stats.Buckets {
+		categorized += b.SelfEdges + b.BackwardEdges + b.ForwardEdges
+	}
+	if categorized != res.Stats.Relax.LongPush {
+		t.Errorf("census categorized %d records, long pushes %d",
+			categorized, res.Stats.Relax.LongPush)
+	}
+	for _, mode := range res.Stats.Decisions {
+		if mode != ModePush {
+			t.Error("census mode made a pull decision")
+		}
+	}
+}
+
+func TestDecisionSequenceHonored(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	base := mustRun(t, g, 2, src, PruneOptions(25))
+	if len(base.Stats.Decisions) < 2 {
+		t.Skip("graph settles in fewer than 2 epochs")
+	}
+	seq := make([]Mode, len(base.Stats.Decisions))
+	for i := range seq {
+		seq[i] = ModePull
+	}
+	opts := PruneOptions(25)
+	opts.DecisionSequence = seq
+	res := mustRun(t, g, 2, src, opts)
+	for i, m := range res.Stats.Decisions {
+		if i < len(seq) && m != ModePull {
+			t.Errorf("epoch %d decision = %v, want forced pull", i, m)
+		}
+	}
+}
+
+func TestForceModeHonored(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	for _, want := range []Mode{ModePush, ModePull} {
+		mode := want
+		opts := PruneOptions(25)
+		opts.ForceMode = &mode
+		res := mustRun(t, g, 2, src, opts)
+		for i, m := range res.Stats.Decisions {
+			if m != want {
+				t.Errorf("epoch %d decision = %v, want %v", i, m, want)
+			}
+		}
+	}
+}
+
+func TestMaxEpochsAborts(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{100, 100, 100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DelOptions(1) // one bucket per distance: many epochs
+	opts.MaxEpochs = 2
+	if _, err := Run(g, 2, 0, opts); err == nil {
+		t.Error("MaxEpochs violation not reported")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{Delta: 0},
+		{Delta: 5, Threads: -1},
+		{Delta: 5, Tau: 1.5},
+		{Delta: 5, ImbalanceWeight: -0.1},
+		{Delta: 5, IOS: true}, // IOS without classification
+		{Delta: 5, Census: true, EdgeClassification: true},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: invalid options %+v accepted", i, o)
+		}
+	}
+	good := OptOptions(25)
+	if err := good.Validate(); err != nil {
+		t.Errorf("preset rejected: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, 1, 5, DelOptions(5)); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := Run(g, 1, 0, Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}
+
+func TestDeterministicStats(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	opts := OptOptions(25)
+	opts.Threads = 4
+	a := mustRun(t, g, 4, src, opts)
+	b := mustRun(t, g, 4, src, opts)
+	if !reflect.DeepEqual(a.Dist, b.Dist) {
+		t.Error("distances differ across identical runs")
+	}
+	if a.Stats.Relax != b.Stats.Relax {
+		t.Errorf("relax counters differ: %+v vs %+v", a.Stats.Relax, b.Stats.Relax)
+	}
+	if a.Stats.Phases != b.Stats.Phases || a.Stats.Epochs != b.Stats.Epochs {
+		t.Error("phase/epoch counts differ across identical runs")
+	}
+	if !reflect.DeepEqual(a.Stats.Decisions, b.Stats.Decisions) {
+		t.Error("decisions differ across identical runs")
+	}
+}
+
+func TestThreadCountInvariance(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	for _, preset := range []Options{DelOptions(25), PruneOptions(25), LBOptOptions(25)} {
+		one := preset
+		one.Threads = 1
+		many := preset
+		many.Threads = 8
+		a := mustRun(t, g, 3, src, one)
+		b := mustRun(t, g, 3, src, many)
+		if !reflect.DeepEqual(a.Dist, b.Dist) {
+			t.Error("distances depend on thread count")
+		}
+		if a.Stats.Relax != b.Stats.Relax {
+			t.Errorf("relax counters depend on thread count: %+v vs %+v",
+				a.Stats.Relax, b.Stats.Relax)
+		}
+	}
+}
+
+func TestRankCountInvariance(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	ref := mustRun(t, g, 1, src, PruneOptions(25))
+	for _, ranks := range []int{2, 5, 8} {
+		res := mustRun(t, g, ranks, src, PruneOptions(25))
+		if !reflect.DeepEqual(ref.Dist, res.Dist) {
+			t.Errorf("distances differ between 1 and %d ranks", ranks)
+		}
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	multi := mustRun(t, g, 4, src, OptOptions(25))
+	if multi.Stats.Traffic.MessagesSent == 0 || multi.Stats.Traffic.BytesSent == 0 {
+		t.Error("multi-rank run sent no traffic")
+	}
+	single := mustRun(t, g, 1, src, OptOptions(25))
+	if single.Stats.Traffic.MessagesSent != 0 {
+		t.Errorf("single-rank run counted %d remote messages",
+			single.Stats.Traffic.MessagesSent)
+	}
+}
+
+func TestPullEstimatorModes(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	want, err := Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range []PullEstimator{EstimatorExact, EstimatorExpectation, EstimatorHistogram} {
+		opts := PruneOptions(25)
+		opts.Estimator = est
+		res := mustRun(t, g, 4, src, opts)
+		for v := range want.Dist {
+			if res.Dist[v] != want.Dist[v] {
+				t.Fatalf("estimator %v broke correctness at %d", est, v)
+			}
+		}
+	}
+}
+
+func TestEstimatorString(t *testing.T) {
+	if EstimatorExact.String() != "exact" ||
+		EstimatorExpectation.String() != "expectation" ||
+		EstimatorHistogram.String() != "histogram" {
+		t.Error("estimator names wrong")
+	}
+}
+
+func TestHistogramApproximatesExact(t *testing.T) {
+	// The histogram count must be within one bin of the exact count for
+	// every unsettled vertex and bound.
+	g := rmatTestGraph
+	opts := PruneOptions(25)
+	opts.Estimator = EstimatorHistogram
+	maxW := g.MaxWeight()
+	eng, err := newRankEngine(g, onRankDist(g), 0, &opts, nullTransport{}, maxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := uint32(0); li < uint32(eng.nLocal); li += 17 {
+		v := eng.global(li)
+		deg := int64(g.Degree(v))
+		for _, bound := range []graph.Dist{0, 10, 26, 40, 100, 200, 255, 256, 1000} {
+			got := eng.histCount(li, bound)
+			hi := bound
+			if hi > graph.Dist(maxW)+1 {
+				hi = graph.Dist(maxW) + 1
+			}
+			var exact int64
+			if hi > graph.Dist(opts.Delta) {
+				exact = int64(g.CountWeightRange(v, opts.Delta, graph.Weight(hi)))
+			}
+			diff := got - exact
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > deg/int64(histBins)+2 {
+				t.Fatalf("vertex %d bound %d: histogram %d vs exact %d (deg %d)",
+					v, bound, got, exact, deg)
+			}
+		}
+	}
+}
+
+func TestRelaxCountsTotalAndAdd(t *testing.T) {
+	a := RelaxCounts{ShortPush: 1, OuterShortPush: 2, LongPush: 3,
+		PullRequests: 4, PullResponses: 5, BellmanFord: 6, Skipped: 100}
+	if a.Total() != 21 {
+		t.Errorf("Total = %d, want 21 (Skipped excluded)", a.Total())
+	}
+	b := a
+	b.Add(a)
+	if b.Total() != 42 || b.Skipped != 200 {
+		t.Errorf("Add result %+v", b)
+	}
+}
+
+func TestStatsTEPS(t *testing.T) {
+	s := Stats{}
+	if s.TEPS(100) != 0 {
+		t.Error("zero-duration TEPS not 0")
+	}
+	s.Total = 2e9 // 2 seconds
+	if got := s.TEPS(1000); got != 500 {
+		t.Errorf("TEPS = %v, want 500", got)
+	}
+	if got := s.GTEPS(2e9); got != 1 {
+		t.Errorf("GTEPS = %v, want 1", got)
+	}
+}
+
+func TestQuickOptMatchesDijkstra(t *testing.T) {
+	// Property: on arbitrary random graphs, sources, deltas and rank
+	// counts, the fully optimized algorithm matches Dijkstra.
+	f := func(seed int64, deltaRaw, ranksRaw, srcRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(150)
+		m := r.Intn(6 * n)
+		g, err := gen.Random(n, m, 255, uint64(seed))
+		if err != nil {
+			return false
+		}
+		delta := graph.Weight(1 + int(deltaRaw)%128)
+		ranks := 1 + int(ranksRaw)%6
+		src := graph.Vertex(int(srcRaw) % n)
+		res, err := Run(g, ranks, src, OptOptions(delta))
+		if err != nil {
+			return false
+		}
+		want, err := Dijkstra(g, src)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(res.Dist, want.Dist)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLBOptMatchesDijkstra(t *testing.T) {
+	f := func(seed int64, deltaRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(100)
+		g, err := gen.Random(n, 5*n, 255, uint64(seed)+7)
+		if err != nil {
+			return false
+		}
+		delta := graph.Weight(1 + int(deltaRaw)%64)
+		opts := LBOptOptions(delta)
+		opts.Threads = 3
+		opts.HeavyThreshold = 4 // force chunking
+		res, err := Run(g, 3, 0, opts)
+		if err != nil {
+			return false
+		}
+		want, err := Dijkstra(g, 0)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(res.Dist, want.Dist)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketStatsRecorded(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	res := mustRun(t, g, 2, src, DelOptions(25))
+	if len(res.Stats.Buckets) != int(res.Stats.Epochs) {
+		t.Fatalf("%d bucket records for %d epochs", len(res.Stats.Buckets), res.Stats.Epochs)
+	}
+	var total int64
+	prevIdx := int64(-1)
+	for _, b := range res.Stats.Buckets {
+		if b.Index <= prevIdx {
+			t.Errorf("bucket indices not increasing: %d after %d", b.Index, prevIdx)
+		}
+		prevIdx = b.Index
+		total += b.ShortRelax + b.LongRelax
+	}
+	if total != res.Stats.Relax.Total() {
+		t.Errorf("per-bucket relax sum %d != total %d", total, res.Stats.Relax.Total())
+	}
+	last := res.Stats.Buckets[len(res.Stats.Buckets)-1]
+	if last.Settled != res.Stats.Reached {
+		t.Errorf("final settled %d != reached %d", last.Settled, res.Stats.Reached)
+	}
+}
+
+// onRankDist returns a single-rank block distribution over g, for tests
+// that construct a rankEngine directly.
+func onRankDist(g *graph.Graph) partition.Dist {
+	return partition.MustNew(partition.Block, g.NumVertices(), 1)
+}
+
+// nullTransport is a trivial single-rank transport for direct engine
+// construction in tests.
+type nullTransport struct{}
+
+func (nullTransport) Rank() int                               { return 0 }
+func (nullTransport) Size() int                               { return 1 }
+func (nullTransport) Exchange(out [][]byte) ([][]byte, error) { return out, nil }
+func (nullTransport) AllreduceInt64(v []int64, op comm.ReduceOp) ([]int64, error) {
+	return v, nil
+}
+func (nullTransport) Barrier() error { return nil }
+func (nullTransport) Close() error   { return nil }
+
+func TestParallelApplyMatchesSerial(t *testing.T) {
+	defer func(old int) { parallelApplyThreshold = old }(parallelApplyThreshold)
+	parallelApplyThreshold = 1 // force the parallel path at test scale
+	g := rmatTestGraph
+	src := testRoot(g)
+	for _, preset := range []Options{DelOptions(25), PruneOptions(25), LBOptOptions(25)} {
+		serial := preset
+		serial.Threads = 4
+		par := serial
+		par.ParallelApply = true
+		a := mustRun(t, g, 3, src, serial)
+		b := mustRun(t, g, 3, src, par)
+		if !reflect.DeepEqual(a.Dist, b.Dist) {
+			t.Error("parallel apply changed distances")
+		}
+		if a.Stats.Relax != b.Stats.Relax {
+			t.Errorf("parallel apply changed relax counters: %+v vs %+v",
+				a.Stats.Relax, b.Stats.Relax)
+		}
+		if a.Stats.Phases != b.Stats.Phases || a.Stats.Epochs != b.Stats.Epochs {
+			t.Error("parallel apply changed control flow")
+		}
+	}
+}
+
+func TestParallelApplyAgainstDijkstra(t *testing.T) {
+	defer func(old int) { parallelApplyThreshold = old }(parallelApplyThreshold)
+	parallelApplyThreshold = 1
+	for seed := uint64(0); seed < 3; seed++ {
+		g, err := gen.Random(400, 4000, 255, seed+50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := LBOptOptions(25)
+		opts.Threads = 4
+		opts.ParallelApply = true
+		checkAgainstDijkstra(t, g, 0, 3, opts)
+	}
+}
+
+func TestParallelApplyTreeValid(t *testing.T) {
+	defer func(old int) { parallelApplyThreshold = old }(parallelApplyThreshold)
+	parallelApplyThreshold = 1
+	g := rmatTestGraph
+	src := testRoot(g)
+	opts := OptOptions(25)
+	opts.Threads = 4
+	opts.ParallelApply = true
+	res := mustRun(t, g, 4, src, opts)
+	// The parent tree must still reconstruct consistent paths.
+	for v := 0; v < g.NumVertices(); v += 53 {
+		if res.Dist[v] >= graph.Inf {
+			continue
+		}
+		path, err := PathTo(res.Parent, graph.Vertex(v))
+		if err != nil {
+			t.Fatalf("PathTo(%d): %v", v, err)
+		}
+		length, err := PathLength(g, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if length != res.Dist[v] {
+			t.Fatalf("vertex %d: path %d != dist %d", v, length, res.Dist[v])
+		}
+	}
+}
+
+func TestImbalanceReporting(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	res := mustRun(t, g, 4, src, OptOptions(25))
+	if len(res.Stats.RankRelax) != 4 {
+		t.Fatalf("RankRelax has %d entries for 4 ranks", len(res.Stats.RankRelax))
+	}
+	var sum int64
+	for _, r := range res.Stats.RankRelax {
+		sum += r
+	}
+	if sum != res.Stats.Relax.Total() {
+		t.Errorf("per-rank relax sum %d != total %d", sum, res.Stats.Relax.Total())
+	}
+	imb := res.Stats.Imbalance()
+	if imb < 1 || imb > 4 {
+		t.Errorf("imbalance %v outside [1, ranks]", imb)
+	}
+}
+
+func TestImbalanceDegenerate(t *testing.T) {
+	var s Stats
+	if s.Imbalance() != 1 {
+		t.Error("empty stats imbalance != 1")
+	}
+	s.RankRelax = []int64{0, 0}
+	if s.Imbalance() != 1 {
+		t.Error("zero-work imbalance != 1")
+	}
+	s.RankRelax = []int64{100, 0}
+	if s.Imbalance() != 2 {
+		t.Errorf("all-on-one imbalance = %v, want 2", s.Imbalance())
+	}
+}

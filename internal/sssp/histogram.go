@@ -1,0 +1,64 @@
+package sssp
+
+import "parsssp/internal/graph"
+
+// Per-vertex cumulative weight histograms: the paper's suggested
+// alternative to exact binary-search request counting for the push/pull
+// decision heuristic. Each local vertex stores cumulative long-edge
+// counts at histBins+1 evenly spaced weight boundaries over
+// [Δ, maxW+1]; a request-count query interpolates linearly between
+// boundaries in O(1), trading accuracy for speed and memory locality.
+
+// histBins is the number of histogram intervals per vertex.
+const histBins = 8
+
+// buildHistograms precomputes the cumulative histogram table. Called at
+// engine construction when Options.Estimator == EstimatorHistogram.
+func (r *rankEngine) buildHistograms() {
+	span := graph.Dist(r.maxW) + 1 - graph.Dist(r.opts.Delta)
+	if span < 1 {
+		span = 1
+	}
+	r.hist = make([]int32, r.nLocal*(histBins+1))
+	for li := 0; li < r.nLocal; li++ {
+		v := r.pd.Global(r.rank, li)
+		base := li * (histBins + 1)
+		for j := 1; j <= histBins; j++ {
+			b := graph.Dist(r.opts.Delta) + span*graph.Dist(j)/histBins
+			r.hist[base+j] = int32(r.g.CountWeightRange(v, r.opts.Delta, graph.Weight(b)))
+		}
+	}
+}
+
+// histCount approximates the number of edges of local vertex li with
+// weight in [Δ, bound) by linear interpolation of the cumulative
+// histogram.
+func (r *rankEngine) histCount(li uint32, bound graph.Dist) int64 {
+	delta := graph.Dist(r.opts.Delta)
+	if bound <= delta {
+		return 0
+	}
+	span := graph.Dist(r.maxW) + 1 - delta
+	if span < 1 {
+		span = 1
+	}
+	base := int(li) * (histBins + 1)
+	if bound >= delta+span {
+		return int64(r.hist[base+histBins])
+	}
+	// Fractional bin position of bound in [0, histBins).
+	offset := bound - delta
+	j := int(offset * histBins / span)
+	if j >= histBins {
+		j = histBins - 1
+	}
+	lo := graph.Dist(r.hist[base+j])
+	hi := graph.Dist(r.hist[base+j+1])
+	binLo := delta + span*graph.Dist(j)/histBins
+	binHi := delta + span*graph.Dist(j+1)/histBins
+	if binHi <= binLo {
+		return int64(lo)
+	}
+	frac := float64(bound-binLo) / float64(binHi-binLo)
+	return int64(lo) + int64(float64(hi-lo)*frac)
+}

@@ -1,0 +1,379 @@
+package sssp
+
+import (
+	"math"
+	"time"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/graph"
+)
+
+// This file implements the long-edge phase of an epoch: the push model,
+// the pull model (the paper's pruning heuristic), the per-bucket
+// push/pull decision heuristic, and the post-switch Bellman-Ford rounds
+// of the hybridization strategy.
+
+// longPhase relaxes the long edges (and, under IOS, the outer short
+// edges) of the settled bucket-k vertices.
+//
+// Stage order matters for the decision heuristic: the outer-short push
+// runs first because it assigns finite tentative distances to many
+// previously-unreached vertices, which shrinks their useful-request sets;
+// counting pull requests before it would overestimate the pull cost by
+// roughly 2× on benchmark graphs.
+func (r *rankEngine) longPhase(k int64, bs *BucketStats) error {
+	members := r.collectMembers(k)
+	r.stats.Phases++
+
+	// Outer short edges (IOS): always pushed, regardless of the long-edge
+	// mechanism; see DESIGN.md ("Pull phase and outer-short edges").
+	// Without IOS the short phases already relaxed every short edge, so
+	// there is nothing outer to do.
+	if r.opts.IOS {
+		start := time.Now()
+		before := r.relaxTotals()
+		if err := r.pushOuterShort(k, members); err != nil {
+			return err
+		}
+		r.logPhase(k, PhaseOuterShort, len(members), before, start)
+	}
+
+	mode := ModePush
+	if r.opts.Prune {
+		m, err := r.decideMode(k, members, bs)
+		if err != nil {
+			return err
+		}
+		mode = m
+	}
+	bs.Mode = mode
+	r.stats.Decisions = append(r.stats.Decisions, mode)
+
+	start := time.Now()
+	before := r.relaxTotals()
+	if mode == ModePush {
+		if err := r.pushScanLong(k, members, bs); err != nil {
+			return err
+		}
+		r.logPhase(k, PhaseLongPush, len(members), before, start)
+		return nil
+	}
+	if err := r.pullScan(k); err != nil {
+		return err
+	}
+	r.logPhase(k, PhaseLongPull, len(members), before, start)
+	return nil
+}
+
+// pushOuterShort pushes the outer-short edges of the bucket members in
+// one exchange.
+func (r *rankEngine) pushOuterShort(k int64, members []uint32) error {
+	bEnd := r.bucketEnd(k)
+	items := r.buildItems(members)
+	r.runWorkers(items, func(tid int, it workItem) {
+		v := r.global(it.li)
+		du := r.dist[it.li]
+		nbr, ws := r.g.Neighbors(v)
+		cnt := &r.tcnt[tid]
+		end := it.hi
+		if se := r.shortEnd[it.li]; end > se {
+			end = se // long edges are handled by the long-edge mechanism
+		}
+		for i := it.lo; i < end; i++ {
+			nd := du + graph.Dist(ws[i])
+			if nd <= bEnd {
+				continue // inner short: already relaxed in short phases
+			}
+			cnt.OuterShortPush++
+			dst := r.pd.Owner(nbr[i])
+			r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+		}
+	})
+	in, err := r.exchange()
+	if err != nil {
+		return err
+	}
+	r.applyRelaxIn(in, false, nil)
+	return nil
+}
+
+// pushScanLong pushes only the long edges, attributing the received
+// records to the self/backward/forward census when enabled.
+func (r *rankEngine) pushScanLong(k int64, members []uint32, bs *BucketStats) error {
+	items := r.buildItems(members)
+	r.runWorkers(items, func(tid int, it workItem) {
+		v := r.global(it.li)
+		du := r.dist[it.li]
+		nbr, ws := r.g.Neighbors(v)
+		cnt := &r.tcnt[tid]
+		se := r.shortEnd[it.li]
+		lo := it.lo
+		if lo < se {
+			lo = se
+		}
+		for i := lo; i < it.hi; i++ {
+			cnt.LongPush++
+			nd := du + graph.Dist(ws[i])
+			dst := r.pd.Owner(nbr[i])
+			r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+		}
+	})
+	in, err := r.exchange()
+	if err != nil {
+		return err
+	}
+	var census *BucketStats
+	if r.opts.Census {
+		census = bs
+	}
+	r.applyRelaxIn(in, false, census)
+	return nil
+}
+
+// pullScan runs the pull model: every local vertex in a later bucket
+// requests, over each long edge whose weight passes the usefulness test
+// w < d(v) − kΔ, the tentative distance of the far endpoint; owners of
+// current-bucket vertices respond with relaxations.
+func (r *rankEngine) pullScan(k int64) error {
+	// Requesters are all local unsettled vertices. Collect them (this is
+	// work the pull model pays for; charged to relaxation time).
+	start := time.Now()
+	requesters := make([]uint32, 0, r.nLocal/4)
+	for li := 0; li < r.nLocal; li++ {
+		if r.bucketOf[li] > k {
+			requesters = append(requesters, uint32(li))
+		}
+	}
+	r.charge(start, false)
+
+	kBase := k * r.dd
+	items := r.buildItems(requesters)
+	r.runWorkers(items, func(tid int, it workItem) {
+		v := r.global(it.li)
+		dv := r.dist[it.li]
+		bound := dv - kBase // request iff w < bound
+		nbr, ws := r.g.Neighbors(v)
+		cnt := &r.tcnt[tid]
+		se := r.shortEnd[it.li]
+		lo := it.lo
+		if lo < se {
+			lo = se
+		}
+		for i := lo; i < it.hi; i++ {
+			if graph.Dist(ws[i]) >= bound {
+				cnt.Skipped += int64(it.hi - i)
+				break // weight-sorted: the rest fail the test too
+			}
+			cnt.PullRequests++
+			dst := r.pd.Owner(nbr[i])
+			r.tbufs[tid][dst] = appendRequest(r.tbufs[tid][dst], nbr[i], v, ws[i])
+		}
+	})
+	reqIn, err := r.exchange()
+	if err != nil {
+		return err
+	}
+
+	// Respond: for each request (u, v, w) with u local and in the current
+	// bucket, send relax(v, d(u)+w) to v's owner. Serial walk, emitting
+	// through thread 0's buffers. The self-delivered buffer may alias the
+	// very buffers responses are appended to (local delivery is
+	// zero-copy), so it is copied to a scratch area first.
+	start = time.Now()
+	if self := reqIn[r.rank]; len(self) > 0 {
+		r.scratch = append(r.scratch[:0], self...)
+		reqIn[r.rank] = r.scratch
+	}
+	for dest := range r.tbufs[0] {
+		r.tbufs[0][dest] = r.tbufs[0][dest][:0]
+	}
+	cnt := &r.tcnt[0]
+	for _, buf := range reqIn {
+		n := numRequestRecords(buf)
+		for i := 0; i < n; i++ {
+			u, v, w := decodeRequest(buf, i)
+			li := r.local(u)
+			if r.bucketOf[li] != k {
+				continue
+			}
+			cnt.PullResponses++
+			nd := r.dist[li] + graph.Dist(w)
+			dst := r.pd.Owner(v)
+			r.tbufs[0][dst] = appendRelax(r.tbufs[0][dst], v, u, nd)
+		}
+	}
+	for dest := range r.out {
+		r.out[dest] = r.tbufs[0][dest]
+	}
+	r.charge(start, false)
+
+	respIn, err := r.exchange()
+	if err != nil {
+		return err
+	}
+	r.applyRelaxIn(respIn, false, nil)
+	return nil
+}
+
+// decideMode evaluates the push/pull decision heuristic for bucket k.
+//
+// Push cost is the number of long edges incident on the current bucket
+// (each becomes one relaxation message). Pull cost is twice the request
+// count (each useful request triggers at most one response; the paper
+// uses the request count as the response upper bound). Following the
+// paper's fine-tuned heuristic, each cost blends the machine-wide volume
+// with the worst-rank load: cost = (1−λ)·volume + λ·P·maxPerRank.
+func (r *rankEngine) decideMode(k int64, members []uint32, bs *BucketStats) (Mode, error) {
+	start := time.Now()
+	var pushLocal int64
+	for _, li := range members {
+		deg := int64(r.g.Degree(r.global(li)))
+		pushLocal += deg - int64(r.shortEnd[li])
+	}
+	var pullLocal int64
+	kBase := k * r.dd
+	for li := 0; li < r.nLocal; li++ {
+		if r.bucketOf[li] <= k {
+			continue
+		}
+		pullLocal += r.requestCount(uint32(li), kBase)
+	}
+	r.charge(start, false)
+
+	sums, err := r.allreduce([]int64{pushLocal, pullLocal}, comm.Sum, false)
+	if err != nil {
+		return ModePush, err
+	}
+	maxes, err := r.allreduce([]int64{pushLocal, pullLocal}, comm.Max, false)
+	if err != nil {
+		return ModePush, err
+	}
+	lambda := r.opts.ImbalanceWeight
+	p := float64(r.size)
+	costPush := (1-lambda)*float64(sums[0]) + lambda*p*float64(maxes[0])
+	// Responses are bounded by both the request count and the number of
+	// long edges incident on the current bucket (only those can answer),
+	// so min(requests, pushVolume) tightens the paper's requests-only
+	// bound.
+	responses := sums[1]
+	if sums[0] < responses {
+		responses = sums[0]
+	}
+	costPull := (1-lambda)*float64(sums[1]+responses) + lambda*p*2*float64(maxes[1])
+	bs.PushCost = int64(costPush)
+	bs.PullCost = int64(costPull)
+	bs.Requests = sums[1]
+
+	mode := ModePush
+	if costPull < costPush {
+		mode = ModePull
+	}
+	// Overrides, strongest first: census forces push (categories are
+	// observed at the receiver of push records), then the §IV.G
+	// evaluation hooks.
+	switch {
+	case r.opts.Census:
+		mode = ModePush
+	case r.opts.ForceMode != nil:
+		mode = *r.opts.ForceMode
+	case r.epochSeq < len(r.opts.DecisionSequence):
+		mode = r.opts.DecisionSequence[r.epochSeq]
+	}
+	return mode, nil
+}
+
+// requestCount returns the number of pull requests vertex li would send
+// for the bucket with base distance kBase: long edges with weight
+// w < d(v) − kΔ. Exact by default (binary search over the weight-sorted
+// adjacency); Options.Estimator selects the paper's expectation formula
+// or the histogram approximation instead.
+func (r *rankEngine) requestCount(li uint32, kBase graph.Dist) int64 {
+	v := r.global(li)
+	deg := int64(r.g.Degree(v))
+	longDeg := deg - int64(r.shortEnd[li])
+	if longDeg <= 0 {
+		return 0
+	}
+	dv := r.dist[li]
+	if dv >= graph.Inf {
+		return longDeg
+	}
+	bound := dv - kBase
+	switch r.opts.Estimator {
+	case EstimatorExpectation:
+		// deg_long(v) × (d(v) − (k+1)Δ) / d(v), clamped to [0, longDeg].
+		num := float64(dv - (kBase + r.dd))
+		if num <= 0 {
+			return 0
+		}
+		est := float64(longDeg) * num / float64(dv)
+		if est > float64(longDeg) {
+			est = float64(longDeg)
+		}
+		return int64(est)
+	case EstimatorHistogram:
+		return r.histCount(li, bound)
+	}
+	if bound <= graph.Dist(r.opts.Delta) {
+		return 0
+	}
+	hi := bound
+	if hi > graph.Dist(r.maxW)+1 {
+		hi = graph.Dist(r.maxW) + 1
+	}
+	if hi > math.MaxUint32 {
+		hi = math.MaxUint32
+	}
+	return int64(r.g.CountWeightRange(v, r.opts.Delta, graph.Weight(hi)))
+}
+
+// runBellmanFord executes the post-switch Bellman-Ford stage: all
+// remaining buckets are merged and processed with full-adjacency
+// relaxation rounds until no distance changes anywhere.
+func (r *rankEngine) runBellmanFord(k int64) error {
+	r.hybridMode = true
+	start := time.Now()
+	frontier := make([]uint32, 0, r.nLocal/4)
+	for li := 0; li < r.nLocal; li++ {
+		if r.bucketOf[li] > k && r.dist[li] < graph.Inf {
+			frontier = append(frontier, uint32(li))
+		}
+	}
+	r.active = frontier
+	r.charge(start, true)
+
+	for {
+		av, err := r.allreduce([]int64{int64(len(r.active))}, comm.Sum, true)
+		if err != nil {
+			return err
+		}
+		if av[0] == 0 {
+			return nil
+		}
+		r.stats.Phases++
+		r.stats.BFPhases++
+		bfStart := time.Now()
+		bfBefore := r.relaxTotals()
+		nActive := len(r.active)
+		items := r.buildItems(r.active)
+		r.runWorkers(items, func(tid int, it workItem) {
+			v := r.global(it.li)
+			du := r.dist[it.li]
+			nbr, ws := r.g.Neighbors(v)
+			cnt := &r.tcnt[tid]
+			for i := it.lo; i < it.hi; i++ {
+				cnt.BellmanFord++
+				nd := du + graph.Dist(ws[i])
+				dst := r.pd.Owner(nbr[i])
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+			}
+		})
+		in, err := r.exchange()
+		if err != nil {
+			return err
+		}
+		r.applyRelaxIn(in, false, nil)
+		r.logPhase(-1, PhaseBellmanFord, nActive, bfBefore, bfStart)
+		r.active, r.nextActive = r.nextActive, r.active[:0]
+	}
+}

@@ -1,0 +1,119 @@
+package sssp
+
+import (
+	"fmt"
+	"sync"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/comm/memtransport"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+)
+
+// Machine is a reusable in-process SSSP machine: the transports and all
+// per-rank engine state (distance arrays, buckets, message buffers,
+// histograms) are allocated once and reused across queries. This is the
+// deployment pattern of a long-lived service answering repeated SSSP
+// queries over one graph — the Graph500 benchmark loop, the analytics
+// package's multi-query measures, and the Δ auto-tuner all fit it.
+//
+// A Machine is bound to one graph, distribution and option set. Query is
+// not safe for concurrent use (queries share the engine state); issue
+// them sequentially or build one Machine per concurrent stream.
+type Machine struct {
+	g       *graph.Graph
+	pd      partition.Dist
+	opts    Options
+	engines []*rankEngine
+}
+
+// NewMachine builds a machine with numRanks in-process ranks (block
+// distribution) ready to answer queries with the given options.
+func NewMachine(g *graph.Graph, numRanks int, opts Options) (*Machine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	pd, err := partition.New(partition.Block, g.NumVertices(), numRanks)
+	if err != nil {
+		return nil, err
+	}
+	group, err := memtransport.New(numRanks)
+	if err != nil {
+		return nil, err
+	}
+	maxW := g.MaxWeight()
+	m := &Machine{g: g, pd: pd, opts: opts}
+	for r := 0; r < numRanks; r++ {
+		eng, err := newRankEngine(g, pd, 0, &m.opts, group.Rank(r), maxW)
+		if err != nil {
+			return nil, err
+		}
+		m.engines = append(m.engines, eng)
+	}
+	return m, nil
+}
+
+// Query runs one SSSP query from src, reusing all machine state.
+func (m *Machine) Query(src graph.Vertex) (*Result, error) {
+	if int(src) >= m.g.NumVertices() {
+		return nil, fmt.Errorf("sssp: source %d out of range", src)
+	}
+	errs := make([]error, len(m.engines))
+	var wg sync.WaitGroup
+	for i, eng := range m.engines {
+		wg.Add(1)
+		go func(i int, eng *rankEngine) {
+			defer wg.Done()
+			eng.reset(src)
+			errs[i] = eng.run()
+		}(i, eng)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	ranks := make([]*RankResult, len(m.engines))
+	for i, eng := range m.engines {
+		ranks[i] = &RankResult{
+			Rank:        eng.rank,
+			LocalDist:   eng.dist,
+			LocalParent: eng.parent,
+			Stats:       eng.stats,
+		}
+	}
+	// assemble copies local arrays into fresh global slices, so the
+	// Result outlives the next reset.
+	return assemble(m.g, m.pd, ranks)
+}
+
+// NumRanks returns the machine size.
+func (m *Machine) NumRanks() int { return len(m.engines) }
+
+// reset returns a rank engine to its initial state for a new query,
+// preserving allocations (buffers, histograms, shortEnd).
+func (r *rankEngine) reset(src graph.Vertex) {
+	r.src = src
+	for i := range r.dist {
+		r.dist[i] = graph.Inf
+		r.parent[i] = NoParent
+		r.bucketOf[i] = infBucket
+		r.mark[i] = -1
+	}
+	r.store = newBucketStore()
+	r.curK = 0
+	r.hybridMode = false
+	r.active = r.active[:0]
+	r.nextActive = r.nextActive[:0]
+	r.stamp = 0
+	r.settledTotal = 0
+	r.epochSeq = 0
+	r.stats = Stats{}
+	r.bktTime = 0
+	r.otherTime = 0
+	for i := range r.tcnt {
+		r.tcnt[i] = RelaxCounts{}
+	}
+	r.t.Stats = comm.TrafficStats{}
+}

@@ -1,0 +1,94 @@
+package sssp
+
+import (
+	"reflect"
+	"testing"
+
+	"parsssp/internal/graph"
+)
+
+func TestMachineRepeatedQueries(t *testing.T) {
+	g := rmatTestGraph
+	m, err := NewMachine(g, 3, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := PickRoots(g, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range roots {
+		got, err := m.Query(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := mustRun(t, g, 3, root, OptOptions(25))
+		if !reflect.DeepEqual(got.Dist, fresh.Dist) {
+			t.Fatalf("machine query from %d differs from fresh run", root)
+		}
+		if got.Stats.Relax != fresh.Stats.Relax {
+			t.Fatalf("machine stats differ from fresh run: %+v vs %+v",
+				got.Stats.Relax, fresh.Stats.Relax)
+		}
+	}
+}
+
+func TestMachineResultsSurviveReset(t *testing.T) {
+	g := rmatTestGraph
+	m, err := NewMachine(g, 2, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := PickRoots(g, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Query(roots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]graph.Dist(nil), first.Dist...)
+	if _, err := m.Query(roots[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Dist, snapshot) {
+		t.Error("first query's result mutated by the second query")
+	}
+}
+
+func TestMachineSameRootIdempotent(t *testing.T) {
+	g := rmatTestGraph
+	m, err := NewMachine(g, 2, LBOptOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testRoot(g)
+	a, err := m.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Dist, b.Dist) || a.Stats.Relax != b.Stats.Relax {
+		t.Error("repeated identical queries diverge")
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	g := rmatTestGraph
+	if _, err := NewMachine(g, 2, Options{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+	m, err := NewMachine(g, 2, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(graph.Vertex(g.NumVertices())); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if m.NumRanks() != 2 {
+		t.Errorf("NumRanks = %d", m.NumRanks())
+	}
+}

@@ -1,0 +1,65 @@
+package sssp
+
+import (
+	"encoding/binary"
+
+	"parsssp/internal/graph"
+)
+
+// Wire records. Record kind is implied by the superstep (relax supersteps
+// carry only relax records, request supersteps only requests).
+//
+//	relax:   v uint32, parent uint32, dist int64 — "set d(v) =
+//	         min(d(v), dist), recording parent as the tree predecessor
+//	         if the relaxation wins"
+//	request: u uint32, v uint32, w uint32 — "if u is in the current
+//	         bucket, send relax(v, d(u)+w, parent=u) to v's owner"
+//
+// Parents make the result a full Graph500-style SSSP tree at the cost of
+// 4 bytes per relaxation message.
+const (
+	relaxRecordSize   = 16
+	requestRecordSize = 12
+)
+
+// appendRelax appends a relax record to buf.
+func appendRelax(buf []byte, v, parent graph.Vertex, d graph.Dist) []byte {
+	var rec [relaxRecordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], v)
+	binary.LittleEndian.PutUint32(rec[4:8], parent)
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(d))
+	return append(buf, rec[:]...)
+}
+
+// decodeRelax reads the i-th relax record of buf.
+func decodeRelax(buf []byte, i int) (v, parent graph.Vertex, d graph.Dist) {
+	off := i * relaxRecordSize
+	v = binary.LittleEndian.Uint32(buf[off : off+4])
+	parent = binary.LittleEndian.Uint32(buf[off+4 : off+8])
+	d = graph.Dist(binary.LittleEndian.Uint64(buf[off+8 : off+16]))
+	return v, parent, d
+}
+
+// numRelaxRecords returns the relax record count of a buffer.
+func numRelaxRecords(buf []byte) int { return len(buf) / relaxRecordSize }
+
+// appendRequest appends a pull-request record to buf.
+func appendRequest(buf []byte, u, v graph.Vertex, w graph.Weight) []byte {
+	var rec [requestRecordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], u)
+	binary.LittleEndian.PutUint32(rec[4:8], v)
+	binary.LittleEndian.PutUint32(rec[8:12], w)
+	return append(buf, rec[:]...)
+}
+
+// decodeRequest reads the i-th request record of buf.
+func decodeRequest(buf []byte, i int) (u, v graph.Vertex, w graph.Weight) {
+	off := i * requestRecordSize
+	u = binary.LittleEndian.Uint32(buf[off : off+4])
+	v = binary.LittleEndian.Uint32(buf[off+4 : off+8])
+	w = binary.LittleEndian.Uint32(buf[off+8 : off+12])
+	return u, v, w
+}
+
+// numRequestRecords returns the request record count of a buffer.
+func numRequestRecords(buf []byte) int { return len(buf) / requestRecordSize }

@@ -1,0 +1,57 @@
+package sssp
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+)
+
+// RunMultiSource computes, for every vertex, the shortest distance to
+// the *nearest* of several sources (and the tree toward it) — the
+// multi-source generalization used by facility-location style analyses.
+//
+// It reduces to a single SSSP query via the same construction the paper
+// uses for vertex splitting: a virtual super-source connected to every
+// real source by a zero-weight edge. The virtual vertex is stripped from
+// the returned result; parents of the sources point to themselves.
+func RunMultiSource(g *graph.Graph, numRanks int, sources []graph.Vertex, opts Options) (*Result, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("sssp: RunMultiSource needs at least one source")
+	}
+	n := g.NumVertices()
+	seen := make(map[graph.Vertex]bool, len(sources))
+	for _, s := range sources {
+		if int(s) >= n {
+			return nil, fmt.Errorf("sssp: source %d out of range", s)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("sssp: duplicate source %d", s)
+		}
+		seen[s] = true
+	}
+	if len(sources) == 1 {
+		return Run(g, numRanks, sources[0], opts)
+	}
+	// Augment with the super-source as vertex n.
+	edges := g.Edges()
+	for _, s := range sources {
+		edges = append(edges, graph.Edge{U: graph.Vertex(n), V: s, W: 0})
+	}
+	ag, err := graph.FromEdges(n+1, edges, graph.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(ag, numRanks, graph.Vertex(n), opts)
+	if err != nil {
+		return nil, err
+	}
+	// Strip the virtual vertex and repair the sources' parents (they
+	// point at the super-source in the augmented tree).
+	res.Dist = res.Dist[:n]
+	res.Parent = res.Parent[:n]
+	for _, s := range sources {
+		res.Parent[s] = s
+	}
+	res.Stats.Reached-- // exclude the virtual vertex
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package sssp
+
+import (
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+)
+
+func TestRunMultiSourceMinOverSources(t *testing.T) {
+	g := rmatTestGraph
+	sources := []graph.Vertex{testRoot(g), testRoot(g) + 7}
+	res, err := RunMultiSource(g, 3, sources, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: elementwise min of the single-source answers.
+	want := make([]graph.Dist, g.NumVertices())
+	for i := range want {
+		want[i] = graph.Inf
+	}
+	for _, s := range sources {
+		ref, err := Dijkstra(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, d := range ref.Dist {
+			if d < want[v] {
+				want[v] = d
+			}
+		}
+	}
+	for v := range want {
+		if res.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Dist[v], want[v])
+		}
+	}
+	for _, s := range sources {
+		if res.Dist[s] != 0 || res.Parent[s] != s {
+			t.Errorf("source %d: dist %d parent %d", s, res.Dist[s], res.Parent[s])
+		}
+	}
+	if len(res.Dist) != g.NumVertices() {
+		t.Errorf("virtual vertex leaked: %d distances", len(res.Dist))
+	}
+}
+
+func TestRunMultiSourceSingle(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMultiSource(g, 2, []graph.Vertex{0}, OptOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[2] != 7 {
+		t.Errorf("dist[2] = %d, want 7", res.Dist[2])
+	}
+}
+
+func TestRunMultiSourcePathTracing(t *testing.T) {
+	g, err := gen.Grid(10, 10, 1, 9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []graph.Vertex{0, 99}
+	res, err := RunMultiSource(g, 2, sources, OptOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex's path must terminate at one of the sources with the
+	// right length.
+	for v := 0; v < g.NumVertices(); v += 7 {
+		path, err := PathTo(res.Parent, graph.Vertex(v))
+		if err != nil {
+			t.Fatalf("PathTo(%d): %v", v, err)
+		}
+		if len(path) == 0 {
+			t.Fatalf("vertex %d unreachable in a connected grid", v)
+		}
+		if path[0] != 0 && path[0] != 99 {
+			t.Fatalf("path of %d starts at %d, not a source", v, path[0])
+		}
+		length, err := PathLength(g, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if length != res.Dist[v] {
+			t.Fatalf("vertex %d: path %d != dist %d", v, length, res.Dist[v])
+		}
+	}
+}
+
+func TestRunMultiSourceValidation(t *testing.T) {
+	g, _ := gen.Path([]graph.Weight{1})
+	if _, err := RunMultiSource(g, 1, nil, OptOptions(5)); err == nil {
+		t.Error("empty sources accepted")
+	}
+	if _, err := RunMultiSource(g, 1, []graph.Vertex{0, 0}, OptOptions(5)); err == nil {
+		t.Error("duplicate sources accepted")
+	}
+	if _, err := RunMultiSource(g, 1, []graph.Vertex{9}, OptOptions(5)); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

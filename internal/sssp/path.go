@@ -1,0 +1,74 @@
+package sssp
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+)
+
+// PathTo reconstructs the shortest path from the source to v by walking
+// the parent pointers of a completed run. The returned slice starts at
+// the source and ends at v. It returns nil (and no error) when v is
+// unreachable, and an error when the parent structure is corrupt (a
+// cycle or an out-of-range pointer).
+func PathTo(parent []graph.Vertex, v graph.Vertex) ([]graph.Vertex, error) {
+	n := len(parent)
+	if int(v) >= n {
+		return nil, fmt.Errorf("sssp: vertex %d out of range for %d parents", v, n)
+	}
+	if parent[v] == NoParent {
+		return nil, nil
+	}
+	var rev []graph.Vertex
+	cur := v
+	for steps := 0; ; steps++ {
+		if steps > n {
+			return nil, fmt.Errorf("sssp: parent cycle while tracing path to %d", v)
+		}
+		rev = append(rev, cur)
+		p := parent[cur]
+		if p == NoParent || int(p) >= n {
+			return nil, fmt.Errorf("sssp: broken parent chain at vertex %d", cur)
+		}
+		if p == cur {
+			break // reached the source (its own parent)
+		}
+		cur = p
+	}
+	// Reverse into source-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// PathLength sums the weights along a path in g, verifying that each hop
+// is a real edge. It is the cross-check companion of PathTo: for a
+// correct run, PathLength(g, PathTo(parent, v)) == dist[v].
+func PathLength(g *graph.Graph, path []graph.Vertex) (graph.Dist, error) {
+	if len(path) == 0 {
+		return 0, nil
+	}
+	var total graph.Dist
+	for i := 1; i < len(path); i++ {
+		u, v := path[i-1], path[i]
+		w, ok := edgeWeight(g, u, v)
+		if !ok {
+			return 0, fmt.Errorf("sssp: path step (%d,%d) is not an edge", u, v)
+		}
+		total += graph.Dist(w)
+	}
+	return total, nil
+}
+
+// edgeWeight returns the minimum weight of an edge (u,v), if present.
+// The adjacency is weight-sorted, so the first match is the minimum.
+func edgeWeight(g *graph.Graph, u, v graph.Vertex) (graph.Weight, bool) {
+	nbr, ws := g.Neighbors(u)
+	for i, x := range nbr {
+		if x == v {
+			return ws[i], true
+		}
+	}
+	return 0, false
+}

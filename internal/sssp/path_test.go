@@ -1,0 +1,114 @@
+package sssp
+
+import (
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+)
+
+func TestPathToOnPathGraph(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{3, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, g, 2, 0, OptOptions(5))
+	path, err := PathTo(res.Parent, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Vertex{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	length, err := PathLength(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != res.Dist[3] {
+		t.Errorf("path length %d != dist %d", length, res.Dist[3])
+	}
+}
+
+func TestPathToSource(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, g, 1, 0, DelOptions(2))
+	path, err := PathTo(res.Parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != 0 {
+		t.Errorf("path to source = %v, want [0]", path)
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 2}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, g, 2, 0, OptOptions(5))
+	path, err := PathTo(res.Parent, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil {
+		t.Errorf("unreachable vertex produced path %v", path)
+	}
+}
+
+func TestPathToCorruptParents(t *testing.T) {
+	// Cycle: 1 -> 2 -> 1.
+	parents := []graph.Vertex{0, 2, 1}
+	if _, err := PathTo(parents, 1); err == nil {
+		t.Error("parent cycle not detected")
+	}
+	if _, err := PathTo([]graph.Vertex{0}, 5); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestPathLengthMatchesDistEverywhere(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	res := mustRun(t, g, 3, src, LBOptOptions(25))
+	checked := 0
+	for v := 0; v < g.NumVertices(); v += 37 {
+		if res.Dist[v] >= graph.Inf {
+			continue
+		}
+		path, err := PathTo(res.Parent, graph.Vertex(v))
+		if err != nil {
+			t.Fatalf("PathTo(%d): %v", v, err)
+		}
+		length, err := PathLength(g, path)
+		if err != nil {
+			t.Fatalf("PathLength(%d): %v", v, err)
+		}
+		if length != res.Dist[v] {
+			t.Fatalf("vertex %d: path length %d != dist %d", v, length, res.Dist[v])
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no reachable vertices sampled")
+	}
+}
+
+func TestPathLengthRejectsFakePath(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PathLength(g, []graph.Vertex{0, 2}); err == nil {
+		t.Error("non-edge hop accepted")
+	}
+}

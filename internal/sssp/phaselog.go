@@ -1,0 +1,96 @@
+package sssp
+
+import (
+	"fmt"
+	"time"
+)
+
+// PhaseKind labels one bulk-synchronous phase in the execution timeline.
+type PhaseKind int
+
+const (
+	// PhaseShort is a short-edge relaxation phase.
+	PhaseShort PhaseKind = iota
+	// PhaseOuterShort is the IOS outer-short push at the start of a
+	// long-edge phase.
+	PhaseOuterShort
+	// PhaseLongPush is a push-mode long-edge phase.
+	PhaseLongPush
+	// PhaseLongPull is a pull-mode long-edge phase (requests+responses).
+	PhaseLongPull
+	// PhaseBellmanFord is a post-hybrid-switch relaxation round.
+	PhaseBellmanFord
+)
+
+// String returns the phase kind name.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseShort:
+		return "short"
+	case PhaseOuterShort:
+		return "outer-short"
+	case PhaseLongPush:
+		return "long-push"
+	case PhaseLongPull:
+		return "long-pull"
+	case PhaseBellmanFord:
+		return "bellman-ford"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// PhaseRecord is one timeline entry. In a merged Stats, Active and Relax
+// are summed over ranks (globals) and Duration is the per-rank maximum.
+type PhaseRecord struct {
+	// Bucket is the epoch's bucket index, or -1 for Bellman-Ford rounds.
+	Bucket int64
+	// Kind is the phase type.
+	Kind PhaseKind
+	// Active is the number of vertices scanned in this phase.
+	Active int64
+	// Relax is the number of relax operations (incl. requests/responses)
+	// the phase performed.
+	Relax int64
+	// Duration is the wall-clock of the phase.
+	Duration time.Duration
+}
+
+// logPhase appends a timeline record when Options.RecordPhases is set.
+func (r *rankEngine) logPhase(bucket int64, kind PhaseKind, active int,
+	before RelaxCounts, start time.Time) {
+	if !r.opts.RecordPhases {
+		return
+	}
+	after := r.relaxTotals()
+	r.stats.PhaseLog = append(r.stats.PhaseLog, PhaseRecord{
+		Bucket:   bucket,
+		Kind:     kind,
+		Active:   int64(active),
+		Relax:    after.Total() - before.Total(),
+		Duration: time.Since(start),
+	})
+}
+
+// mergePhaseLogs combines per-rank timelines (which align exactly,
+// because phases are lockstep collectives).
+func mergePhaseLogs(out *Stats, ranks []*RankResult) {
+	if len(ranks) == 0 || len(ranks[0].Stats.PhaseLog) == 0 {
+		return
+	}
+	out.PhaseLog = make([]PhaseRecord, len(ranks[0].Stats.PhaseLog))
+	copy(out.PhaseLog, ranks[0].Stats.PhaseLog)
+	for _, rr := range ranks[1:] {
+		log := rr.Stats.PhaseLog
+		for i := range out.PhaseLog {
+			if i >= len(log) {
+				break
+			}
+			out.PhaseLog[i].Active += log[i].Active
+			out.PhaseLog[i].Relax += log[i].Relax
+			if log[i].Duration > out.PhaseLog[i].Duration {
+				out.PhaseLog[i].Duration = log[i].Duration
+			}
+		}
+	}
+}

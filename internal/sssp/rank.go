@@ -1,0 +1,527 @@
+package sssp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+)
+
+// rankEngine is the per-rank state of a distributed run. One rankEngine
+// executes on each rank (a goroutine over memtransport, or a process over
+// tcptransport); they advance in lockstep through the bulk-synchronous
+// collectives of their transports.
+type rankEngine struct {
+	g    *graph.Graph
+	pd   partition.Dist
+	opts *Options
+	t    *comm.Counting
+	rank int
+	size int
+	src  graph.Vertex
+
+	nLocal int
+	dd     graph.Dist // bucket width Δ
+	maxW   graph.Weight
+
+	dist     []graph.Dist   // tentative distances of local vertices
+	parent   []graph.Vertex // tree predecessor of local vertices (NoParent = none)
+	bucketOf []int64        // current bucket of local vertices (infBucket = unreached)
+	shortEnd []int32        // per local vertex: first long-edge index in its adjacency
+	store    bucketStore
+
+	curK       int64
+	hybridMode bool
+
+	active     []uint32 // local indices active this phase
+	nextActive []uint32
+	mark       []int64 // stamp array deduplicating nextActive
+	stamp      int64
+
+	// Per-thread outgoing buffers and counters; index [thread][dest].
+	tbufs      [][][]byte
+	tcnt       []RelaxCounts
+	out        [][]byte // merged per-dest buffers handed to Exchange
+	items      []workItem
+	scratch    []byte         // copy of self-delivered buffers when re-emitting (pull responses)
+	hist       []int32        // per-vertex cumulative weight histograms (EstimatorHistogram)
+	applyStage []applyStaging // per-thread staging for the parallel apply path
+
+	settledTotal int64
+	epochSeq     int // epoch ordinal (for DecisionSequence)
+
+	stats     Stats
+	bktTime   time.Duration
+	otherTime time.Duration
+}
+
+type workItem struct {
+	li     uint32
+	lo, hi int32
+}
+
+// newRankEngine prepares rank-local state.
+func newRankEngine(g *graph.Graph, pd partition.Dist, src graph.Vertex,
+	opts *Options, t comm.Transport, maxW graph.Weight) (*rankEngine, error) {
+	if pd.NumVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("sssp: distribution covers %d vertices, graph has %d",
+			pd.NumVertices(), g.NumVertices())
+	}
+	if pd.NumRanks() != t.Size() {
+		return nil, fmt.Errorf("sssp: distribution has %d ranks, transport %d",
+			pd.NumRanks(), t.Size())
+	}
+	if int(src) >= g.NumVertices() {
+		return nil, fmt.Errorf("sssp: source %d out of range", src)
+	}
+	r := &rankEngine{
+		g:    g,
+		pd:   pd,
+		opts: opts,
+		t:    comm.NewCounting(t),
+		rank: t.Rank(),
+		size: t.Size(),
+		src:  src,
+		dd:   graph.Dist(opts.Delta),
+		maxW: maxW,
+	}
+	r.nLocal = pd.Count(r.rank)
+	r.dist = newDistArray(r.nLocal)
+	r.parent = newParentArray(r.nLocal)
+	r.bucketOf = make([]int64, r.nLocal)
+	for i := range r.bucketOf {
+		r.bucketOf[i] = infBucket
+	}
+	r.mark = make([]int64, r.nLocal)
+	for i := range r.mark {
+		r.mark[i] = -1
+	}
+	r.store = newBucketStore()
+	r.shortEnd = make([]int32, r.nLocal)
+	for li := 0; li < r.nLocal; li++ {
+		v := pd.Global(r.rank, li)
+		if opts.EdgeClassification {
+			r.shortEnd[li] = int32(g.ShortEdgeEnd(v, opts.Delta))
+		} else {
+			r.shortEnd[li] = int32(g.Degree(v))
+		}
+	}
+	T := opts.threads()
+	r.tbufs = make([][][]byte, T)
+	for i := range r.tbufs {
+		r.tbufs[i] = make([][]byte, r.size)
+	}
+	r.tcnt = make([]RelaxCounts, T)
+	r.out = make([][]byte, r.size)
+	if opts.Prune && opts.Estimator == EstimatorHistogram {
+		r.buildHistograms()
+	}
+	return r, nil
+}
+
+// local returns the local index of global vertex v, which must be owned
+// by this rank.
+func (r *rankEngine) local(v graph.Vertex) int { return r.pd.LocalIndex(v) }
+
+// global returns the global id of local index li.
+func (r *rankEngine) global(li uint32) graph.Vertex {
+	return r.pd.Global(r.rank, int(li))
+}
+
+// bucketEnd returns the largest distance in bucket k.
+func (r *rankEngine) bucketEnd(k int64) graph.Dist { return (k+1)*r.dd - 1 }
+
+// tracef writes an execution-trace line; only rank 0 emits, so the
+// writer needs no synchronization.
+func (r *rankEngine) tracef(format string, args ...interface{}) {
+	if r.rank != 0 || r.opts.Trace == nil {
+		return
+	}
+	fmt.Fprintf(r.opts.Trace, format+"\n", args...)
+}
+
+// ---- timed collectives ----------------------------------------------------
+
+func (r *rankEngine) allreduce(vals []int64, op comm.ReduceOp, bucketOverhead bool) ([]int64, error) {
+	start := time.Now()
+	res, err := r.t.AllreduceInt64(vals, op)
+	r.charge(start, bucketOverhead)
+	return res, err
+}
+
+func (r *rankEngine) exchange() ([][]byte, error) {
+	start := time.Now()
+	in, err := r.t.Exchange(r.out)
+	r.charge(start, false)
+	return in, err
+}
+
+func (r *rankEngine) charge(start time.Time, bucketOverhead bool) {
+	d := time.Since(start)
+	if bucketOverhead {
+		r.bktTime += d
+	} else {
+		r.otherTime += d
+	}
+}
+
+// ---- parallel scans --------------------------------------------------------
+
+// buildItems converts a vertex list into work items, chunking the edge
+// lists of heavy vertices when thread-level load balancing is enabled
+// (the paper's intra-node strategy: the owner thread does not relax all
+// edges of a heavy vertex by itself).
+func (r *rankEngine) buildItems(verts []uint32) []workItem {
+	items := r.items[:0]
+	if r.opts.LoadBalance && r.opts.threads() > 1 {
+		pi := int32(r.opts.heavyThreshold())
+		for _, li := range verts {
+			deg := int32(r.g.Degree(r.global(li)))
+			if deg > pi {
+				for lo := int32(0); lo < deg; lo += pi {
+					hi := lo + pi
+					if hi > deg {
+						hi = deg
+					}
+					items = append(items, workItem{li, lo, hi})
+				}
+			} else {
+				items = append(items, workItem{li, 0, deg})
+			}
+		}
+	} else {
+		for _, li := range verts {
+			deg := int32(r.g.Degree(r.global(li)))
+			items = append(items, workItem{li, 0, deg})
+		}
+	}
+	r.items = items
+	return items
+}
+
+// runWorkers executes fn over items with the rank's thread pool. Item
+// order within a thread is arbitrary; fn must only touch thread-local
+// buffers (tbufs[tid], tcnt[tid]).
+func (r *rankEngine) runWorkers(items []workItem, fn func(tid int, it workItem)) {
+	start := time.Now()
+	defer r.charge(start, false)
+	T := r.opts.threads()
+	for tid := 0; tid < T; tid++ {
+		for dest := range r.tbufs[tid] {
+			r.tbufs[tid][dest] = r.tbufs[tid][dest][:0]
+		}
+	}
+	if T == 1 || len(items) == 0 {
+		for _, it := range items {
+			fn(0, it)
+		}
+		r.mergeBuffers()
+		return
+	}
+	var next int64
+	const batch = 16
+	var wg sync.WaitGroup
+	for tid := 0; tid < T; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, batch) - batch
+				if i >= int64(len(items)) {
+					return
+				}
+				end := i + batch
+				if end > int64(len(items)) {
+					end = int64(len(items))
+				}
+				for j := i; j < end; j++ {
+					fn(tid, items[j])
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	r.mergeBuffers()
+}
+
+// mergeBuffers concatenates per-thread buffers into r.out.
+func (r *rankEngine) mergeBuffers() {
+	T := r.opts.threads()
+	for dest := 0; dest < r.size; dest++ {
+		if T == 1 {
+			r.out[dest] = r.tbufs[0][dest]
+			continue
+		}
+		total := 0
+		for tid := 0; tid < T; tid++ {
+			total += len(r.tbufs[tid][dest])
+		}
+		buf := r.out[dest][:0]
+		if cap(buf) < total {
+			buf = make([]byte, 0, total)
+		}
+		for tid := 0; tid < T; tid++ {
+			buf = append(buf, r.tbufs[tid][dest]...)
+		}
+		r.out[dest] = buf
+	}
+}
+
+// relaxTotals sums the per-thread relaxation counters.
+func (r *rankEngine) relaxTotals() RelaxCounts {
+	var sum RelaxCounts
+	for i := range r.tcnt {
+		sum.Add(r.tcnt[i])
+	}
+	return sum
+}
+
+// ---- record application ----------------------------------------------------
+
+// applyRelaxIn applies every relax record in the received buffers.
+// activate controls whether improved vertices landing in the current
+// bucket join the next phase's active set (short phases) — long-phase
+// results can never land in the current bucket and pass false. census, if
+// non-nil, receives the self/backward/forward categorization of each
+// record relative to bucket k.
+//
+// With ParallelApply enabled (and no census, which needs exact serial
+// counting), application runs on the rank's thread pool using the
+// paper's intra-node ownership model: local vertex li belongs to thread
+// li mod T, every thread scans all records but applies only its own
+// vertices, so per-vertex state is written without locks — the role the
+// L2 atomics played on Blue Gene/Q.
+func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStats) {
+	start := time.Now()
+	defer r.charge(start, false)
+	r.stamp++
+	if T := r.opts.threads(); r.opts.ParallelApply && census == nil && T > 1 &&
+		totalRelaxRecords(in) >= parallelApplyThreshold {
+		r.applyRelaxParallel(in, activate, T)
+		return
+	}
+	k := r.curK
+	for _, buf := range in {
+		n := numRelaxRecords(buf)
+		for i := 0; i < n; i++ {
+			v, par, nd := decodeRelax(buf, i)
+			li := r.local(v)
+			if census != nil {
+				switch b := r.bucketOf[li]; {
+				case b == k:
+					census.SelfEdges++
+				case b < k:
+					census.BackwardEdges++
+				default:
+					census.ForwardEdges++
+				}
+			}
+			if nd >= r.dist[li] {
+				continue
+			}
+			r.dist[li] = nd
+			r.parent[li] = par
+			if r.hybridMode {
+				if r.mark[li] != r.stamp {
+					r.mark[li] = r.stamp
+					r.nextActive = append(r.nextActive, uint32(li))
+				}
+				continue
+			}
+			nb := nd / r.dd
+			if nb != r.bucketOf[li] {
+				r.bucketOf[li] = nb
+				r.store.add(nb, uint32(li))
+			}
+			if activate && nb == k && r.mark[li] != r.stamp {
+				r.mark[li] = r.stamp
+				r.nextActive = append(r.nextActive, uint32(li))
+			}
+		}
+	}
+}
+
+// ---- main loop ---------------------------------------------------------
+
+// run executes the full query on this rank and leaves per-rank results in
+// r.dist / r.stats.
+func (r *rankEngine) run() error {
+	totalStart := time.Now()
+	localMin := int64(infBucket)
+	if r.pd.Owner(r.src) == r.rank {
+		li := uint32(r.local(r.src))
+		r.dist[li] = 0
+		r.parent[li] = r.src
+		r.bucketOf[li] = 0
+		r.store.add(0, li)
+		localMin = 0
+	}
+	kv, err := r.allreduce([]int64{localMin}, comm.Min, true)
+	if err != nil {
+		return err
+	}
+	k := kv[0]
+	n := int64(r.g.NumVertices())
+
+	r.tracef("sssp: start source=%d ranks=%d delta=%d", r.src, r.size, r.opts.Delta)
+	for k < infBucket {
+		if r.opts.MaxEpochs > 0 && int(r.stats.Epochs) >= r.opts.MaxEpochs {
+			return fmt.Errorf("sssp: exceeded MaxEpochs=%d at bucket %d", r.opts.MaxEpochs, k)
+		}
+		r.curK = k
+		if err := r.processEpoch(k); err != nil {
+			return err
+		}
+		r.stats.Epochs++
+		r.epochSeq++
+
+		// Account settled vertices (bucket k's final members) and drop the
+		// bucket.
+		bktStart := time.Now()
+		settledLocal := r.store.countValid(k, r.bucketOf)
+		r.store.drop(k)
+		r.charge(bktStart, true)
+		sv, err := r.allreduce([]int64{settledLocal}, comm.Sum, true)
+		if err != nil {
+			return err
+		}
+		r.settledTotal += sv[0]
+		if len(r.stats.Buckets) > 0 {
+			bs := &r.stats.Buckets[len(r.stats.Buckets)-1]
+			bs.Settled = r.settledTotal
+			r.tracef("epoch bucket=%d mode=%s shortPhases=%d settled=%d",
+				bs.Index, bs.Mode, bs.ShortPhases, bs.Settled)
+		}
+
+		if r.opts.Hybrid && float64(r.settledTotal) >= r.opts.tau()*float64(n) {
+			r.stats.HybridSwitched = true
+			r.tracef("hybrid switch after bucket %d: settled %d/%d", k, r.settledTotal, n)
+			if err := r.runBellmanFord(k); err != nil {
+				return err
+			}
+			break
+		}
+
+		bktStart = time.Now()
+		localNext := r.store.nextNonEmpty(k, r.bucketOf)
+		r.charge(bktStart, true)
+		nv, err := r.allreduce([]int64{localNext}, comm.Min, true)
+		if err != nil {
+			return err
+		}
+		k = nv[0]
+	}
+
+	r.finishStats(totalStart)
+	r.tracef("done epochs=%d phases=%d bfPhases=%d reached=%d relax=%d",
+		r.stats.Epochs, r.stats.Phases, r.stats.BFPhases, r.stats.Reached,
+		r.stats.Relax.Total())
+	return nil
+}
+
+// finishStats assembles this rank's Stats.
+func (r *rankEngine) finishStats(totalStart time.Time) {
+	r.stats.Relax = r.relaxTotals()
+	r.stats.BktTime = r.bktTime
+	r.stats.OtherTime = r.otherTime
+	r.stats.Total = time.Since(totalStart)
+	for _, d := range r.dist {
+		if d < graph.Inf {
+			r.stats.Reached++
+		}
+	}
+	r.stats.MaxRankRelax = r.stats.Relax.Total()
+	r.stats.Traffic = r.t.Stats
+}
+
+// collectMembers returns the valid members of bucket k (charged to bucket
+// overhead, per the paper's BktTime definition).
+func (r *rankEngine) collectMembers(k int64) []uint32 {
+	start := time.Now()
+	defer r.charge(start, true)
+	var members []uint32
+	for _, li := range r.store.list(k) {
+		if r.bucketOf[li] == k {
+			members = append(members, li)
+		}
+	}
+	return members
+}
+
+// processEpoch settles bucket k: short-edge phases to a fixpoint, then
+// the long-edge phase.
+func (r *rankEngine) processEpoch(k int64) error {
+	bs := BucketStats{Index: k, Mode: ModePush}
+	r.active = r.collectMembers(k)
+
+	before := r.relaxTotals()
+	for {
+		av, err := r.allreduce([]int64{int64(len(r.active))}, comm.Sum, true)
+		if err != nil {
+			return err
+		}
+		if av[0] == 0 {
+			break
+		}
+		r.stats.Phases++
+		bs.ShortPhases++
+		phaseStart := time.Now()
+		beforePhase := r.relaxTotals()
+		nActive := len(r.active)
+		if err := r.shortPhase(k); err != nil {
+			return err
+		}
+		r.logPhase(k, PhaseShort, nActive, beforePhase, phaseStart)
+		r.active, r.nextActive = r.nextActive, r.active[:0]
+	}
+	afterShort := r.relaxTotals()
+	bs.ShortRelax = afterShort.Total() - before.Total()
+
+	if r.opts.EdgeClassification && r.opts.Delta != BellmanFordDelta {
+		if err := r.longPhase(k, &bs); err != nil {
+			return err
+		}
+	}
+	afterLong := r.relaxTotals()
+	bs.LongRelax = afterLong.Total() - afterShort.Total()
+	r.stats.Buckets = append(r.stats.Buckets, bs)
+	return nil
+}
+
+// shortPhase relaxes the (inner) short edges of the active vertices and
+// applies the resulting updates.
+func (r *rankEngine) shortPhase(k int64) error {
+	ios := r.opts.IOS
+	bEnd := r.bucketEnd(k)
+	items := r.buildItems(r.active)
+	r.runWorkers(items, func(tid int, it workItem) {
+		v := r.global(it.li)
+		du := r.dist[it.li]
+		nbr, ws := r.g.Neighbors(v)
+		end := it.hi
+		if se := r.shortEnd[it.li]; end > se {
+			end = se
+		}
+		cnt := &r.tcnt[tid]
+		for i := it.lo; i < end; i++ {
+			nd := du + graph.Dist(ws[i])
+			if ios && nd > bEnd {
+				cnt.Skipped++
+				continue
+			}
+			cnt.ShortPush++
+			dst := r.pd.Owner(nbr[i])
+			r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+		}
+	})
+	in, err := r.exchange()
+	if err != nil {
+		return err
+	}
+	r.applyRelaxIn(in, true, nil)
+	return nil
+}

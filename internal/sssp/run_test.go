@@ -1,0 +1,227 @@
+package sssp
+
+import (
+	"fmt"
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+)
+
+// checkAgainstDijkstra runs the distributed engine with opts and compares
+// every distance with the sequential Dijkstra reference.
+func checkAgainstDijkstra(t *testing.T, g *graph.Graph, src graph.Vertex,
+	numRanks int, opts Options) *Result {
+	t.Helper()
+	want, err := Dijkstra(g, src)
+	if err != nil {
+		t.Fatalf("Dijkstra: %v", err)
+	}
+	got, err := Run(g, numRanks, src, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mismatch := 0
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			if mismatch < 5 {
+				t.Errorf("dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+			}
+			mismatch++
+		}
+	}
+	if mismatch > 0 {
+		t.Fatalf("%d distance mismatches (ranks=%d opts=%+v)", mismatch, numRanks, opts)
+	}
+	return got
+}
+
+// allConfigs enumerates the algorithm presets under test.
+func allConfigs(delta graph.Weight) map[string]Options {
+	return map[string]Options{
+		"plain":    {Delta: delta},
+		"del":      DelOptions(delta),
+		"prune":    PruneOptions(delta),
+		"opt":      OptOptions(delta),
+		"lbopt":    LBOptOptions(delta),
+		"dijkstra": DijkstraOptions(),
+		"bf":       BellmanFordOptions(),
+	}
+}
+
+func TestDistributedMatchesDijkstraPath(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{3, 1, 4, 1, 5, 9, 2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range allConfigs(4) {
+		for _, ranks := range []int{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/ranks=%d", name, ranks), func(t *testing.T) {
+				checkAgainstDijkstra(t, g, 0, ranks, opts)
+			})
+		}
+	}
+}
+
+func TestDistributedMatchesDijkstraRandom(t *testing.T) {
+	for _, tc := range []struct {
+		n, m  int
+		maxW  graph.Weight
+		seed  uint64
+		delta graph.Weight
+	}{
+		{50, 200, 20, 1, 5},
+		{200, 1000, 255, 2, 25},
+		{500, 4000, 255, 3, 40},
+		{300, 600, 7, 4, 3}, // sparse, small weights
+	} {
+		g, err := gen.Random(tc.n, tc.m, tc.maxW, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opts := range allConfigs(tc.delta) {
+			for _, ranks := range []int{1, 4} {
+				t.Run(fmt.Sprintf("n%d/%s/ranks=%d", tc.n, name, ranks), func(t *testing.T) {
+					checkAgainstDijkstra(t, g, 0, ranks, opts)
+				})
+			}
+		}
+	}
+}
+
+func TestDistributedMatchesDijkstraRMAT(t *testing.T) {
+	g, err := rmat.Generate(rmat.Family1(10, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range allConfigs(25) {
+		opts.Threads = 4
+		t.Run(name, func(t *testing.T) {
+			checkAgainstDijkstra(t, g, 1, 4, opts)
+		})
+	}
+}
+
+func TestSeqDeltaSteppingMatchesDijkstra(t *testing.T) {
+	g, err := gen.Random(300, 1500, 255, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []graph.Weight{1, 5, 25, 100, 1 << 20} {
+		got, err := SeqDeltaStepping(g, 0, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Dist {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("delta=%d: dist[%d] = %d, want %d", delta, v, got.Dist[v], want.Dist[v])
+			}
+		}
+	}
+}
+
+func TestBellmanFordMatchesDijkstra(t *testing.T) {
+	g, err := gen.Random(300, 1500, 255, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BellmanFord(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	// Two components: 0-1-2 and 3-4; source in the first.
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}, {U: 3, V: 4, W: 1},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkAgainstDijkstra(t, g, 0, 2, OptOptions(5))
+	if res.Dist[3] != graph.Inf || res.Dist[4] != graph.Inf {
+		t.Errorf("unreachable vertices got finite distances: %v", res.Dist)
+	}
+	if res.Stats.Reached != 3 {
+		t.Errorf("Reached = %d, want 3", res.Stats.Reached)
+	}
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	// Chains of zero-weight edges must settle within one bucket.
+	g, err := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 0}, {U: 2, V: 3, W: 0},
+		{U: 3, V: 4, W: 7}, {U: 4, V: 5, W: 0},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range allConfigs(5) {
+		t.Run(name, func(t *testing.T) {
+			checkAgainstDijkstra(t, g, 0, 2, opts)
+		})
+	}
+}
+
+func TestForcedPushAndPull(t *testing.T) {
+	g, err := gen.Random(400, 3000, 255, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModePush, ModePull} {
+		opts := PruneOptions(25)
+		opts.ForceMode = &mode
+		t.Run(mode.String(), func(t *testing.T) {
+			checkAgainstDijkstra(t, g, 0, 3, opts)
+		})
+	}
+}
+
+func TestCyclicDistribution(t *testing.T) {
+	g, err := gen.Random(400, 3000, 255, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := partition.MustNew(partition.Cyclic, g.NumVertices(), 4)
+	got, err := RunDistributed(g, pd, 0, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+func TestSourceVariants(t *testing.T) {
+	g, err := gen.Random(200, 900, 100, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []graph.Vertex{0, 1, 99, 199} {
+		t.Run(fmt.Sprintf("src=%d", src), func(t *testing.T) {
+			checkAgainstDijkstra(t, g, src, 3, OptOptions(10))
+		})
+	}
+}

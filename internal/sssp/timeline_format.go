@@ -1,0 +1,52 @@
+package sssp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// FormatTimeline renders a phase log as an ASCII table with proportional
+// duration bars — a quick visual of where a query spends its time (the
+// tooling companion of Figure 4).
+func FormatTimeline(w io.Writer, log []PhaseRecord) error {
+	if len(log) == 0 {
+		_, err := fmt.Fprintln(w, "timeline: empty (enable Options.RecordPhases)")
+		return err
+	}
+	var maxDur time.Duration
+	var total time.Duration
+	for _, p := range log {
+		if p.Duration > maxDur {
+			maxDur = p.Duration
+		}
+		total += p.Duration
+	}
+	const barWidth = 32
+	if _, err := fmt.Fprintf(w, "%-4s %-7s %-12s %12s %12s %-*s %s\n",
+		"#", "bucket", "kind", "active", "relax", barWidth, "time", "duration"); err != nil {
+		return err
+	}
+	for i, p := range log {
+		bucket := fmt.Sprint(p.Bucket)
+		if p.Bucket < 0 {
+			bucket = "-"
+		}
+		n := 0
+		if maxDur > 0 {
+			n = int(float64(barWidth) * float64(p.Duration) / float64(maxDur))
+		}
+		if n < 1 && p.Duration > 0 {
+			n = 1
+		}
+		bar := strings.Repeat("#", n) + strings.Repeat(".", barWidth-n)
+		if _, err := fmt.Fprintf(w, "%-4d %-7s %-12s %12d %12d %s %v\n",
+			i, bucket, p.Kind, p.Active, p.Relax, bar, p.Duration.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total phase time: %v over %d phases\n",
+		total.Round(time.Microsecond), len(log))
+	return err
+}

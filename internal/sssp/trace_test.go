@@ -1,0 +1,41 @@
+package sssp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceOutput(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	var buf bytes.Buffer
+	opts := OptOptions(25)
+	opts.Trace = &buf
+	if _, err := Run(g, 3, src, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sssp: start", "epoch bucket=0", "hybrid switch", "done epochs="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q; got:\n%s", want, out)
+		}
+	}
+	// Only rank 0 writes: line count must be epochs + 3 control lines.
+	lines := strings.Count(out, "\n")
+	res, err := Run(g, 3, src, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := int(res.Stats.Epochs) + 3
+	if lines != wantLines {
+		t.Errorf("trace has %d lines, want %d (duplicate writers?)", lines, wantLines)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	opts := OptOptions(25)
+	if opts.Trace != nil {
+		t.Error("preset enables tracing")
+	}
+}

@@ -1,0 +1,62 @@
+package sssp
+
+import (
+	"fmt"
+	"time"
+
+	"parsssp/internal/graph"
+)
+
+// The paper selects Δ by offline sweeps (§IV.C: "we tested various
+// values of Δ ... Δ values between 10 and 50 offer the best
+// performance"). TuneDelta automates that sweep: it times trial queries
+// over a candidate grid and returns the fastest setting. This is the
+// "future work" knob the paper leaves manual.
+
+// DefaultDeltaCandidates is the paper's tested range.
+var DefaultDeltaCandidates = []graph.Weight{5, 10, 25, 40, 50, 100}
+
+// TuneResult reports a Δ sweep.
+type TuneResult struct {
+	// Best is the fastest candidate.
+	Best graph.Weight
+	// Trials maps each candidate to its mean query time.
+	Trials map[graph.Weight]time.Duration
+}
+
+// TuneDelta measures opts with each candidate Δ over the given roots and
+// returns the candidate with the lowest total time. The opts' other
+// fields (heuristics, threads) are preserved.
+func TuneDelta(g *graph.Graph, numRanks int, roots []graph.Vertex,
+	opts Options, candidates []graph.Weight) (*TuneResult, error) {
+	if len(candidates) == 0 {
+		candidates = DefaultDeltaCandidates
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("sssp: TuneDelta needs at least one root")
+	}
+	res := &TuneResult{Trials: make(map[graph.Weight]time.Duration, len(candidates))}
+	bestTime := time.Duration(1<<63 - 1)
+	for _, delta := range candidates {
+		if delta < 1 {
+			return nil, fmt.Errorf("sssp: candidate Δ %d invalid", delta)
+		}
+		trial := opts
+		trial.Delta = delta
+		var total time.Duration
+		for _, root := range roots {
+			run, err := Run(g, numRanks, root, trial)
+			if err != nil {
+				return nil, fmt.Errorf("sssp: tuning Δ=%d: %w", delta, err)
+			}
+			total += run.Stats.Total
+		}
+		mean := total / time.Duration(len(roots))
+		res.Trials[delta] = mean
+		if mean < bestTime {
+			bestTime = mean
+			res.Best = delta
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,51 @@
+package sssp
+
+import (
+	"testing"
+
+	"parsssp/internal/graph"
+)
+
+func TestTuneDelta(t *testing.T) {
+	g := rmatTestGraph
+	roots := []graph.Vertex{testRoot(g)}
+	res, err := TuneDelta(g, 2, roots, OptOptions(25), []graph.Weight{5, 25, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 3 {
+		t.Fatalf("trials = %v", res.Trials)
+	}
+	if _, ok := res.Trials[res.Best]; !ok {
+		t.Errorf("best Δ %d not among trials", res.Best)
+	}
+	for delta, d := range res.Trials {
+		if d <= 0 {
+			t.Errorf("Δ=%d has non-positive time %v", delta, d)
+		}
+		if res.Trials[res.Best] > d {
+			t.Errorf("best Δ %d slower than Δ %d", res.Best, delta)
+		}
+	}
+}
+
+func TestTuneDeltaDefaults(t *testing.T) {
+	g := rmatTestGraph
+	res, err := TuneDelta(g, 1, []graph.Vertex{testRoot(g)}, OptOptions(25), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != len(DefaultDeltaCandidates) {
+		t.Errorf("default candidates not used: %v", res.Trials)
+	}
+}
+
+func TestTuneDeltaValidation(t *testing.T) {
+	g := rmatTestGraph
+	if _, err := TuneDelta(g, 1, nil, OptOptions(25), nil); err == nil {
+		t.Error("no roots accepted")
+	}
+	if _, err := TuneDelta(g, 1, []graph.Vertex{0}, OptOptions(25), []graph.Weight{0}); err == nil {
+		t.Error("zero Δ candidate accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Package validate provides correctness and heuristic-quality checks for
+// the distributed SSSP engine: verification of computed distances against
+// the sequential Dijkstra reference, and the paper's §IV.G exhaustive
+// evaluation of the push/pull decision heuristic (comparing the
+// heuristic's decision sequence against the best of all 2^k sequences).
+package validate
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/sssp"
+)
+
+// Distances compares got against the Dijkstra reference for (g, src) and
+// returns a descriptive error on the first few mismatches.
+func Distances(g *graph.Graph, src graph.Vertex, got []graph.Dist) error {
+	want, err := sssp.Dijkstra(g, src)
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want.Dist) {
+		return fmt.Errorf("validate: %d distances for %d vertices", len(got), len(want.Dist))
+	}
+	var mismatches int
+	var first string
+	for v := range want.Dist {
+		if got[v] != want.Dist[v] {
+			if mismatches == 0 {
+				first = fmt.Sprintf("dist[%d] = %d, want %d", v, got[v], want.Dist[v])
+			}
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("validate: %d mismatches; first: %s", mismatches, first)
+	}
+	return nil
+}
+
+// SequenceOutcome records one decision sequence's evaluation.
+type SequenceOutcome struct {
+	// Sequence is the push/pull decision for each epoch (padded with the
+	// heuristic's choices if the run took fewer epochs than planned).
+	Sequence []sssp.Mode
+	// Relaxations is the total relaxation count under this sequence — the
+	// machine-independent cost the evaluation ranks sequences by.
+	Relaxations int64
+	// MaxRankRelax is the worst per-rank relaxation load.
+	MaxRankRelax int64
+}
+
+// cost is the objective the exhaustive search minimizes: total work with
+// the worst rank weighted in, mirroring the runtime decision heuristic's
+// cost model.
+func (s SequenceOutcome) cost(numRanks int) float64 {
+	const lambda = 0.25
+	return (1-lambda)*float64(s.Relaxations) + lambda*float64(numRanks)*float64(s.MaxRankRelax)
+}
+
+// PushPullReport is the outcome of ExhaustivePushPull.
+type PushPullReport struct {
+	// Epochs is the number of bucket epochs (k in the paper's 2^k).
+	Epochs int
+	// Heuristic is the run with the heuristic making every decision.
+	Heuristic SequenceOutcome
+	// Best is the lowest-cost exhaustive sequence.
+	Best SequenceOutcome
+	// HeuristicIsOptimal reports whether the heuristic's cost matches the
+	// best sequence's cost.
+	HeuristicIsOptimal bool
+	// Evaluated is the number of sequences tried (2^Epochs).
+	Evaluated int
+}
+
+// ExhaustivePushPull implements the paper's §IV.G validation routine: it
+// first runs the pruning algorithm with the decision heuristic enabled,
+// then re-runs it under every possible push/pull decision sequence and
+// compares the heuristic's cost against the best sequence's.
+//
+// opts must have Prune enabled. The epoch count is taken from the
+// heuristic run; maxEpochs caps the exhaustive blow-up (runs with more
+// epochs are rejected, since 2^k re-executions would be intractable).
+func ExhaustivePushPull(g *graph.Graph, numRanks int, src graph.Vertex,
+	opts sssp.Options, maxEpochs int) (*PushPullReport, error) {
+	if !opts.Prune {
+		return nil, fmt.Errorf("validate: exhaustive push/pull needs Prune enabled")
+	}
+	opts.ForceMode = nil
+	opts.DecisionSequence = nil
+	base, err := sssp.Run(g, numRanks, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := Distances(g, src, base.Dist); err != nil {
+		return nil, err
+	}
+	k := len(base.Stats.Decisions)
+	if k > maxEpochs {
+		return nil, fmt.Errorf("validate: run took %d epochs; exhaustive cap is %d", k, maxEpochs)
+	}
+	report := &PushPullReport{
+		Epochs: k,
+		Heuristic: SequenceOutcome{
+			Sequence:     append([]sssp.Mode(nil), base.Stats.Decisions...),
+			Relaxations:  base.Stats.Relax.Total(),
+			MaxRankRelax: base.Stats.MaxRankRelax,
+		},
+	}
+	best := report.Heuristic
+	report.Evaluated = 1 << k
+	for mask := 0; mask < 1<<k; mask++ {
+		seq := make([]sssp.Mode, k)
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				seq[i] = sssp.ModePull
+			}
+		}
+		o := opts
+		o.DecisionSequence = seq
+		res, err := sssp.Run(g, numRanks, src, o)
+		if err != nil {
+			return nil, err
+		}
+		if err := Distances(g, src, res.Dist); err != nil {
+			return nil, fmt.Errorf("validate: sequence %v broke correctness: %w", seq, err)
+		}
+		out := SequenceOutcome{
+			Sequence:     seq,
+			Relaxations:  res.Stats.Relax.Total(),
+			MaxRankRelax: res.Stats.MaxRankRelax,
+		}
+		if out.cost(numRanks) < best.cost(numRanks) {
+			best = out
+		}
+	}
+	report.Best = best
+	report.HeuristicIsOptimal = report.Heuristic.cost(numRanks) <= best.cost(numRanks)*1.0001
+	return report, nil
+}

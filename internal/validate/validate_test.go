@@ -1,0 +1,91 @@
+package validate
+
+import (
+	"testing"
+
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/rmat"
+	"parsssp/internal/sssp"
+)
+
+func TestDistancesAcceptsCorrect(t *testing.T) {
+	g, err := gen.Random(100, 500, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sssp.Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Distances(g, 0, ref.Dist); err != nil {
+		t.Errorf("correct distances rejected: %v", err)
+	}
+}
+
+func TestDistancesRejectsWrong(t *testing.T) {
+	g, err := gen.Path([]graph.Weight{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := []graph.Dist{0, 2, 4} // true distances are 0, 2, 5
+	if err := Distances(g, 0, wrong); err == nil {
+		t.Error("wrong distances accepted")
+	}
+	short := []graph.Dist{0}
+	if err := Distances(g, 0, short); err == nil {
+		t.Error("truncated distances accepted")
+	}
+}
+
+func TestExhaustiveRequiresPrune(t *testing.T) {
+	g, err := gen.Random(50, 200, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExhaustivePushPull(g, 2, 0, sssp.DelOptions(25), 8); err == nil {
+		t.Error("exhaustive accepted non-prune options")
+	}
+}
+
+func TestExhaustiveSmallGraph(t *testing.T) {
+	g, err := rmat.Generate(rmat.Family1(9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root graph.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(graph.Vertex(v)) > 8 {
+			root = graph.Vertex(v)
+			break
+		}
+	}
+	rep, err := ExhaustivePushPull(g, 2, root, sssp.OptOptions(25), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated != 1<<rep.Epochs {
+		t.Errorf("evaluated %d sequences for %d epochs", rep.Evaluated, rep.Epochs)
+	}
+	if len(rep.Heuristic.Sequence) != rep.Epochs {
+		t.Errorf("heuristic sequence length %d, epochs %d",
+			len(rep.Heuristic.Sequence), rep.Epochs)
+	}
+	if rep.Best.Relaxations > rep.Heuristic.Relaxations {
+		t.Errorf("best sequence (%d relax) worse than heuristic (%d)",
+			rep.Best.Relaxations, rep.Heuristic.Relaxations)
+	}
+}
+
+func TestExhaustiveEpochCap(t *testing.T) {
+	g, err := gen.Grid(12, 12, 10, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A grid with Δ=10 takes many buckets; a tiny cap must reject it
+	// rather than explode into 2^k runs.
+	opts := sssp.PruneOptions(10)
+	if _, err := ExhaustivePushPull(g, 2, 0, opts, 3); err == nil {
+		t.Error("epoch cap not enforced")
+	}
+}

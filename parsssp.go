@@ -1,0 +1,269 @@
+// Package parsssp is a Go reproduction of "Scalable Single Source
+// Shortest Path Algorithms for Massively Parallel Systems"
+// (Chakaravarthy, Checconi, Petrini, Sabharwal — IPDPS 2014).
+//
+// It provides distributed-memory SSSP over a simulated message-passing
+// machine: P logical ranks partition the vertices and relax edges in
+// bulk-synchronous supersteps. The algorithm is Δ-stepping augmented with
+// the paper's three optimization classes:
+//
+//   - Pruning: short/long edge classification, the inner-outer-short
+//     (IOS) refinement, and a direction-optimized long-edge phase that
+//     chooses per bucket between push and pull relaxation using a cost
+//     heuristic.
+//   - Hybridization: once a fraction τ of the vertices is settled, the
+//     remaining buckets are merged and finished with Bellman-Ford rounds.
+//   - Load balancing: heavy vertices' edge lists are chunked across a
+//     rank's worker threads, and extremely heavy vertices can be split
+//     into proxies spread over ranks (partition.SplitHeavyVertices).
+//
+// # Quick start
+//
+//	g, _ := parsssp.GenerateRMAT1(16, 42) // scale-16 Graph500 BFS-spec graph
+//	res, _ := parsssp.Run(g, 8, 0, parsssp.OptOptions(25))
+//	fmt.Println("reached", res.Stats.Reached, "GTEPS", res.Stats.GTEPS(g.NumEdges()))
+//
+// The named presets mirror the paper's algorithm lineup: DelOptions
+// (baseline Δ-stepping with edge classification), PruneOptions (+pruning
+// and IOS), OptOptions (+hybridization), LBOptOptions (+thread-level load
+// balancing), plus DijkstraOptions (Δ=1) and BellmanFordOptions (Δ=∞).
+//
+// Multi-process runs over TCP use sssp.RunRank with a
+// tcptransport.Transport; see cmd/ssspd and examples/distributed.
+package parsssp
+
+import (
+	"parsssp/internal/analytics"
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+	"parsssp/internal/sssp"
+	"parsssp/internal/validate"
+)
+
+// Core graph types, re-exported from the internal representation.
+type (
+	// Graph is a weighted undirected graph in CSR form; see FromEdges and
+	// the generators below.
+	Graph = graph.Graph
+	// Edge is one undirected weighted edge.
+	Edge = graph.Edge
+	// Vertex is a dense vertex identifier.
+	Vertex = graph.Vertex
+	// Weight is a non-negative edge weight.
+	Weight = graph.Weight
+	// Dist is a shortest-path distance; Inf marks unreachable vertices.
+	Dist = graph.Dist
+)
+
+// Inf is the distance reported for unreachable vertices.
+const Inf = graph.Inf
+
+// Algorithm configuration and results.
+type (
+	// Options configures a run; use a preset and tweak fields.
+	Options = sssp.Options
+	// Result is a completed run: distances plus statistics.
+	Result = sssp.Result
+	// Stats aggregates a run's counters.
+	Stats = sssp.Stats
+	// RelaxCounts breaks down the relaxation counters.
+	RelaxCounts = sssp.RelaxCounts
+	// BucketStats is the per-epoch census.
+	BucketStats = sssp.BucketStats
+	// Mode is a long-edge mechanism (push or pull).
+	Mode = sssp.Mode
+	// SeqResult is the output of the sequential reference algorithms.
+	SeqResult = sssp.SeqResult
+)
+
+// Long-edge phase mechanisms.
+const (
+	ModePush = sssp.ModePush
+	ModePull = sssp.ModePull
+)
+
+// Algorithm presets from the paper.
+var (
+	DelOptions         = sssp.DelOptions
+	PruneOptions       = sssp.PruneOptions
+	OptOptions         = sssp.OptOptions
+	LBOptOptions       = sssp.LBOptOptions
+	DijkstraOptions    = sssp.DijkstraOptions
+	BellmanFordOptions = sssp.BellmanFordOptions
+)
+
+// FromEdges builds a graph with n vertices from an undirected edge list,
+// dropping self-loops and collapsing parallel edges to their minimum
+// weight.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges, graph.BuildOptions{})
+}
+
+// GenerateRMAT1 generates a Graph500 BFS-spec R-MAT graph (the paper's
+// RMAT-1 family: A=0.57, B=C=0.19) with 2^scale vertices, edge factor 16
+// and weights uniform in [0, 255].
+func GenerateRMAT1(scale int, seed uint64) (*Graph, error) {
+	return rmat.Generate(rmat.Family1(scale, seed))
+}
+
+// GenerateRMAT2 generates a proposed Graph500 SSSP-spec R-MAT graph (the
+// paper's RMAT-2 family: A=0.50, B=C=0.10).
+func GenerateRMAT2(scale int, seed uint64) (*Graph, error) {
+	return rmat.Generate(rmat.Family2(scale, seed))
+}
+
+// GenerateGrid generates a rows×cols grid "road network" with weights
+// uniform in [minW, maxW].
+func GenerateGrid(rows, cols int, minW, maxW Weight, seed uint64) (*Graph, error) {
+	return gen.Grid(rows, cols, minW, maxW, seed)
+}
+
+// Run executes a distributed SSSP query from src on an in-process
+// machine with numRanks ranks (block vertex distribution).
+func Run(g *Graph, numRanks int, src Vertex, opts Options) (*Result, error) {
+	return sssp.Run(g, numRanks, src, opts)
+}
+
+// RunSplit executes a distributed query with the paper's full two-tier
+// load balancing: vertices with degree above splitThreshold are split
+// into proxies spread across ranks (cyclic distribution), then the query
+// runs with opts. Distances are returned for the original vertex set.
+func RunSplit(g *Graph, numRanks int, src Vertex, opts Options, splitThreshold int) (*Result, error) {
+	sr, err := partition.SplitHeavyVertices(g, partition.SplitOptions{
+		DegreeThreshold: splitThreshold,
+		MaxProxies:      numRanks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pd, err := partition.New(partition.Cyclic, sr.Graph.NumVertices(), numRanks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sssp.RunDistributed(sr.Graph, pd, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Dist = sr.RestrictDistances(res.Dist)
+	return res, nil
+}
+
+// Dijkstra runs the sequential reference algorithm (binary-heap
+// Dijkstra), returning exact distances and work counters.
+func Dijkstra(g *Graph, src Vertex) (*SeqResult, error) {
+	return sssp.Dijkstra(g, src)
+}
+
+// BellmanFord runs the sequential Bellman-Ford reference.
+func BellmanFord(g *Graph, src Vertex) (*SeqResult, error) {
+	return sssp.BellmanFord(g, src)
+}
+
+// SeqDeltaStepping runs the sequential Δ-stepping reference.
+func SeqDeltaStepping(g *Graph, src Vertex, delta Weight) (*SeqResult, error) {
+	return sssp.SeqDeltaStepping(g, src, delta)
+}
+
+// NoParent marks vertices without a shortest-path-tree predecessor in
+// Result.Parent.
+const NoParent = sssp.NoParent
+
+// BatchResult is a Graph500-style multi-root measurement; see RunBatch.
+type BatchResult = sssp.BatchResult
+
+// PickRoots selects n deterministic non-isolated source vertices, as the
+// Graph500 harness does.
+func PickRoots(g *Graph, n int, seed uint64) ([]Vertex, error) {
+	return sssp.PickRoots(g, n, seed)
+}
+
+// RunBatch executes one query per root on a shared in-process machine
+// and reports the Graph500 aggregate: harmonic mean TEPS across roots.
+func RunBatch(g *Graph, numRanks int, roots []Vertex, opts Options) (*BatchResult, error) {
+	return sssp.RunBatch(g, numRanks, roots, opts)
+}
+
+// ValidateDistances checks distances against the sequential Dijkstra
+// reference, returning a descriptive error on mismatch.
+func ValidateDistances(g *Graph, src Vertex, dist []Dist) error {
+	return validate.Distances(g, src, dist)
+}
+
+// ValidateTree checks an SSSP result's distances and parent pointers the
+// way the Graph500 SSSP benchmark does — structurally, without re-running
+// a reference solver. See validate.CheckTree.
+func ValidateTree(g *Graph, src Vertex, dist []Dist, parent []Vertex) error {
+	return validate.CheckTree(g, src, dist, parent)
+}
+
+// PathTo reconstructs the shortest path from the source to v from a
+// run's parent pointers (source-first order; nil when unreachable).
+func PathTo(parent []Vertex, v Vertex) ([]Vertex, error) {
+	return sssp.PathTo(parent, v)
+}
+
+// PathLength sums the weights along a path, verifying every hop is a
+// real edge; for a correct run it equals the distance of the endpoint.
+func PathLength(g *Graph, path []Vertex) (Dist, error) {
+	return sssp.PathLength(g, path)
+}
+
+// TuneResult reports a Δ auto-tuning sweep; see TuneDelta.
+type TuneResult = sssp.TuneResult
+
+// TuneDelta times trial queries over a Δ candidate grid (nil = the
+// paper's tested range) and returns the fastest setting.
+func TuneDelta(g *Graph, numRanks int, roots []Vertex, opts Options, candidates []Weight) (*TuneResult, error) {
+	return sssp.TuneDelta(g, numRanks, roots, opts, candidates)
+}
+
+// Network-analysis measures built on SSSP (the paper's §I motivation).
+
+// Closeness returns the closeness centrality of src (Wasserman–Faust
+// normalized); one SSSP query.
+func Closeness(g *Graph, numRanks int, src Vertex, opts Options) (float64, error) {
+	return analytics.Closeness(g, numRanks, src, opts)
+}
+
+// Eccentricity returns the greatest finite distance from src and the
+// vertex attaining it; one SSSP query.
+func Eccentricity(g *Graph, numRanks int, src Vertex, opts Options) (Dist, Vertex, error) {
+	return analytics.Eccentricity(g, numRanks, src, opts)
+}
+
+// DiameterBounds brackets a component's weighted diameter; see Diameter.
+type DiameterBounds = analytics.DiameterBounds
+
+// Diameter estimates the component diameter of src with up to maxSweeps
+// SSSP queries (multi-sweep lower/upper bounding).
+func Diameter(g *Graph, numRanks int, src Vertex, opts Options, maxSweeps int) (*DiameterBounds, error) {
+	return analytics.Diameter(g, numRanks, src, opts, maxSweeps)
+}
+
+// RankedVertex pairs a vertex with its centrality score.
+type RankedVertex = analytics.RankedVertex
+
+// TopKCloseness ranks candidate vertices by closeness centrality (one
+// SSSP query per candidate).
+func TopKCloseness(g *Graph, numRanks int, candidates []Vertex, k int, opts Options) ([]RankedVertex, error) {
+	return analytics.TopKCloseness(g, numRanks, candidates, k, opts)
+}
+
+// Machine is a reusable in-process SSSP machine (state allocated once,
+// queries served repeatedly); see NewMachine.
+type Machine = sssp.Machine
+
+// NewMachine builds a machine bound to one graph and option set. Query
+// it repeatedly without re-allocating transports or engine state.
+func NewMachine(g *Graph, numRanks int, opts Options) (*Machine, error) {
+	return sssp.NewMachine(g, numRanks, opts)
+}
+
+// RunMultiSource computes every vertex's distance to the nearest of
+// several sources (virtual super-source construction); parents trace
+// back to the chosen source.
+func RunMultiSource(g *Graph, numRanks int, sources []Vertex, opts Options) (*Result, error) {
+	return sssp.RunMultiSource(g, numRanks, sources, opts)
+}

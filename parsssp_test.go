@@ -1,0 +1,102 @@
+package parsssp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"parsssp"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g, err := parsssp.GenerateRMAT1(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root parsssp.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(parsssp.Vertex(v)) > 0 {
+			root = parsssp.Vertex(v)
+			break
+		}
+	}
+	res, err := parsssp.Run(g, 4, root, parsssp.OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := parsssp.Dijkstra(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Dist, ref.Dist) {
+		t.Error("public API distances mismatch Dijkstra")
+	}
+	if res.Stats.Reached == 0 || res.Stats.GTEPS(g.NumEdges()) <= 0 {
+		t.Errorf("degenerate stats: %+v", res.Stats)
+	}
+}
+
+func TestPublicAPIFromEdges(t *testing.T) {
+	g, err := parsssp.FromEdges(3, []parsssp.Edge{{U: 0, V: 1, W: 4}, {U: 1, V: 2, W: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parsssp.Run(g, 2, 0, parsssp.DelOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []parsssp.Dist{0, 4, 10}
+	if !reflect.DeepEqual(res.Dist, want) {
+		t.Errorf("Dist = %v, want %v", res.Dist, want)
+	}
+}
+
+func TestPublicAPIRunSplit(t *testing.T) {
+	g, err := parsssp.GenerateRMAT1(10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root parsssp.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(parsssp.Vertex(v)) > 0 {
+			root = parsssp.Vertex(v)
+			break
+		}
+	}
+	res, err := parsssp.RunSplit(g, 4, root, parsssp.LBOptOptions(25), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dist) != g.NumVertices() {
+		t.Fatalf("split result has %d distances for %d vertices",
+			len(res.Dist), g.NumVertices())
+	}
+	ref, err := parsssp.Dijkstra(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Dist, ref.Dist) {
+		t.Error("RunSplit distances mismatch Dijkstra")
+	}
+}
+
+func TestPublicAPISequentialReferences(t *testing.T) {
+	g, err := parsssp.GenerateGrid(10, 10, 1, 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dij, err := parsssp.Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := parsssp.BellmanFord(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := parsssp.SeqDeltaStepping(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dij.Dist, bf.Dist) || !reflect.DeepEqual(dij.Dist, ds.Dist) {
+		t.Error("sequential references disagree")
+	}
+}
