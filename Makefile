@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench experiments fuzz clean
+.PHONY: all build test race lint vet bench experiments fuzz clean
 
-all: build test
+all: build test lint
 
 build:
 	go build ./...
@@ -12,6 +12,14 @@ test:
 
 race:
 	go test -race ./...
+
+vet:
+	go vet ./...
+
+# Domain-specific invariants (determinism, atomics, transport errors,
+# WaitGroup discipline); see DESIGN.md "Static analysis & invariants".
+lint: vet
+	go run ./cmd/parssspvet ./...
 
 bench:
 	go test -bench=. -benchmem .

@@ -65,7 +65,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer t.Close()
+	defer func() {
+		if err := t.Close(); err != nil {
+			log.Printf("transport close: %v", err)
+		}
+	}()
 
 	pd, err := partition.New(partition.Block, g.NumVertices(), len(addrList))
 	if err != nil {

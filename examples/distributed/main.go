@@ -79,7 +79,11 @@ func runRank(rank int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer t.Close()
+	defer func() {
+		if err := t.Close(); err != nil {
+			log.Printf("transport close: %v", err)
+		}
+	}()
 
 	pd, err := partition.New(partition.Block, g.NumVertices(), *numRanks)
 	if err != nil {

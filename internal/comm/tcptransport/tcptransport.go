@@ -135,8 +135,8 @@ func New(cfg Config) (*Transport, error) {
 			}
 			peer, err := readHandshake(conn)
 			if err != nil || peer < 0 || peer >= size {
-				conn.Close()
-				results <- dialResult{-1, nil, fmt.Errorf("tcptransport: bad handshake: %v", err)}
+				err = fmt.Errorf("tcptransport: bad handshake: %v", err)
+				results <- dialResult{-1, nil, errors.Join(err, conn.Close())}
 				return
 			}
 			results <- dialResult{peer, conn, nil}
@@ -147,13 +147,11 @@ func New(cfg Config) (*Transport, error) {
 	for i := 0; i < needed; i++ {
 		r := <-results
 		if r.err != nil {
-			t.Close()
-			return nil, r.err
+			return nil, errors.Join(r.err, t.Close())
 		}
 		if t.conns[r.peer] != nil {
-			r.conn.Close()
-			t.Close()
-			return nil, fmt.Errorf("tcptransport: duplicate connection from rank %d", r.peer)
+			err := fmt.Errorf("tcptransport: duplicate connection from rank %d", r.peer)
+			return nil, errors.Join(err, r.conn.Close(), t.Close())
 		}
 		t.conns[r.peer] = r.conn
 	}
@@ -173,7 +171,11 @@ func dialWithRetry(addr string, timeout, retry time.Duration) (net.Conn, error) 
 		conn, err := net.DialTimeout("tcp", addr, retry)
 		if err == nil {
 			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
+				if err := tc.SetNoDelay(true); err != nil {
+					// A socket that cannot take options is not usable as a
+					// mesh link; surface it like any other dial failure.
+					return nil, errors.Join(fmt.Errorf("tcptransport: set nodelay on %s: %w", addr, err), conn.Close())
+				}
 			}
 			return conn, nil
 		}
@@ -339,7 +341,7 @@ func (t *Transport) Close() error {
 		}
 		for _, conn := range t.conns {
 			if conn != nil {
-				conn.Close()
+				t.closeErr = errors.Join(t.closeErr, conn.Close())
 			}
 		}
 	})

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that one function accesses through
+// sync/atomic while another function loads or stores them plainly — the
+// classic tentative-distance-array race: a worker publishing distances
+// with atomic.Store while a reader on another goroutine reads the slice
+// element directly. Mixing the two access modes on the same word is a
+// data race even when each side looks locally correct.
+//
+// The unit of "function" is the outermost function declaration: closures
+// are attributed to the declaration that contains them, so the common
+// worker-pool shape — atomic operations inside spawned closures, plain
+// reads after the WaitGroup barrier in the same function — is not
+// flagged. Plain accesses in composite literals (initialization before
+// the value is shared) are likewise exempt.
+const atomicMixName = "atomicmix"
+
+var AtomicMix = &Analyzer{
+	Name: atomicMixName,
+	Doc: "flag struct fields accessed via sync/atomic in one function " +
+		"but by plain load/store in another",
+	Run: runAtomicMix,
+}
+
+// atomicFieldInfo records where a field is accessed atomically.
+type atomicFieldInfo struct {
+	funcs map[string]bool // top-level functions with atomic accesses
+	fn    string          // one of them, for the message
+	pos   token.Pos       // first atomic site, for the message
+}
+
+type fieldUse struct {
+	obj *types.Var
+	fn  string
+	pos token.Pos
+	sel string
+}
+
+func runAtomicMix(p *Package) []Finding {
+	atomicFields := make(map[*types.Var]*atomicFieldInfo)
+	var plain []fieldUse
+	excluded := make(map[token.Pos]bool) // selector sites consumed by atomic calls / composite keys
+
+	walkFunc := func(fn string, body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if field, selNode := atomicFieldArg(p, n); field != nil {
+					excluded[selNode.Pos()] = true
+					info := atomicFields[field]
+					if info == nil {
+						info = &atomicFieldInfo{funcs: make(map[string]bool), fn: fn, pos: n.Pos()}
+						atomicFields[field] = info
+					}
+					info.funcs[fn] = true
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						excluded[kv.Key.Pos()] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if excluded[n.Pos()] || excluded[n.Sel.Pos()] {
+					return true
+				}
+				if v, ok := p.Info.Uses[n.Sel].(*types.Var); ok && v.IsField() {
+					plain = append(plain, fieldUse{obj: v, fn: fn, pos: n.Pos(), sel: types.ExprString(n)})
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					walkFunc(funcDisplayName(d), d.Body)
+				}
+			case *ast.GenDecl:
+				walkFunc("package-level initialization", d)
+			}
+		}
+	}
+
+	var out []Finding
+	reported := make(map[string]bool) // one finding per (field, function)
+	for _, use := range plain {
+		info := atomicFields[use.obj]
+		if info == nil || info.funcs[use.fn] {
+			continue
+		}
+		key := use.obj.Id() + "\x00" + use.fn
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		out = append(out, p.finding(atomicMixName, use.pos,
+			"field %s is accessed atomically in %s (%s) but plainly here in %s; every shared access must go through sync/atomic",
+			use.sel, info.fn, p.Fset.Position(info.pos), use.fn))
+	}
+	return out
+}
+
+// atomicFieldArg reports whether call is a sync/atomic operation whose
+// address argument is a struct field, returning the field object and the
+// selector syntax node.
+func atomicFieldArg(p *Package, call *ast.CallExpr) (*types.Var, *ast.SelectorExpr) {
+	sel := selectorCall(call)
+	if sel == nil || p.pkgNamePath(sel.X) != "sync/atomic" || len(call.Args) == 0 {
+		return nil, nil
+	}
+	addr, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil, nil
+	}
+	fieldSel, ok := addr.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	if v, ok := p.Info.Uses[fieldSel.Sel].(*types.Var); ok && v.IsField() {
+		return v, fieldSel
+	}
+	return nil, nil
+}
+
+// funcDisplayName renders a function declaration's name, including the
+// receiver type for methods.
+func funcDisplayName(d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		return "(" + types.ExprString(d.Recv.List[0].Type) + ")." + d.Name.Name
+	}
+	return d.Name.Name
+}

@@ -1,0 +1,112 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+// badCounter mixes access modes across functions: Inc publishes n with
+// sync/atomic while Read loads it plainly. Both (atomic and plain in the
+// same function) and NewC (composite-literal initialization) must not be
+// flagged — the analyzer's unit of concurrency is the top-level function.
+const badCounter = `package counters
+
+import "sync/atomic"
+
+type C struct {
+	n int64
+	m int64
+}
+
+func (c *C) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *C) Read() int64 {
+	return c.n
+}
+
+func (c *C) Both() {
+	atomic.AddInt64(&c.m, 1)
+	c.m++
+}
+
+func NewC() *C {
+	return &C{n: 0}
+}
+`
+
+func TestAtomicMixFlagsCrossFunctionPlainAccess(t *testing.T) {
+	got := runFixture(t, map[string]string{"internal/counters/c.go": badCounter}, lint.AtomicMix)
+	wantFindings(t, got, []string{
+		"c.go:15:9 atomicmix", // plain c.n in Read
+	})
+}
+
+func TestAtomicMixMessageNamesBothFunctions(t *testing.T) {
+	pkgs := loadFixture(t, map[string]string{"internal/counters/c.go": badCounter})
+	findings := lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.AtomicMix})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(findings))
+	}
+	msg := findings[0].Message
+	for _, want := range []string{"c.n", "Inc", "Read"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q should mention %q", msg, want)
+		}
+	}
+}
+
+func TestAtomicMixAllowsConsistentAtomicUse(t *testing.T) {
+	src := `package counters
+
+import "sync/atomic"
+
+type C struct {
+	n int64
+}
+
+func (c *C) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *C) Read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+`
+	got := runFixture(t, map[string]string{"internal/counters/c.go": src}, lint.AtomicMix)
+	wantFindings(t, got, nil)
+}
+
+func TestAtomicMixAllowsWorkerPoolShape(t *testing.T) {
+	// Atomic inside spawned closures, plain read after the barrier, all
+	// within one declaration: the repo's runWorkers shape must stay clean.
+	src := `package counters
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type pool struct {
+	next int64
+}
+
+func (p *pool) run(n int) int64 {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&p.next, 1)
+		}()
+	}
+	wg.Wait()
+	return p.next
+}
+`
+	got := runFixture(t, map[string]string{"internal/counters/pool.go": src}, lint.AtomicMix)
+	wantFindings(t, got, nil)
+}

@@ -1,0 +1,225 @@
+// Package lint is parsssp's domain-specific static-analysis framework:
+// the backing library of the parssspvet command. It exists because the
+// paper's algorithms are correct only under invariants the Go compiler
+// cannot check — the deterministic core must stay free of wall-clock and
+// global-randomness reads so memtransport runs (and the paper-metric
+// counters: relaxations, messages, volume) are reproducible, relaxation
+// state shared between worker goroutines must be accessed consistently
+// through sync/atomic, transport errors must propagate, and WaitGroups
+// must follow the Add-before-go / defer-Done discipline that keeps every
+// superstep reaching its barrier.
+//
+// The framework is stdlib-only (go/parser + go/ast + go/types); the
+// module deliberately has no dependencies, so nothing here may import
+// golang.org/x/tools. Packages are loaded by the module-aware loader in
+// load.go and handed to Analyzers, which walk the typed syntax trees and
+// return Findings.
+//
+// A finding can be suppressed where the flagged construct is provably
+// harmless with a justification directive on the same line or the line
+// directly above:
+//
+//	//parssspvet:allow <analyzer> -- <reason>
+//
+// The reason is mandatory: an unexplained suppression is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a single loaded package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// //parssspvet:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects pkg and returns its findings. Suppression directives
+	// are applied by RunAnalyzers, not by Run.
+	Run func(pkg *Package) []Finding
+}
+
+// A Finding is one rule violation at one source position.
+type Finding struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the offending construct.
+	Pos token.Position
+	// Message explains the violation and how to fix it.
+	Message string
+}
+
+// String formats the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		AtomicMix,
+		TransportErr,
+		WGMisuse,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies every analyzer to every package, filters findings
+// through the //parssspvet:allow directives, and returns the survivors
+// sorted by position. Malformed or reason-less directives are reported as
+// findings of the pseudo-analyzer "directive".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		dirs, bad := collectDirectives(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				if dirs.allows(a.Name, f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ---- suppression directives ------------------------------------------------
+
+// directiveRE matches "//parssspvet:allow name -- reason". The reason
+// part is validated separately so its absence can be reported precisely.
+var directiveRE = regexp.MustCompile(`^//parssspvet:allow\s+([a-z][a-z0-9-]*)\s*(--\s*(.*))?$`)
+
+// directives maps filename -> line -> set of analyzer names allowed on
+// that line and the next.
+type directives map[string]map[int]map[string]bool
+
+func (d directives) allows(analyzer string, pos token.Position) bool {
+	lines := d[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line (trailing comment)
+	// and on the line immediately below (comment-above style).
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+// collectDirectives scans a package's comments for allow directives.
+// Directives naming an unknown analyzer or missing the "-- reason" tail
+// are returned as findings.
+func collectDirectives(p *Package) (directives, []Finding) {
+	dirs := make(directives)
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//parssspvet:") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				m := directiveRE.FindStringSubmatch(text)
+				if m == nil {
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "malformed directive; expected //parssspvet:allow <analyzer> -- <reason>",
+					})
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[3])
+				if ByName(name) == nil {
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("directive names unknown analyzer %q", name),
+					})
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "suppression without justification; add \"-- <reason>\"",
+					})
+					continue
+				}
+				fl := dirs[pos.Filename]
+				if fl == nil {
+					fl = make(map[int]map[string]bool)
+					dirs[pos.Filename] = fl
+				}
+				set := fl[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					fl[pos.Line] = set
+				}
+				set[name] = true
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// ---- shared AST helpers ----------------------------------------------------
+
+// finding is a convenience constructor resolving the position.
+func (p *Package) finding(analyzer string, pos token.Pos, format string, args ...interface{}) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// pkgNamePath returns the import path of the package an identifier
+// names (e.g. "math/rand" for the "rand" in rand.Intn), or "" if the
+// identifier does not name an imported package.
+func (p *Package) pkgNamePath(expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// selectorCall unpacks a call of the form pkgOrRecv.Name(...) into its
+// selector; it returns nil for any other call shape.
+func selectorCall(call *ast.CallExpr) *ast.SelectorExpr {
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+	return sel
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicCore lists the packages whose output must be a pure
+// function of their inputs: the SSSP engine, the in-process comm layer,
+// the graph generator and the seeded RNG. Reproducibility of memtransport
+// runs — and of the paper-metric counters (relaxations, messages,
+// volume) derived from them — rests on these packages never observing
+// wall-clock time, global randomness, or map iteration order.
+//
+// tcptransport is deliberately absent: it speaks to a real network, and
+// its dial/retry loop legitimately needs wall-clock deadlines. Its
+// determinism obligations are covered by the Transport contract, not by
+// this analyzer.
+var deterministicCore = map[string]bool{
+	"parsssp/internal/sssp":              true,
+	"parsssp/internal/comm":              true,
+	"parsssp/internal/comm/memtransport": true,
+	"parsssp/internal/rmat":              true,
+	"parsssp/internal/rng":               true,
+}
+
+// wallClockFuncs are the time package entry points that read the wall
+// clock. time.Sleep is absent on purpose: it delays execution but never
+// flows into algorithm output.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// seededConstructors are the math/rand identifiers that build explicitly
+// seeded generator values rather than touching the package-global source.
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// NoDeterminism forbids nondeterminism sources in the deterministic core
+// packages: references to math/rand's global-source top-level functions
+// (use the seeded generators in parsssp/internal/rng), wall-clock reads
+// via time.Now/Since/Until (route observability timing through a single
+// annotated indirection, see internal/sssp/clock.go), and ranging over
+// maps (iteration order varies run to run; sort the keys, or annotate the
+// loop when its result is provably order-insensitive, e.g. a pure
+// min/max/sum reduction).
+const noDeterminismName = "nodeterminism"
+
+var NoDeterminism = &Analyzer{
+	Name: noDeterminismName,
+	Doc: "forbid wall-clock reads, math/rand globals and map-order-dependent " +
+		"iteration in the deterministic core packages",
+	Run: runNoDeterminism,
+}
+
+func runNoDeterminism(p *Package) []Finding {
+	if !deterministicCore[p.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				switch path := p.pkgNamePath(n.X); path {
+				case "time":
+					if wallClockFuncs[n.Sel.Name] {
+						out = append(out, p.finding(noDeterminismName, n.Pos(),
+							"wall-clock read time.%s in deterministic core package %s; timing must go through the package's annotated clock indirection",
+							n.Sel.Name, p.Path))
+					}
+				case "math/rand", "math/rand/v2":
+					if isGlobalRandFunc(p, n, path) {
+						out = append(out, p.finding(noDeterminismName, n.Pos(),
+							"global %s.%s in deterministic core package %s; use the seeded generators in parsssp/internal/rng",
+							path, n.Sel.Name, p.Path))
+					}
+				}
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						out = append(out, p.finding(noDeterminismName, n.For,
+							"map iteration order is nondeterministic; sort the keys first, or annotate with //parssspvet:allow nodeterminism if the loop is order-insensitive"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isGlobalRandFunc reports whether sel references a package-level
+// function of math/rand (or v2) that draws from shared generator state.
+// Explicitly seeded constructors (rand.New, rand.NewSource, ...) and
+// non-function members are allowed.
+func isGlobalRandFunc(p *Package, sel *ast.SelectorExpr, path string) bool {
+	obj := p.Info.Uses[sel.Sel]
+	if _, ok := obj.(*types.Func); !ok {
+		return false
+	}
+	if path == "math/rand" && seededConstructors[sel.Sel.Name] {
+		return false
+	}
+	// math/rand/v2 has no global Seed and its constructors all start with
+	// "New" (New, NewPCG, NewChaCha8, NewZipf).
+	if path == "math/rand/v2" && len(sel.Sel.Name) >= 3 && sel.Sel.Name[:3] == "New" {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+// badCore exercises all three nodeterminism rules inside a deterministic
+// core package: a map range, a global math/rand draw, and wall-clock
+// reads. Seeded constructors (rand.New, rand.NewSource) must pass.
+const badCore = `package sssp
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad() (int, time.Time) {
+	m := map[int]int{1: 1}
+	s := 0
+	for k := range m {
+		s += k
+	}
+	r := rand.New(rand.NewSource(1))
+	s += r.Intn(10)
+	s += rand.Intn(10)
+	d := time.Since(time.Now())
+	_ = d
+	return s, time.Now()
+}
+`
+
+func TestNoDeterminismFlagsCorePackage(t *testing.T) {
+	got := runFixture(t, map[string]string{"internal/sssp/bad.go": badCore}, lint.NoDeterminism)
+	wantFindings(t, got, []string{
+		"bad.go:11:2 nodeterminism",  // for k := range m
+		"bad.go:16:7 nodeterminism",  // rand.Intn
+		"bad.go:17:7 nodeterminism",  // time.Since
+		"bad.go:17:18 nodeterminism", // time.Now (inner)
+		"bad.go:19:12 nodeterminism", // time.Now in return
+	})
+}
+
+func TestNoDeterminismIgnoresNonCorePackages(t *testing.T) {
+	// The identical source outside the deterministic core is fine: the
+	// CLIs and experiment harnesses may use clocks and global randomness.
+	got := runFixture(t, map[string]string{"internal/expt/bad.go": strings.Replace(badCore, "package sssp", "package expt", 1)}, lint.NoDeterminism)
+	wantFindings(t, got, nil)
+}
+
+func TestNoDeterminismSuppressedByDirective(t *testing.T) {
+	src := `package rmat
+
+func MinKey(m map[int64]int) int64 {
+	best := int64(1 << 62)
+	//parssspvet:allow nodeterminism -- pure min reduction, order-insensitive
+	for k := range m {
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+`
+	got := runFixture(t, map[string]string{"internal/rmat/minkey.go": src}, lint.NoDeterminism)
+	wantFindings(t, got, nil)
+}
+
+func TestNoDeterminismMessageDirectsToRNG(t *testing.T) {
+	pkgs := loadFixture(t, map[string]string{"internal/sssp/bad.go": badCore})
+	for _, f := range lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.NoDeterminism}) {
+		if strings.Contains(f.Message, "math/rand") && !strings.Contains(f.Message, "parsssp/internal/rng") {
+			t.Errorf("math/rand finding should direct to internal/rng: %q", f.Message)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package lint_test
+
+// Test scaffolding: analyzer tests build a throwaway on-disk module
+// (named "parsssp", so the core-package and comm-layer path checks see
+// the same import paths as the real repository), load it with the real
+// loader, and assert the exact file:line:column of every finding.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+// fixtureGoMod is prepended to every fixture module.
+const fixtureGoMod = "module parsssp\n\ngo 1.22\n"
+
+// loadFixture writes files (path -> contents, slash-separated paths
+// relative to the module root) into a temp module and loads every
+// package in it.
+func loadFixture(t *testing.T, files map[string]string) []*lint.Package {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte(fixtureGoMod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := mod.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Fatalf("fixture %s does not type-check: %v", p.Path, e)
+		}
+	}
+	return pkgs
+}
+
+// runFixture runs one analyzer (plus the directive checks applied by
+// RunAnalyzers) over a fixture and renders each finding as
+// "file.go:line:col analyzer".
+func runFixture(t *testing.T, files map[string]string, a *lint.Analyzer) []string {
+	t.Helper()
+	pkgs := loadFixture(t, files)
+	findings := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	var out []string
+	for _, f := range findings {
+		out = append(out, fmt.Sprintf("%s:%d:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer))
+	}
+	return out
+}
+
+// wantFindings asserts got == want elementwise (both are sorted by
+// position already, courtesy of RunAnalyzers).
+func wantFindings(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("finding %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// commPkgPath is the import path of the comm layer whose Transport
+// interface defines the collectives every error must propagate from.
+const commPkgPath = "parsssp/internal/comm"
+
+// TransportErr flags discarded errors from the comm layer. Two rules:
+//
+//  1. Everywhere in the module, a call to a method of comm.Transport
+//     (Exchange, AllreduceInt64, Barrier, Close — on any type
+//     implementing the interface) must not drop its error: not as a bare
+//     statement, not behind go/defer, and not assigned to the blank
+//     identifier. A swallowed transport error desynchronizes the
+//     bulk-synchronous collectives — the other ranks keep waiting at a
+//     barrier this rank will never reach.
+//
+//  2. Inside the comm layer itself (parsssp/internal/comm/...), every
+//     dropped error-returning call is flagged, whatever the callee: the
+//     transports are the module's only I/O path, and a silently ignored
+//     connection write/close failure surfaces later as a hung collective
+//     with no diagnostic.
+const transportErrName = "transporterr"
+
+var TransportErr = &Analyzer{
+	Name: transportErrName,
+	Doc: "flag dropped or blank-assigned errors from comm.Transport " +
+		"methods and from comm-layer I/O paths",
+	Run: runTransportErr,
+}
+
+func runTransportErr(p *Package) []Finding {
+	iface := transportInterface(p)
+	strict := p.Path == commPkgPath || strings.HasPrefix(p.Path, commPkgPath+"/")
+	if iface == nil && !strict {
+		return nil
+	}
+	var out []Finding
+	report := func(call *ast.CallExpr, how string) {
+		callee := types.ExprString(call.Fun)
+		if iface != nil && isTransportMethodCall(p, call, iface) {
+			out = append(out, p.finding(transportErrName, call.Pos(),
+				"error from transport collective %s %s; a dropped transport error desynchronizes the ranks — propagate it",
+				callee, how))
+			return
+		}
+		if strict {
+			out = append(out, p.finding(transportErrName, call.Pos(),
+				"comm-layer call %s %s; connection and I/O failures must propagate",
+				callee, how))
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && hasErrorResult(p, call) {
+					report(call, "discarded")
+				}
+			case *ast.GoStmt:
+				if hasErrorResult(p, n.Call) {
+					report(n.Call, "discarded by go statement")
+				}
+			case *ast.DeferStmt:
+				if hasErrorResult(p, n.Call) {
+					report(n.Call, "discarded by defer")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if len(blankErrorResults(p, call, n.Lhs)) > 0 {
+					report(call, "assigned to the blank identifier")
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// transportInterface resolves comm.Transport for this package: locally
+// when analyzing the comm package itself, otherwise through the
+// package's transitive imports. nil when the package cannot reach the
+// comm layer at all (rule 1 is then vacuous).
+func transportInterface(p *Package) *types.Interface {
+	var commPkg *types.Package
+	if p.Path == commPkgPath {
+		commPkg = p.Types
+	} else {
+		commPkg = findImport(p.Types, commPkgPath, make(map[*types.Package]bool))
+	}
+	if commPkg == nil {
+		return nil
+	}
+	obj := commPkg.Scope().Lookup("Transport")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// findImport searches the transitive import graph for a package path.
+func findImport(from *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if from == nil || seen[from] {
+		return nil
+	}
+	seen[from] = true
+	for _, imp := range from.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+		if found := findImport(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// isTransportMethodCall reports whether call invokes one of iface's
+// methods on a receiver implementing iface.
+func isTransportMethodCall(p *Package, call *ast.CallExpr, iface *types.Interface) bool {
+	sel := selectorCall(call)
+	if sel == nil {
+		return false
+	}
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	name := sel.Sel.Name
+	ifaceHas := false
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == name {
+			ifaceHas = true
+			break
+		}
+	}
+	if !ifaceHas {
+		return false
+	}
+	recv := selection.Recv()
+	return types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface)
+}
+
+// hasErrorResult reports whether a call has at least one error-typed
+// result.
+func hasErrorResult(p *Package, call *ast.CallExpr) bool {
+	return len(errorResultIndexes(p, call)) > 0
+}
+
+// errorResultIndexes returns the result positions of call that have type
+// error.
+func errorResultIndexes(p *Package, call *ast.CallExpr) []int {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		var idx []int
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	if types.Identical(t, errType) {
+		return []int{0}
+	}
+	return nil
+}
+
+// blankErrorResults returns the error result positions of call that the
+// assignment discards into the blank identifier.
+func blankErrorResults(p *Package, call *ast.CallExpr, lhs []ast.Expr) []int {
+	var blanks []int
+	for _, i := range errorResultIndexes(p, call) {
+		if i >= len(lhs) {
+			continue
+		}
+		if id, ok := lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			blanks = append(blanks, i)
+		}
+	}
+	return blanks
+}

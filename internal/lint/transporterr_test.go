@@ -1,0 +1,114 @@
+package lint_test
+
+import (
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+// fixtureComm is a minimal stand-in for the real comm package, placed at
+// the same import path so the analyzer's interface lookup works.
+const fixtureComm = `package comm
+
+type ReduceOp int
+
+type Transport interface {
+	Rank() int
+	Size() int
+	Exchange(out [][]byte) ([][]byte, error)
+	AllreduceInt64(vals []int64, op ReduceOp) ([]int64, error)
+	Barrier() error
+	Close() error
+}
+`
+
+// badEngine drops transport errors every way the analyzer knows about:
+// bare statement, blank assignment, and defer — on the interface and on
+// a concrete implementing type.
+const badEngine = `package engine
+
+import "parsssp/internal/comm"
+
+type fake struct {
+	comm.Transport
+}
+
+func Bad(t comm.Transport, f *fake) {
+	t.Barrier()
+	_ = t.Close()
+	in, _ := t.Exchange(make([][]byte, t.Size()))
+	_ = in
+	f.Barrier()
+	defer t.Close()
+}
+
+func Good(t comm.Transport) error {
+	if err := t.Barrier(); err != nil {
+		return err
+	}
+	return t.Close()
+}
+`
+
+func TestTransportErrFlagsDroppedCollectiveErrors(t *testing.T) {
+	got := runFixture(t, map[string]string{
+		"internal/comm/comm.go":     fixtureComm,
+		"internal/engine/engine.go": badEngine,
+	}, lint.TransportErr)
+	wantFindings(t, got, []string{
+		"engine.go:10:2 transporterr",  // t.Barrier() statement
+		"engine.go:11:6 transporterr",  // _ = t.Close()
+		"engine.go:12:11 transporterr", // in, _ := t.Exchange(...)
+		"engine.go:14:2 transporterr",  // f.Barrier() via embedded concrete type
+		"engine.go:15:8 transporterr",  // defer t.Close()
+	})
+}
+
+func TestTransportErrStrictInCommLayer(t *testing.T) {
+	// Inside parsssp/internal/comm/... any dropped error-returning call
+	// is flagged, Transport or not: the comm layer is the I/O path.
+	src := `package wire
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func shutdown(c conn) {
+	c.Close()
+}
+
+func ok(c conn) error {
+	return c.Close()
+}
+`
+	got := runFixture(t, map[string]string{
+		"internal/comm/comm.go":      fixtureComm,
+		"internal/comm/wire/wire.go": src,
+	}, lint.TransportErr)
+	wantFindings(t, got, []string{
+		"wire.go:8:2 transporterr",
+	})
+}
+
+func TestTransportErrIgnoresUnrelatedClosers(t *testing.T) {
+	// Close on a type that does not implement Transport, outside the comm
+	// layer, is somebody else's concern (go vet, code review) — not ours.
+	src := `package store
+
+import "parsssp/internal/comm"
+
+type file struct{}
+
+func (file) Close() error { return nil }
+
+func use(f file, t comm.Transport) error {
+	defer f.Close()
+	return t.Barrier()
+}
+`
+	got := runFixture(t, map[string]string{
+		"internal/comm/comm.go":   fixtureComm,
+		"internal/store/store.go": src,
+	}, lint.TransportErr)
+	wantFindings(t, got, nil)
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WGMisuse flags the two WaitGroup mistakes that break the engine's
+// superstep discipline (every goroutine that Sends must reach its
+// Barrier):
+//
+//   - wg.Add called inside the spawned goroutine: the parent can reach
+//     wg.Wait before the goroutine is scheduled, so Wait returns with the
+//     work still outstanding. Add must happen before the go statement.
+//
+//   - wg.Done not guarded by defer: any panic (or early return grown in
+//     a later edit) between the work and the Done leaves the counter
+//     unbalanced and deadlocks every rank at the next barrier.
+const wgMisuseName = "wgmisuse"
+
+var WGMisuse = &Analyzer{
+	Name: wgMisuseName,
+	Doc: "flag WaitGroup.Add inside the spawned goroutine and " +
+		"WaitGroup.Done calls not guarded by defer",
+	Run: runWGMisuse,
+}
+
+func runWGMisuse(p *Package) []Finding {
+	var out []Finding
+	reportedAdd := make(map[*ast.CallExpr]bool) // dedup Add findings under nested go statements
+	for _, file := range p.Files {
+		// Pass 1: collect Done calls sanctioned by defer — the deferred
+		// call itself, or calls inside a deferred function literal.
+		deferred := make(map[*ast.CallExpr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			deferred[d.Call] = true
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && isWaitGroupMethod(p, call, "Done") {
+						deferred[call] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				report := func(call *ast.CallExpr) {
+					if reportedAdd[call] {
+						return
+					}
+					reportedAdd[call] = true
+					out = append(out, p.finding(wgMisuseName, call.Pos(),
+						"WaitGroup.Add runs inside the spawned goroutine; Wait can pass before it executes — call Add before the go statement"))
+				}
+				if isWaitGroupMethod(p, n.Call, "Add") {
+					report(n.Call)
+					return true
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						if call, ok := m.(*ast.CallExpr); ok && isWaitGroupMethod(p, call, "Add") {
+							report(call)
+						}
+						return true
+					})
+				}
+			case *ast.CallExpr:
+				if isWaitGroupMethod(p, n, "Done") && !deferred[n] {
+					out = append(out, p.finding(wgMisuseName, n.Pos(),
+						"WaitGroup.Done is not deferred; a panic before it deadlocks Wait — use defer wg.Done()"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isWaitGroupMethod reports whether call invokes sync.WaitGroup's method
+// with the given name (directly or through an embedded field).
+func isWaitGroupMethod(p *Package, call *ast.CallExpr, name string) bool {
+	sel := selectorCall(call)
+	if sel == nil || sel.Sel.Name != name {
+		return false
+	}
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

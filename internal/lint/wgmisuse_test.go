@@ -1,0 +1,90 @@
+package lint_test
+
+import (
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+func TestWGMisuseFlagsAddInGoroutineAndBareDone(t *testing.T) {
+	src := `package pool
+
+import "sync"
+
+func Bad(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1)
+			work()
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func work() {}
+`
+	got := runFixture(t, map[string]string{"internal/pool/pool.go": src}, lint.WGMisuse)
+	wantFindings(t, got, []string{
+		"pool.go:9:4 wgmisuse",  // wg.Add inside the spawned goroutine
+		"pool.go:11:4 wgmisuse", // wg.Done not deferred
+	})
+}
+
+func TestWGMisuseAllowsCanonicalShape(t *testing.T) {
+	src := `package pool
+
+import "sync"
+
+func Good(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func DeferredLiteral(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			work()
+			wg.Done()
+		}()
+		work()
+	}()
+	wg.Wait()
+}
+
+func work() {}
+`
+	got := runFixture(t, map[string]string{"internal/pool/pool.go": src}, lint.WGMisuse)
+	wantFindings(t, got, nil)
+}
+
+func TestWGMisuseIgnoresOtherAddMethods(t *testing.T) {
+	// Add/Done on non-WaitGroup types (here a custom accumulator) are
+	// out of scope even inside goroutines.
+	src := `package pool
+
+type acc struct{ n int }
+
+func (a *acc) Add(d int) { a.n += d }
+func (a *acc) Done()     {}
+
+func use(a *acc) {
+	go func() {
+		a.Add(1)
+		a.Done()
+	}()
+}
+`
+	got := runFixture(t, map[string]string{"internal/pool/pool.go": src}, lint.WGMisuse)
+	wantFindings(t, got, nil)
+}

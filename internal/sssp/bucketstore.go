@@ -38,6 +38,7 @@ func (s *bucketStore) take(k int64) []uint32 {
 func (s *bucketStore) nextNonEmpty(k int64, bucketOf []int64) int64 {
 	for {
 		best := int64(infBucket)
+		//parssspvet:allow nodeterminism -- pure min reduction over the keys; result is order-insensitive
 		for idx := range s.lists {
 			if idx > k && idx < best {
 				best = idx

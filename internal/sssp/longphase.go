@@ -2,7 +2,6 @@ package sssp
 
 import (
 	"math"
-	"time"
 
 	"parsssp/internal/comm"
 	"parsssp/internal/graph"
@@ -30,7 +29,7 @@ func (r *rankEngine) longPhase(k int64, bs *BucketStats) error {
 	// Without IOS the short phases already relaxed every short edge, so
 	// there is nothing outer to do.
 	if r.opts.IOS {
-		start := time.Now()
+		start := now()
 		before := r.relaxTotals()
 		if err := r.pushOuterShort(k, members); err != nil {
 			return err
@@ -49,7 +48,7 @@ func (r *rankEngine) longPhase(k int64, bs *BucketStats) error {
 	bs.Mode = mode
 	r.stats.Decisions = append(r.stats.Decisions, mode)
 
-	start := time.Now()
+	start := now()
 	before := r.relaxTotals()
 	if mode == ModePush {
 		if err := r.pushScanLong(k, members, bs); err != nil {
@@ -137,7 +136,7 @@ func (r *rankEngine) pushScanLong(k int64, members []uint32, bs *BucketStats) er
 func (r *rankEngine) pullScan(k int64) error {
 	// Requesters are all local unsettled vertices. Collect them (this is
 	// work the pull model pays for; charged to relaxation time).
-	start := time.Now()
+	start := now()
 	requesters := make([]uint32, 0, r.nLocal/4)
 	for li := 0; li < r.nLocal; li++ {
 		if r.bucketOf[li] > k {
@@ -179,7 +178,7 @@ func (r *rankEngine) pullScan(k int64) error {
 	// through thread 0's buffers. The self-delivered buffer may alias the
 	// very buffers responses are appended to (local delivery is
 	// zero-copy), so it is copied to a scratch area first.
-	start = time.Now()
+	start = now()
 	if self := reqIn[r.rank]; len(self) > 0 {
 		r.scratch = append(r.scratch[:0], self...)
 		reqIn[r.rank] = r.scratch
@@ -224,7 +223,7 @@ func (r *rankEngine) pullScan(k int64) error {
 // paper's fine-tuned heuristic, each cost blends the machine-wide volume
 // with the worst-rank load: cost = (1−λ)·volume + λ·P·maxPerRank.
 func (r *rankEngine) decideMode(k int64, members []uint32, bs *BucketStats) (Mode, error) {
-	start := time.Now()
+	start := now()
 	var pushLocal int64
 	for _, li := range members {
 		deg := int64(r.g.Degree(r.global(li)))
@@ -332,7 +331,7 @@ func (r *rankEngine) requestCount(li uint32, kBase graph.Dist) int64 {
 // relaxation rounds until no distance changes anywhere.
 func (r *rankEngine) runBellmanFord(k int64) error {
 	r.hybridMode = true
-	start := time.Now()
+	start := now()
 	frontier := make([]uint32, 0, r.nLocal/4)
 	for li := 0; li < r.nLocal; li++ {
 		if r.bucketOf[li] > k && r.dist[li] < graph.Inf {
@@ -352,7 +351,7 @@ func (r *rankEngine) runBellmanFord(k int64) error {
 		}
 		r.stats.Phases++
 		r.stats.BFPhases++
-		bfStart := time.Now()
+		bfStart := now()
 		bfBefore := r.relaxTotals()
 		nActive := len(r.active)
 		items := r.buildItems(r.active)

@@ -68,7 +68,7 @@ func (r *rankEngine) logPhase(bucket int64, kind PhaseKind, active int,
 		Kind:     kind,
 		Active:   int64(active),
 		Relax:    after.Total() - before.Total(),
-		Duration: time.Since(start),
+		Duration: since(start),
 	})
 }
 

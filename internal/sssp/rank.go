@@ -147,21 +147,21 @@ func (r *rankEngine) tracef(format string, args ...interface{}) {
 // ---- timed collectives ----------------------------------------------------
 
 func (r *rankEngine) allreduce(vals []int64, op comm.ReduceOp, bucketOverhead bool) ([]int64, error) {
-	start := time.Now()
+	start := now()
 	res, err := r.t.AllreduceInt64(vals, op)
 	r.charge(start, bucketOverhead)
 	return res, err
 }
 
 func (r *rankEngine) exchange() ([][]byte, error) {
-	start := time.Now()
+	start := now()
 	in, err := r.t.Exchange(r.out)
 	r.charge(start, false)
 	return in, err
 }
 
 func (r *rankEngine) charge(start time.Time, bucketOverhead bool) {
-	d := time.Since(start)
+	d := since(start)
 	if bucketOverhead {
 		r.bktTime += d
 	} else {
@@ -207,7 +207,7 @@ func (r *rankEngine) buildItems(verts []uint32) []workItem {
 // order within a thread is arbitrary; fn must only touch thread-local
 // buffers (tbufs[tid], tcnt[tid]).
 func (r *rankEngine) runWorkers(items []workItem, fn func(tid int, it workItem)) {
-	start := time.Now()
+	start := now()
 	defer r.charge(start, false)
 	T := r.opts.threads()
 	for tid := 0; tid < T; tid++ {
@@ -296,7 +296,7 @@ func (r *rankEngine) relaxTotals() RelaxCounts {
 // vertices, so per-vertex state is written without locks — the role the
 // L2 atomics played on Blue Gene/Q.
 func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStats) {
-	start := time.Now()
+	start := now()
 	defer r.charge(start, false)
 	r.stamp++
 	if T := r.opts.threads(); r.opts.ParallelApply && census == nil && T > 1 &&
@@ -350,7 +350,7 @@ func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 // run executes the full query on this rank and leaves per-rank results in
 // r.dist / r.stats.
 func (r *rankEngine) run() error {
-	totalStart := time.Now()
+	totalStart := now()
 	localMin := int64(infBucket)
 	if r.pd.Owner(r.src) == r.rank {
 		li := uint32(r.local(r.src))
@@ -381,7 +381,7 @@ func (r *rankEngine) run() error {
 
 		// Account settled vertices (bucket k's final members) and drop the
 		// bucket.
-		bktStart := time.Now()
+		bktStart := now()
 		settledLocal := r.store.countValid(k, r.bucketOf)
 		r.store.drop(k)
 		r.charge(bktStart, true)
@@ -406,7 +406,7 @@ func (r *rankEngine) run() error {
 			break
 		}
 
-		bktStart = time.Now()
+		bktStart = now()
 		localNext := r.store.nextNonEmpty(k, r.bucketOf)
 		r.charge(bktStart, true)
 		nv, err := r.allreduce([]int64{localNext}, comm.Min, true)
@@ -428,7 +428,7 @@ func (r *rankEngine) finishStats(totalStart time.Time) {
 	r.stats.Relax = r.relaxTotals()
 	r.stats.BktTime = r.bktTime
 	r.stats.OtherTime = r.otherTime
-	r.stats.Total = time.Since(totalStart)
+	r.stats.Total = since(totalStart)
 	for _, d := range r.dist {
 		if d < graph.Inf {
 			r.stats.Reached++
@@ -441,7 +441,7 @@ func (r *rankEngine) finishStats(totalStart time.Time) {
 // collectMembers returns the valid members of bucket k (charged to bucket
 // overhead, per the paper's BktTime definition).
 func (r *rankEngine) collectMembers(k int64) []uint32 {
-	start := time.Now()
+	start := now()
 	defer r.charge(start, true)
 	var members []uint32
 	for _, li := range r.store.list(k) {
@@ -469,7 +469,7 @@ func (r *rankEngine) processEpoch(k int64) error {
 		}
 		r.stats.Phases++
 		bs.ShortPhases++
-		phaseStart := time.Now()
+		phaseStart := now()
 		beforePhase := r.relaxTotals()
 		nActive := len(r.active)
 		if err := r.shortPhase(k); err != nil {

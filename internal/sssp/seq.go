@@ -217,10 +217,19 @@ func SeqDeltaStepping(g *graph.Graph, src graph.Vertex, delta graph.Weight) (*Se
 			// Next-phase actives are bucket-k vertices whose distance
 			// decreased; stale bucket entries handle membership, but the
 			// "changed" requirement needs explicit tracking.
+			// Walk updates (deterministic order) rather than ranging over
+			// the pre map: next's order decides the relaxation order of the
+			// following phase, and with it which parent wins equal-distance
+			// ties — map order here made the tree vary run to run.
 			var next []graph.Vertex
-			for v, before := range pre {
-				if res.Dist[v] < before && res.Dist[v]/dd == k {
-					next = append(next, v)
+			for _, u := range updates {
+				before, ok := pre[u.v]
+				if !ok {
+					continue
+				}
+				delete(pre, u.v)
+				if res.Dist[u.v] < before && res.Dist[u.v]/dd == k {
+					next = append(next, u.v)
 				}
 			}
 			buckets[k] = next
