@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race lint vet bench experiments fuzz clean
+.PHONY: all build test race lint vet bench bench-json experiments fuzz clean
 
 all: build test lint
 
@@ -23,6 +23,13 @@ lint: vet
 
 bench:
 	go test -bench=. -benchmem .
+
+# Archive the communication-layer benchmarks (GTEPS, wire bytes per
+# record/relaxation, allocs per query) as BENCH_comm.json for diffing
+# across commits. See EXPERIMENTS.md "Communication layer".
+bench-json:
+	go test -run '^$$' -bench BenchmarkCommWire -benchmem -benchtime 20x . \
+		| go run ./cmd/benchjson -out BENCH_comm.json
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 experiments:

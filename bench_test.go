@@ -451,3 +451,53 @@ func BenchmarkAblation_ParallelApply(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchRun(b, g, serial) })
 	b.Run("parallel", func(b *testing.B) { benchRun(b, g, par) })
 }
+
+// --- Communication layer (wire format + buffer pooling) --------------------
+
+// benchCommWire measures the steady-state cost of repeated queries on a
+// warm Machine: the phase loop and the exchange path run entirely out of
+// pooled buffers, so allocs/op is the pooling regression metric and the
+// wire-byte metrics quantify the codec. make bench-json exports these as
+// BENCH_comm.json.
+func benchCommWire(b *testing.B, wf sssp.WireFormat) {
+	g := rmatGraph(b, expt.RMAT1, benchScale)
+	opts := sssp.OptOptions(25)
+	opts.Threads = 2
+	opts.WireFormat = wf
+	m, err := sssp.NewMachine(g, benchRanks, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	root := benchRoot(g)
+	// One warm-up query grows every pool to its steady-state size.
+	if _, err := m.Query(root); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *sssp.Result
+	for i := 0; i < b.N; i++ {
+		res, err := m.Query(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last != nil {
+		tr := last.Stats.Traffic
+		b.ReportMetric(last.Stats.GTEPS(g.NumEdges()), "GTEPS")
+		b.ReportMetric(float64(tr.BytesSent), "wire-bytes")
+		if tr.RecordsSent > 0 {
+			b.ReportMetric(float64(tr.BytesSent)/float64(tr.RecordsSent), "bytes/record")
+		}
+		if total := last.Stats.Relax.Total(); total > 0 {
+			b.ReportMetric(float64(tr.BytesSent)/float64(total), "bytes/relax")
+		}
+	}
+}
+
+func BenchmarkCommWireV1(b *testing.B) { benchCommWire(b, sssp.WireV1) }
+
+func BenchmarkCommWireV2(b *testing.B) { benchCommWire(b, sssp.WireV2) }

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench -benchmem` output read from
+// stdin into a machine-readable JSON file, so benchmark numbers (GTEPS,
+// wire bytes, allocations) can be archived and diffed across commits.
+// `make bench-json` pipes the communication-layer benchmarks through it
+// to produce BENCH_comm.json.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkComm -benchmem . | benchjson -out BENCH_comm.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Standard columns get named
+// fields; custom b.ReportMetric units land in Metrics keyed by unit.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout of BENCH_comm.json.
+type Report struct {
+	Package    string      `json:"package,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(rep.Benchmarks), *out)
+}
+
+// parse scans `go test -bench` output. Result lines look like
+//
+//	BenchmarkName-8   100   123456 ns/op   4.5 custom-unit   120 B/op   3 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parse(f *os.File) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if pkg, ok := strings.CutPrefix(line, "pkg: "); ok {
+			rep.Package = strings.TrimSpace(pkg)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// trimProcs drops the -GOMAXPROCS suffix the bench runner appends to
+// names, so the JSON is stable across machines.
+func trimProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -22,6 +22,7 @@ func Closeness(g *graph.Graph, numRanks int, src graph.Vertex, opts sssp.Options
 	if err != nil {
 		return 0, err
 	}
+	defer m.Close()
 	return closenessOn(m, g, src)
 }
 
@@ -53,6 +54,7 @@ func Eccentricity(g *graph.Graph, numRanks int, src graph.Vertex, opts sssp.Opti
 	if err != nil {
 		return 0, 0, err
 	}
+	defer m.Close()
 	return eccentricityOn(m, src)
 }
 
@@ -97,6 +99,7 @@ func Diameter(g *graph.Graph, numRanks int, src graph.Vertex,
 	if err != nil {
 		return nil, err
 	}
+	defer m.Close()
 	bounds := &DiameterBounds{Upper: graph.Dist(math.MaxInt64 / 4), Peripheral: src}
 	cur := src
 	minEcc := graph.Dist(math.MaxInt64 / 4)
@@ -149,6 +152,7 @@ func TopKCloseness(g *graph.Graph, numRanks int, candidates []graph.Vertex,
 	if err != nil {
 		return nil, err
 	}
+	defer m.Close()
 	ranked := make([]RankedVertex, 0, len(candidates))
 	for _, v := range candidates {
 		score, err := closenessOn(m, g, v)

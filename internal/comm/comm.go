@@ -46,17 +46,24 @@ func (op ReduceOp) String() string {
 	}
 }
 
-// Apply reduces b into a elementwise and returns a.
+// Apply reduces b into a elementwise and returns a. The op dispatch is
+// hoisted out of the element loop: Apply sits on the allreduce path of
+// every bulk-synchronous phase, and a per-element branch there is pure
+// overhead.
 func (op ReduceOp) Apply(a, b []int64) []int64 {
-	for i := range a {
-		switch op {
-		case Sum:
+	switch op {
+	case Sum:
+		for i := range a {
 			a[i] += b[i]
-		case Min:
+		}
+	case Min:
+		for i := range a {
 			if b[i] < a[i] {
 				a[i] = b[i]
 			}
-		case Max:
+		}
+	case Max:
+		for i := range a {
 			if b[i] > a[i] {
 				a[i] = b[i]
 			}
@@ -88,6 +95,19 @@ type Transport interface {
 	Close() error
 }
 
+// GatherExchanger is an optional Transport extension: a gathered
+// (vectored) Exchange that takes each destination's payload as a list of
+// segments instead of one contiguous buffer. out[i] is the segment list
+// for rank i; the logical payload is the segments' concatenation, and
+// in[i] is delivered contiguous exactly as with Exchange. Transports that
+// implement it consume per-thread staging buffers directly, eliminating
+// the sender-side concatenation copy. Segment slices are owned by the
+// caller again as soon as the call returns; the same collective-ordering
+// discipline as Exchange applies.
+type GatherExchanger interface {
+	ExchangeV(out [][][]byte) (in [][]byte, err error)
+}
+
 // TrafficStats accumulates wire-level counters for a transport.
 type TrafficStats struct {
 	// ExchangeCalls is the number of Exchange collectives.
@@ -99,6 +119,16 @@ type TrafficStats struct {
 	BytesReceived int64
 	// MessagesSent counts non-empty buffers sent to other ranks.
 	MessagesSent int64
+	// RecordsSent counts application-level records sent to other ranks.
+	// The byte counters depend on the wire encoding; the record counters
+	// do not, so the paper's communication-volume metric stays defined in
+	// records whatever codec is on the wire. They are maintained by the
+	// record layer (the engine), not by the transport wrapper, which
+	// cannot see record boundaries.
+	RecordsSent int64
+	// RecordsReceived counts application-level records received from
+	// other ranks.
+	RecordsReceived int64
 	// AllreduceCalls counts AllreduceInt64 collectives.
 	AllreduceCalls int64
 	// BarrierCalls counts Barrier collectives.
@@ -108,9 +138,18 @@ type TrafficStats struct {
 // Counting wraps a Transport and accumulates TrafficStats. It is not safe
 // for concurrent use by multiple goroutines, matching the underlying
 // collectives' calling discipline (one caller per rank).
+//
+// Counting always offers ExchangeV: when the wrapped transport is a
+// GatherExchanger the segments pass straight through; otherwise they are
+// concatenated into buffers pooled on the wrapper and sent with plain
+// Exchange, so callers can stage per-thread segments unconditionally.
 type Counting struct {
 	T     Transport
 	Stats TrafficStats
+
+	// merged holds the pooled concatenation buffers of the ExchangeV
+	// fallback; reused across calls.
+	merged [][]byte
 }
 
 // NewCounting returns a counting wrapper around t.
@@ -134,6 +173,52 @@ func (c *Counting) Exchange(out [][]byte) ([][]byte, error) {
 		c.Stats.MessagesSent++
 	}
 	in, err := c.T.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range in {
+		if i == me {
+			continue
+		}
+		c.Stats.BytesReceived += int64(len(b))
+	}
+	return in, nil
+}
+
+// ExchangeV implements GatherExchanger, counting payload traffic. The
+// wrapped transport's own ExchangeV is used when available; otherwise the
+// segments are concatenated into pooled buffers and sent with Exchange.
+func (c *Counting) ExchangeV(out [][][]byte) ([][]byte, error) {
+	c.Stats.ExchangeCalls++
+	me := c.T.Rank()
+	for i, segs := range out {
+		total := 0
+		for _, s := range segs {
+			total += len(s)
+		}
+		if i == me || total == 0 {
+			continue
+		}
+		c.Stats.BytesSent += int64(total)
+		c.Stats.MessagesSent++
+	}
+	var in [][]byte
+	var err error
+	if ge, ok := c.T.(GatherExchanger); ok {
+		in, err = ge.ExchangeV(out)
+	} else {
+		if len(c.merged) != len(out) {
+			c.merged = make([][]byte, len(out))
+		}
+		for i, segs := range out {
+			buf := c.merged[i][:0]
+			for _, s := range segs {
+				buf = append(buf, s...)
+			}
+			c.merged[i] = buf
+		}
+		in, err = c.T.Exchange(c.merged)
+	}
 	if err != nil {
 		return nil, err
 	}

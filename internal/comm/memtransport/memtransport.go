@@ -6,6 +6,12 @@
 // costs two barrier waits and zero copies (buffers are handed over by
 // reference). Results are deterministic: in[i] on every rank is exactly
 // what rank i passed as out, with no reordering.
+//
+// The mailbox cells hold segment lists rather than single buffers, which
+// makes the gathered collective (comm.GatherExchanger) native: senders
+// deposit their per-thread staging buffers unmerged and receivers
+// assemble them during the copy they already pay for, so the gathered
+// path costs no extra copy at all.
 package memtransport
 
 import (
@@ -19,8 +25,9 @@ import (
 // Rank(i) to each of the P goroutines.
 type Group struct {
 	size int
-	// mailbox[src][dst] is the buffer in flight from src to dst.
-	mailbox [][][]byte
+	// mailbox[src][dst] is the segment list in flight from src to dst;
+	// the logical payload is the segments' concatenation.
+	mailbox [][][][]byte
 	// reduce[rank] holds each rank's Allreduce contribution.
 	reduce [][]int64
 	bar    *barrier
@@ -33,12 +40,12 @@ func New(size int) (*Group, error) {
 	}
 	g := &Group{
 		size:    size,
-		mailbox: make([][][]byte, size),
+		mailbox: make([][][][]byte, size),
 		reduce:  make([][]int64, size),
 		bar:     newBarrier(size),
 	}
 	for i := range g.mailbox {
-		g.mailbox[i] = make([][]byte, size)
+		g.mailbox[i] = make([][][]byte, size)
 	}
 	return g, nil
 }
@@ -61,39 +68,67 @@ func (g *Group) Endpoints() []comm.Transport {
 }
 
 type endpoint struct {
-	g     *Group
-	rank  int
-	in    [][]byte // reused result slice
-	arena [][]byte // reused copies of received buffers
+	g       *Group
+	rank    int
+	in      [][]byte   // reused result slice
+	arena   [][]byte   // reused copies of received buffers
+	wrap    [][][]byte // reused single-segment wrapping of an Exchange row
+	wrapSeg [][1][]byte
 }
 
 func (e *endpoint) Rank() int { return e.rank }
 func (e *endpoint) Size() int { return e.g.size }
 
 func (e *endpoint) Exchange(out [][]byte) ([][]byte, error) {
-	g := e.g
-	if len(out) != g.size {
+	if len(out) != e.g.size {
 		return nil, errors.New("memtransport: Exchange buffer count != size")
 	}
+	// Wrap each buffer as a single segment (headers only, no data copy)
+	// and run the common segment path.
+	if e.wrap == nil {
+		e.wrap = make([][][]byte, e.g.size)
+		e.wrapSeg = make([][1][]byte, e.g.size)
+	}
+	for dst, b := range out {
+		e.wrapSeg[dst][0] = b
+		e.wrap[dst] = e.wrapSeg[dst][:]
+	}
+	return e.exchange(e.wrap)
+}
+
+// ExchangeV implements comm.GatherExchanger.
+func (e *endpoint) ExchangeV(out [][][]byte) ([][]byte, error) {
+	if len(out) != e.g.size {
+		return nil, errors.New("memtransport: ExchangeV buffer count != size")
+	}
+	return e.exchange(out)
+}
+
+func (e *endpoint) exchange(out [][][]byte) ([][]byte, error) {
+	g := e.g
 	// Deposit this rank's outgoing row.
 	copy(g.mailbox[e.rank], out)
 	g.bar.wait()
-	// Collect this rank's incoming column. Buffers are copied into a
-	// per-endpoint arena: the Transport contract gives received buffers
-	// to the receiver, while senders are free to reuse their out buffers
-	// as soon as Exchange returns.
+	// Collect this rank's incoming column. Segments are copied
+	// contiguously into a per-endpoint arena: the Transport contract
+	// gives received buffers to the receiver, while senders are free to
+	// reuse their out buffers as soon as the collective returns.
 	if e.in == nil {
 		e.in = make([][]byte, g.size)
 		e.arena = make([][]byte, g.size)
 	}
 	for src := 0; src < g.size; src++ {
-		buf := g.mailbox[src][e.rank]
-		if src == e.rank {
-			e.in[src] = buf // local delivery: same goroutine, no reuse hazard
+		segs := g.mailbox[src][e.rank]
+		if src == e.rank && len(segs) == 1 {
+			e.in[src] = segs[0] // local delivery: same goroutine, no reuse hazard
 			continue
 		}
-		e.arena[src] = append(e.arena[src][:0], buf...)
-		e.in[src] = e.arena[src]
+		buf := e.arena[src][:0]
+		for _, s := range segs {
+			buf = append(buf, s...)
+		}
+		e.arena[src] = buf
+		e.in[src] = buf
 	}
 	// Second barrier: nobody may start the next deposit before everyone
 	// has collected this round.

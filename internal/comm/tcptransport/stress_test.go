@@ -1,0 +1,145 @@
+package tcptransport
+
+import (
+	"bytes"
+	"fmt"
+
+	"testing"
+
+	"parsssp/internal/comm"
+)
+
+// stressPattern fills a deterministic payload so receivers can verify
+// sender, round and byte-level integrity of every frame.
+func stressPattern(buf []byte, src, dst, round int) []byte {
+	seed := byte(src*31 + dst*7 + round)
+	for i := range buf {
+		buf[i] = seed + byte(i)
+	}
+	return buf
+}
+
+// TestStressOverlappedCollectives hammers the overlapped data path: 4
+// ranks interleave Exchange, gathered ExchangeV, Allreduce and Barrier
+// collectives for many rounds, with per-destination payloads alternating
+// between empty, small, and >1MiB frames. Combined with the recycled
+// read buffers and persistent writer goroutines this is the test that
+// must stay clean under -race (see `make race`).
+func TestStressOverlappedCollectives(t *testing.T) {
+	const (
+		size   = 4
+		rounds = 12
+		big    = 1<<20 + 12345 // >1MiB, not a round number
+	)
+	runMachine(t, size, func(tr comm.Transport) error {
+		me := tr.Rank()
+		ge := tr.(comm.GatherExchanger)
+		out := make([][]byte, size)
+		// One buffer per destination: the writer goroutines read from
+		// every destination's payload concurrently, so they must not
+		// share storage.
+		bufs := make([][]byte, size)
+		for dst := range bufs {
+			bufs[dst] = make([]byte, big)
+		}
+		for round := 0; round < rounds; round++ {
+			// Vary the shape per (sender, dest, round): empty, small, or
+			// large, so writers see zero-length frames between huge ones.
+			for dst := 0; dst < size; dst++ {
+				switch (me + dst + round) % 3 {
+				case 0:
+					out[dst] = nil
+				case 1:
+					out[dst] = stressPattern(bufs[dst][:128], me, dst, round)
+				default:
+					out[dst] = stressPattern(bufs[dst][:big], me, dst, round)
+				}
+			}
+			var in [][]byte
+			var err error
+			if round%2 == 0 {
+				in, err = tr.Exchange(out)
+			} else {
+				// Odd rounds go through the gathered path, splitting each
+				// payload into two segments (empty payloads send no
+				// segments at all).
+				vout := make([][][]byte, size)
+				for dst := 0; dst < size; dst++ {
+					p := out[dst]
+					if len(p) == 0 {
+						continue
+					}
+					h := (len(p) + 1) / 2
+					vout[dst] = [][]byte{p[:h], p[h:]}
+				}
+				in, err = ge.ExchangeV(vout)
+			}
+			if err != nil {
+				return err
+			}
+			for src := 0; src < size; src++ {
+				var wantLen int
+				switch (src + me + round) % 3 {
+				case 0:
+					wantLen = 0
+				case 1:
+					wantLen = 128
+				default:
+					wantLen = big
+				}
+				if len(in[src]) != wantLen {
+					return fmt.Errorf("round %d: frame from %d has %d bytes, want %d",
+						round, src, len(in[src]), wantLen)
+				}
+				if wantLen > 0 {
+					want := stressPattern(make([]byte, wantLen), src, me, round)
+					if !bytes.Equal(in[src], want) {
+						return fmt.Errorf("round %d: frame from %d corrupted", round, src)
+					}
+				}
+			}
+			// Interleave the other collectives so frame matching has to
+			// survive mixed traffic on the same connections.
+			sum, err := tr.AllreduceInt64([]int64{int64(me), 1}, comm.Sum)
+			if err != nil {
+				return err
+			}
+			if sum[0] != 0+1+2+3 || sum[1] != size {
+				return fmt.Errorf("round %d: allreduce = %v", round, sum)
+			}
+			if err := tr.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestExchangeVMatchesExchange checks that the gathered path delivers the
+// concatenation of its segments, including the zero-copy self row.
+func TestExchangeVMatchesExchange(t *testing.T) {
+	const size = 3
+	runMachine(t, size, func(tr comm.Transport) error {
+		me := tr.Rank()
+		ge := tr.(comm.GatherExchanger)
+		vout := make([][][]byte, size)
+		for dst := 0; dst < size; dst++ {
+			vout[dst] = [][]byte{
+				{byte(me), byte(dst)},
+				nil,
+				{0xEE, byte(me + dst)},
+			}
+		}
+		in, err := ge.ExchangeV(vout)
+		if err != nil {
+			return err
+		}
+		for src := 0; src < size; src++ {
+			want := []byte{byte(src), byte(me), 0xEE, byte(src + me)}
+			if !bytes.Equal(in[src], want) {
+				return fmt.Errorf("from %d: got %v want %v", src, in[src], want)
+			}
+		}
+		return nil
+	})
+}

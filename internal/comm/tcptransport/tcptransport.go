@@ -9,13 +9,29 @@
 // all traffic is length-prefixed binary frames. The collectives are
 // implemented directly on the mesh:
 //
-//   - Exchange: write one frame to every peer, read one frame from every
-//     peer. TCP ordering plus the lockstep collective discipline make
-//     frame matching trivial — the k-th frame on a connection belongs to
-//     the k-th collective.
+//   - Exchange / ExchangeV: write one frame to every peer, read one frame
+//     from every peer. TCP ordering plus the lockstep collective
+//     discipline make frame matching trivial — the k-th frame on a
+//     connection belongs to the k-th collective.
 //   - AllreduceInt64: an allgather of the encoded vectors (an Exchange of
 //     the same payload to all peers) followed by a local reduction.
 //   - Barrier: a zero-length Allreduce.
+//
+// The data path is built for overlap and reuse:
+//
+//   - One persistent writer goroutine per peer. A collective enqueues all
+//     outgoing frames and immediately starts draining its inboxes, so the
+//     P−1 sends proceed concurrently with each other and with the
+//     receives — the all-to-all is never serialized on a single socket's
+//     flow control.
+//   - Frames are written with net.Buffers (writev): the length prefix and
+//     the payload segments of a gathered exchange go out in one vectored
+//     syscall, with no sender-side concatenation copy.
+//   - Frame read buffers are recycled per peer. The Transport contract
+//     gives a received buffer to the caller only until its next
+//     collective call, at which point the buffer returns to the peer's
+//     free list and the read loop reuses it. Steady-state exchanges
+//     allocate nothing.
 //
 // Frame format (little-endian): u32 payload length, then payload. The
 // handshake frame is: u32 magic, u32 rank.
@@ -54,14 +70,44 @@ type Config struct {
 	DialRetry time.Duration
 }
 
-// Transport is a TCP-backed comm.Transport endpoint.
+// Transport is a TCP-backed comm.Transport endpoint. It also implements
+// comm.GatherExchanger. After any collective returns an error the
+// transport is dead and must be Closed; the lockstep frame matching
+// cannot be resynchronized.
 type Transport struct {
 	rank  int
 	size  int
 	ln    net.Listener
 	conns []net.Conn // conns[p] is the connection to rank p; nil for self
 	inbox []chan frame
-	errs  chan error
+
+	// Per-peer writer machinery: sendq carries one prepared frame per
+	// collective to the peer's writer goroutine, sendDone returns its
+	// write error. Both are capacity-1; the collective discipline admits
+	// at most one outstanding frame per peer.
+	sendq    []chan net.Buffers
+	sendDone []chan error
+	// hdrs[p] is the reusable length-prefix storage of the in-flight
+	// frame to p; sendBufs[p] the reusable vectored-write segment list.
+	hdrs     [][4]byte
+	sendBufs []net.Buffers
+
+	// recvFree[p] recycles frame payload buffers of peer p back to its
+	// read loop; prevIn[p] is the payload handed to the caller by the
+	// previous collective, reclaimable at the next one.
+	recvFree []chan []byte
+	prevIn   [][]byte
+
+	in      [][]byte   // reused result slice of exchanges
+	selfBuf []byte     // reused concatenation of multi-segment self-delivery
+	wrap    [][][]byte // reused single-segment wrapping of an Exchange row
+	wrapSeg [][1][]byte
+
+	// Pooled Allreduce scratch: the encoded local vector, the shared out
+	// row pointing at it, and the decode buffer for each peer's vector.
+	reducePayload []byte
+	reduceOut     [][][]byte
+	reduceTmp     []int64
 
 	closeOnce sync.Once
 	closeErr  error
@@ -90,14 +136,25 @@ func New(cfg Config) (*Transport, error) {
 		cfg.DialRetry = 50 * time.Millisecond
 	}
 	t := &Transport{
-		rank:  cfg.Rank,
-		size:  size,
-		conns: make([]net.Conn, size),
-		inbox: make([]chan frame, size),
-		errs:  make(chan error, size),
+		rank:     cfg.Rank,
+		size:     size,
+		conns:    make([]net.Conn, size),
+		inbox:    make([]chan frame, size),
+		sendq:    make([]chan net.Buffers, size),
+		sendDone: make([]chan error, size),
+		hdrs:     make([][4]byte, size),
+		sendBufs: make([]net.Buffers, size),
+		recvFree: make([]chan []byte, size),
+		prevIn:   make([][]byte, size),
+		in:       make([][]byte, size),
+		wrap:     make([][][]byte, size),
+		wrapSeg:  make([][1][]byte, size),
 	}
 	for p := range t.inbox {
 		t.inbox[p] = make(chan frame, 1)
+		t.sendq[p] = make(chan net.Buffers, 1)
+		t.sendDone[p] = make(chan error, 1)
+		t.recvFree[p] = make(chan []byte, 2)
 	}
 	if size == 1 {
 		return t, nil
@@ -155,12 +212,15 @@ func New(cfg Config) (*Transport, error) {
 		}
 		t.conns[r.peer] = r.conn
 	}
-	// One reader goroutine per peer keeps frames ordered per connection.
+	// One reader and one writer goroutine per peer: readers keep frames
+	// ordered per connection, writers let a collective's sends to all
+	// peers proceed concurrently with its receives.
 	for p, conn := range t.conns {
 		if conn == nil {
 			continue
 		}
 		go t.readLoop(p, conn)
+		go t.writeLoop(p, conn)
 	}
 	return t, nil
 }
@@ -206,6 +266,8 @@ func readHandshake(conn net.Conn) (int, error) {
 }
 
 // readLoop reads frames from peer p and delivers them to the inbox.
+// Payload buffers come from the peer's free list when one is large
+// enough, so steady-state traffic reads into recycled memory.
 func (t *Transport) readLoop(p int, conn net.Conn) {
 	for {
 		var hdr [4]byte
@@ -218,7 +280,7 @@ func (t *Transport) readLoop(p int, conn net.Conn) {
 			t.inbox[p] <- frame{err: fmt.Errorf("tcptransport: oversized frame %d from rank %d", n, p)}
 			return
 		}
-		payload := make([]byte, n)
+		payload := t.recvBuf(p, int(n))
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			t.inbox[p] <- frame{err: err}
 			return
@@ -227,18 +289,40 @@ func (t *Transport) readLoop(p int, conn net.Conn) {
 	}
 }
 
-func writeFrame(conn net.Conn, payload []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := conn.Write(payload); err != nil {
-			return err
+// recvBuf returns a payload buffer of length n, recycling the peer's free
+// list when possible.
+func (t *Transport) recvBuf(p, n int) []byte {
+	select {
+	case b := <-t.recvFree[p]:
+		if cap(b) >= n {
+			return b[:n]
 		}
+	default:
 	}
-	return nil
+	return make([]byte, n)
+}
+
+// recycleRecv returns a payload buffer to peer p's free list once its
+// owner (the caller of the previous collective) has relinquished it.
+func (t *Transport) recycleRecv(p int, b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case t.recvFree[p] <- b[:0]:
+	default:
+	}
+}
+
+// writeLoop writes the frames enqueued for peer p. Each queued value is a
+// fully prepared vectored frame (length prefix first); the write error is
+// reported back through sendDone so the enqueuing collective can
+// propagate it.
+func (t *Transport) writeLoop(p int, conn net.Conn) {
+	for bufs := range t.sendq[p] {
+		_, err := bufs.WriteTo(conn)
+		t.sendDone[p] <- err
+	}
 }
 
 // Rank implements comm.Transport.
@@ -253,65 +337,138 @@ func (t *Transport) Exchange(out [][]byte) ([][]byte, error) {
 		return nil, errors.New("tcptransport: Exchange buffer count != size")
 	}
 	for p, b := range out {
-		if p != t.rank && len(b) > maxFrame {
+		t.wrapSeg[p][0] = b
+		t.wrap[p] = t.wrapSeg[p][:]
+	}
+	return t.exchangeSegs(t.wrap)
+}
+
+// ExchangeV implements comm.GatherExchanger.
+func (t *Transport) ExchangeV(out [][][]byte) ([][]byte, error) {
+	if len(out) != t.size {
+		return nil, errors.New("tcptransport: ExchangeV buffer count != size")
+	}
+	return t.exchangeSegs(out)
+}
+
+// exchangeSegs runs the all-to-all: enqueue one frame per peer on the
+// writer goroutines, then drain every peer's inbox while the writes
+// proceed in the background, then collect the write errors.
+func (t *Transport) exchangeSegs(out [][][]byte) ([][]byte, error) {
+	for p, segs := range out {
+		if p == t.rank {
+			continue
+		}
+		total := 0
+		for _, s := range segs {
+			total += len(s)
+		}
+		if total > maxFrame {
 			return nil, fmt.Errorf("tcptransport: buffer for rank %d exceeds frame limit", p)
 		}
 	}
-	// Write concurrently to avoid head-of-line blocking across peers.
-	var wg sync.WaitGroup
-	writeErr := make(chan error, t.size)
-	for p, conn := range t.conns {
-		if conn == nil {
+	// Enqueue all sends. The header and segment list storage is per-peer
+	// and reused; at most one frame per peer is in flight per collective,
+	// and the writer completion is collected below before returning, so
+	// the storage (and the caller's segments) are never touched by a
+	// writer after this collective ends.
+	for p := range out {
+		if p == t.rank || t.conns[p] == nil {
 			continue
 		}
-		wg.Add(1)
-		go func(conn net.Conn, payload []byte) {
-			defer wg.Done()
-			if err := writeFrame(conn, payload); err != nil {
-				writeErr <- err
+		total := 0
+		for _, s := range out[p] {
+			total += len(s)
+		}
+		binary.LittleEndian.PutUint32(t.hdrs[p][:], uint32(total))
+		bufs := t.sendBufs[p][:0]
+		bufs = append(bufs, t.hdrs[p][:])
+		for _, s := range out[p] {
+			if len(s) > 0 {
+				bufs = append(bufs, s)
 			}
-		}(conn, out[p])
+		}
+		t.sendBufs[p] = bufs
+		t.sendq[p] <- bufs
 	}
-	in := make([][]byte, t.size)
-	in[t.rank] = out[t.rank]
+
+	// Local delivery: zero-copy for a single segment, pooled
+	// concatenation otherwise.
+	self := out[t.rank]
+	if len(self) == 1 {
+		t.in[t.rank] = self[0]
+	} else {
+		buf := t.selfBuf[:0]
+		for _, s := range self {
+			buf = append(buf, s...)
+		}
+		t.selfBuf = buf
+		t.in[t.rank] = buf
+	}
+
+	// Drain the inboxes. The previous collective's payloads are recycled
+	// here: by calling into this collective the caller has relinquished
+	// them, per the Transport ownership contract.
+	var recvErr error
 	for p := range t.conns {
 		if t.conns[p] == nil {
 			continue
 		}
 		f := <-t.inbox[p]
 		if f.err != nil {
-			return nil, fmt.Errorf("tcptransport: receive from rank %d: %w", p, f.err)
+			recvErr = errors.Join(recvErr, fmt.Errorf("tcptransport: receive from rank %d: %w", p, f.err))
+			continue
 		}
-		in[p] = f.payload
+		t.recycleRecv(p, t.prevIn[p])
+		t.prevIn[p] = f.payload
+		t.in[p] = f.payload
 	}
-	wg.Wait()
-	select {
-	case err := <-writeErr:
+
+	// Collect the write completions; after this no writer references the
+	// caller's segments.
+	var sendErr error
+	for p := range t.conns {
+		if p == t.rank || t.conns[p] == nil {
+			continue
+		}
+		if err := <-t.sendDone[p]; err != nil {
+			sendErr = errors.Join(sendErr, fmt.Errorf("tcptransport: send to rank %d: %w", p, err))
+		}
+	}
+	if err := errors.Join(recvErr, sendErr); err != nil {
 		return nil, err
-	default:
 	}
-	return in, nil
+	return t.in, nil
 }
 
 // AllreduceInt64 implements comm.Transport as allgather + local reduce.
+// All scratch (the encoded vector, the shared out row, the per-peer
+// decode buffer) is pooled on the transport; only the result is freshly
+// allocated, because callers may hold results of several collectives at
+// once (see memtransport for the rationale).
 func (t *Transport) AllreduceInt64(vals []int64, op comm.ReduceOp) ([]int64, error) {
-	payload := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(payload[8*i:], uint64(v))
+	payload := t.reducePayload[:0]
+	for _, v := range vals {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(v))
 	}
-	out := make([][]byte, t.size)
-	for p := range out {
-		out[p] = payload
+	t.reducePayload = payload
+	if t.reduceOut == nil {
+		t.reduceOut = make([][][]byte, t.size)
 	}
-	in, err := t.Exchange(out)
+	for p := range t.reduceOut {
+		t.reduceOut[p] = t.reduceOut[p][:0]
+		t.reduceOut[p] = append(t.reduceOut[p], payload)
+	}
+	in, err := t.exchangeSegs(t.reduceOut)
 	if err != nil {
 		return nil, err
 	}
-	// Freshly allocated: callers may hold results of several collectives
-	// at once (see memtransport for the rationale).
 	res := make([]int64, len(vals))
 	copy(res, vals)
-	other := make([]int64, len(vals))
+	if cap(t.reduceTmp) < len(vals) {
+		t.reduceTmp = make([]int64, len(vals))
+	}
+	other := t.reduceTmp[:len(vals)]
 	for p, buf := range in {
 		if p == t.rank {
 			continue
@@ -333,9 +490,15 @@ func (t *Transport) Barrier() error {
 	return err
 }
 
-// Close implements comm.Transport.
+// Close implements comm.Transport. Closing shuts the writer goroutines
+// down and closes every connection, which also unblocks the read loops.
 func (t *Transport) Close() error {
 	t.closeOnce.Do(func() {
+		for p, conn := range t.conns {
+			if conn != nil {
+				close(t.sendq[p])
+			}
+		}
 		if t.ln != nil {
 			t.closeErr = t.ln.Close()
 		}

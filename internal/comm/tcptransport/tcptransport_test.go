@@ -3,6 +3,7 @@ package tcptransport
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -71,17 +72,28 @@ func runMachine(t *testing.T, size int, fn func(tr comm.Transport) error) {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				errs[r] = fn(trs[r])
+				if err := fn(trs[r]); err != nil {
+					errs[r] = err
+					// This rank abandons the lockstep collective
+					// sequence; close its transport so peers blocked in
+					// a collective fail fast instead of hanging the
+					// test until the -timeout goroutine dump.
+					trs[r].Close()
+				}
 			}(r)
 		}
 		wg.Wait()
 		for _, tr := range trs {
 			tr.Close()
 		}
+		var failures []string
 		for r, err := range errs {
 			if err != nil {
-				t.Fatalf("rank %d: %v", r, err)
+				failures = append(failures, fmt.Sprintf("rank %d: %v", r, err))
 			}
+		}
+		if len(failures) > 0 {
+			t.Fatalf("%s", strings.Join(failures, "\n"))
 		}
 		return
 	}

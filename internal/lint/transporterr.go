@@ -13,12 +13,13 @@ const commPkgPath = "parsssp/internal/comm"
 // TransportErr flags discarded errors from the comm layer. Two rules:
 //
 //  1. Everywhere in the module, a call to a method of comm.Transport
-//     (Exchange, AllreduceInt64, Barrier, Close — on any type
-//     implementing the interface) must not drop its error: not as a bare
-//     statement, not behind go/defer, and not assigned to the blank
-//     identifier. A swallowed transport error desynchronizes the
-//     bulk-synchronous collectives — the other ranks keep waiting at a
-//     barrier this rank will never reach.
+//     (Exchange, AllreduceInt64, Barrier, Close) or of the optional
+//     comm.GatherExchanger extension (ExchangeV) — on any type
+//     implementing the respective interface — must not drop its error:
+//     not as a bare statement, not behind go/defer, and not assigned to
+//     the blank identifier. A swallowed transport error desynchronizes
+//     the bulk-synchronous collectives — the other ranks keep waiting at
+//     a barrier this rank will never reach.
 //
 //  2. Inside the comm layer itself (parsssp/internal/comm/...), every
 //     dropped error-returning call is flagged, whatever the callee: the
@@ -35,19 +36,21 @@ var TransportErr = &Analyzer{
 }
 
 func runTransportErr(p *Package) []Finding {
-	iface := transportInterface(p)
+	ifaces := transportInterfaces(p)
 	strict := p.Path == commPkgPath || strings.HasPrefix(p.Path, commPkgPath+"/")
-	if iface == nil && !strict {
+	if len(ifaces) == 0 && !strict {
 		return nil
 	}
 	var out []Finding
 	report := func(call *ast.CallExpr, how string) {
 		callee := types.ExprString(call.Fun)
-		if iface != nil && isTransportMethodCall(p, call, iface) {
-			out = append(out, p.finding(transportErrName, call.Pos(),
-				"error from transport collective %s %s; a dropped transport error desynchronizes the ranks — propagate it",
-				callee, how))
-			return
+		for _, iface := range ifaces {
+			if isTransportMethodCall(p, call, iface) {
+				out = append(out, p.finding(transportErrName, call.Pos(),
+					"error from transport collective %s %s; a dropped transport error desynchronizes the ranks — propagate it",
+					callee, how))
+				return
+			}
 		}
 		if strict {
 			out = append(out, p.finding(transportErrName, call.Pos(),
@@ -88,11 +91,12 @@ func runTransportErr(p *Package) []Finding {
 	return out
 }
 
-// transportInterface resolves comm.Transport for this package: locally
-// when analyzing the comm package itself, otherwise through the
-// package's transitive imports. nil when the package cannot reach the
-// comm layer at all (rule 1 is then vacuous).
-func transportInterface(p *Package) *types.Interface {
+// transportInterfaces resolves the comm-layer collective interfaces
+// (Transport and the optional GatherExchanger extension) for this
+// package: locally when analyzing the comm package itself, otherwise
+// through the package's transitive imports. Empty when the package
+// cannot reach the comm layer at all (rule 1 is then vacuous).
+func transportInterfaces(p *Package) []*types.Interface {
 	var commPkg *types.Package
 	if p.Path == commPkgPath {
 		commPkg = p.Types
@@ -102,12 +106,17 @@ func transportInterface(p *Package) *types.Interface {
 	if commPkg == nil {
 		return nil
 	}
-	obj := commPkg.Scope().Lookup("Transport")
-	if obj == nil {
-		return nil
+	var ifaces []*types.Interface
+	for _, name := range []string{"Transport", "GatherExchanger"} {
+		obj := commPkg.Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			ifaces = append(ifaces, iface)
+		}
 	}
-	iface, _ := obj.Type().Underlying().(*types.Interface)
-	return iface
+	return ifaces
 }
 
 // findImport searches the transitive import graph for a package path.

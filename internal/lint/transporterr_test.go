@@ -20,11 +20,15 @@ type Transport interface {
 	Barrier() error
 	Close() error
 }
+
+type GatherExchanger interface {
+	ExchangeV(out [][][]byte) ([][]byte, error)
+}
 `
 
 // badEngine drops transport errors every way the analyzer knows about:
-// bare statement, blank assignment, and defer — on the interface and on
-// a concrete implementing type.
+// bare statement, blank assignment, and defer — on the interface, on a
+// concrete implementing type, and on the GatherExchanger extension.
 const badEngine = `package engine
 
 import "parsssp/internal/comm"
@@ -33,12 +37,14 @@ type fake struct {
 	comm.Transport
 }
 
-func Bad(t comm.Transport, f *fake) {
+func Bad(t comm.Transport, f *fake, g comm.GatherExchanger) {
 	t.Barrier()
 	_ = t.Close()
 	in, _ := t.Exchange(make([][]byte, t.Size()))
 	_ = in
 	f.Barrier()
+	gin, _ := g.ExchangeV(make([][][]byte, t.Size()))
+	_ = gin
 	defer t.Close()
 }
 
@@ -60,7 +66,8 @@ func TestTransportErrFlagsDroppedCollectiveErrors(t *testing.T) {
 		"engine.go:11:6 transporterr",  // _ = t.Close()
 		"engine.go:12:11 transporterr", // in, _ := t.Exchange(...)
 		"engine.go:14:2 transporterr",  // f.Barrier() via embedded concrete type
-		"engine.go:15:8 transporterr",  // defer t.Close()
+		"engine.go:15:12 transporterr", // gin, _ := g.ExchangeV(...)
+		"engine.go:17:8 transporterr",  // defer t.Close()
 	})
 }
 

@@ -10,15 +10,6 @@ import "sync"
 // parallel path on small inputs.
 var parallelApplyThreshold = 2048
 
-// totalRelaxRecords counts relax records across received buffers.
-func totalRelaxRecords(in [][]byte) int {
-	total := 0
-	for _, buf := range in {
-		total += numRelaxRecords(buf)
-	}
-	return total
-}
-
 // bucketAdd is a staged bucket-store insertion.
 type bucketAdd struct {
 	bucket int64
@@ -52,10 +43,14 @@ func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) {
 			defer wg.Done()
 			st := &stage[t]
 			k := r.curK
+			wf := r.opts.WireFormat
 			for _, buf := range in {
-				n := numRelaxRecords(buf)
-				for i := 0; i < n; i++ {
-					v, par, nd := decodeRelax(buf, i)
+				rd := newRelaxReader(buf, wf)
+				for {
+					v, par, nd, ok := rd.next()
+					if !ok {
+						break
+					}
 					li := r.local(v)
 					if li%T != t || nd >= r.dist[li] {
 						continue

@@ -68,6 +68,7 @@ func RunBatch(g *graph.Graph, numRanks int, roots []graph.Vertex, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	defer machine.Close()
 
 	res := &BatchResult{
 		Roots: append([]graph.Vertex(nil), roots...),

@@ -7,8 +7,13 @@ package sssp
 // list is read. Because tentative distances only decrease, a vertex is
 // appended to any given bucket at most once, so lists never contain
 // duplicates of valid entries.
+//
+// Retired list storage (dropped buckets, fully-stale lists, reset) is
+// kept on a free list and handed back out by add, so a long-lived
+// Machine stops allocating bucket lists after the first few queries.
 type bucketStore struct {
 	lists map[int64][]uint32
+	free  [][]uint32
 }
 
 func newBucketStore() bucketStore {
@@ -17,13 +22,19 @@ func newBucketStore() bucketStore {
 
 // add records that local vertex li now belongs to bucket k.
 func (s *bucketStore) add(k int64, li uint32) {
-	s.lists[k] = append(s.lists[k], li)
+	l, ok := s.lists[k]
+	if !ok && len(s.free) > 0 {
+		l = s.free[len(s.free)-1][:0]
+		s.free = s.free[:len(s.free)-1]
+	}
+	s.lists[k] = append(l, li)
 }
 
 // list returns bucket k's list without removing it; entries may be stale.
 func (s *bucketStore) list(k int64) []uint32 { return s.lists[k] }
 
-// take removes and returns bucket k's list, unfiltered.
+// take removes and returns bucket k's list, unfiltered. The storage is
+// surrendered to the caller (not recycled).
 func (s *bucketStore) take(k int64) []uint32 {
 	l := s.lists[k]
 	delete(s.lists, k)
@@ -33,7 +44,7 @@ func (s *bucketStore) take(k int64) []uint32 {
 // nextNonEmpty returns the smallest bucket index > k that contains at
 // least one valid entry according to bucketOf, or infBucket if none.
 // Visited lists are compacted in place (stale entries dropped) and fully
-// stale lists are deleted, so the amortized cost over a run is linear in
+// stale lists are recycled, so the amortized cost over a run is linear in
 // the number of insertions.
 func (s *bucketStore) nextNonEmpty(k int64, bucketOf []int64) int64 {
 	for {
@@ -58,7 +69,7 @@ func (s *bucketStore) nextNonEmpty(k int64, bucketOf []int64) int64 {
 			s.lists[best] = valid
 			return best
 		}
-		delete(s.lists, best)
+		s.drop(best)
 	}
 }
 
@@ -73,5 +84,25 @@ func (s *bucketStore) countValid(k int64, bucketOf []int64) int64 {
 	return c
 }
 
-// drop discards bucket k entirely.
-func (s *bucketStore) drop(k int64) { delete(s.lists, k) }
+// drop discards bucket k, recycling its storage.
+func (s *bucketStore) drop(k int64) {
+	if l, ok := s.lists[k]; ok {
+		if cap(l) > 0 {
+			s.free = append(s.free, l)
+		}
+		delete(s.lists, k)
+	}
+}
+
+// reset clears the store for a new query, recycling all list storage.
+// Only the capacities of the recycled slices depend on the (map-ordered)
+// recycling order, never any computed result.
+func (s *bucketStore) reset() {
+	//parssspvet:allow nodeterminism -- storage recycling; order affects only slice capacities
+	for k, l := range s.lists {
+		if cap(l) > 0 {
+			s.free = append(s.free, l)
+		}
+		delete(s.lists, k)
+	}
+}

@@ -67,28 +67,31 @@ func (r *rankEngine) longPhase(k int64, bs *BucketStats) error {
 // pushOuterShort pushes the outer-short edges of the bucket members in
 // one exchange.
 func (r *rankEngine) pushOuterShort(k int64, members []uint32) error {
-	bEnd := r.bucketEnd(k)
-	items := r.buildItems(members)
-	r.runWorkers(items, func(tid int, it workItem) {
-		v := r.global(it.li)
-		du := r.dist[it.li]
-		nbr, ws := r.g.Neighbors(v)
-		cnt := &r.tcnt[tid]
-		end := it.hi
-		if se := r.shortEnd[it.li]; end > se {
-			end = se // long edges are handled by the long-edge mechanism
-		}
-		for i := it.lo; i < end; i++ {
-			nd := du + graph.Dist(ws[i])
-			if nd <= bEnd {
-				continue // inner short: already relaxed in short phases
+	r.phBEnd = r.bucketEnd(k)
+	if r.outerFn == nil {
+		r.outerFn = func(tid int, it workItem) {
+			v := r.global(it.li)
+			du := r.dist[it.li]
+			nbr, ws := r.g.Neighbors(v)
+			cnt := &r.tcnt[tid]
+			end := it.hi
+			if se := r.shortEnd[it.li]; end > se {
+				end = se // long edges are handled by the long-edge mechanism
 			}
-			cnt.OuterShortPush++
-			dst := r.pd.Owner(nbr[i])
-			r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+			for i := it.lo; i < end; i++ {
+				nd := du + graph.Dist(ws[i])
+				if nd <= r.phBEnd {
+					continue // inner short: already relaxed in short phases
+				}
+				cnt.OuterShortPush++
+				dst := r.pd.Owner(nbr[i])
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+			}
 		}
-	})
-	in, err := r.exchange()
+	}
+	items := r.buildItems(members)
+	r.runWorkers(items, r.outerFn)
+	in, err := r.exchangeRecords(relaxKind)
 	if err != nil {
 		return err
 	}
@@ -99,25 +102,28 @@ func (r *rankEngine) pushOuterShort(k int64, members []uint32) error {
 // pushScanLong pushes only the long edges, attributing the received
 // records to the self/backward/forward census when enabled.
 func (r *rankEngine) pushScanLong(k int64, members []uint32, bs *BucketStats) error {
+	if r.longFn == nil {
+		r.longFn = func(tid int, it workItem) {
+			v := r.global(it.li)
+			du := r.dist[it.li]
+			nbr, ws := r.g.Neighbors(v)
+			cnt := &r.tcnt[tid]
+			se := r.shortEnd[it.li]
+			lo := it.lo
+			if lo < se {
+				lo = se
+			}
+			for i := lo; i < it.hi; i++ {
+				cnt.LongPush++
+				nd := du + graph.Dist(ws[i])
+				dst := r.pd.Owner(nbr[i])
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+			}
+		}
+	}
 	items := r.buildItems(members)
-	r.runWorkers(items, func(tid int, it workItem) {
-		v := r.global(it.li)
-		du := r.dist[it.li]
-		nbr, ws := r.g.Neighbors(v)
-		cnt := &r.tcnt[tid]
-		se := r.shortEnd[it.li]
-		lo := it.lo
-		if lo < se {
-			lo = se
-		}
-		for i := lo; i < it.hi; i++ {
-			cnt.LongPush++
-			nd := du + graph.Dist(ws[i])
-			dst := r.pd.Owner(nbr[i])
-			r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
-		}
-	})
-	in, err := r.exchange()
+	r.runWorkers(items, r.longFn)
+	in, err := r.exchangeRecords(relaxKind)
 	if err != nil {
 		return err
 	}
@@ -135,40 +141,46 @@ func (r *rankEngine) pushScanLong(k int64, members []uint32, bs *BucketStats) er
 // current-bucket vertices respond with relaxations.
 func (r *rankEngine) pullScan(k int64) error {
 	// Requesters are all local unsettled vertices. Collect them (this is
-	// work the pull model pays for; charged to relaxation time).
+	// work the pull model pays for; charged to relaxation time). The
+	// scratch is rank-owned and reused across pull epochs; buildItems
+	// copies what it needs.
 	start := now()
-	requesters := make([]uint32, 0, r.nLocal/4)
+	requesters := r.requesters[:0]
 	for li := 0; li < r.nLocal; li++ {
 		if r.bucketOf[li] > k {
 			requesters = append(requesters, uint32(li))
 		}
 	}
+	r.requesters = requesters
 	r.charge(start, false)
 
-	kBase := k * r.dd
-	items := r.buildItems(requesters)
-	r.runWorkers(items, func(tid int, it workItem) {
-		v := r.global(it.li)
-		dv := r.dist[it.li]
-		bound := dv - kBase // request iff w < bound
-		nbr, ws := r.g.Neighbors(v)
-		cnt := &r.tcnt[tid]
-		se := r.shortEnd[it.li]
-		lo := it.lo
-		if lo < se {
-			lo = se
-		}
-		for i := lo; i < it.hi; i++ {
-			if graph.Dist(ws[i]) >= bound {
-				cnt.Skipped += int64(it.hi - i)
-				break // weight-sorted: the rest fail the test too
+	r.phKBase = k * r.dd
+	if r.pullFn == nil {
+		r.pullFn = func(tid int, it workItem) {
+			v := r.global(it.li)
+			dv := r.dist[it.li]
+			bound := dv - r.phKBase // request iff w < bound
+			nbr, ws := r.g.Neighbors(v)
+			cnt := &r.tcnt[tid]
+			se := r.shortEnd[it.li]
+			lo := it.lo
+			if lo < se {
+				lo = se
 			}
-			cnt.PullRequests++
-			dst := r.pd.Owner(nbr[i])
-			r.tbufs[tid][dst] = appendRequest(r.tbufs[tid][dst], nbr[i], v, ws[i])
+			for i := lo; i < it.hi; i++ {
+				if graph.Dist(ws[i]) >= bound {
+					cnt.Skipped += int64(it.hi - i)
+					break // weight-sorted: the rest fail the test too
+				}
+				cnt.PullRequests++
+				dst := r.pd.Owner(nbr[i])
+				r.tbufs[tid][dst] = appendRequest(r.tbufs[tid][dst], nbr[i], v, ws[i])
+			}
 		}
-	})
-	reqIn, err := r.exchange()
+	}
+	items := r.buildItems(requesters)
+	r.runWorkers(items, r.pullFn)
+	reqIn, err := r.exchangeRecords(requestKind)
 	if err != nil {
 		return err
 	}
@@ -177,20 +189,28 @@ func (r *rankEngine) pullScan(k int64) error {
 	// bucket, send relax(v, d(u)+w) to v's owner. Serial walk, emitting
 	// through thread 0's buffers. The self-delivered buffer may alias the
 	// very buffers responses are appended to (local delivery is
-	// zero-copy), so it is copied to a scratch area first.
+	// zero-copy), so it is copied to a scratch area first. All threads'
+	// staging buffers are cleared — they still hold the request payloads,
+	// and exchangeRecords gathers every thread's buffer.
 	start = now()
 	if self := reqIn[r.rank]; len(self) > 0 {
 		r.scratch = append(r.scratch[:0], self...)
 		reqIn[r.rank] = r.scratch
 	}
-	for dest := range r.tbufs[0] {
-		r.tbufs[0][dest] = r.tbufs[0][dest][:0]
+	for tid := range r.tbufs {
+		for dest := range r.tbufs[tid] {
+			r.tbufs[tid][dest] = r.tbufs[tid][dest][:0]
+		}
 	}
 	cnt := &r.tcnt[0]
+	wf := r.opts.WireFormat
 	for _, buf := range reqIn {
-		n := numRequestRecords(buf)
-		for i := 0; i < n; i++ {
-			u, v, w := decodeRequest(buf, i)
+		rd := newRequestReader(buf, wf)
+		for {
+			u, v, w, ok := rd.next()
+			if !ok {
+				break
+			}
 			li := r.local(u)
 			if r.bucketOf[li] != k {
 				continue
@@ -201,12 +221,9 @@ func (r *rankEngine) pullScan(k int64) error {
 			r.tbufs[0][dst] = appendRelax(r.tbufs[0][dst], v, u, nd)
 		}
 	}
-	for dest := range r.out {
-		r.out[dest] = r.tbufs[0][dest]
-	}
 	r.charge(start, false)
 
-	respIn, err := r.exchange()
+	respIn, err := r.exchangeRecords(relaxKind)
 	if err != nil {
 		return err
 	}
@@ -239,11 +256,12 @@ func (r *rankEngine) decideMode(k int64, members []uint32, bs *BucketStats) (Mod
 	}
 	r.charge(start, false)
 
-	sums, err := r.allreduce([]int64{pushLocal, pullLocal}, comm.Sum, false)
+	r.reduceVal[0], r.reduceVal[1] = pushLocal, pullLocal
+	sums, err := r.allreduce(r.reduceVal[:2], comm.Sum, false)
 	if err != nil {
 		return ModePush, err
 	}
-	maxes, err := r.allreduce([]int64{pushLocal, pullLocal}, comm.Max, false)
+	maxes, err := r.allreduce(r.reduceVal[:2], comm.Max, false)
 	if err != nil {
 		return ModePush, err
 	}
@@ -332,7 +350,7 @@ func (r *rankEngine) requestCount(li uint32, kBase graph.Dist) int64 {
 func (r *rankEngine) runBellmanFord(k int64) error {
 	r.hybridMode = true
 	start := now()
-	frontier := make([]uint32, 0, r.nLocal/4)
+	frontier := r.active[:0]
 	for li := 0; li < r.nLocal; li++ {
 		if r.bucketOf[li] > k && r.dist[li] < graph.Inf {
 			frontier = append(frontier, uint32(li))
@@ -342,7 +360,8 @@ func (r *rankEngine) runBellmanFord(k int64) error {
 	r.charge(start, true)
 
 	for {
-		av, err := r.allreduce([]int64{int64(len(r.active))}, comm.Sum, true)
+		r.reduceVal[0] = int64(len(r.active))
+		av, err := r.allreduce(r.reduceVal[:1], comm.Sum, true)
 		if err != nil {
 			return err
 		}
@@ -354,20 +373,23 @@ func (r *rankEngine) runBellmanFord(k int64) error {
 		bfStart := now()
 		bfBefore := r.relaxTotals()
 		nActive := len(r.active)
-		items := r.buildItems(r.active)
-		r.runWorkers(items, func(tid int, it workItem) {
-			v := r.global(it.li)
-			du := r.dist[it.li]
-			nbr, ws := r.g.Neighbors(v)
-			cnt := &r.tcnt[tid]
-			for i := it.lo; i < it.hi; i++ {
-				cnt.BellmanFord++
-				nd := du + graph.Dist(ws[i])
-				dst := r.pd.Owner(nbr[i])
-				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+		if r.bfFn == nil {
+			r.bfFn = func(tid int, it workItem) {
+				v := r.global(it.li)
+				du := r.dist[it.li]
+				nbr, ws := r.g.Neighbors(v)
+				cnt := &r.tcnt[tid]
+				for i := it.lo; i < it.hi; i++ {
+					cnt.BellmanFord++
+					nd := du + graph.Dist(ws[i])
+					dst := r.pd.Owner(nbr[i])
+					r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+				}
 			}
-		})
-		in, err := r.exchange()
+		}
+		items := r.buildItems(r.active)
+		r.runWorkers(items, r.bfFn)
+		in, err := r.exchangeRecords(relaxKind)
 		if err != nil {
 			return err
 		}

@@ -91,8 +91,25 @@ func (m *Machine) Query(src graph.Vertex) (*Result, error) {
 // NumRanks returns the machine size.
 func (m *Machine) NumRanks() int { return len(m.engines) }
 
+// Close releases the machine's pooled worker goroutines and transports.
+// Queries must not be in flight or issued afterwards. Close exists for
+// long-running processes that churn machines; dropping a Machine without
+// closing it only leaks its parked worker goroutines until process exit.
+func (m *Machine) Close() error {
+	var first error
+	for _, eng := range m.engines {
+		eng.stopWorkers()
+		if err := eng.t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // reset returns a rank engine to its initial state for a new query,
-// preserving allocations (buffers, histograms, shortEnd).
+// preserving allocations (buffers, histograms, shortEnd, bucket-store
+// map storage, and the Stats slices, whose contents were copied out by
+// assemble).
 func (r *rankEngine) reset(src graph.Vertex) {
 	r.src = src
 	for i := range r.dist {
@@ -101,7 +118,7 @@ func (r *rankEngine) reset(src graph.Vertex) {
 		r.bucketOf[i] = infBucket
 		r.mark[i] = -1
 	}
-	r.store = newBucketStore()
+	r.store.reset()
 	r.curK = 0
 	r.hybridMode = false
 	r.active = r.active[:0]
@@ -109,7 +126,11 @@ func (r *rankEngine) reset(src graph.Vertex) {
 	r.stamp = 0
 	r.settledTotal = 0
 	r.epochSeq = 0
-	r.stats = Stats{}
+	r.stats = Stats{
+		Buckets:   r.stats.Buckets[:0],
+		Decisions: r.stats.Decisions[:0],
+		PhaseLog:  r.stats.PhaseLog[:0],
+	}
 	r.bktTime = 0
 	r.otherTime = 0
 	for i := range r.tcnt {

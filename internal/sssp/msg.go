@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"parsssp/internal/graph"
 )
@@ -9,20 +10,73 @@ import (
 // Wire records. Record kind is implied by the superstep (relax supersteps
 // carry only relax records, request supersteps only requests).
 //
-//	relax:   v uint32, parent uint32, dist int64 — "set d(v) =
-//	         min(d(v), dist), recording parent as the tree predecessor
-//	         if the relaxation wins"
-//	request: u uint32, v uint32, w uint32 — "if u is in the current
-//	         bucket, send relax(v, d(u)+w, parent=u) to v's owner"
+//	relax:   v, parent, dist — "set d(v) = min(d(v), dist), recording
+//	         parent as the tree predecessor if the relaxation wins"
+//	request: u, v, w — "if u is in the current bucket, send
+//	         relax(v, d(u)+w, parent=u) to v's owner"
 //
 // Parents make the result a full Graph500-style SSSP tree at the cost of
-// 4 bytes per relaxation message.
+// one parent id per relaxation message.
+//
+// Two encodings exist, selected by Options.WireFormat:
+//
+//   - v1 is fixed-width (16-byte relax, 12-byte request records) in
+//     emission order. It is the historical format; paper-metric runs that
+//     want byte counts proportional to record counts use it.
+//   - v2 is a batch codec: a uvarint record count, then varint-packed
+//     records. Relax batches are stably sorted by destination vertex so
+//     ids delta-encode (usually 1–2 bytes); parent and dist are plain
+//     uvarints. Request batches stay in emission order (sorting them
+//     would permute the pull responses derived from them) with u, v, w
+//     as plain uvarints. A typical relax record shrinks from 16 to ~5–7
+//     bytes. Decoding is sequential via relaxReader / requestReader.
+//
+// Both decode through the same readers, so the apply paths are
+// format-oblivious. See DESIGN.md "Wire format v2" for the layouts and
+// the argument that sorting relax batches cannot change results.
+
+// WireFormat selects the exchange record encoding.
+type WireFormat int
+
+const (
+	// WireV2 is the compact batch codec (sorted, delta+varint). The
+	// default.
+	WireV2 WireFormat = iota
+	// WireV1 is the fixed-width record format: 16 bytes per relax
+	// record, 12 per request, in emission order.
+	WireV1
+)
+
+// String returns the format name.
+func (wf WireFormat) String() string {
+	switch wf {
+	case WireV2:
+		return "v2"
+	case WireV1:
+		return "v1"
+	default:
+		return fmt.Sprintf("WireFormat(%d)", int(wf))
+	}
+}
+
+// recKind tells the codec which record schema a superstep carries.
+type recKind int
+
+const (
+	relaxKind recKind = iota
+	requestKind
+)
+
 const (
 	relaxRecordSize   = 16
 	requestRecordSize = 12
 )
 
-// appendRelax appends a relax record to buf.
+// ---- v1 fixed-width records ------------------------------------------------
+
+// appendRelax appends a v1 relax record to buf. v1 doubles as the
+// in-memory staging format of the per-thread emission buffers, whatever
+// format goes on the wire.
 func appendRelax(buf []byte, v, parent graph.Vertex, d graph.Dist) []byte {
 	var rec [relaxRecordSize]byte
 	binary.LittleEndian.PutUint32(rec[0:4], v)
@@ -31,7 +85,7 @@ func appendRelax(buf []byte, v, parent graph.Vertex, d graph.Dist) []byte {
 	return append(buf, rec[:]...)
 }
 
-// decodeRelax reads the i-th relax record of buf.
+// decodeRelax reads the i-th v1 relax record of buf.
 func decodeRelax(buf []byte, i int) (v, parent graph.Vertex, d graph.Dist) {
 	off := i * relaxRecordSize
 	v = binary.LittleEndian.Uint32(buf[off : off+4])
@@ -40,10 +94,10 @@ func decodeRelax(buf []byte, i int) (v, parent graph.Vertex, d graph.Dist) {
 	return v, parent, d
 }
 
-// numRelaxRecords returns the relax record count of a buffer.
+// numRelaxRecords returns the v1 relax record count of a buffer.
 func numRelaxRecords(buf []byte) int { return len(buf) / relaxRecordSize }
 
-// appendRequest appends a pull-request record to buf.
+// appendRequest appends a v1 pull-request record to buf.
 func appendRequest(buf []byte, u, v graph.Vertex, w graph.Weight) []byte {
 	var rec [requestRecordSize]byte
 	binary.LittleEndian.PutUint32(rec[0:4], u)
@@ -52,7 +106,7 @@ func appendRequest(buf []byte, u, v graph.Vertex, w graph.Weight) []byte {
 	return append(buf, rec[:]...)
 }
 
-// decodeRequest reads the i-th request record of buf.
+// decodeRequest reads the i-th v1 request record of buf.
 func decodeRequest(buf []byte, i int) (u, v graph.Vertex, w graph.Weight) {
 	off := i * requestRecordSize
 	u = binary.LittleEndian.Uint32(buf[off : off+4])
@@ -61,5 +115,267 @@ func decodeRequest(buf []byte, i int) (u, v graph.Vertex, w graph.Weight) {
 	return u, v, w
 }
 
-// numRequestRecords returns the request record count of a buffer.
+// numRequestRecords returns the v1 request record count of a buffer.
 func numRequestRecords(buf []byte) int { return len(buf) / requestRecordSize }
+
+// ---- v2 batch codec --------------------------------------------------------
+
+// relaxRec is a decoded relax record, the unit the v2 encoder sorts.
+type relaxRec struct {
+	v      graph.Vertex
+	parent graph.Vertex
+	dist   graph.Dist
+}
+
+// relaxSorter holds the pooled scratch buffer of the stable radix sort
+// used on relax batches. Embedded by value in the engine so repeated
+// sorts reuse the same storage.
+type relaxSorter struct{ aux []relaxRec }
+
+// encodeRelaxBatch appends the v2 encoding of recs to buf. recs must be
+// sorted by v ascending (the delta encoding requires it); use
+// sortRelaxBatch to get there without changing per-vertex record order.
+func encodeRelaxBatch(buf []byte, recs []relaxRec) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	prev := graph.Vertex(0)
+	for _, rec := range recs {
+		buf = binary.AppendUvarint(buf, uint64(rec.v-prev))
+		prev = rec.v
+		buf = binary.AppendUvarint(buf, uint64(rec.parent))
+		buf = binary.AppendUvarint(buf, uint64(rec.dist))
+	}
+	return buf
+}
+
+// sortRelaxBatch stably sorts recs by destination vertex: insertion sort
+// for small batches, an LSD radix sort on the vertex id (pooled scratch,
+// trivial byte passes skipped) for the rest. Both are stable, which the
+// determinism argument needs — equal-vertex records must keep their
+// emission order so v1 and v2 elect the same first-wins parent.
+// sort.Stable's in-place merging dominated CPU profiles of the encode
+// path about 4x, hence the hand-rolled sort.
+func sortRelaxBatch(s *relaxSorter, recs []relaxRec) {
+	n := len(recs)
+	if n < 64 {
+		for i := 1; i < n; i++ {
+			rec := recs[i]
+			j := i - 1
+			for j >= 0 && recs[j].v > rec.v {
+				recs[j+1] = recs[j]
+				j--
+			}
+			recs[j+1] = rec
+		}
+		return
+	}
+	var hist [4][256]int
+	for i := range recs {
+		v := recs[i].v
+		hist[0][v&0xFF]++
+		hist[1][(v>>8)&0xFF]++
+		hist[2][(v>>16)&0xFF]++
+		hist[3][(v>>24)&0xFF]++
+	}
+	if cap(s.aux) < n {
+		s.aux = make([]relaxRec, n)
+	}
+	from, to := recs, s.aux[:n]
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(8 * pass)
+		h := &hist[pass]
+		if h[(from[0].v>>shift)&0xFF] == n {
+			continue // every key shares this byte; nothing to reorder
+		}
+		off := 0
+		for b := 0; b < 256; b++ {
+			c := h[b]
+			h[b] = off
+			off += c
+		}
+		for i := range from {
+			b := (from[i].v >> shift) & 0xFF
+			to[h[b]] = from[i]
+			h[b]++
+		}
+		from, to = to, from
+	}
+	if &from[0] != &recs[0] {
+		copy(recs, from)
+	}
+}
+
+// encodeRequestBatch appends the v2 encoding of a request batch staged in
+// v1 layout. Requests are NOT sorted: the responder walks them in order,
+// and permuting requests would permute the emitted responses.
+func encodeRequestBatch(buf []byte, v1buf []byte) []byte {
+	n := numRequestRecords(v1buf)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		u, v, w := decodeRequest(v1buf, i)
+		buf = binary.AppendUvarint(buf, uint64(u))
+		buf = binary.AppendUvarint(buf, uint64(v))
+		buf = binary.AppendUvarint(buf, uint64(w))
+	}
+	return buf
+}
+
+// wireRecordCount returns the record count of an encoded buffer without
+// decoding the records: the length quotient for v1, the header for v2.
+// Malformed v2 headers count as zero, matching the readers.
+func wireRecordCount(buf []byte, kind recKind, wf WireFormat) int {
+	if wf == WireV1 {
+		if kind == relaxKind {
+			return numRelaxRecords(buf)
+		}
+		return numRequestRecords(buf)
+	}
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// totalWireRecords sums wireRecordCount over received buffers.
+func totalWireRecords(in [][]byte, kind recKind, wf WireFormat) int {
+	total := 0
+	for _, buf := range in {
+		total += wireRecordCount(buf, kind, wf)
+	}
+	return total
+}
+
+// ---- format-oblivious readers ---------------------------------------------
+
+// readUvarint decodes the uvarint at buf[off:], returning the value and
+// the offset past it. A zero next offset means malformed input
+// (truncated buffer or overlong varint); the readers stop there. The
+// one- and two-byte cases are inlined — delta-encoded vertex ids are
+// almost always a single byte, and the generic binary.Uvarint loop
+// dominated decode profiles.
+func readUvarint(buf []byte, off int) (uint64, int) {
+	if off+1 < len(buf) {
+		b0 := buf[off]
+		if b0 < 0x80 {
+			return uint64(b0), off + 1
+		}
+		if b1 := buf[off+1]; b1 < 0x80 {
+			return uint64(b0&0x7F) | uint64(b1)<<7, off + 2
+		}
+	} else if off < len(buf) && buf[off] < 0x80 {
+		return uint64(buf[off]), off + 1
+	}
+	v, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return 0, 0
+	}
+	return v, off + n
+}
+
+// relaxReader iterates the relax records of one encoded buffer in either
+// format. On a malformed buffer (truncated or overlong varints — possible
+// only with corrupted input, never from our encoders) it stops early
+// rather than panicking, so fuzzing the decode path is safe.
+type relaxReader struct {
+	buf  []byte
+	off  int // byte offset (v2) or record index (v1)
+	n    int // records remaining
+	prev graph.Vertex
+	v1   bool
+}
+
+// newRelaxReader positions a reader at the first record of buf.
+func newRelaxReader(buf []byte, wf WireFormat) relaxReader {
+	if wf == WireV1 {
+		return relaxReader{buf: buf, n: numRelaxRecords(buf), v1: true}
+	}
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf)) {
+		// Malformed or empty; a valid record needs >= 1 byte per field,
+		// so a count beyond len(buf) cannot be honest.
+		return relaxReader{}
+	}
+	return relaxReader{buf: buf, off: sz, n: int(n)}
+}
+
+// next returns the next record, or ok=false when exhausted.
+func (rd *relaxReader) next() (v, parent graph.Vertex, d graph.Dist, ok bool) {
+	if rd.n <= 0 {
+		return 0, 0, 0, false
+	}
+	rd.n--
+	if rd.v1 {
+		v, parent, d = decodeRelax(rd.buf, rd.off)
+		rd.off++
+		return v, parent, d, true
+	}
+	dv, o1 := readUvarint(rd.buf, rd.off)
+	if o1 == 0 {
+		rd.n = 0
+		return 0, 0, 0, false
+	}
+	p, o2 := readUvarint(rd.buf, o1)
+	if o2 == 0 {
+		rd.n = 0
+		return 0, 0, 0, false
+	}
+	du, o3 := readUvarint(rd.buf, o2)
+	if o3 == 0 {
+		rd.n = 0
+		return 0, 0, 0, false
+	}
+	rd.off = o3
+	rd.prev += graph.Vertex(dv)
+	return rd.prev, graph.Vertex(p), graph.Dist(du), true
+}
+
+// requestReader iterates the request records of one encoded buffer in
+// either format, with the same malformed-input tolerance as relaxReader.
+type requestReader struct {
+	buf []byte
+	off int
+	n   int
+	v1  bool
+}
+
+// newRequestReader positions a reader at the first record of buf.
+func newRequestReader(buf []byte, wf WireFormat) requestReader {
+	if wf == WireV1 {
+		return requestReader{buf: buf, n: numRequestRecords(buf), v1: true}
+	}
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf)) {
+		return requestReader{}
+	}
+	return requestReader{buf: buf, off: sz, n: int(n)}
+}
+
+// next returns the next record, or ok=false when exhausted.
+func (rd *requestReader) next() (u, v graph.Vertex, w graph.Weight, ok bool) {
+	if rd.n <= 0 {
+		return 0, 0, 0, false
+	}
+	rd.n--
+	if rd.v1 {
+		u, v, w = decodeRequest(rd.buf, rd.off)
+		rd.off++
+		return u, v, w, true
+	}
+	uu, o1 := readUvarint(rd.buf, rd.off)
+	if o1 == 0 {
+		rd.n = 0
+		return 0, 0, 0, false
+	}
+	vv, o2 := readUvarint(rd.buf, o1)
+	if o2 == 0 {
+		rd.n = 0
+		return 0, 0, 0, false
+	}
+	ww, o3 := readUvarint(rd.buf, o2)
+	if o3 == 0 {
+		rd.n = 0
+		return 0, 0, 0, false
+	}
+	rd.off = o3
+	return graph.Vertex(uu), graph.Vertex(vv), graph.Weight(ww), true
+}

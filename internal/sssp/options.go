@@ -167,6 +167,13 @@ type Options struct {
 	// model), instead of the default serial pass. Census mode overrides
 	// it (exact category counting is serial).
 	ParallelApply bool
+
+	// WireFormat selects the exchange record encoding: WireV2 (the
+	// default, compact varint batches) or WireV1 (fixed-width records,
+	// for byte counts proportional to record counts). Both produce
+	// identical dist/parent results and identical record-level Stats;
+	// only Traffic.BytesSent/BytesReceived differ. See msg.go.
+	WireFormat WireFormat
 }
 
 // Validate reports configuration errors.
@@ -188,6 +195,9 @@ func (o *Options) Validate() error {
 	}
 	if o.Census && !o.Prune {
 		return fmt.Errorf("sssp: Census requires Prune")
+	}
+	if o.WireFormat != WireV1 && o.WireFormat != WireV2 {
+		return fmt.Errorf("sssp: unknown WireFormat %d", int(o.WireFormat))
 	}
 	return nil
 }

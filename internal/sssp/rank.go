@@ -1,9 +1,8 @@
 package sssp
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"parsssp/internal/comm"
@@ -43,13 +42,39 @@ type rankEngine struct {
 	stamp      int64
 
 	// Per-thread outgoing buffers and counters; index [thread][dest].
+	// tbufs hold v1-staged records; exchangeRecords either ships them as
+	// gathered segments (WireV1) or re-encodes them (WireV2).
 	tbufs      [][][]byte
 	tcnt       []RelaxCounts
-	out        [][]byte // merged per-dest buffers handed to Exchange
+	out        [][]byte   // per-dest encoded buffers of the WireV2 path
+	outSegs    [][][]byte // per-dest segment lists of the WireV1 path
+	relaxRecs  []relaxRec // decoded-batch scratch of the WireV2 encoder
+	sorter     relaxSorter
+	members    []uint32 // bucket-member scratch of collectMembers
+	requesters []uint32 // requester scratch of the pull phase
 	items      []workItem
 	scratch    []byte         // copy of self-delivered buffers when re-emitting (pull responses)
 	hist       []int32        // per-vertex cumulative weight histograms (EstimatorHistogram)
 	applyStage []applyStaging // per-thread staging for the parallel apply path
+	reduceVal  [2]int64       // input scratch of small allreduces
+
+	// Persistent worker pool. Phase scans dispatch to these long-lived
+	// goroutines instead of spawning per phase: the per-phase goroutine
+	// and closure spawns were the dominant steady-state allocation of the
+	// phase loop. workFn/workItems are the current dispatch, published to
+	// the workers by the workStart sends and read back at the workDone
+	// receives. The worker bodies (shortFn, ...) are built once, lazily,
+	// and read their per-phase parameters (phBEnd, phKBase) from the
+	// engine instead of capturing them.
+	workFn    func(tid int, it workItem)
+	workItems []workItem
+	workStart []chan struct{}
+	workDone  chan struct{}
+
+	phBEnd  graph.Dist // bucket end of the current short/outer-short phase
+	phKBase graph.Dist // kΔ of the current pull phase
+
+	shortFn, outerFn, longFn, pullFn, bfFn func(tid int, it workItem)
 
 	settledTotal int64
 	epochSeq     int // epoch ordinal (for DecisionSequence)
@@ -153,11 +178,114 @@ func (r *rankEngine) allreduce(vals []int64, op comm.ReduceOp, bucketOverhead bo
 	return res, err
 }
 
-func (r *rankEngine) exchange() ([][]byte, error) {
+// exchangeRecords runs the superstep's all-to-all over the per-thread
+// staging buffers and maintains the record-level traffic counters (the
+// transport wrapper cannot see record boundaries, so the engine counts).
+//
+// WireV1 ships the staging buffers as gathered segments — the transport
+// consumes them directly, so the historical per-dest concatenation copy
+// (the old mergeBuffers) is gone. WireV2 decodes the staged records,
+// sorts relax batches by destination vertex, and re-encodes them
+// compactly into pooled per-dest buffers; see msg.go for the codec.
+func (r *rankEngine) exchangeRecords(kind recKind) ([][]byte, error) {
 	start := now()
-	in, err := r.t.Exchange(r.out)
-	r.charge(start, false)
-	return in, err
+	defer r.charge(start, false)
+	wf := r.opts.WireFormat
+	var in [][]byte
+	var err error
+	if wf == WireV1 {
+		in, err = r.t.ExchangeV(r.gatherSegs(kind))
+	} else {
+		r.encodeOut(kind)
+		in, err = r.t.Exchange(r.out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for src, buf := range in {
+		if src == r.rank {
+			continue
+		}
+		r.t.Stats.RecordsReceived += int64(wireRecordCount(buf, kind, wf))
+	}
+	return in, nil
+}
+
+// gatherSegs assembles the per-dest segment lists of the WireV1 path from
+// the non-empty staging buffers (thread-major, matching the historical
+// concatenation order) and counts the records sent to other ranks.
+func (r *rankEngine) gatherSegs(kind recKind) [][][]byte {
+	if r.outSegs == nil {
+		r.outSegs = make([][][]byte, r.size)
+	}
+	recSize := relaxRecordSize
+	if kind == requestKind {
+		recSize = requestRecordSize
+	}
+	for dest := 0; dest < r.size; dest++ {
+		segs := r.outSegs[dest][:0]
+		total := 0
+		for tid := range r.tbufs {
+			if b := r.tbufs[tid][dest]; len(b) > 0 {
+				segs = append(segs, b)
+				total += len(b)
+			}
+		}
+		r.outSegs[dest] = segs
+		if dest != r.rank {
+			r.t.Stats.RecordsSent += int64(total / recSize)
+		}
+	}
+	return r.outSegs
+}
+
+// encodeOut re-encodes the staged records into r.out with the v2 codec
+// and counts the records sent to other ranks. Relax batches are stably
+// sorted by destination vertex for the delta encoding; request batches
+// keep emission order (see encodeRequestBatch).
+func (r *rankEngine) encodeOut(kind recKind) {
+	for dest := 0; dest < r.size; dest++ {
+		buf := r.out[dest][:0]
+		var sent int64
+		if kind == relaxKind {
+			recs := r.relaxRecs[:0]
+			for tid := range r.tbufs {
+				src := r.tbufs[tid][dest]
+				n := numRelaxRecords(src)
+				for i := 0; i < n; i++ {
+					v, par, d := decodeRelax(src, i)
+					recs = append(recs, relaxRec{v, par, d})
+				}
+			}
+			r.relaxRecs = recs
+			sortRelaxBatch(&r.sorter, recs)
+			buf = encodeRelaxBatch(buf, recs)
+			sent = int64(len(recs))
+		} else {
+			// Requests: count first (the batch header), then encode the
+			// staged buffers in thread-major order, unsorted.
+			total := 0
+			for tid := range r.tbufs {
+				total += numRequestRecords(r.tbufs[tid][dest])
+			}
+			buf = binary.AppendUvarint(buf, uint64(total))
+			for tid := range r.tbufs {
+				src := r.tbufs[tid][dest]
+				n := numRequestRecords(src)
+				for i := 0; i < n; i++ {
+					u, v, w := decodeRequest(src, i)
+					buf = binary.AppendUvarint(buf, uint64(u))
+					buf = binary.AppendUvarint(buf, uint64(v))
+					buf = binary.AppendUvarint(buf, uint64(w))
+				}
+			}
+			sent = int64(total)
+		}
+		r.out[dest] = buf
+		if dest != r.rank {
+			r.t.Stats.RecordsSent += sent
+		}
+	}
 }
 
 func (r *rankEngine) charge(start time.Time, bucketOverhead bool) {
@@ -203,9 +331,17 @@ func (r *rankEngine) buildItems(verts []uint32) []workItem {
 	return items
 }
 
-// runWorkers executes fn over items with the rank's thread pool. Item
-// order within a thread is arbitrary; fn must only touch thread-local
-// buffers (tbufs[tid], tcnt[tid]).
+// runWorkers executes fn over items with the rank's thread pool. fn must
+// only touch thread-local buffers (tbufs[tid], tcnt[tid]).
+//
+// Batches are assigned statically and cyclically: batch b belongs to
+// thread b mod T. The item→thread mapping is therefore a pure function
+// of the item list, which makes the per-thread emission buffers — and
+// with them the entire wire stream and the first-wins parent election —
+// reproducible run to run. Cyclic interleaving keeps the load spread
+// when cost varies smoothly along the item list; genuinely heavy
+// vertices are split across batches by buildItems when LoadBalance is
+// on.
 func (r *rankEngine) runWorkers(items []workItem, fn func(tid int, it workItem)) {
 	start := now()
 	defer r.charge(start, false)
@@ -219,56 +355,58 @@ func (r *rankEngine) runWorkers(items []workItem, fn func(tid int, it workItem))
 		for _, it := range items {
 			fn(0, it)
 		}
-		r.mergeBuffers()
 		return
 	}
-	var next int64
-	const batch = 16
-	var wg sync.WaitGroup
-	for tid := 0; tid < T; tid++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			for {
-				i := atomic.AddInt64(&next, batch) - batch
-				if i >= int64(len(items)) {
-					return
-				}
-				end := i + batch
-				if end > int64(len(items)) {
-					end = int64(len(items))
-				}
-				for j := i; j < end; j++ {
-					fn(tid, items[j])
-				}
-			}
-		}(tid)
+	if r.workStart == nil {
+		r.workStart = make([]chan struct{}, T)
+		r.workDone = make(chan struct{}, T)
+		for tid := 0; tid < T; tid++ {
+			r.workStart[tid] = make(chan struct{}, 1)
+			go r.poolWorker(tid, T)
+		}
 	}
-	wg.Wait()
-	r.mergeBuffers()
+	r.workFn, r.workItems = fn, items
+	for tid := 0; tid < T; tid++ {
+		r.workStart[tid] <- struct{}{}
+	}
+	for tid := 0; tid < T; tid++ {
+		<-r.workDone
+	}
+	r.workFn, r.workItems = nil, nil
 }
 
-// mergeBuffers concatenates per-thread buffers into r.out.
-func (r *rankEngine) mergeBuffers() {
-	T := r.opts.threads()
-	for dest := 0; dest < r.size; dest++ {
-		if T == 1 {
-			r.out[dest] = r.tbufs[0][dest]
-			continue
+// poolWorker is the body of one pooled worker goroutine. Each workStart
+// send publishes workFn/workItems (the channel handshake orders those
+// writes before the reads here, and the workDone sends order the scan's
+// results before the dispatcher continues). Workers exit when stopWorkers
+// closes their start channel.
+func (r *rankEngine) poolWorker(tid, T int) {
+	const batch = 16
+	for range r.workStart[tid] {
+		items, fn := r.workItems, r.workFn
+		for base := tid * batch; base < len(items); base += T * batch {
+			end := base + batch
+			if end > len(items) {
+				end = len(items)
+			}
+			for j := base; j < end; j++ {
+				fn(tid, items[j])
+			}
 		}
-		total := 0
-		for tid := 0; tid < T; tid++ {
-			total += len(r.tbufs[tid][dest])
-		}
-		buf := r.out[dest][:0]
-		if cap(buf) < total {
-			buf = make([]byte, 0, total)
-		}
-		for tid := 0; tid < T; tid++ {
-			buf = append(buf, r.tbufs[tid][dest]...)
-		}
-		r.out[dest] = buf
+		r.workDone <- struct{}{}
 	}
+}
+
+// stopWorkers shuts down the pooled worker goroutines (if any were ever
+// started). The engine must be idle: no runWorkers dispatch in flight.
+// Safe to call more than once; runWorkers would lazily restart the pool
+// if the engine were used again.
+func (r *rankEngine) stopWorkers() {
+	for _, ch := range r.workStart {
+		close(ch)
+	}
+	r.workStart = nil
+	r.workDone = nil
 }
 
 // relaxTotals sums the per-thread relaxation counters.
@@ -289,6 +427,13 @@ func (r *rankEngine) relaxTotals() RelaxCounts {
 // non-nil, receives the self/backward/forward categorization of each
 // record relative to bucket k.
 //
+// Parents are assigned only on strict improvement (first record to reach
+// the final distance wins). Combined with the deterministic emission
+// order of runWorkers this makes dist AND parent reproducible run to
+// run; the v2 codec's stable per-vertex sort preserves exactly the
+// per-vertex record order the winner is defined by, so both wire formats
+// elect the same parents. See DESIGN.md "Wire format v2".
+//
 // With ParallelApply enabled (and no census, which needs exact serial
 // counting), application runs on the rank's thread pool using the
 // paper's intra-node ownership model: local vertex li belongs to thread
@@ -299,16 +444,20 @@ func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 	start := now()
 	defer r.charge(start, false)
 	r.stamp++
+	wf := r.opts.WireFormat
 	if T := r.opts.threads(); r.opts.ParallelApply && census == nil && T > 1 &&
-		totalRelaxRecords(in) >= parallelApplyThreshold {
+		totalWireRecords(in, relaxKind, wf) >= parallelApplyThreshold {
 		r.applyRelaxParallel(in, activate, T)
 		return
 	}
 	k := r.curK
 	for _, buf := range in {
-		n := numRelaxRecords(buf)
-		for i := 0; i < n; i++ {
-			v, par, nd := decodeRelax(buf, i)
+		rd := newRelaxReader(buf, wf)
+		for {
+			v, par, nd, ok := rd.next()
+			if !ok {
+				break
+			}
 			li := r.local(v)
 			if census != nil {
 				switch b := r.bucketOf[li]; {
@@ -360,7 +509,8 @@ func (r *rankEngine) run() error {
 		r.store.add(0, li)
 		localMin = 0
 	}
-	kv, err := r.allreduce([]int64{localMin}, comm.Min, true)
+	r.reduceVal[0] = localMin
+	kv, err := r.allreduce(r.reduceVal[:1], comm.Min, true)
 	if err != nil {
 		return err
 	}
@@ -385,7 +535,8 @@ func (r *rankEngine) run() error {
 		settledLocal := r.store.countValid(k, r.bucketOf)
 		r.store.drop(k)
 		r.charge(bktStart, true)
-		sv, err := r.allreduce([]int64{settledLocal}, comm.Sum, true)
+		r.reduceVal[0] = settledLocal
+		sv, err := r.allreduce(r.reduceVal[:1], comm.Sum, true)
 		if err != nil {
 			return err
 		}
@@ -409,7 +560,8 @@ func (r *rankEngine) run() error {
 		bktStart = now()
 		localNext := r.store.nextNonEmpty(k, r.bucketOf)
 		r.charge(bktStart, true)
-		nv, err := r.allreduce([]int64{localNext}, comm.Min, true)
+		r.reduceVal[0] = localNext
+		nv, err := r.allreduce(r.reduceVal[:1], comm.Min, true)
 		if err != nil {
 			return err
 		}
@@ -439,16 +591,19 @@ func (r *rankEngine) finishStats(totalStart time.Time) {
 }
 
 // collectMembers returns the valid members of bucket k (charged to bucket
-// overhead, per the paper's BktTime definition).
+// overhead, per the paper's BktTime definition). The result aliases a
+// rank-owned scratch slice, invalidated by the next collectMembers call;
+// callers that keep it across epochs must copy.
 func (r *rankEngine) collectMembers(k int64) []uint32 {
 	start := now()
 	defer r.charge(start, true)
-	var members []uint32
+	members := r.members[:0]
 	for _, li := range r.store.list(k) {
 		if r.bucketOf[li] == k {
 			members = append(members, li)
 		}
 	}
+	r.members = members
 	return members
 }
 
@@ -456,11 +611,14 @@ func (r *rankEngine) collectMembers(k int64) []uint32 {
 // the long-edge phase.
 func (r *rankEngine) processEpoch(k int64) error {
 	bs := BucketStats{Index: k, Mode: ModePush}
-	r.active = r.collectMembers(k)
+	// Copy out of the shared scratch: r.active survives into the phase
+	// loop's swap chain, and longPhase calls collectMembers again.
+	r.active = append(r.active[:0], r.collectMembers(k)...)
 
 	before := r.relaxTotals()
 	for {
-		av, err := r.allreduce([]int64{int64(len(r.active))}, comm.Sum, true)
+		r.reduceVal[0] = int64(len(r.active))
+		av, err := r.allreduce(r.reduceVal[:1], comm.Sum, true)
 		if err != nil {
 			return err
 		}
@@ -495,30 +653,35 @@ func (r *rankEngine) processEpoch(k int64) error {
 // shortPhase relaxes the (inner) short edges of the active vertices and
 // applies the resulting updates.
 func (r *rankEngine) shortPhase(k int64) error {
-	ios := r.opts.IOS
-	bEnd := r.bucketEnd(k)
-	items := r.buildItems(r.active)
-	r.runWorkers(items, func(tid int, it workItem) {
-		v := r.global(it.li)
-		du := r.dist[it.li]
-		nbr, ws := r.g.Neighbors(v)
-		end := it.hi
-		if se := r.shortEnd[it.li]; end > se {
-			end = se
-		}
-		cnt := &r.tcnt[tid]
-		for i := it.lo; i < end; i++ {
-			nd := du + graph.Dist(ws[i])
-			if ios && nd > bEnd {
-				cnt.Skipped++
-				continue
+	r.phBEnd = r.bucketEnd(k)
+	if r.shortFn == nil {
+		// Built once per engine; reads the phase bound from r.phBEnd so the
+		// same closure serves every phase without a per-phase allocation.
+		ios := r.opts.IOS
+		r.shortFn = func(tid int, it workItem) {
+			v := r.global(it.li)
+			du := r.dist[it.li]
+			nbr, ws := r.g.Neighbors(v)
+			end := it.hi
+			if se := r.shortEnd[it.li]; end > se {
+				end = se
 			}
-			cnt.ShortPush++
-			dst := r.pd.Owner(nbr[i])
-			r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+			cnt := &r.tcnt[tid]
+			for i := it.lo; i < end; i++ {
+				nd := du + graph.Dist(ws[i])
+				if ios && nd > r.phBEnd {
+					cnt.Skipped++
+					continue
+				}
+				cnt.ShortPush++
+				dst := r.pd.Owner(nbr[i])
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+			}
 		}
-	})
-	in, err := r.exchange()
+	}
+	items := r.buildItems(r.active)
+	r.runWorkers(items, r.shortFn)
+	in, err := r.exchangeRecords(relaxKind)
 	if err != nil {
 		return err
 	}

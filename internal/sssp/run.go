@@ -54,6 +54,7 @@ func RunRank(g *graph.Graph, pd partition.Dist, src graph.Vertex,
 	if err != nil {
 		return nil, err
 	}
+	defer eng.stopWorkers()
 	if err := eng.run(); err != nil {
 		return nil, err
 	}

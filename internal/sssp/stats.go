@@ -156,6 +156,8 @@ func (s *Stats) mergeTraffic(t comm.TrafficStats) {
 	s.Traffic.BytesSent += t.BytesSent
 	s.Traffic.BytesReceived += t.BytesReceived
 	s.Traffic.MessagesSent += t.MessagesSent
+	s.Traffic.RecordsSent += t.RecordsSent
+	s.Traffic.RecordsReceived += t.RecordsReceived
 	s.Traffic.AllreduceCalls += t.AllreduceCalls
 	s.Traffic.BarrierCalls += t.BarrierCalls
 }

@@ -8,18 +8,15 @@ import (
 	"time"
 
 	"parsssp/internal/comm/tcptransport"
+	"parsssp/internal/graph"
 	"parsssp/internal/partition"
 )
 
-// TestEngineOverTCP runs the full distributed algorithm over real TCP
-// sockets on localhost (one goroutine per rank standing in for one
-// process per rank) and checks the result against Dijkstra. This is the
-// end-to-end test of the MPI-substitute stack.
-func TestEngineOverTCP(t *testing.T) {
-	const ranks = 3
-	g := rmatTestGraph
-	src := testRoot(g)
-
+// runOverTCP executes a distributed run over real TCP sockets on
+// localhost (one goroutine per rank standing in for one process per
+// rank) and assembles the global result.
+func runOverTCP(t *testing.T, g *graph.Graph, ranks int, src graph.Vertex, opts Options) *Result {
+	t.Helper()
 	addrs := make([]string, ranks)
 	listeners := make([]net.Listener, ranks)
 	for i := range addrs {
@@ -35,9 +32,6 @@ func TestEngineOverTCP(t *testing.T) {
 	}
 
 	pd := partition.MustNew(partition.Block, g.NumVertices(), ranks)
-	opts := OptOptions(25)
-	opts.Threads = 2
-
 	results := make([]*RankResult, ranks)
 	errs := make([]error, ranks)
 	var wg sync.WaitGroup
@@ -62,25 +56,64 @@ func TestEngineOverTCP(t *testing.T) {
 			t.Fatalf("rank %d: %v", r, err)
 		}
 	}
-
-	dist := make([]int64, g.NumVertices())
-	for _, rr := range results {
-		for li, d := range rr.LocalDist {
-			dist[pd.Global(rr.Rank, li)] = d
-		}
-	}
-	want, err := Dijkstra(g, src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(dist, want.Dist) {
-		t.Error("TCP-machine distances mismatch Dijkstra")
-	}
 	// Control-flow statistics must agree across ranks (lockstep).
 	for r := 1; r < ranks; r++ {
 		if results[r].Stats.Phases != results[0].Stats.Phases ||
 			results[r].Stats.Epochs != results[0].Stats.Epochs {
 			t.Errorf("rank %d phases/epochs diverge from rank 0", r)
+		}
+	}
+	res, err := assemble(g, pd, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEngineOverTCP runs the full distributed algorithm over TCP and
+// checks the result against Dijkstra. This is the end-to-end test of the
+// MPI-substitute stack.
+func TestEngineOverTCP(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	opts := OptOptions(25)
+	opts.Threads = 2
+	res := runOverTCP(t, g, 3, src, opts)
+
+	want, err := Dijkstra(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Dist, want.Dist) {
+		t.Error("TCP-machine distances mismatch Dijkstra")
+	}
+}
+
+// TestEngineTCPMatchesMemtransport checks that the transport is
+// invisible to the algorithm: the same query produces byte-identical
+// trees and identical record-level statistics over TCP sockets and over
+// the in-process transport, under both wire formats.
+func TestEngineTCPMatchesMemtransport(t *testing.T) {
+	g := rmatTestGraph
+	src := testRoot(g)
+	for _, wf := range []WireFormat{WireV1, WireV2} {
+		opts := OptOptions(25)
+		opts.Threads = 2
+		opts.WireFormat = wf
+		tcpRes := runOverTCP(t, g, 3, src, opts)
+		memRes := mustRun(t, g, 3, src, opts)
+		if !reflect.DeepEqual(tcpRes.Dist, memRes.Dist) {
+			t.Errorf("%v: distances differ between TCP and memtransport", wf)
+		}
+		if !reflect.DeepEqual(tcpRes.Parent, memRes.Parent) {
+			t.Errorf("%v: parents differ between TCP and memtransport", wf)
+		}
+		k1, k2 := runKey(tcpRes), runKey(memRes)
+		if !reflect.DeepEqual(k1, k2) {
+			t.Errorf("%v: record-level stats differ:\ntcp: %+v\nmem: %+v", wf, k1, k2)
+		}
+		if b1, b2 := tcpRes.Stats.Traffic.BytesSent, memRes.Stats.Traffic.BytesSent; b1 != b2 {
+			t.Errorf("%v: BytesSent differ between transports: tcp %d, mem %d", wf, b1, b2)
 		}
 	}
 }
