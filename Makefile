@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race lint vet bench bench-json experiments fuzz clean
+.PHONY: all build test race chaos lint vet bench bench-json experiments fuzz clean
 
 all: build test lint
 
@@ -12,6 +12,15 @@ test:
 
 race:
 	go test -race ./...
+
+# Fault-injection suite under the race detector with a tight timeout:
+# every injected failure (rank death, stall, truncated/corrupt frame)
+# must surface as an error on every rank — a hang here is a bug, and the
+# timeout is the hang detector. See DESIGN.md "Failure semantics".
+chaos:
+	go test -race -count=1 -timeout 180s \
+		-run 'Chaos|Fault|Abort|PeerKill|Timeout|Close|Machine' \
+		./internal/comm/... ./internal/sssp/
 
 vet:
 	go vet ./...

@@ -14,10 +14,12 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"parsssp/internal/comm"
 	"parsssp/internal/comm/tcptransport"
@@ -30,16 +32,32 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the whole daemon body so that the transport's deferred Close
+// always executes. The previous shape — log.Fatal at each failure site in
+// main — skipped the deferred Close on error, leaving peers to discover
+// the death only through their own I/O timeouts; returning the error
+// tears the mesh down first, which peers see immediately as closed
+// connections.
+func run() (err error) {
 	var (
-		rank    = flag.Int("rank", 0, "this process's rank")
-		addrs   = flag.String("addrs", "127.0.0.1:9410,127.0.0.1:9411", "comma-separated host:port per rank")
-		family  = flag.Int("family", 1, "R-MAT family (1 or 2)")
-		scale   = flag.Int("scale", 12, "log2 vertex count")
-		seed    = flag.Uint64("seed", 42, "graph seed (must match across ranks)")
-		threads = flag.Int("threads", 2, "worker threads per rank")
-		delta   = flag.Uint("delta", 25, "bucket width Δ")
-		root    = flag.Int("root", 0, "source vertex")
-		verify  = flag.Bool("verify", false, "rank 0 checks distances against Dijkstra")
+		rank        = flag.Int("rank", 0, "this process's rank")
+		addrs       = flag.String("addrs", "127.0.0.1:9410,127.0.0.1:9411", "comma-separated host:port per rank")
+		family      = flag.Int("family", 1, "R-MAT family (1 or 2)")
+		scale       = flag.Int("scale", 12, "log2 vertex count")
+		seed        = flag.Uint64("seed", 42, "graph seed (must match across ranks)")
+		threads     = flag.Int("threads", 2, "worker threads per rank")
+		delta       = flag.Uint("delta", 25, "bucket width Δ")
+		root        = flag.Int("root", 0, "source vertex")
+		verify      = flag.Bool("verify", false, "rank 0 checks distances against Dijkstra")
+		dialTimeout = flag.Duration("dial-timeout", 10*time.Second,
+			"bound on connection establishment to each peer (dial, accept, handshake)")
+		collTimeout = flag.Duration("collective-timeout", 30*time.Second,
+			"per-collective bound on peer I/O; a peer silent past this fails the run (0 disables)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("ssspd[%d]: ", *rank))
@@ -58,36 +76,39 @@ func main() {
 	}
 	g, err := rmat.Generate(p)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	t, err := tcptransport.New(tcptransport.Config{Addrs: addrList, Rank: *rank})
+	t, err := tcptransport.New(tcptransport.Config{
+		Addrs:             addrList,
+		Rank:              *rank,
+		DialTimeout:       *dialTimeout,
+		CollectiveTimeout: *collTimeout,
+	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer func() {
-		if err := t.Close(); err != nil {
-			log.Printf("transport close: %v", err)
-		}
+		err = errors.Join(err, t.Close())
 	}()
 
 	pd, err := partition.New(partition.Block, g.NumVertices(), len(addrList))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := sssp.OptOptions(graph.Weight(*delta))
 	opts.Threads = *threads
 
 	rr, err := sssp.RunRank(g, pd, graph.Vertex(*root), opts, t, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Printf("done: %v, %d local relaxations",
 		rr.Stats.Total, rr.Stats.Relax.Total())
 
 	dist, err := gatherDistances(t, pd, rr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if t.Rank() == 0 {
 		var reached int64
@@ -102,11 +123,12 @@ func main() {
 			rr.Stats.Total, rr.Stats.GTEPS(g.NumEdges()), reached)
 		if *verify {
 			if err := validate.Distances(g, graph.Vertex(*root), dist); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Println("verify: distances match sequential Dijkstra")
 		}
 	}
+	return nil
 }
 
 // gatherDistances sends every rank's local distances to rank 0, which

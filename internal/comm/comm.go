@@ -18,7 +18,10 @@
 // distributed machine). Both are deterministic given deterministic inputs.
 package comm
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ReduceOp selects the elementwise reduction applied by AllreduceInt64.
 type ReduceOp int
@@ -93,6 +96,43 @@ type Transport interface {
 	Barrier() error
 	// Close releases resources. The transport must not be used afterwards.
 	Close() error
+}
+
+// ErrAborted marks errors produced by collectives that failed because
+// the transport was aborted (by Abort, or by a peer's endpoint closing)
+// rather than by this rank's own fault. Error-collection code uses it to
+// tell the root cause of a machine-wide failure from its propagation:
+// the rank that failed returns its own error, its peers return
+// ErrAborted-wrapped ones.
+var ErrAborted = errors.New("comm: transport aborted")
+
+// Aborter is an optional Transport extension for transports that can
+// fail fast: Abort(err) poisons the transport so that every collective
+// blocked on it — on any rank it can reach — and every subsequent
+// collective returns an error wrapping ErrAborted and err, without
+// waiting for peers that will never arrive. Abort is safe to call
+// concurrently with collectives and more than once (the first cause
+// wins). Unlike Close, Abort carries the cause to the ranks it unblocks.
+type Aborter interface {
+	Abort(err error)
+}
+
+// Abort fail-fasts t with cause err: transports (or wrappers) that
+// implement Aborter propagate the cause; for the rest Close is the only
+// available abort signal — it unblocks local collectives and makes
+// remote peers observe connection death. Callers whose rank abandons the
+// lockstep collective sequence mid-run (an engine error between
+// collectives) must call Abort, or peers deadlock waiting at a
+// collective this rank will never reach.
+func Abort(t Transport, err error) {
+	if a, ok := t.(Aborter); ok {
+		a.Abort(err)
+		return
+	}
+	// Close here is a best-effort unblock on an already-failing path; its
+	// error has nowhere useful to go — the abort cause err is what callers
+	// report.
+	_ = t.Close() //parssspvet:allow transporterr -- abort fallback: the abort cause, not the close error, is reported
 }
 
 // GatherExchanger is an optional Transport extension: a gathered
@@ -245,3 +285,6 @@ func (c *Counting) Barrier() error {
 
 // Close implements Transport.
 func (c *Counting) Close() error { return c.T.Close() }
+
+// Abort implements Aborter, delegating to the wrapped transport.
+func (c *Counting) Abort(err error) { Abort(c.T, err) }

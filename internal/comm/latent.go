@@ -62,3 +62,6 @@ func (l *Latent) Barrier() error {
 
 // Close implements Transport.
 func (l *Latent) Close() error { return l.T.Close() }
+
+// Abort implements Aborter, delegating to the wrapped transport.
+func (l *Latent) Abort(err error) { Abort(l.T, err) }

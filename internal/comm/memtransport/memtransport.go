@@ -12,10 +12,17 @@
 // deposit their per-thread staging buffers unmerged and receivers
 // assemble them during the copy they already pay for, so the gathered
 // path costs no extra copy at all.
+//
+// Failure is first-class: the barrier is abortable. Group.Abort (or any
+// endpoint's Close) wakes every rank blocked in a collective and poisons
+// the group, so every subsequent collective returns an error wrapping
+// comm.ErrAborted — one failed rank can no longer hang its peers at a
+// barrier it will never reach. See DESIGN.md "Failure semantics".
 package memtransport
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"parsssp/internal/comm"
@@ -56,6 +63,18 @@ func (g *Group) Rank(r int) comm.Transport {
 		panic("memtransport: rank out of range")
 	}
 	return &endpoint{g: g, rank: r}
+}
+
+// Abort implements comm.Aborter group-wide: it wakes every rank blocked
+// in a collective and makes this and every subsequent collective on any
+// endpoint return an error wrapping comm.ErrAborted and err. The first
+// cause wins; later aborts are no-ops. A nil err stands for an
+// unexplained abort.
+func (g *Group) Abort(err error) {
+	if err == nil {
+		err = errors.New("memtransport: aborted")
+	}
+	g.bar.abort(fmt.Errorf("%w: %w", comm.ErrAborted, err))
 }
 
 // Endpoints returns all size endpoints, index == rank.
@@ -108,7 +127,9 @@ func (e *endpoint) exchange(out [][][]byte) ([][]byte, error) {
 	g := e.g
 	// Deposit this rank's outgoing row.
 	copy(g.mailbox[e.rank], out)
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return nil, err
+	}
 	// Collect this rank's incoming column. Segments are copied
 	// contiguously into a per-endpoint arena: the Transport contract
 	// gives received buffers to the receiver, while senders are free to
@@ -132,14 +153,18 @@ func (e *endpoint) exchange(out [][][]byte) ([][]byte, error) {
 	}
 	// Second barrier: nobody may start the next deposit before everyone
 	// has collected this round.
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return nil, err
+	}
 	return e.in, nil
 }
 
 func (e *endpoint) AllreduceInt64(vals []int64, op comm.ReduceOp) ([]int64, error) {
 	g := e.g
 	g.reduce[e.rank] = vals
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return nil, err
+	}
 	// The result is freshly allocated: callers may hold results from
 	// several collectives at once (e.g. a Sum and a Max side by side), so
 	// a reused buffer would silently alias them.
@@ -152,24 +177,39 @@ func (e *endpoint) AllreduceInt64(vals []int64, op comm.ReduceOp) ([]int64, erro
 		}
 		op.Apply(res, other)
 	}
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 func (e *endpoint) Barrier() error {
-	e.g.bar.wait()
+	return e.g.bar.wait()
+}
+
+// Close aborts the whole group: a closed endpoint can never reach
+// another collective, so peers blocked on it must fail rather than wait
+// forever. This mirrors process death over tcptransport, where closing
+// one rank's sockets breaks every peer's reads. Close itself never
+// fails.
+func (e *endpoint) Close() error {
+	e.g.Abort(fmt.Errorf("memtransport: rank %d closed", e.rank))
 	return nil
 }
 
-func (e *endpoint) Close() error { return nil }
+// Abort implements comm.Aborter (see Group.Abort).
+func (e *endpoint) Abort(err error) { e.g.Abort(err) }
 
-// barrier is a reusable counting barrier.
+// barrier is a reusable counting barrier with an abort state: once
+// aborted, every waiter wakes and every wait — current and future —
+// returns the abort error.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	size  int
 	count int
 	gen   uint64
+	err   error // set once by abort; poisons all waits
 }
 
 func newBarrier(size int) *barrier {
@@ -178,18 +218,41 @@ func newBarrier(size int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+func (b *barrier) wait() error {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
+		return nil
+	}
+	for gen == b.gen && b.err == nil {
+		b.cond.Wait()
+	}
+	// A wait overtaken by an abort after its generation completed still
+	// succeeded: everyone arrived. Only report the abort to waits it
+	// actually interrupted (or that started after it).
+	if gen == b.gen && b.err != nil {
+		return b.err
+	}
+	return nil
+}
+
+// abort poisons the barrier with err (first cause wins) and wakes every
+// waiter. The stranded waiters' arrival counts are deliberately left in
+// place: the error state is terminal, no generation ever completes
+// again.
+func (b *barrier) abort(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+		b.cond.Broadcast()
 	}
 	b.mu.Unlock()
 }

@@ -1,0 +1,259 @@
+package tcptransport
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests pin down the transport's fail-fast behavior: a dead,
+// stalled, or hostile peer must turn into a prompt error on every
+// surviving rank, never a hang.
+
+// newPair builds a 2-rank TCP machine, retrying once on a port-reuse
+// race, and returns the two transports.
+func newPair(t *testing.T, timeout time.Duration) [2]*Transport {
+	t.Helper()
+	for attempt := 0; attempt < 2; attempt++ {
+		addrs := freeAddrs(t, 2)
+		var trs [2]*Transport
+		var errs [2]error
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				trs[r], errs[r] = New(Config{
+					Addrs: addrs, Rank: r,
+					DialTimeout:       5 * time.Second,
+					CollectiveTimeout: timeout,
+				})
+			}(r)
+		}
+		wg.Wait()
+		if errs[0] == nil && errs[1] == nil {
+			return trs
+		}
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	}
+	t.Fatal("machine setup failed twice")
+	return [2]*Transport{}
+}
+
+func TestCollectiveTimeoutOnSilentPeer(t *testing.T) {
+	// Rank 1 never enters the collective; rank 0 must fail within the
+	// collective timeout instead of blocking on the read forever.
+	trs := newPair(t, 300*time.Millisecond)
+	defer trs[0].Close()
+	defer trs[1].Close()
+
+	start := time.Now()
+	out := make([][]byte, 2)
+	out[1] = []byte("stranded")
+	_, err := trs[0].Exchange(out)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Exchange against a silent peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error does not name the timeout: %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("timeout took %v with a 300ms collective timeout", elapsed)
+	}
+	// The transport is dead after the failure; later collectives must
+	// error, not hang.
+	if _, err := trs[0].Exchange(make([][]byte, 2)); err == nil {
+		t.Error("Exchange on a timed-out transport succeeded")
+	}
+}
+
+func TestCollectiveTimeoutBothSidesRecover(t *testing.T) {
+	// A stall shorter than the timeout is invisible: the collective
+	// completes once the laggard arrives.
+	trs := newPair(t, 2*time.Second)
+	defer trs[0].Close()
+	defer trs[1].Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == 1 {
+				time.Sleep(200 * time.Millisecond)
+			}
+			out := make([][]byte, 2)
+			out[1-r] = []byte{byte(r)}
+			in, err := trs[r].Exchange(out)
+			if err == nil && in[1-r][0] != byte(1-r) {
+				t.Errorf("rank %d: bad payload", r)
+			}
+			errs[r] = err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestPeerKillMidCollectives(t *testing.T) {
+	// Rank 1 completes one round then dies (Close). Rank 0's next
+	// collective must error promptly via connection death — no collective
+	// timeout is configured, so only the closed socket reports it.
+	trs := newPair(t, 0)
+	defer trs[0].Close()
+
+	var wg sync.WaitGroup
+	var rank0Err error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		out := make([][]byte, 2)
+		out[1] = []byte("round0")
+		if _, err := trs[0].Exchange(out); err != nil {
+			rank0Err = err
+			return
+		}
+		_, rank0Err = trs[0].Exchange(out)
+	}()
+	go func() {
+		defer wg.Done()
+		out := make([][]byte, 2)
+		out[0] = []byte("round0")
+		if _, err := trs[1].Exchange(out); err != nil {
+			return
+		}
+		trs[1].Close() // dies before round 1
+	}()
+	wg.Wait()
+	if rank0Err == nil {
+		t.Error("rank 0 survived its peer's death without an error")
+	}
+}
+
+func TestAcceptBoundedWithStalledConnection(t *testing.T) {
+	// A rogue client connects to rank 1's listener and sends nothing.
+	// Startup must give up within the dial timeout — the stalled
+	// handshake read must not block New forever.
+	addrs := freeAddrs(t, 2)
+	ln, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		tr, err := New(Config{
+			Addrs: addrs, Rank: 1,
+			DialTimeout: 500 * time.Millisecond,
+		})
+		if tr != nil {
+			tr.Close()
+		}
+		done <- err
+	}()
+	// Connect without handshaking once the listener is up.
+	var rogue net.Conn
+	for i := 0; i < 100; i++ {
+		rogue, err = net.Dial("tcp", addrs[1])
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rogue != nil {
+		defer rogue.Close()
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("New succeeded without a real peer")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("New hung on a stalled handshake")
+	}
+}
+
+func TestHandshakeRankRejected(t *testing.T) {
+	// Only ranks below this one may dial in; a peer claiming an equal or
+	// higher rank must be rejected (it would clobber a dialed slot).
+	addrs := freeAddrs(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		tr, err := New(Config{
+			Addrs: addrs, Rank: 1,
+			DialTimeout: 5 * time.Second,
+		})
+		if tr != nil {
+			tr.Close()
+		}
+		done <- err
+	}()
+	var conn net.Conn
+	var err error
+	for i := 0; i < 100; i++ {
+		conn, err = net.Dial("tcp", addrs[1])
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn, 1); err != nil { // claims rank 1 == our rank
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("handshake claiming an out-of-range rank accepted")
+		} else if !strings.Contains(err.Error(), "claims rank") {
+			t.Errorf("unexpected error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("New hung on a bad handshake")
+	}
+}
+
+func TestZeroTimeoutMeansNone(t *testing.T) {
+	// With CollectiveTimeout zero, a short stall must never produce a
+	// timeout error.
+	trs := newPair(t, 0)
+	defer trs[0].Close()
+	defer trs[1].Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == 1 {
+				time.Sleep(300 * time.Millisecond)
+			}
+			out := make([][]byte, 2)
+			out[1-r] = []byte{7}
+			_, errs[r] = trs[r].Exchange(out)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -33,6 +33,15 @@
 //     free list and the read loop reuses it. Steady-state exchanges
 //     allocate nothing.
 //
+// Failure is first-class: startup (accept + handshake) is bounded by
+// DialTimeout, so a rogue or stalled connection cannot block New past
+// it; Config.CollectiveTimeout bounds each collective's peer I/O, so a
+// dead or hung peer turns into an error instead of a blocked read; TCP
+// keepalive reaps silently-dead links the timeout would otherwise be the
+// only guard against. After any collective returns an error the
+// transport is dead (the lockstep frame matching cannot resynchronize)
+// and must be Closed. See DESIGN.md "Failure semantics".
+//
 // Frame format (little-endian): u32 payload length, then payload. The
 // handshake frame is: u32 magic, u32 rank.
 package tcptransport
@@ -62,12 +71,25 @@ type Config struct {
 	Addrs []string
 	// Rank is this process's rank.
 	Rank int
-	// DialTimeout bounds connection establishment to each peer; zero
-	// means 10 seconds.
+	// DialTimeout bounds connection establishment to each peer — dialing
+	// out, accepting in, and the handshake on an accepted connection;
+	// zero means 10 seconds.
 	DialTimeout time.Duration
 	// DialRetry is the interval between connection attempts while peers
 	// start up; zero means 50ms.
 	DialRetry time.Duration
+	// CollectiveTimeout bounds the peer I/O of one collective: how long
+	// Exchange/AllreduceInt64/Barrier may block waiting for a peer's
+	// frame, and how long a single frame write may take. When it expires
+	// the collective returns an error and the transport is dead. Zero
+	// means no timeout — correct peers may legitimately be slow (a
+	// load-imbalanced superstep), so only deployments that prefer failing
+	// a query to waiting (cmd/ssspd defaults to 30s) should set it.
+	CollectiveTimeout time.Duration
+	// KeepAlivePeriod is the TCP keepalive probe interval, catching peers
+	// that vanished without a FIN/RST (power loss, network partition);
+	// zero means 15 seconds, negative disables keepalive.
+	KeepAlivePeriod time.Duration
 }
 
 // Transport is a TCP-backed comm.Transport endpoint. It also implements
@@ -75,11 +97,12 @@ type Config struct {
 // transport is dead and must be Closed; the lockstep frame matching
 // cannot be resynchronized.
 type Transport struct {
-	rank  int
-	size  int
-	ln    net.Listener
-	conns []net.Conn // conns[p] is the connection to rank p; nil for self
-	inbox []chan frame
+	rank    int
+	size    int
+	timeout time.Duration // CollectiveTimeout; zero = none
+	ln      net.Listener
+	conns   []net.Conn // conns[p] is the connection to rank p; nil for self
+	inbox   []chan frame
 
 	// Per-peer writer machinery: sendq carries one prepared frame per
 	// collective to the peer's writer goroutine, sendDone returns its
@@ -135,9 +158,13 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.DialRetry == 0 {
 		cfg.DialRetry = 50 * time.Millisecond
 	}
+	if cfg.KeepAlivePeriod == 0 {
+		cfg.KeepAlivePeriod = 15 * time.Second
+	}
 	t := &Transport{
 		rank:     cfg.Rank,
 		size:     size,
+		timeout:  cfg.CollectiveTimeout,
 		conns:    make([]net.Conn, size),
 		inbox:    make([]chan frame, size),
 		sendq:    make([]chan net.Buffers, size),
@@ -176,7 +203,7 @@ func New(cfg Config) (*Transport, error) {
 	results := make(chan dialResult, size)
 	for p := cfg.Rank + 1; p < size; p++ {
 		go func(p int) {
-			conn, err := dialWithRetry(cfg.Addrs[p], cfg.DialTimeout, cfg.DialRetry)
+			conn, err := dialWithRetry(cfg.Addrs[p], cfg.DialTimeout, cfg.DialRetry, cfg.KeepAlivePeriod)
 			if err == nil {
 				err = writeHandshake(conn, cfg.Rank)
 			}
@@ -184,15 +211,26 @@ func New(cfg Config) (*Transport, error) {
 		}(p)
 	}
 	go func() {
+		// The whole accept phase is bounded by DialTimeout: Accept itself
+		// via the listener deadline, and each accepted connection's
+		// handshake via a read deadline. Without these, one rogue client
+		// that connects and sends nothing stalls startup forever.
+		deadline := time.Now().Add(cfg.DialTimeout)
+		if tl, ok := ln.(*net.TCPListener); ok {
+			if err := tl.SetDeadline(deadline); err != nil {
+				results <- dialResult{-1, nil, fmt.Errorf("tcptransport: set accept deadline: %w", err)}
+				return
+			}
+		}
 		for i := 0; i < cfg.Rank; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				results <- dialResult{-1, nil, err}
+				results <- dialResult{-1, nil, fmt.Errorf("tcptransport: accept: %w", err)}
 				return
 			}
-			peer, err := readHandshake(conn)
-			if err != nil || peer < 0 || peer >= size {
-				err = fmt.Errorf("tcptransport: bad handshake: %v", err)
+			peer, herr := acceptHandshake(conn, deadline, cfg.Rank, cfg.KeepAlivePeriod)
+			if herr != nil {
+				err := fmt.Errorf("tcptransport: bad handshake: %w", herr)
 				results <- dialResult{-1, nil, errors.Join(err, conn.Close())}
 				return
 			}
@@ -225,17 +263,15 @@ func New(cfg Config) (*Transport, error) {
 	return t, nil
 }
 
-func dialWithRetry(addr string, timeout, retry time.Duration) (net.Conn, error) {
+func dialWithRetry(addr string, timeout, retry, keepAlive time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		conn, err := net.DialTimeout("tcp", addr, retry)
 		if err == nil {
-			if tc, ok := conn.(*net.TCPConn); ok {
-				if err := tc.SetNoDelay(true); err != nil {
-					// A socket that cannot take options is not usable as a
-					// mesh link; surface it like any other dial failure.
-					return nil, errors.Join(fmt.Errorf("tcptransport: set nodelay on %s: %w", addr, err), conn.Close())
-				}
+			if err := tuneConn(conn, keepAlive); err != nil {
+				// A socket that cannot take options is not usable as a
+				// mesh link; surface it like any other dial failure.
+				return nil, errors.Join(fmt.Errorf("tcptransport: tune %s: %w", addr, err), conn.Close())
 			}
 			return conn, nil
 		}
@@ -244,6 +280,53 @@ func dialWithRetry(addr string, timeout, retry time.Duration) (net.Conn, error) 
 		}
 		time.Sleep(retry)
 	}
+}
+
+// tuneConn applies the mesh socket options: NoDelay (the collectives
+// write exactly one frame and then wait, the worst case for Nagle) and
+// keepalive (a vanished peer must eventually break the connection even
+// if no deadline is armed).
+func tuneConn(conn net.Conn, keepAlive time.Duration) error {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return nil
+	}
+	if err := tc.SetNoDelay(true); err != nil {
+		return err
+	}
+	if keepAlive > 0 {
+		if err := tc.SetKeepAlive(true); err != nil {
+			return err
+		}
+		if err := tc.SetKeepAlivePeriod(keepAlive); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acceptHandshake reads and validates the handshake of an accepted
+// connection, bounded by deadline. Only ranks below rank dial this rank
+// (higher ranks are dialed by us), so a peer claiming an equal or higher
+// rank — which would clobber a dialed connection's slot — is rejected.
+func acceptHandshake(conn net.Conn, deadline time.Time, rank int, keepAlive time.Duration) (int, error) {
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return -1, err
+	}
+	peer, err := readHandshake(conn)
+	if err != nil {
+		return -1, err
+	}
+	if peer < 0 || peer >= rank {
+		return -1, fmt.Errorf("peer claims rank %d; only ranks below %d may dial this rank", peer, rank)
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return -1, err
+	}
+	if err := tuneConn(conn, keepAlive); err != nil {
+		return -1, err
+	}
+	return peer, nil
 }
 
 func writeHandshake(conn net.Conn, rank int) error {
@@ -290,13 +373,17 @@ func (t *Transport) readLoop(p int, conn net.Conn) {
 }
 
 // recvBuf returns a payload buffer of length n, recycling the peer's free
-// list when possible.
+// list when possible. An undersized pooled buffer goes back on the free
+// list instead of being dropped: under mixed frame sizes (a big relax
+// superstep followed by small allreduces) dropping it would bleed the
+// pool down to nothing and put every later frame on the allocator.
 func (t *Transport) recvBuf(p, n int) []byte {
 	select {
 	case b := <-t.recvFree[p]:
 		if cap(b) >= n {
 			return b[:n]
 		}
+		t.recycleRecv(p, b)
 	default:
 	}
 	return make([]byte, n)
@@ -320,6 +407,12 @@ func (t *Transport) recycleRecv(p int, b []byte) {
 // propagate it.
 func (t *Transport) writeLoop(p int, conn net.Conn) {
 	for bufs := range t.sendq[p] {
+		if t.timeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(t.timeout)); err != nil {
+				t.sendDone[p] <- err
+				continue
+			}
+		}
 		_, err := bufs.WriteTo(conn)
 		t.sendDone[p] <- err
 	}
@@ -408,13 +501,33 @@ func (t *Transport) exchangeSegs(out [][][]byte) ([][]byte, error) {
 
 	// Drain the inboxes. The previous collective's payloads are recycled
 	// here: by calling into this collective the caller has relinquished
-	// them, per the Transport ownership contract.
+	// them, per the Transport ownership contract. The timer bounds the
+	// whole drain — CollectiveTimeout is a budget for the collective, not
+	// per peer.
+	var timeoutC <-chan time.Time
+	if t.timeout > 0 {
+		timer := time.NewTimer(t.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
 	var recvErr error
 	for p := range t.conns {
 		if t.conns[p] == nil {
 			continue
 		}
-		f := <-t.inbox[p]
+		var f frame
+		select {
+		case f = <-t.inbox[p]:
+		case <-timeoutC:
+			recvErr = errors.Join(recvErr,
+				fmt.Errorf("tcptransport: collective timed out after %v waiting for rank %d", t.timeout, p),
+				t.failConns())
+			// The transport is dead; don't wait on the remaining peers or
+			// the writers — failConns makes their in-flight I/O error out,
+			// and Close (which the caller owes us after an error) shuts
+			// the goroutines down.
+			return nil, recvErr
+		}
 		if f.err != nil {
 			recvErr = errors.Join(recvErr, fmt.Errorf("tcptransport: receive from rank %d: %w", p, f.err))
 			continue
@@ -439,6 +552,21 @@ func (t *Transport) exchangeSegs(out [][][]byte) ([][]byte, error) {
 		return nil, err
 	}
 	return t.in, nil
+}
+
+// failConns moves every connection's deadline into the past, forcing all
+// in-flight reads and writes to fail promptly. Called when a collective
+// times out: the transport is dead at that point, and its reader/writer
+// goroutines must not stay blocked on peers that will never deliver.
+func (t *Transport) failConns() error {
+	var err error
+	past := time.Unix(1, 0)
+	for _, conn := range t.conns {
+		if conn != nil {
+			err = errors.Join(err, conn.SetDeadline(past))
+		}
+	}
+	return err
 }
 
 // AllreduceInt64 implements comm.Transport as allgather + local reduce.

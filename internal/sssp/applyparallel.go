@@ -1,6 +1,9 @@
 package sssp
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // This file implements the ownership-partitioned parallel apply path of
 // applyRelaxIn; see the comment there for the model.
@@ -20,14 +23,18 @@ type bucketAdd struct {
 type applyStaging struct {
 	adds   []bucketAdd
 	active []uint32
+	err    error // damaged input seen by this thread
 }
 
 // applyRelaxParallel applies records on T threads: thread t processes
 // exactly the records whose target satisfies li mod T == t, so dist,
 // parent, bucketOf and mark writes are disjoint across threads. The
 // shared structures (bucket store, nextActive) receive per-thread
-// staging merged by a short serial pass.
-func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) {
+// staging merged by a short serial pass. Damaged input (an unowned
+// vertex, a malformed buffer) is recorded per thread and surfaced after
+// the join; the ownership check doubles as the bounds check that keeps a
+// corrupt vertex id from panicking the scan.
+func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) error {
 	if len(r.applyStage) < T {
 		r.applyStage = make([]applyStaging, T)
 	}
@@ -35,6 +42,7 @@ func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) {
 	for t := range stage {
 		stage[t].adds = stage[t].adds[:0]
 		stage[t].active = stage[t].active[:0]
+		stage[t].err = nil
 	}
 	var wg sync.WaitGroup
 	for t := 0; t < T; t++ {
@@ -44,7 +52,7 @@ func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) {
 			st := &stage[t]
 			k := r.curK
 			wf := r.opts.WireFormat
-			for _, buf := range in {
+			for src, buf := range in {
 				rd := newRelaxReader(buf, wf)
 				for {
 					v, par, nd, ok := rd.next()
@@ -52,6 +60,11 @@ func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) {
 						break
 					}
 					li := r.local(v)
+					if uint(li) >= uint(r.nLocal) {
+						st.err = r.corruptErr(src, "relax",
+							fmt.Errorf("vertex %d is not owned by this rank", v))
+						return
+					}
 					if li%T != t || nd >= r.dist[li] {
 						continue
 					}
@@ -74,14 +87,26 @@ func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) {
 						st.active = append(st.active, uint32(li))
 					}
 				}
+				if err := rd.err(); err != nil {
+					st.err = r.corruptErr(src, "relax", err)
+					return
+				}
 			}
 		}(t)
 	}
 	wg.Wait()
+	for t := range stage {
+		if stage[t].err != nil {
+			// Every thread scans the same buffers, so each sees the same
+			// damage; the first thread's report suffices.
+			return stage[t].err
+		}
+	}
 	for t := range stage {
 		for _, a := range stage[t].adds {
 			r.store.add(a.bucket, a.li)
 		}
 		r.nextActive = append(r.nextActive, stage[t].active...)
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"fmt"
 	"math"
 
 	"parsssp/internal/comm"
@@ -95,8 +96,7 @@ func (r *rankEngine) pushOuterShort(k int64, members []uint32) error {
 	if err != nil {
 		return err
 	}
-	r.applyRelaxIn(in, false, nil)
-	return nil
+	return r.applyRelaxIn(in, false, nil)
 }
 
 // pushScanLong pushes only the long edges, attributing the received
@@ -131,8 +131,7 @@ func (r *rankEngine) pushScanLong(k int64, members []uint32, bs *BucketStats) er
 	if r.opts.Census {
 		census = bs
 	}
-	r.applyRelaxIn(in, false, census)
-	return nil
+	return r.applyRelaxIn(in, false, census)
 }
 
 // pullScan runs the pull model: every local vertex in a later bucket
@@ -204,14 +203,28 @@ func (r *rankEngine) pullScan(k int64) error {
 	}
 	cnt := &r.tcnt[0]
 	wf := r.opts.WireFormat
-	for _, buf := range reqIn {
+	nVerts := graph.Vertex(r.pd.NumVertices())
+	for src, buf := range reqIn {
 		rd := newRequestReader(buf, wf)
 		for {
 			u, v, w, ok := rd.next()
 			if !ok {
 				break
 			}
+			// Damaged requests fail the query like damaged relaxations do
+			// (see applyRelaxIn): u must be locally owned, and v must be a
+			// real vertex or Owner(v) below would fault.
 			li := r.local(u)
+			if uint(li) >= uint(r.nLocal) {
+				r.charge(start, false)
+				return r.corruptErr(src, "request",
+					fmt.Errorf("vertex %d is not owned by this rank", u))
+			}
+			if v >= nVerts {
+				r.charge(start, false)
+				return r.corruptErr(src, "request",
+					fmt.Errorf("requester %d is not a vertex", v))
+			}
 			if r.bucketOf[li] != k {
 				continue
 			}
@@ -220,6 +233,10 @@ func (r *rankEngine) pullScan(k int64) error {
 			dst := r.pd.Owner(v)
 			r.tbufs[0][dst] = appendRelax(r.tbufs[0][dst], v, u, nd)
 		}
+		if err := rd.err(); err != nil {
+			r.charge(start, false)
+			return r.corruptErr(src, "request", err)
+		}
 	}
 	r.charge(start, false)
 
@@ -227,8 +244,7 @@ func (r *rankEngine) pullScan(k int64) error {
 	if err != nil {
 		return err
 	}
-	r.applyRelaxIn(respIn, false, nil)
-	return nil
+	return r.applyRelaxIn(respIn, false, nil)
 }
 
 // decideMode evaluates the push/pull decision heuristic for bucket k.
@@ -393,7 +409,9 @@ func (r *rankEngine) runBellmanFord(k int64) error {
 		if err != nil {
 			return err
 		}
-		r.applyRelaxIn(in, false, nil)
+		if err := r.applyRelaxIn(in, false, nil); err != nil {
+			return err
+		}
 		r.logPhase(-1, PhaseBellmanFord, nActive, bfBefore, bfStart)
 		r.active, r.nextActive = r.nextActive, r.active[:0]
 	}

@@ -30,9 +30,6 @@ type Machine struct {
 // NewMachine builds a machine with numRanks in-process ranks (block
 // distribution) ready to answer queries with the given options.
 func NewMachine(g *graph.Graph, numRanks int, opts Options) (*Machine, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
 	pd, err := partition.New(partition.Block, g.NumVertices(), numRanks)
 	if err != nil {
 		return nil, err
@@ -41,12 +38,30 @@ func NewMachine(g *graph.Graph, numRanks int, opts Options) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewMachineWithTransports(g, pd, opts, group.Endpoints())
+}
+
+// NewMachineWithTransports builds a machine over caller-provided
+// transports (one per rank of pd, all part of the same machine). It
+// exists so tests and instrumented deployments can interpose transport
+// wrappers — comm.Latent, comm.Faulty — under a reusable machine.
+func NewMachineWithTransports(g *graph.Graph, pd partition.Dist, opts Options,
+	transports []comm.Transport) (*Machine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(transports) != pd.NumRanks() {
+		return nil, fmt.Errorf("sssp: %d transports for %d ranks", len(transports), pd.NumRanks())
+	}
 	maxW := g.MaxWeight()
 	m := &Machine{g: g, pd: pd, opts: opts}
-	for r := 0; r < numRanks; r++ {
-		eng, err := newRankEngine(g, pd, 0, &m.opts, group.Rank(r), maxW)
+	for r, t := range transports {
+		eng, err := newRankEngine(g, pd, 0, &m.opts, t, maxW)
 		if err != nil {
 			return nil, err
+		}
+		if eng.rank != r {
+			return nil, fmt.Errorf("sssp: transport %d reports rank %d", r, eng.rank)
 		}
 		m.engines = append(m.engines, eng)
 	}
@@ -54,6 +69,12 @@ func NewMachine(g *graph.Graph, numRanks int, opts Options) (*Machine, error) {
 }
 
 // Query runs one SSSP query from src, reusing all machine state.
+//
+// A rank that fails aborts the shared transport so its peers fail with it
+// rather than hang at a collective (see DESIGN.md "Failure semantics");
+// the reported error is the root cause, not the peers' secondary
+// comm.ErrAborted failures. A failed query leaves the transports poisoned
+// — subsequent Queries fail fast — but the Machine remains safe to Close.
 func (m *Machine) Query(src graph.Vertex) (*Result, error) {
 	if int(src) >= m.g.NumVertices() {
 		return nil, fmt.Errorf("sssp: source %d out of range", src)
@@ -65,14 +86,15 @@ func (m *Machine) Query(src graph.Vertex) (*Result, error) {
 		go func(i int, eng *rankEngine) {
 			defer wg.Done()
 			eng.reset(src)
-			errs[i] = eng.run()
+			if err := eng.run(); err != nil {
+				comm.Abort(eng.t, err)
+				errs[i] = err
+			}
 		}(i, eng)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstCause(errs); err != nil {
+		return nil, err
 	}
 	ranks := make([]*RankResult, len(m.engines))
 	for i, eng := range m.engines {

@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"parsssp/internal/graph"
@@ -272,30 +273,57 @@ func readUvarint(buf []byte, off int) (uint64, int) {
 	return v, off + n
 }
 
+// errMalformedPayload is what the readers report for buffers our
+// encoders cannot have produced: a truncated or trailing-junk frame, a
+// dishonest record count, an overlong varint. The engine turns it into a
+// query failure — a damaged frame must surface as an error, never as
+// silently fewer (or garbage) relaxations.
+var errMalformedPayload = errors.New("malformed wire records")
+
 // relaxReader iterates the relax records of one encoded buffer in either
 // format. On a malformed buffer (truncated or overlong varints — possible
 // only with corrupted input, never from our encoders) it stops early
-// rather than panicking, so fuzzing the decode path is safe.
+// rather than panicking and records the damage; callers check err()
+// after draining the reader.
 type relaxReader struct {
 	buf  []byte
 	off  int // byte offset (v2) or record index (v1)
 	n    int // records remaining
 	prev graph.Vertex
 	v1   bool
+	bad  bool // malformed input seen
 }
 
 // newRelaxReader positions a reader at the first record of buf.
 func newRelaxReader(buf []byte, wf WireFormat) relaxReader {
 	if wf == WireV1 {
-		return relaxReader{buf: buf, n: numRelaxRecords(buf), v1: true}
+		// v1 buffers are whole 16-byte records; a remainder means the
+		// frame was cut short.
+		return relaxReader{buf: buf, n: numRelaxRecords(buf), v1: true,
+			bad: len(buf)%relaxRecordSize != 0}
+	}
+	if len(buf) == 0 {
+		return relaxReader{} // nothing from this rank: the common, honest case
 	}
 	n, sz := binary.Uvarint(buf)
-	if sz <= 0 || n > uint64(len(buf)) {
-		// Malformed or empty; a valid record needs >= 1 byte per field,
-		// so a count beyond len(buf) cannot be honest.
-		return relaxReader{}
+	if sz <= 0 || n > uint64(len(buf)-sz) {
+		// A valid record needs >= 1 byte per field, so a count beyond the
+		// remaining bytes cannot be honest.
+		return relaxReader{bad: true}
+	}
+	if n == 0 && sz != len(buf) {
+		return relaxReader{bad: true} // junk after an empty batch
 	}
 	return relaxReader{buf: buf, off: sz, n: int(n)}
+}
+
+// err reports whether the reader met input our encoders cannot produce.
+// Meaningful once next has returned ok=false.
+func (rd *relaxReader) err() error {
+	if rd.bad {
+		return errMalformedPayload
+	}
+	return nil
 }
 
 // next returns the next record, or ok=false when exhausted.
@@ -311,43 +339,64 @@ func (rd *relaxReader) next() (v, parent graph.Vertex, d graph.Dist, ok bool) {
 	}
 	dv, o1 := readUvarint(rd.buf, rd.off)
 	if o1 == 0 {
-		rd.n = 0
+		rd.n, rd.bad = 0, true
 		return 0, 0, 0, false
 	}
 	p, o2 := readUvarint(rd.buf, o1)
 	if o2 == 0 {
-		rd.n = 0
+		rd.n, rd.bad = 0, true
 		return 0, 0, 0, false
 	}
 	du, o3 := readUvarint(rd.buf, o2)
 	if o3 == 0 {
-		rd.n = 0
+		rd.n, rd.bad = 0, true
 		return 0, 0, 0, false
 	}
 	rd.off = o3
+	if rd.n == 0 && rd.off != len(rd.buf) {
+		rd.bad = true // trailing junk after the counted records
+	}
 	rd.prev += graph.Vertex(dv)
 	return rd.prev, graph.Vertex(p), graph.Dist(du), true
 }
 
 // requestReader iterates the request records of one encoded buffer in
-// either format, with the same malformed-input tolerance as relaxReader.
+// either format, with the same malformed-input tolerance (and err
+// reporting) as relaxReader.
 type requestReader struct {
 	buf []byte
 	off int
 	n   int
 	v1  bool
+	bad bool
 }
 
 // newRequestReader positions a reader at the first record of buf.
 func newRequestReader(buf []byte, wf WireFormat) requestReader {
 	if wf == WireV1 {
-		return requestReader{buf: buf, n: numRequestRecords(buf), v1: true}
+		return requestReader{buf: buf, n: numRequestRecords(buf), v1: true,
+			bad: len(buf)%requestRecordSize != 0}
 	}
-	n, sz := binary.Uvarint(buf)
-	if sz <= 0 || n > uint64(len(buf)) {
+	if len(buf) == 0 {
 		return requestReader{}
 	}
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || n > uint64(len(buf)-sz) {
+		return requestReader{bad: true}
+	}
+	if n == 0 && sz != len(buf) {
+		return requestReader{bad: true}
+	}
 	return requestReader{buf: buf, off: sz, n: int(n)}
+}
+
+// err reports whether the reader met input our encoders cannot produce.
+// Meaningful once next has returned ok=false.
+func (rd *requestReader) err() error {
+	if rd.bad {
+		return errMalformedPayload
+	}
+	return nil
 }
 
 // next returns the next record, or ok=false when exhausted.
@@ -363,19 +412,22 @@ func (rd *requestReader) next() (u, v graph.Vertex, w graph.Weight, ok bool) {
 	}
 	uu, o1 := readUvarint(rd.buf, rd.off)
 	if o1 == 0 {
-		rd.n = 0
+		rd.n, rd.bad = 0, true
 		return 0, 0, 0, false
 	}
 	vv, o2 := readUvarint(rd.buf, o1)
 	if o2 == 0 {
-		rd.n = 0
+		rd.n, rd.bad = 0, true
 		return 0, 0, 0, false
 	}
 	ww, o3 := readUvarint(rd.buf, o2)
 	if o3 == 0 {
-		rd.n = 0
+		rd.n, rd.bad = 0, true
 		return 0, 0, 0, false
 	}
 	rd.off = o3
+	if rd.n == 0 && rd.off != len(rd.buf) {
+		rd.bad = true
+	}
 	return graph.Vertex(uu), graph.Vertex(vv), graph.Weight(ww), true
 }

@@ -440,18 +440,24 @@ func (r *rankEngine) relaxTotals() RelaxCounts {
 // li mod T, every thread scans all records but applies only its own
 // vertices, so per-vertex state is written without locks — the role the
 // L2 atomics played on Blue Gene/Q.
-func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStats) {
+//
+// Damaged input is an error, not a panic and not data loss: a record
+// addressing a vertex this rank does not own, or a buffer the readers
+// flag as malformed, fails the query (the sender cannot have produced
+// it, so the frame was damaged in flight). Distances already applied
+// from the buffer's valid prefix are left in place — the query is failed
+// wholesale, nothing reads them.
+func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStats) error {
 	start := now()
 	defer r.charge(start, false)
 	r.stamp++
 	wf := r.opts.WireFormat
 	if T := r.opts.threads(); r.opts.ParallelApply && census == nil && T > 1 &&
 		totalWireRecords(in, relaxKind, wf) >= parallelApplyThreshold {
-		r.applyRelaxParallel(in, activate, T)
-		return
+		return r.applyRelaxParallel(in, activate, T)
 	}
 	k := r.curK
-	for _, buf := range in {
+	for src, buf := range in {
 		rd := newRelaxReader(buf, wf)
 		for {
 			v, par, nd, ok := rd.next()
@@ -459,6 +465,9 @@ func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 				break
 			}
 			li := r.local(v)
+			if uint(li) >= uint(r.nLocal) {
+				return r.corruptErr(src, "relax", fmt.Errorf("vertex %d is not owned by this rank", v))
+			}
 			if census != nil {
 				switch b := r.bucketOf[li]; {
 				case b == k:
@@ -491,7 +500,17 @@ func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 				r.nextActive = append(r.nextActive, uint32(li))
 			}
 		}
+		if err := rd.err(); err != nil {
+			return r.corruptErr(src, "relax", err)
+		}
 	}
+	return nil
+}
+
+// corruptErr builds the query-failing error for a damaged exchange
+// payload from rank src.
+func (r *rankEngine) corruptErr(src int, kind string, cause error) error {
+	return fmt.Errorf("sssp: rank %d: corrupt %s payload from rank %d: %w", r.rank, kind, src, cause)
 }
 
 // ---- main loop ---------------------------------------------------------
@@ -685,6 +704,5 @@ func (r *rankEngine) shortPhase(k int64) error {
 	if err != nil {
 		return err
 	}
-	r.applyRelaxIn(in, true, nil)
-	return nil
+	return r.applyRelaxIn(in, true, nil)
 }

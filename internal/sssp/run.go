@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -42,6 +43,11 @@ type RankResult struct {
 // graph, distribution, source and options. maxWeight must be the graph's
 // maximum edge weight (callers that already know it avoid a scan by
 // passing it; pass 0 to have it computed).
+//
+// A rank that fails mid-query aborts its transport (comm.Abort) before
+// returning, so peers blocked in a collective this rank will never reach
+// fail with an error wrapping comm.ErrAborted instead of waiting
+// forever. See DESIGN.md "Failure semantics".
 func RunRank(g *graph.Graph, pd partition.Dist, src graph.Vertex,
 	opts Options, t comm.Transport, maxWeight graph.Weight) (*RankResult, error) {
 	if err := opts.Validate(); err != nil {
@@ -56,6 +62,7 @@ func RunRank(g *graph.Graph, pd partition.Dist, src graph.Vertex,
 	}
 	defer eng.stopWorkers()
 	if err := eng.run(); err != nil {
+		comm.Abort(eng.t, err)
 		return nil, err
 	}
 	return &RankResult{
@@ -91,12 +98,31 @@ func RunWithTransports(g *graph.Graph, pd partition.Dist, src graph.Vertex,
 		}(i, t)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstCause(errs); err != nil {
+		return nil, err
 	}
 	return assemble(g, pd, ranks)
+}
+
+// firstCause picks the error to report from a set of per-rank errors:
+// the first root cause if there is one, else the first error. When one
+// rank fails, its peers fail too — with errors wrapping comm.ErrAborted
+// (the failing rank tore the transport down under them). Those are
+// propagation, not cause; reporting one would bury the actual fault.
+func firstCause(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, comm.ErrAborted) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Run executes a distributed run on an in-process machine with the given
