@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race chaos lint vet bench bench-json experiments fuzz clean
+.PHONY: all build test race chaos lint vet bench bench-json bench-serve-json experiments fuzz clean
 
 all: build test lint
 
@@ -39,6 +39,13 @@ bench:
 bench-json:
 	go test -run '^$$' -bench BenchmarkCommWire -benchmem -benchtime 20x . \
 		| go run ./cmd/benchjson -out BENCH_comm.json
+
+# Archive the serving benchmarks (queries/sec of a warm query pool at
+# concurrency 1/2/4) as BENCH_serve.json. See EXPERIMENTS.md "Query
+# throughput".
+bench-serve-json:
+	go test -run '^$$' -bench BenchmarkServeThroughput -benchtime 10x . \
+		| go run ./cmd/benchjson -out BENCH_serve.json
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -501,3 +501,76 @@ func benchCommWire(b *testing.B, wf sssp.WireFormat) {
 func BenchmarkCommWireV1(b *testing.B) { benchCommWire(b, sssp.WireV1) }
 
 func BenchmarkCommWireV2(b *testing.B) { benchCommWire(b, sssp.WireV2) }
+
+// --- Query serving (concurrent pools) --------------------------------------
+
+// BenchmarkServeThroughput measures sustained query throughput of a warm
+// QueryPool at serving concurrency 1, 2 and 4 — the pool analogue of the
+// paper's per-query GTEPS numbers. The pool is warmed (one query per
+// slot) before the timer starts, so the measurement excludes plane
+// construction and slot allocation, exactly as a long-lived server
+// amortizes them. The headline metric is queries/sec; speedup over the
+// concurrency=1 line is the benefit of slot parallelism on this host
+// (bounded by free cores — on a single-core runner the lines coincide).
+func BenchmarkServeThroughput(b *testing.B) {
+	g := rmatGraph(b, expt.RMAT1, benchScale)
+	roots, err := sssp.PickRoots(g, 16, 0xC0FFEE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sssp.LBOptOptions(25)
+	opts.Threads = 2
+	for _, conc := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("concurrency=%d", conc), func(b *testing.B) {
+			pool, err := sssp.NewQueryPool(g, benchRanks, conc, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			// Warm every slot: first queries page in slot buffers and
+			// start worker pools.
+			var wg sync.WaitGroup
+			warmErrs := make([]error, conc)
+			for s := 0; s < conc; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					_, warmErrs[s] = pool.Query(roots[s%len(roots)])
+				}(s)
+			}
+			wg.Wait()
+			for _, err := range warmErrs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			queries := make(chan graph.Vertex)
+			benchErrs := make([]error, conc)
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for src := range queries {
+						if _, err := pool.Query(src); err != nil {
+							benchErrs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			for i := 0; i < b.N; i++ {
+				queries <- roots[i%len(roots)]
+			}
+			close(queries)
+			wg.Wait()
+			b.StopTimer()
+			for _, err := range benchErrs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}

@@ -10,15 +10,32 @@
 //
 // Rank 0 gathers all distances at the end, prints the machine-wide
 // statistics, and (with -verify) checks against sequential Dijkstra.
+//
+// With -serve the machine becomes a long-lived concurrent query server
+// instead of a one-shot runner: the socket mesh carries -slots logical
+// channels, each backing one pooled query slot on every rank
+// (sssp.RankServer over tcptransport channels). Rank 0 accepts source
+// vertices — one integer per line — on stdin and, with -serve-listen, on
+// TCP connections; each answer line reports the reached count, an
+// FNV-1a checksum of the distance array, and the query time. Up to
+// -slots queries are in flight at once; a failed query poisons only its
+// slot, and the server keeps answering on the others.
 package main
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log"
+	"net"
+	"os"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"parsssp/internal/comm"
@@ -58,6 +75,10 @@ func run() (err error) {
 			"bound on connection establishment to each peer (dial, accept, handshake)")
 		collTimeout = flag.Duration("collective-timeout", 30*time.Second,
 			"per-collective bound on peer I/O; a peer silent past this fails the run (0 disables)")
+		serve       = flag.Bool("serve", false, "serve concurrent queries instead of running one (-root is ignored)")
+		slots       = flag.Int("slots", 4, "concurrent query slots in -serve mode")
+		serveListen = flag.String("serve-listen", "",
+			"rank 0 also accepts query sources on this TCP address in -serve mode (one integer per line)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("ssspd[%d]: ", *rank))
@@ -79,11 +100,21 @@ func run() (err error) {
 		return err
 	}
 
+	meshTimeout := *collTimeout
+	if *serve {
+		// A serving machine is idle between queries, and idleness is
+		// indistinguishable from a stalled peer at the transport level: the
+		// non-zero ranks wait in a source broadcast until rank 0 has a
+		// query to hand out. A collective timeout would shoot down the
+		// whole mesh after -collective-timeout of quiet, so serve mode runs
+		// without one (per-query deadlines are the ROADMAP follow-up).
+		meshTimeout = 0
+	}
 	t, err := tcptransport.New(tcptransport.Config{
 		Addrs:             addrList,
 		Rank:              *rank,
 		DialTimeout:       *dialTimeout,
-		CollectiveTimeout: *collTimeout,
+		CollectiveTimeout: meshTimeout,
 	})
 	if err != nil {
 		return err
@@ -98,6 +129,10 @@ func run() (err error) {
 	}
 	opts := sssp.OptOptions(graph.Weight(*delta))
 	opts.Threads = *threads
+
+	if *serve {
+		return runServe(t, g, pd, opts, *slots, *serveListen)
+	}
 
 	rr, err := sssp.RunRank(g, pd, graph.Vertex(*root), opts, t, 0)
 	if err != nil {
@@ -129,6 +164,201 @@ func run() (err error) {
 		}
 	}
 	return nil
+}
+
+// serveReq is one admitted query: a source vertex and where its answer
+// line goes.
+type serveReq struct {
+	src   graph.Vertex
+	reply func(string)
+}
+
+// printer serializes answer lines from concurrent slot workers.
+type printer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (p *printer) println(line string) {
+	p.mu.Lock()
+	fmt.Fprintln(p.w, line)
+	p.mu.Unlock()
+}
+
+// runServe is the -serve mode body, executed by every rank. The mesh is
+// split into `slots` logical channels; each backs one sssp.RankServer
+// slot on every rank, so up to `slots` queries run concurrently with
+// per-slot failure isolation. Rank 0 is the front end: it admits sources
+// from stdin (and -serve-listen connections), hands each to a free
+// slot's worker, and writes the answer lines; the other ranks' workers
+// are driven entirely by the per-slot source broadcasts.
+//
+// Per-slot protocol, in lockstep on every rank: (1) source broadcast —
+// an Allreduce(Max) where rank 0 contributes src+1 and everyone else 0,
+// with 0 the shutdown sentinel; (2) the query; (3) the distance gather
+// to rank 0. A query error ends that slot's workers everywhere (the
+// abort poisons the slot's channel on every rank) and is reported to the
+// caller whose query failed; the remaining slots keep serving. Shutdown
+// is stdin EOF: each worker that drains the queue broadcasts the
+// sentinel, and the process exits when every slot's worker has.
+func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
+	opts sssp.Options, slots int, listenAddr string) error {
+	if slots < 1 {
+		return fmt.Errorf("ssspd: -slots must be >= 1, got %d", slots)
+	}
+	chans := make([]comm.Transport, slots)
+	for s := 0; s < slots; s++ {
+		ch, err := t.Channel(uint32(s + 1)) // channel 0 stays the root transport's
+		if err != nil {
+			return err
+		}
+		chans[s] = ch
+	}
+	server, err := sssp.NewRankServer(g, pd, opts, chans, 0)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//parssspvet:allow transporterr -- the mesh teardown below reports the authoritative close error
+		server.Close()
+	}()
+	rank0 := t.Rank() == 0
+
+	var reqs chan serveReq
+	out := &printer{w: os.Stdout}
+	if rank0 {
+		reqs = make(chan serveReq)
+		var intake sync.WaitGroup
+		intake.Add(1)
+		go func() {
+			defer intake.Done()
+			admitSources(os.Stdin, g, reqs, out.println)
+		}()
+		if listenAddr != "" {
+			ln, lerr := net.Listen("tcp", listenAddr)
+			if lerr != nil {
+				return lerr
+			}
+			log.Printf("serving on %s", ln.Addr())
+			// The listener intake never finishes on its own; with
+			// -serve-listen the server runs until the process is killed.
+			intake.Add(1)
+			go func() {
+				defer intake.Done()
+				for {
+					conn, aerr := ln.Accept()
+					if aerr != nil {
+						return
+					}
+					go func(conn net.Conn) {
+						defer conn.Close()
+						connOut := &printer{w: conn}
+						admitSources(conn, g, reqs, connOut.println)
+					}(conn)
+				}
+			}()
+		}
+		go func() {
+			intake.Wait()
+			close(reqs)
+		}()
+	}
+
+	workerErrs := make([]error, slots)
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			workerErrs[s] = slotWorker(s, chans[s], server, pd, rank0, reqs, out)
+		}(s)
+	}
+	wg.Wait()
+	if rank0 && reqs != nil {
+		// Every slot is gone (all failed, or shutdown won the race);
+		// requests still queued or arriving get an immediate refusal
+		// until the intakes close the queue.
+		for req := range reqs {
+			req.reply(fmt.Sprintf("error src=%d: no live query slots", req.src))
+		}
+	}
+	return errors.Join(workerErrs...)
+}
+
+// admitSources parses integer sources off r (one per line), answering
+// malformed and out-of-range lines directly and queueing the rest.
+func admitSources(r io.Reader, g *graph.Graph, reqs chan<- serveReq, reply func(string)) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		src, err := strconv.ParseUint(line, 10, 32)
+		if err != nil || int(src) >= g.NumVertices() {
+			reply(fmt.Sprintf("error: bad source %q", line))
+			continue
+		}
+		reqs <- serveReq{src: graph.Vertex(src), reply: reply}
+	}
+}
+
+// slotWorker drives one slot's lockstep query loop; see runServe for the
+// protocol. Returns nil on clean shutdown and the slot-killing error
+// otherwise (on the rank whose caller was answered, the error is
+// reported in-band and the worker returns nil).
+func slotWorker(s int, ch comm.Transport, server *sssp.RankServer,
+	pd partition.Dist, rank0 bool, reqs <-chan serveReq, out *printer) error {
+	for {
+		var contrib int64
+		var req serveReq
+		var admitted bool
+		if rank0 {
+			req, admitted = <-reqs
+			if admitted {
+				contrib = int64(req.src) + 1
+			}
+		}
+		vals, err := ch.AllreduceInt64([]int64{contrib}, comm.Max)
+		if err != nil {
+			if admitted {
+				req.reply(fmt.Sprintf("error src=%d: %v", req.src, err))
+				return nil
+			}
+			return fmt.Errorf("slot %d: source broadcast: %w", s, err)
+		}
+		if vals[0] == 0 {
+			return nil // shutdown sentinel
+		}
+		src := graph.Vertex(vals[0] - 1)
+
+		rr, err := server.Query(s, src)
+		if err == nil {
+			var dist []graph.Dist
+			dist, err = gatherDistances(ch, pd, rr)
+			if err == nil && rank0 {
+				var reached int64
+				h := fnv.New64a()
+				var buf [8]byte
+				for _, d := range dist {
+					if d < graph.Inf {
+						reached++
+					}
+					binary.LittleEndian.PutUint64(buf[:], uint64(d))
+					h.Write(buf[:])
+				}
+				req.reply(fmt.Sprintf("answer src=%d reached=%d checksum=%016x time=%v",
+					src, reached, h.Sum64(), rr.Stats.Total))
+			}
+		}
+		if err != nil {
+			if admitted {
+				req.reply(fmt.Sprintf("error src=%d: %v", src, err))
+				return nil
+			}
+			return fmt.Errorf("slot %d: query src=%d: %w", s, src, err)
+		}
+	}
 }
 
 // gatherDistances sends every rank's local distances to rank 0, which

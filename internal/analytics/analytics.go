@@ -3,32 +3,50 @@
 // on top of the distributed engine. Every measure here reduces to one or
 // more SSSP queries, so the paper's performance work translates directly
 // into analysis throughput.
+//
+// Measures that issue independent queries (TopKCloseness) run them
+// concurrently over a sssp.QueryPool: the graph plane is built once and
+// the candidate queries overlap. Inherently sequential sweeps (Diameter,
+// whose next source depends on the previous answer) use a single-slot
+// pool, which is exactly the old Machine shape.
 package analytics
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"parsssp/internal/graph"
 	"parsssp/internal/sssp"
 )
+
+// querier answers SSSP queries; both sssp.Machine and sssp.QueryPool
+// satisfy it.
+type querier interface {
+	Query(src graph.Vertex) (*sssp.Result, error)
+}
+
+// concurrentSlots bounds the slot count of the pools behind multi-query
+// measures: enough to overlap queries, not enough to oversubscribe a
+// rank's worker threads badly.
+const concurrentSlots = 4
 
 // Closeness returns the closeness centrality of src: (r−1) / Σ d(src,v)
 // over the r reached vertices, normalized by the reached fraction as in
 // Wasserman–Faust so that values are comparable across disconnected
 // graphs. Returns 0 for isolated sources.
 func Closeness(g *graph.Graph, numRanks int, src graph.Vertex, opts sssp.Options) (float64, error) {
-	m, err := sssp.NewMachine(g, numRanks, opts)
+	p, err := sssp.NewQueryPool(g, numRanks, 1, opts)
 	if err != nil {
 		return 0, err
 	}
-	defer m.Close()
-	return closenessOn(m, g, src)
+	defer p.Close()
+	return closenessOn(p, g, src)
 }
 
-// closenessOn computes closeness with an existing machine.
-func closenessOn(m *sssp.Machine, g *graph.Graph, src graph.Vertex) (float64, error) {
-	res, err := m.Query(src)
+// closenessOn computes closeness with an existing machine or pool.
+func closenessOn(q querier, g *graph.Graph, src graph.Vertex) (float64, error) {
+	res, err := q.Query(src)
 	if err != nil {
 		return 0, err
 	}
@@ -50,17 +68,17 @@ func closenessOn(m *sssp.Machine, g *graph.Graph, src graph.Vertex) (float64, er
 // Eccentricity returns the greatest finite distance from src, along with
 // the vertex attaining it.
 func Eccentricity(g *graph.Graph, numRanks int, src graph.Vertex, opts sssp.Options) (graph.Dist, graph.Vertex, error) {
-	m, err := sssp.NewMachine(g, numRanks, opts)
+	p, err := sssp.NewQueryPool(g, numRanks, 1, opts)
 	if err != nil {
 		return 0, 0, err
 	}
-	defer m.Close()
-	return eccentricityOn(m, src)
+	defer p.Close()
+	return eccentricityOn(p, src)
 }
 
-// eccentricityOn computes eccentricity with an existing machine.
-func eccentricityOn(m *sssp.Machine, src graph.Vertex) (graph.Dist, graph.Vertex, error) {
-	res, err := m.Query(src)
+// eccentricityOn computes eccentricity with an existing machine or pool.
+func eccentricityOn(q querier, src graph.Vertex) (graph.Dist, graph.Vertex, error) {
+	res, err := q.Query(src)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -89,22 +107,25 @@ type DiameterBounds struct {
 }
 
 // Diameter estimates the component diameter with up to maxSweeps SSSP
-// queries, stopping early when the bounds meet.
+// queries, stopping early when the bounds meet. The sweeps are
+// inherently sequential (each starts from the previous sweep's farthest
+// vertex), so a single slot suffices; the plane is still built only
+// once.
 func Diameter(g *graph.Graph, numRanks int, src graph.Vertex,
 	opts sssp.Options, maxSweeps int) (*DiameterBounds, error) {
 	if maxSweeps < 1 {
 		return nil, fmt.Errorf("analytics: maxSweeps must be >= 1")
 	}
-	m, err := sssp.NewMachine(g, numRanks, opts)
+	p, err := sssp.NewQueryPool(g, numRanks, 1, opts)
 	if err != nil {
 		return nil, err
 	}
-	defer m.Close()
+	defer p.Close()
 	bounds := &DiameterBounds{Upper: graph.Dist(math.MaxInt64 / 4), Peripheral: src}
 	cur := src
 	minEcc := graph.Dist(math.MaxInt64 / 4)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
-		ecc, far, err := eccentricityOn(m, cur)
+		ecc, far, err := eccentricityOn(p, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -142,24 +163,44 @@ type RankedVertex struct {
 }
 
 // TopKCloseness computes closeness for each candidate (one SSSP query
-// per candidate) and returns the k highest.
+// per candidate) and returns the k highest. The candidate queries are
+// independent, so they run concurrently over a query pool; results are
+// deterministic regardless of completion order (scores are keyed by
+// candidate index, and ties rank by candidate position as before).
 func TopKCloseness(g *graph.Graph, numRanks int, candidates []graph.Vertex,
 	k int, opts sssp.Options) ([]RankedVertex, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("analytics: k must be >= 1")
 	}
-	m, err := sssp.NewMachine(g, numRanks, opts)
+	slots := concurrentSlots
+	if len(candidates) < slots {
+		slots = len(candidates)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	p, err := sssp.NewQueryPool(g, numRanks, slots, opts)
 	if err != nil {
 		return nil, err
 	}
-	defer m.Close()
-	ranked := make([]RankedVertex, 0, len(candidates))
-	for _, v := range candidates {
-		score, err := closenessOn(m, g, v)
+	defer p.Close()
+	ranked := make([]RankedVertex, len(candidates))
+	errs := make([]error, len(candidates))
+	var wg sync.WaitGroup
+	for i, v := range candidates {
+		wg.Add(1)
+		go func(i int, v graph.Vertex) {
+			defer wg.Done()
+			score, err := closenessOn(p, g, v)
+			ranked[i] = RankedVertex{v, score}
+			errs[i] = err
+		}(i, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		ranked = append(ranked, RankedVertex{v, score})
 	}
 	// Insertion sort by descending score (candidate lists are small).
 	for i := 1; i < len(ranked); i++ {

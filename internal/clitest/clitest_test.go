@@ -177,3 +177,61 @@ func TestDIMACSWorkflow(t *testing.T) {
 		t.Errorf("DIMACS query failed:\n%s", out)
 	}
 }
+
+func TestSSSPDServeMode(t *testing.T) {
+	addrs := "127.0.0.1:9735,127.0.0.1:9736"
+	bin := filepath.Join(binaries(t), "ssspd")
+	common := []string{"-addrs", addrs, "-scale", "10", "-serve", "-slots", "2"}
+	c1 := exec.Command(bin, append([]string{"-rank", "1"}, common...)...)
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c0 := exec.Command(bin, append([]string{"-rank", "0"}, common...)...)
+	// Three queries and one malformed line; closing stdin shuts the
+	// server down cleanly on every rank.
+	c0.Stdin = strings.NewReader("5\n17\nbogus\n5\n")
+	out0, err0 := c0.CombinedOutput()
+	err1 := c1.Wait()
+	if err0 != nil {
+		t.Fatalf("rank 0: %v\n%s", err0, out0)
+	}
+	if err1 != nil {
+		t.Fatalf("rank 1: %v", err1)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out0)), "\n")
+	var answers, bad int
+	bySrc := map[string][]string{}
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "answer src="):
+			answers++
+			fields := strings.Fields(line)
+			var src, checksum string
+			for _, f := range fields {
+				if v, ok := strings.CutPrefix(f, "src="); ok {
+					src = v
+				}
+				if v, ok := strings.CutPrefix(f, "checksum="); ok {
+					checksum = v
+				}
+			}
+			if src == "" || checksum == "" {
+				t.Errorf("malformed answer line: %q", line)
+			}
+			bySrc[src] = append(bySrc[src], checksum)
+		case strings.Contains(line, "bad source"):
+			bad++
+		}
+	}
+	if answers != 3 {
+		t.Errorf("got %d answer lines, want 3:\n%s", answers, out0)
+	}
+	if bad != 1 {
+		t.Errorf("got %d bad-source lines, want 1:\n%s", bad, out0)
+	}
+	// The repeated source must produce an identical checksum: answers are
+	// deterministic regardless of which slot served them.
+	if sums := bySrc["5"]; len(sums) == 2 && sums[0] != sums[1] {
+		t.Errorf("source 5 answered with different checksums: %v", sums)
+	}
+}

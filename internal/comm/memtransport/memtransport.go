@@ -77,6 +77,18 @@ func (g *Group) Abort(err error) {
 	g.bar.abort(fmt.Errorf("%w: %w", comm.ErrAborted, err))
 }
 
+// SubGroup derives a fresh communicator of the same size, the in-process
+// analogue of a tcptransport channel: a query-pool slot checks out one
+// sub-group per slot so concurrent queries never share a barrier. The
+// sub-group is fully independent — its own mailbox matrix, reduce slots
+// and (crucially) its own abort state, so poisoning one sub-group
+// (Group.Abort, an endpoint Close, a failed query) leaves its siblings
+// and the parent untouched. Sub-groups are cheap: a few slice headers
+// per rank, no goroutines.
+func (g *Group) SubGroup() (*Group, error) {
+	return New(g.size)
+}
+
 // Endpoints returns all size endpoints, index == rank.
 func (g *Group) Endpoints() []comm.Transport {
 	eps := make([]comm.Transport, g.size)

@@ -1,0 +1,126 @@
+package memtransport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"parsssp/internal/comm"
+)
+
+// groupBarrier runs a Barrier on every rank of g concurrently and
+// returns the per-rank errors.
+func groupBarrier(g *Group) []error {
+	errs := make([]error, g.size)
+	var wg sync.WaitGroup
+	for r := 0; r < g.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = g.Rank(r).Barrier()
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+func TestSubGroupIndependentCollectives(t *testing.T) {
+	const size = 3
+	parent, err := New(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub1, err := parent.SubGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := parent.SubGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collectives on the parent and both sub-groups interleave freely:
+	// each group has its own barrier, so a rank can be deep in sub1's
+	// exchange while another is in sub2's without coordination.
+	groups := []*Group{parent, sub1, sub2}
+	var wg sync.WaitGroup
+	errs := make([]error, len(groups)*size)
+	for gi, g := range groups {
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(gi int, g *Group, r int) {
+				defer wg.Done()
+				tr := g.Rank(r)
+				for round := 0; round < 20; round++ {
+					out := make([][]byte, size)
+					for dst := range out {
+						out[dst] = []byte{byte(gi), byte(r), byte(round)}
+					}
+					in, err := tr.Exchange(out)
+					if err != nil {
+						errs[gi*size+r] = err
+						return
+					}
+					for src := range in {
+						if in[src][0] != byte(gi) || in[src][1] != byte(src) || in[src][2] != byte(round) {
+							errs[gi*size+r] = fmt.Errorf("group %d round %d: bad frame from %d: %v", gi, round, src, in[src])
+							return
+						}
+					}
+				}
+			}(gi, g, r)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("group %d rank %d: %v", i/size, i%size, err)
+		}
+	}
+}
+
+// TestSubGroupAbortIsolation is the property query pools stand on: a
+// poisoned sub-group (one slot's failed query) must not touch its
+// siblings or the parent.
+func TestSubGroupAbortIsolation(t *testing.T) {
+	const size = 2
+	parent, err := New(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub1, err := parent.SubGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := parent.SubGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("slot 0 query failed")
+	sub1.Abort(cause)
+	for r, err := range groupBarrier(sub1) {
+		if !errors.Is(err, comm.ErrAborted) || !errors.Is(err, cause) {
+			t.Errorf("sub1 rank %d: err = %v, want ErrAborted wrapping the cause", r, err)
+		}
+	}
+	for r, err := range groupBarrier(sub2) {
+		if err != nil {
+			t.Errorf("sub2 rank %d poisoned by sibling abort: %v", r, err)
+		}
+	}
+	for r, err := range groupBarrier(parent) {
+		if err != nil {
+			t.Errorf("parent rank %d poisoned by sub-group abort: %v", r, err)
+		}
+	}
+	// And the parent can still mint working sub-groups afterwards.
+	sub3, err := parent.SubGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, err := range groupBarrier(sub3) {
+		if err != nil {
+			t.Errorf("fresh sub-group rank %d: %v", r, err)
+		}
+	}
+}

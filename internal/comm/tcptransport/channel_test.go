@@ -1,0 +1,249 @@
+package tcptransport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parsssp/internal/comm"
+)
+
+// runMesh starts a full mesh and hands each rank's *Transport to fn —
+// like runMachine, but with access to the channel API.
+func runMesh(t *testing.T, size int, fn func(tr *Transport) error) {
+	t.Helper()
+	runMachine(t, size, func(tr comm.Transport) error {
+		return fn(tr.(*Transport))
+	})
+}
+
+// TestChannelsInterleaveCollectives drives several channels of one
+// socket mesh concurrently, each running its own lockstep collective
+// sequence at its own pace, and checks that frames never cross between
+// channels. This is the multiplexing property concurrent query slots
+// rely on.
+func TestChannelsInterleaveCollectives(t *testing.T) {
+	const (
+		size     = 3
+		channels = 3 // ids 1..3; 0 is the root transport
+		rounds   = 25
+	)
+	runMesh(t, size, func(tr *Transport) error {
+		me := tr.Rank()
+		errs := make([]error, channels)
+		var wg sync.WaitGroup
+		for ci := 0; ci < channels; ci++ {
+			ch, err := tr.Channel(uint32(ci + 1))
+			if err != nil {
+				return err
+			}
+			wg.Add(1)
+			go func(ci int, ch *Channel) {
+				defer wg.Done()
+				for round := 0; round < rounds; round++ {
+					out := make([][]byte, size)
+					for dst := range out {
+						out[dst] = []byte{byte(ci), byte(me), byte(dst), byte(round)}
+					}
+					in, err := ch.Exchange(out)
+					if err != nil {
+						errs[ci] = err
+						return
+					}
+					for src := range in {
+						got := in[src]
+						if len(got) != 4 || got[0] != byte(ci) || got[1] != byte(src) || got[2] != byte(me) || got[3] != byte(round) {
+							errs[ci] = fmt.Errorf("channel %d round %d: bad frame from %d: %v", ci+1, round, src, got)
+							return
+						}
+					}
+					// Odd channels also reduce, skewing the collective
+					// sequences so channels genuinely interleave on the
+					// sockets rather than marching in phase.
+					if ci%2 == 1 {
+						sum, err := ch.AllreduceInt64([]int64{int64(me)}, comm.Sum)
+						if err != nil {
+							errs[ci] = err
+							return
+						}
+						if want := int64(size * (size - 1) / 2); sum[0] != want {
+							errs[ci] = fmt.Errorf("channel %d: sum = %d, want %d", ci+1, sum[0], want)
+							return
+						}
+					}
+				}
+			}(ci, ch)
+		}
+		// The root transport keeps its own collective cadence meanwhile.
+		var rootErr error
+		for round := 0; round < rounds; round++ {
+			if err := tr.Barrier(); err != nil {
+				rootErr = err
+				break
+			}
+		}
+		wg.Wait()
+		errs = append(errs, rootErr)
+		return errors.Join(errs...)
+	})
+}
+
+// TestChannelAbortIsolation proves the two-tier failure contract: a
+// channel Abort poisons that channel on every rank (so no peer hangs in
+// one of its collectives) and nothing else on the mesh.
+func TestChannelAbortIsolation(t *testing.T) {
+	const size = 2
+	cause := errors.New("slot query failed")
+	runMesh(t, size, func(tr *Transport) error {
+		doomed, err := tr.Channel(1)
+		if err != nil {
+			return err
+		}
+		healthy, err := tr.Channel(2)
+		if err != nil {
+			return err
+		}
+		// Both channels work before the fault.
+		if err := doomed.Barrier(); err != nil {
+			return fmt.Errorf("channel 1 before abort: %w", err)
+		}
+		if err := healthy.Barrier(); err != nil {
+			return fmt.Errorf("channel 2 before abort: %w", err)
+		}
+		if tr.Rank() == 0 {
+			doomed.Abort(cause)
+			if err := doomed.Barrier(); !errors.Is(err, comm.ErrAborted) || !errors.Is(err, cause) {
+				return fmt.Errorf("aborting rank: channel 1 err = %v, want ErrAborted wrapping the cause", err)
+			}
+		} else {
+			// The peer learns of the abort from the control frame; its
+			// next channel-1 collective must fail rather than hang. The
+			// error carries the aborting rank's cause text.
+			err := doomed.Barrier()
+			if !errors.Is(err, comm.ErrAborted) {
+				return fmt.Errorf("peer: channel 1 err = %v, want ErrAborted", err)
+			}
+		}
+		// The sibling channel and the root transport are untouched, in
+		// both directions, after the abort.
+		for round := 0; round < 5; round++ {
+			out := make([][]byte, size)
+			for dst := range out {
+				out[dst] = []byte{byte(tr.Rank()), byte(round)}
+			}
+			in, err := healthy.Exchange(out)
+			if err != nil {
+				return fmt.Errorf("channel 2 after abort: %w", err)
+			}
+			for src := range in {
+				if in[src][0] != byte(src) || in[src][1] != byte(round) {
+					return fmt.Errorf("channel 2 after abort: bad frame from %d: %v", src, in[src])
+				}
+			}
+			if err := tr.Barrier(); err != nil {
+				return fmt.Errorf("root after abort: %w", err)
+			}
+		}
+		return nil
+	})
+}
+
+// TestChannelCloseIsChannelScoped checks that Close on a channel behaves
+// like an abort for that channel only.
+func TestChannelCloseIsChannelScoped(t *testing.T) {
+	const size = 2
+	runMesh(t, size, func(tr *Transport) error {
+		c1, err := tr.Channel(1)
+		if err != nil {
+			return err
+		}
+		c2, err := tr.Channel(2)
+		if err != nil {
+			return err
+		}
+		if err := c1.Barrier(); err != nil {
+			return err
+		}
+		if err := c1.Close(); err != nil {
+			return err
+		}
+		if err := c1.Barrier(); !errors.Is(err, comm.ErrAborted) {
+			return fmt.Errorf("closed channel err = %v, want ErrAborted", err)
+		}
+		return c2.Barrier()
+	})
+}
+
+func TestChannelValidation(t *testing.T) {
+	tr, err := New(Config{Addrs: []string{"127.0.0.1:1"}, Rank: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Channel(1 << 31); err == nil {
+		t.Error("channel id with the control bit set accepted")
+	}
+	a, err := tr.Channel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Channel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Channel(7) is not idempotent")
+	}
+	// Single-rank channels still self-deliver.
+	in, err := a.Exchange([][]byte{[]byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(in[0]) != "hi" {
+		t.Errorf("self delivery %q", in[0])
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Channel(3); err == nil {
+		t.Error("Channel on a closed transport accepted")
+	}
+}
+
+// TestChannelMeshCloseFailsAllChannels pins the other tier: killing the
+// whole transport (socket death) must poison every channel, not just the
+// root, so no slot hangs on a dead mesh.
+func TestChannelMeshCloseFailsAllChannels(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	trs := make([]*Transport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = New(Config{Addrs: addrs, Rank: r, DialTimeout: 5 * time.Second})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Skipf("setup race on rank %d: %v", r, err) // port reuse; covered elsewhere
+		}
+	}
+	ch, err := trs[0].Channel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs[1].Close()
+	out := make([][]byte, 2)
+	out[1] = []byte("hello")
+	if _, err := ch.Exchange(out); err == nil {
+		t.Error("channel Exchange against a dead mesh succeeded")
+	}
+	trs[0].Close()
+	if err := ch.Barrier(); err == nil {
+		t.Error("channel collective after mesh close succeeded")
+	}
+}

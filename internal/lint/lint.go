@@ -68,6 +68,7 @@ func Analyzers() []*Analyzer {
 		AtomicMix,
 		TransportErr,
 		WGMisuse,
+		PlanePurity,
 	}
 }
 

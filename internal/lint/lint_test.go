@@ -51,7 +51,7 @@ func Bad() {
 }
 
 func TestAnalyzersRegistry(t *testing.T) {
-	want := []string{"nodeterminism", "atomicmix", "transporterr", "wgmisuse"}
+	want := []string{"nodeterminism", "atomicmix", "transporterr", "wgmisuse", "planepurity"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,132 @@
+package lint
+
+// planepurity enforces the immutability of the graph plane. The
+// concurrent-query design (internal/sssp/plane.go) shares one rankGraph
+// read-only across every pooled query slot with no synchronization, so
+// the type system's inability to express "deeply const" is a real data
+// race waiting to happen: any assignment to a rankGraph field — or to an
+// element of one of its slices — from query code corrupts every
+// in-flight query on the pool.
+//
+// The analyzer applies to any package that declares a struct type named
+// rankGraph. Within it, every assignment or ++/-- whose left-hand side
+// resolves (through the type-checker's selection records, so promoted
+// fields of an embedding queryState are caught too) to a rankGraph field
+// is flagged, unless it appears inside the constructor newRankGraph or a
+// method on rankGraph itself (the constructor's helpers, e.g. the
+// histogram builder, carry that receiver).
+//
+// Writes through an alias (s := p.shortEnd; s[0] = 1) are out of reach
+// of this purely syntactic pass; keep plane slices out of local
+// variables in query code.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PlanePurity flags writes to rankGraph fields outside the plane's
+// constructor.
+var PlanePurity = &Analyzer{
+	Name: "planepurity",
+	Doc: "rankGraph is shared read-only across concurrent query slots; " +
+		"only newRankGraph and rankGraph's own methods may write its fields",
+	Run: runPlanePurity,
+}
+
+func runPlanePurity(p *Package) []Finding {
+	fields := rankGraphFields(p)
+	if fields == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || planeConstructor(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						out = appendPlaneWrite(p, fields, lhs, out)
+					}
+				case *ast.IncDecStmt:
+					out = appendPlaneWrite(p, fields, s.X, out)
+				case *ast.RangeStmt:
+					out = appendPlaneWrite(p, fields, s.Key, out)
+					out = appendPlaneWrite(p, fields, s.Value, out)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// rankGraphFields returns the set of field objects of the package's
+// rankGraph struct type, or nil if the package declares no such type.
+func rankGraphFields(p *Package) map[types.Object]bool {
+	if p.Types == nil {
+		return nil
+	}
+	tn, ok := p.Types.Scope().Lookup("rankGraph").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fields := make(map[types.Object]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+	return fields
+}
+
+// planeConstructor reports whether fd is allowed to write plane fields:
+// the constructor itself, or a method on rankGraph (its helpers).
+func planeConstructor(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return fd.Name.Name == "newRankGraph"
+	}
+	for _, f := range fd.Recv.List {
+		t := f.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok && id.Name == "rankGraph" {
+			return true
+		}
+	}
+	return false
+}
+
+// appendPlaneWrite appends a finding if lhs is (an element of) a
+// rankGraph field. Index, dereference and paren wrappers are stripped so
+// that p.shortEnd[i] = x and *p.opts = o are both caught at the base
+// selector.
+func appendPlaneWrite(p *Package, fields map[types.Object]bool, lhs ast.Expr, out []Finding) []Finding {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			sel := p.Info.Selections[e]
+			if sel == nil || !fields[sel.Obj()] {
+				return out
+			}
+			return append(out, p.finding("planepurity", e.Pos(),
+				"write to rankGraph.%s outside newRankGraph: the graph plane is shared read-only across concurrent query slots",
+				sel.Obj().Name()))
+		default:
+			return out
+		}
+	}
+}

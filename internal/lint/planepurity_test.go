@@ -1,0 +1,96 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+// badPlane exercises the planepurity rules: the constructor and a
+// rankGraph method may write plane fields, everything else may not —
+// including writes through the fields an embedding queryState promotes,
+// and element writes into plane slices.
+const badPlane = `package sssp
+
+type rankGraph struct {
+	nLocal   int
+	shortEnd []int32
+}
+
+type queryState struct {
+	*rankGraph
+	dist []int64
+}
+
+func newRankGraph(n int) *rankGraph {
+	p := &rankGraph{nLocal: n}
+	p.shortEnd = make([]int32, n)
+	p.shortEnd[0] = 1
+	return p
+}
+
+func (p *rankGraph) rebuild(n int) {
+	p.nLocal = n
+}
+
+func (q *queryState) relax() {
+	q.dist[0] = 1
+	q.nLocal++
+	q.shortEnd[0] = 2
+}
+
+func tamper(p *rankGraph, q *queryState) {
+	p.nLocal = 3
+	q.rankGraph.shortEnd[1] = 4
+	local := p.shortEnd
+	local[0] = 9
+}
+`
+
+func TestPlanePurityFlagsWritesOutsideConstructor(t *testing.T) {
+	got := runFixture(t, map[string]string{"internal/sssp/bad.go": badPlane}, lint.PlanePurity)
+	wantFindings(t, got, []string{
+		"bad.go:26:2 planepurity", // q.nLocal++ (promoted through queryState)
+		"bad.go:27:2 planepurity", // q.shortEnd[0] = 2 (element write)
+		"bad.go:31:2 planepurity", // p.nLocal = 3
+		"bad.go:32:2 planepurity", // q.rankGraph.shortEnd[1] = 4 (explicit embed)
+	})
+	// q.dist (line 25) is queryState's own field; the alias write on
+	// line 34 is a documented blind spot. Neither may be flagged — the
+	// exact-match list above already proves that.
+}
+
+func TestPlanePurityIgnoresPackagesWithoutRankGraph(t *testing.T) {
+	// The identical shape under a different type name is not a plane;
+	// the analyzer must key off the rankGraph declaration, not field
+	// names.
+	src := strings.ReplaceAll(badPlane, "rankGraph", "scratchpad")
+	got := runFixture(t, map[string]string{"internal/sssp/bad.go": src}, lint.PlanePurity)
+	wantFindings(t, got, nil)
+}
+
+func TestPlanePuritySuppressedByDirective(t *testing.T) {
+	src := `package sssp
+
+type rankGraph struct {
+	nLocal int
+}
+
+func grow(p *rankGraph) {
+	//parssspvet:allow planepurity -- single-threaded re-planning path, no queries in flight
+	p.nLocal++
+}
+`
+	got := runFixture(t, map[string]string{"internal/sssp/bad.go": src}, lint.PlanePurity)
+	wantFindings(t, got, nil)
+}
+
+func TestPlanePurityMessageExplainsSharing(t *testing.T) {
+	pkgs := loadFixture(t, map[string]string{"internal/sssp/bad.go": badPlane})
+	for _, f := range lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.PlanePurity}) {
+		if !strings.Contains(f.Message, "shared read-only") {
+			t.Errorf("finding should explain why the write is unsafe: %q", f.Message)
+		}
+	}
+}

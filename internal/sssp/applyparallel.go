@@ -34,7 +34,7 @@ type applyStaging struct {
 // vertex, a malformed buffer) is recorded per thread and surfaced after
 // the join; the ownership check doubles as the bounds check that keeps a
 // corrupt vertex id from panicking the scan.
-func (r *rankEngine) applyRelaxParallel(in [][]byte, activate bool, T int) error {
+func (r *queryState) applyRelaxParallel(in [][]byte, activate bool, T int) error {
 	if len(r.applyStage) < T {
 		r.applyStage = make([]applyStaging, T)
 	}

@@ -14,18 +14,18 @@ const histBins = 8
 
 // buildHistograms precomputes the cumulative histogram table. Called at
 // engine construction when Options.Estimator == EstimatorHistogram.
-func (r *rankEngine) buildHistograms() {
-	span := graph.Dist(r.maxW) + 1 - graph.Dist(r.opts.Delta)
+func (p *rankGraph) buildHistograms() {
+	span := graph.Dist(p.maxW) + 1 - graph.Dist(p.opts.Delta)
 	if span < 1 {
 		span = 1
 	}
-	r.hist = make([]int32, r.nLocal*(histBins+1))
-	for li := 0; li < r.nLocal; li++ {
-		v := r.pd.Global(r.rank, li)
+	p.hist = make([]int32, p.nLocal*(histBins+1))
+	for li := 0; li < p.nLocal; li++ {
+		v := p.pd.Global(p.rank, li)
 		base := li * (histBins + 1)
 		for j := 1; j <= histBins; j++ {
-			b := graph.Dist(r.opts.Delta) + span*graph.Dist(j)/histBins
-			r.hist[base+j] = int32(r.g.CountWeightRange(v, r.opts.Delta, graph.Weight(b)))
+			b := graph.Dist(p.opts.Delta) + span*graph.Dist(j)/histBins
+			p.hist[base+j] = int32(p.g.CountWeightRange(v, p.opts.Delta, graph.Weight(b)))
 		}
 	}
 }
@@ -33,18 +33,18 @@ func (r *rankEngine) buildHistograms() {
 // histCount approximates the number of edges of local vertex li with
 // weight in [Δ, bound) by linear interpolation of the cumulative
 // histogram.
-func (r *rankEngine) histCount(li uint32, bound graph.Dist) int64 {
-	delta := graph.Dist(r.opts.Delta)
+func (p *rankGraph) histCount(li uint32, bound graph.Dist) int64 {
+	delta := graph.Dist(p.opts.Delta)
 	if bound <= delta {
 		return 0
 	}
-	span := graph.Dist(r.maxW) + 1 - delta
+	span := graph.Dist(p.maxW) + 1 - delta
 	if span < 1 {
 		span = 1
 	}
 	base := int(li) * (histBins + 1)
 	if bound >= delta+span {
-		return int64(r.hist[base+histBins])
+		return int64(p.hist[base+histBins])
 	}
 	// Fractional bin position of bound in [0, histBins).
 	offset := bound - delta
@@ -52,8 +52,8 @@ func (r *rankEngine) histCount(li uint32, bound graph.Dist) int64 {
 	if j >= histBins {
 		j = histBins - 1
 	}
-	lo := graph.Dist(r.hist[base+j])
-	hi := graph.Dist(r.hist[base+j+1])
+	lo := graph.Dist(p.hist[base+j])
+	hi := graph.Dist(p.hist[base+j+1])
 	binLo := delta + span*graph.Dist(j)/histBins
 	binHi := delta + span*graph.Dist(j+1)/histBins
 	if binHi <= binLo {

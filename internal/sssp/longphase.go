@@ -21,7 +21,7 @@ import (
 // previously-unreached vertices, which shrinks their useful-request sets;
 // counting pull requests before it would overestimate the pull cost by
 // roughly 2× on benchmark graphs.
-func (r *rankEngine) longPhase(k int64, bs *BucketStats) error {
+func (r *queryState) longPhase(k int64, bs *BucketStats) error {
 	members := r.collectMembers(k)
 	r.stats.Phases++
 
@@ -67,7 +67,7 @@ func (r *rankEngine) longPhase(k int64, bs *BucketStats) error {
 
 // pushOuterShort pushes the outer-short edges of the bucket members in
 // one exchange.
-func (r *rankEngine) pushOuterShort(k int64, members []uint32) error {
+func (r *queryState) pushOuterShort(k int64, members []uint32) error {
 	r.phBEnd = r.bucketEnd(k)
 	if r.outerFn == nil {
 		r.outerFn = func(tid int, it workItem) {
@@ -101,7 +101,7 @@ func (r *rankEngine) pushOuterShort(k int64, members []uint32) error {
 
 // pushScanLong pushes only the long edges, attributing the received
 // records to the self/backward/forward census when enabled.
-func (r *rankEngine) pushScanLong(k int64, members []uint32, bs *BucketStats) error {
+func (r *queryState) pushScanLong(k int64, members []uint32, bs *BucketStats) error {
 	if r.longFn == nil {
 		r.longFn = func(tid int, it workItem) {
 			v := r.global(it.li)
@@ -138,7 +138,7 @@ func (r *rankEngine) pushScanLong(k int64, members []uint32, bs *BucketStats) er
 // requests, over each long edge whose weight passes the usefulness test
 // w < d(v) − kΔ, the tentative distance of the far endpoint; owners of
 // current-bucket vertices respond with relaxations.
-func (r *rankEngine) pullScan(k int64) error {
+func (r *queryState) pullScan(k int64) error {
 	// Requesters are all local unsettled vertices. Collect them (this is
 	// work the pull model pays for; charged to relaxation time). The
 	// scratch is rank-owned and reused across pull epochs; buildItems
@@ -255,7 +255,7 @@ func (r *rankEngine) pullScan(k int64) error {
 // uses the request count as the response upper bound). Following the
 // paper's fine-tuned heuristic, each cost blends the machine-wide volume
 // with the worst-rank load: cost = (1−λ)·volume + λ·P·maxPerRank.
-func (r *rankEngine) decideMode(k int64, members []uint32, bs *BucketStats) (Mode, error) {
+func (r *queryState) decideMode(k int64, members []uint32, bs *BucketStats) (Mode, error) {
 	start := now()
 	var pushLocal int64
 	for _, li := range members {
@@ -320,7 +320,7 @@ func (r *rankEngine) decideMode(k int64, members []uint32, bs *BucketStats) (Mod
 // w < d(v) − kΔ. Exact by default (binary search over the weight-sorted
 // adjacency); Options.Estimator selects the paper's expectation formula
 // or the histogram approximation instead.
-func (r *rankEngine) requestCount(li uint32, kBase graph.Dist) int64 {
+func (r *queryState) requestCount(li uint32, kBase graph.Dist) int64 {
 	v := r.global(li)
 	deg := int64(r.g.Degree(v))
 	longDeg := deg - int64(r.shortEnd[li])
@@ -363,7 +363,7 @@ func (r *rankEngine) requestCount(li uint32, kBase graph.Dist) int64 {
 // runBellmanFord executes the post-switch Bellman-Ford stage: all
 // remaining buckets are merged and processed with full-adjacency
 // relaxation rounds until no distance changes anywhere.
-func (r *rankEngine) runBellmanFord(k int64) error {
+func (r *queryState) runBellmanFord(k int64) error {
 	r.hybridMode = true
 	start := now()
 	frontier := r.active[:0]

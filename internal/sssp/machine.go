@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -24,7 +25,7 @@ type Machine struct {
 	g       *graph.Graph
 	pd      partition.Dist
 	opts    Options
-	engines []*rankEngine
+	engines []*queryState
 }
 
 // NewMachine builds a machine with numRanks in-process ranks (block
@@ -56,12 +57,16 @@ func NewMachineWithTransports(g *graph.Graph, pd partition.Dist, opts Options,
 	maxW := g.MaxWeight()
 	m := &Machine{g: g, pd: pd, opts: opts}
 	for r, t := range transports {
-		eng, err := newRankEngine(g, pd, 0, &m.opts, t, maxW)
+		if t.Rank() != r {
+			return nil, fmt.Errorf("sssp: transport %d reports rank %d", r, t.Rank())
+		}
+		plane, err := newRankGraph(g, pd, r, &m.opts, maxW)
 		if err != nil {
 			return nil, err
 		}
-		if eng.rank != r {
-			return nil, fmt.Errorf("sssp: transport %d reports rank %d", r, eng.rank)
+		eng, err := newQueryState(plane, t)
+		if err != nil {
+			return nil, err
 		}
 		m.engines = append(m.engines, eng)
 	}
@@ -83,7 +88,7 @@ func (m *Machine) Query(src graph.Vertex) (*Result, error) {
 	var wg sync.WaitGroup
 	for i, eng := range m.engines {
 		wg.Add(1)
-		go func(i int, eng *rankEngine) {
+		go func(i int, eng *queryState) {
 			defer wg.Done()
 			eng.reset(src)
 			if err := eng.run(); err != nil {
@@ -117,22 +122,22 @@ func (m *Machine) NumRanks() int { return len(m.engines) }
 // Queries must not be in flight or issued afterwards. Close exists for
 // long-running processes that churn machines; dropping a Machine without
 // closing it only leaks its parked worker goroutines until process exit.
+// Every transport is closed even when some fail; all close errors are
+// reported, joined.
 func (m *Machine) Close() error {
-	var first error
+	var err error
 	for _, eng := range m.engines {
 		eng.stopWorkers()
-		if err := eng.t.Close(); err != nil && first == nil {
-			first = err
-		}
+		err = errors.Join(err, eng.t.Close())
 	}
-	return first
+	return err
 }
 
 // reset returns a rank engine to its initial state for a new query,
 // preserving allocations (buffers, histograms, shortEnd, bucket-store
 // map storage, and the Stats slices, whose contents were copied out by
 // assemble).
-func (r *rankEngine) reset(src graph.Vertex) {
+func (r *queryState) reset(src graph.Vertex) {
 	r.src = src
 	for i := range r.dist {
 		r.dist[i] = graph.Inf

@@ -57,7 +57,7 @@ type PhaseRecord struct {
 }
 
 // logPhase appends a timeline record when Options.RecordPhases is set.
-func (r *rankEngine) logPhase(bucket int64, kind PhaseKind, active int,
+func (r *queryState) logPhase(bucket int64, kind PhaseKind, active int,
 	before RelaxCounts, start time.Time) {
 	if !r.opts.RecordPhases {
 		return

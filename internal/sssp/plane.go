@@ -1,0 +1,87 @@
+package sssp
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+)
+
+// rankGraph is the graph plane of one rank: everything about a
+// (graph, distribution, options) triple that does not change from query
+// to query — CSR views, the short/long edge classification (shortEnd),
+// the IOS phase boundaries implied by Δ (dd), the heavy-vertex chunking
+// thresholds (via opts), the partition/ownership tables (pd) and the
+// per-vertex weight histograms of the request estimator. It is built
+// once and then shared read-only by every query plane (queryState) over
+// it — the weights/activations split of an inference stack, applied to
+// graph queries.
+//
+// Immutability is the load-bearing property: concurrent queries on a
+// pool read the same rankGraph from many goroutines with no
+// synchronization. Nothing outside newRankGraph may write its fields;
+// the planepurity analyzer (internal/lint) enforces this, including
+// writes through the promoted fields of an embedding queryState.
+type rankGraph struct {
+	g    *graph.Graph
+	pd   partition.Dist
+	opts *Options
+	rank int
+	size int
+
+	nLocal int
+	dd     graph.Dist // bucket width Δ
+	maxW   graph.Weight
+
+	shortEnd []int32 // per local vertex: first long-edge index in its adjacency
+	hist     []int32 // per-vertex cumulative weight histograms (EstimatorHistogram)
+}
+
+// newRankGraph builds the immutable graph plane of one rank. opts must
+// outlive the plane and must not be mutated while any query runs over
+// it; maxW must be the graph's maximum edge weight.
+func newRankGraph(g *graph.Graph, pd partition.Dist, rank int,
+	opts *Options, maxW graph.Weight) (*rankGraph, error) {
+	if pd.NumVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("sssp: distribution covers %d vertices, graph has %d",
+			pd.NumVertices(), g.NumVertices())
+	}
+	if rank < 0 || rank >= pd.NumRanks() {
+		return nil, fmt.Errorf("sssp: rank %d out of range [0,%d)", rank, pd.NumRanks())
+	}
+	p := &rankGraph{
+		g:    g,
+		pd:   pd,
+		opts: opts,
+		rank: rank,
+		size: pd.NumRanks(),
+		dd:   graph.Dist(opts.Delta),
+		maxW: maxW,
+	}
+	p.nLocal = pd.Count(rank)
+	p.shortEnd = make([]int32, p.nLocal)
+	for li := 0; li < p.nLocal; li++ {
+		v := pd.Global(rank, li)
+		if opts.EdgeClassification {
+			p.shortEnd[li] = int32(g.ShortEdgeEnd(v, opts.Delta))
+		} else {
+			p.shortEnd[li] = int32(g.Degree(v))
+		}
+	}
+	if opts.Prune && opts.Estimator == EstimatorHistogram {
+		p.buildHistograms()
+	}
+	return p, nil
+}
+
+// local returns the local index of global vertex v, which must be owned
+// by this rank.
+func (p *rankGraph) local(v graph.Vertex) int { return p.pd.LocalIndex(v) }
+
+// global returns the global id of local index li.
+func (p *rankGraph) global(li uint32) graph.Vertex {
+	return p.pd.Global(p.rank, int(li))
+}
+
+// bucketEnd returns the largest distance in bucket k.
+func (p *rankGraph) bucketEnd(k int64) graph.Dist { return (k+1)*p.dd - 1 }

@@ -1,0 +1,406 @@
+package sssp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/comm/memtransport"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+)
+
+// QueryPool answers concurrent SSSP queries over one loaded graph. The
+// immutable graph plane (rankGraph: edge classification, histograms,
+// partition tables) is built once per rank and shared read-only by N
+// slots, each slot a full set of per-rank query planes (queryState) over
+// its own independent communicator — a memtransport sub-group in
+// process, a tcptransport channel set across processes (see RankServer).
+// Query blocks until a slot frees up, so admission is a simple bounded
+// queue: callers are admitted in approximately the order they arrived
+// (the runtime wakes channel waiters FIFO), and at most N queries run at
+// once.
+//
+// This is the serving shape of the ROADMAP's north star: the per-graph
+// work (the weights) is paid once, the per-query work (the activations)
+// is pooled and reused, and concurrent streams no longer rebuild edge
+// classification or message buffers per stream.
+//
+// Failure is slot-scoped. A query that fails poisons only its slot's
+// communicator; other slots keep answering. The pool then revives the
+// slot with a fresh communicator when it can (in-process pools always
+// can), or retires it; when the last slot is gone every pending and
+// future Query fails with the recorded cause.
+//
+// Options.Trace is the one option that does not compose with
+// concurrency: it would interleave lines from all slots. Leave it nil on
+// pools with more than one slot.
+type QueryPool struct {
+	g    *graph.Graph
+	pd   partition.Dist
+	opts Options // owned copy; every plane's opts points here
+
+	planes []*rankGraph // one per rank, shared by all slots
+
+	slots   chan *poolSlot
+	refresh func() ([]comm.Transport, error) // fresh slot communicator, nil if not revivable
+
+	mu       sync.Mutex
+	live     int
+	lastErr  error         // cause recorded when a slot is retired
+	dead     chan struct{} // closed when live reaches 0
+	closedCh chan struct{} // closed by Close
+	closed   bool
+}
+
+// poolSlot is one checkout unit: per-rank query planes over one
+// independent communicator.
+type poolSlot struct {
+	id      int
+	engines []*queryState
+}
+
+// NewQueryPool builds an in-process pool: numRanks ranks (block
+// distribution), slots concurrent query slots, each slot on its own
+// memtransport sub-group. Failed slots are revived automatically with a
+// fresh sub-group.
+func NewQueryPool(g *graph.Graph, numRanks, slots int, opts Options) (*QueryPool, error) {
+	pd, err := partition.New(partition.Block, g.NumVertices(), numRanks)
+	if err != nil {
+		return nil, err
+	}
+	group, err := memtransport.New(numRanks)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][]comm.Transport, slots)
+	for s := range groups {
+		sub, err := group.SubGroup()
+		if err != nil {
+			return nil, err
+		}
+		groups[s] = sub.Endpoints()
+	}
+	p, err := NewQueryPoolWithGroups(g, pd, opts, groups)
+	if err != nil {
+		return nil, err
+	}
+	p.refresh = func() ([]comm.Transport, error) {
+		sub, err := group.SubGroup()
+		if err != nil {
+			return nil, err
+		}
+		return sub.Endpoints(), nil
+	}
+	return p, nil
+}
+
+// NewQueryPoolWithGroups builds a pool over caller-provided slot
+// communicators: groups[s][r] is the transport of rank r in slot s. All
+// groups must span the same ranks as pd. It exists so tests can
+// interpose wrappers (comm.Faulty on one slot, leaving the others
+// clean) and so custom transports can back a pool. Slots whose queries
+// fail are retired, not revived — the pool cannot mint transports it
+// did not create.
+func NewQueryPoolWithGroups(g *graph.Graph, pd partition.Dist, opts Options,
+	groups [][]comm.Transport) (*QueryPool, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		return nil, errors.New("sssp: pool needs at least one slot")
+	}
+	maxW := g.MaxWeight()
+	p := &QueryPool{
+		g:        g,
+		pd:       pd,
+		opts:     opts,
+		slots:    make(chan *poolSlot, len(groups)),
+		live:     len(groups),
+		dead:     make(chan struct{}),
+		closedCh: make(chan struct{}),
+	}
+	p.planes = make([]*rankGraph, pd.NumRanks())
+	for r := range p.planes {
+		plane, err := newRankGraph(g, pd, r, &p.opts, maxW)
+		if err != nil {
+			return nil, err
+		}
+		p.planes[r] = plane
+	}
+	for s, ts := range groups {
+		slot, err := p.newSlot(s, ts)
+		if err != nil {
+			return nil, err
+		}
+		p.slots <- slot
+	}
+	return p, nil
+}
+
+// newSlot builds one slot's per-rank query planes over the given
+// transports (one per rank, in rank order).
+func (p *QueryPool) newSlot(id int, ts []comm.Transport) (*poolSlot, error) {
+	if len(ts) != len(p.planes) {
+		return nil, fmt.Errorf("sssp: slot %d has %d transports for %d ranks", id, len(ts), len(p.planes))
+	}
+	slot := &poolSlot{id: id}
+	for r, t := range ts {
+		if t.Rank() != r {
+			return nil, fmt.Errorf("sssp: slot %d transport %d reports rank %d", id, r, t.Rank())
+		}
+		eng, err := newQueryState(p.planes[r], t)
+		if err != nil {
+			return nil, err
+		}
+		slot.engines = append(slot.engines, eng)
+	}
+	return slot, nil
+}
+
+// Query runs one SSSP query from src, blocking until a slot is free.
+// Queries on distinct slots run fully concurrently and return exactly
+// what a sequential Machine.Query over the same graph and options
+// returns — identical distances, parents and algorithm counters; the
+// only shared state between slots is the read-only graph plane.
+//
+// A failed query returns its root cause to this caller only. The slot is
+// revived with a fresh communicator when the pool owns one (NewQueryPool
+// pools), otherwise retired; when no slots remain, Query fails
+// immediately with the cause that killed the last slot.
+func (p *QueryPool) Query(src graph.Vertex) (*Result, error) {
+	if int(src) >= p.g.NumVertices() {
+		return nil, fmt.Errorf("sssp: source %d out of range", src)
+	}
+	var slot *poolSlot
+	select {
+	case slot = <-p.slots:
+	case <-p.closedCh:
+		return nil, errors.New("sssp: query pool is closed")
+	case <-p.dead:
+		return nil, fmt.Errorf("sssp: query pool has no live slots: %w", p.cause())
+	}
+
+	errs := make([]error, len(slot.engines))
+	var wg sync.WaitGroup
+	for i, eng := range slot.engines {
+		wg.Add(1)
+		go func(i int, eng *queryState) {
+			defer wg.Done()
+			eng.reset(src)
+			if err := eng.run(); err != nil {
+				comm.Abort(eng.t, err)
+				errs[i] = err
+			}
+		}(i, eng)
+	}
+	wg.Wait()
+	if err := firstCause(errs); err != nil {
+		p.retire(slot, err)
+		return nil, err
+	}
+	ranks := make([]*RankResult, len(slot.engines))
+	for i, eng := range slot.engines {
+		ranks[i] = &RankResult{
+			Rank:        eng.rank,
+			LocalDist:   eng.dist,
+			LocalParent: eng.parent,
+			Stats:       eng.stats,
+		}
+	}
+	// assemble copies local arrays into fresh global slices, so the
+	// Result outlives the slot's next checkout.
+	res, aerr := assemble(p.g, p.pd, ranks)
+	p.checkin(slot)
+	return res, aerr
+}
+
+// checkin returns a healthy slot to the free list (or disposes of it if
+// the pool closed while the query ran).
+func (p *QueryPool) checkin(slot *poolSlot) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		disposeSlot(slot)
+		return
+	}
+	p.slots <- slot
+}
+
+// retire handles a slot whose query failed: its communicator is
+// poisoned, so the slot either gets a fresh one (revival) or leaves the
+// pool for good. The last retirement marks the pool dead so blocked and
+// future callers fail instead of waiting for a slot that cannot come.
+func (p *QueryPool) retire(slot *poolSlot, cause error) {
+	if p.refresh != nil {
+		if ts, err := p.refresh(); err == nil {
+			if fresh, err := p.rebind(slot, ts); err == nil {
+				p.checkin(fresh)
+				return
+			}
+		}
+	}
+	disposeSlot(slot)
+	p.mu.Lock()
+	if p.lastErr == nil {
+		p.lastErr = cause
+	}
+	p.live--
+	if p.live == 0 {
+		close(p.dead)
+	}
+	p.mu.Unlock()
+}
+
+// rebind gives a slot's engines a fresh communicator, closing the
+// poisoned one. The engines' arrays, buffers and worker pools are kept —
+// revival costs one transport swap, not a rebuild.
+func (p *QueryPool) rebind(slot *poolSlot, ts []comm.Transport) (*poolSlot, error) {
+	if len(ts) != len(slot.engines) {
+		return nil, fmt.Errorf("sssp: refresh returned %d transports for %d ranks", len(ts), len(slot.engines))
+	}
+	for r, eng := range slot.engines {
+		if ts[r].Rank() != r {
+			return nil, fmt.Errorf("sssp: refresh transport %d reports rank %d", r, ts[r].Rank())
+		}
+		//parssspvet:allow transporterr -- the old transport is poisoned; its close error carries no information
+		eng.t.Close()
+		eng.t = comm.NewCounting(ts[r])
+	}
+	return slot, nil
+}
+
+// cause returns the error that retired the pool's last slot.
+func (p *QueryPool) cause() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastErr == nil {
+		return errors.New("unknown cause")
+	}
+	return p.lastErr
+}
+
+// disposeSlot releases one slot's goroutines and transports.
+func disposeSlot(slot *poolSlot) {
+	for _, eng := range slot.engines {
+		eng.stopWorkers()
+		//parssspvet:allow transporterr -- disposing a retired slot; the transport is already poisoned
+		eng.t.Close()
+	}
+}
+
+// NumRanks returns the number of ranks of the pool's machine.
+func (p *QueryPool) NumRanks() int { return len(p.planes) }
+
+// Slots returns the number of slots the pool was built with (live or
+// retired).
+func (p *QueryPool) Slots() int { return cap(p.slots) }
+
+// Close releases the pool: every idle slot's worker goroutines and
+// transports are torn down now, checked-out slots as their queries
+// finish. Blocked and future Query calls fail immediately. Close does
+// not wait for in-flight queries.
+func (p *QueryPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.closedCh)
+	p.mu.Unlock()
+	for {
+		select {
+		case slot := <-p.slots:
+			disposeSlot(slot)
+		default:
+			return nil
+		}
+	}
+}
+
+// RankServer is the one-rank building block of a multi-process query
+// pool: the rank's shared graph plane plus N query slots, each over a
+// caller-provided transport of the same rank (in deployment, N channels
+// of one tcptransport mesh — see cmd/ssspd -serve). Every rank of the
+// machine runs one RankServer with the same graph, options and slot
+// count; slot s's Query must be driven in lockstep on every rank, while
+// distinct slots are fully concurrent.
+type RankServer struct {
+	opts  Options // owned copy; the plane's opts points here
+	plane *rankGraph
+	slots []*queryState
+}
+
+// NewRankServer builds this rank's server. transports[s] is slot s's
+// transport; all must report the same rank and size. maxWeight must be
+// the graph's maximum edge weight, or 0 to compute it (all ranks must
+// agree on it).
+func NewRankServer(g *graph.Graph, pd partition.Dist, opts Options,
+	transports []comm.Transport, maxWeight graph.Weight) (*RankServer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(transports) == 0 {
+		return nil, errors.New("sssp: rank server needs at least one slot")
+	}
+	if maxWeight == 0 {
+		maxWeight = g.MaxWeight()
+	}
+	s := &RankServer{opts: opts}
+	plane, err := newRankGraph(g, pd, transports[0].Rank(), &s.opts, maxWeight)
+	if err != nil {
+		return nil, err
+	}
+	s.plane = plane
+	for i, t := range transports {
+		eng, err := newQueryState(plane, t)
+		if err != nil {
+			return nil, fmt.Errorf("sssp: slot %d: %w", i, err)
+		}
+		s.slots = append(s.slots, eng)
+	}
+	return s, nil
+}
+
+// Slots returns the number of query slots.
+func (s *RankServer) Slots() int { return len(s.slots) }
+
+// Query runs this rank's part of one query on the given slot. Every rank
+// must call Query with the same slot and source (the lockstep collective
+// discipline); concurrent calls must use distinct slots. A failed query
+// aborts the slot's transport — poisoning that slot on every rank, and
+// nothing else — and leaves the slot unusable.
+func (s *RankServer) Query(slot int, src graph.Vertex) (*RankResult, error) {
+	if slot < 0 || slot >= len(s.slots) {
+		return nil, fmt.Errorf("sssp: slot %d out of range [0,%d)", slot, len(s.slots))
+	}
+	if int(src) >= s.plane.g.NumVertices() {
+		return nil, fmt.Errorf("sssp: source %d out of range", src)
+	}
+	eng := s.slots[slot]
+	eng.reset(src)
+	if err := eng.run(); err != nil {
+		comm.Abort(eng.t, err)
+		return nil, err
+	}
+	return &RankResult{
+		Rank:        eng.rank,
+		LocalDist:   eng.dist,
+		LocalParent: eng.parent,
+		Stats:       eng.stats,
+	}, nil
+}
+
+// Close releases the server's worker goroutines and transports. Queries
+// must not be in flight.
+func (s *RankServer) Close() error {
+	var err error
+	for _, eng := range s.slots {
+		eng.stopWorkers()
+		err = errors.Join(err, eng.t.Close())
+	}
+	return err
+}

@@ -1,0 +1,317 @@
+package sssp
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/comm/memtransport"
+	"parsssp/internal/comm/tcptransport"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+)
+
+// checkAgainstFresh asserts a pooled query's result is byte-identical to
+// a fresh sequential run from the same source — distances, parents and
+// the algorithm counters. This is the pool's core promise: concurrency
+// is invisible in the answers.
+func checkAgainstFresh(t *testing.T, g *graph.Graph, ranks int, src graph.Vertex, opts Options, got *Result) {
+	t.Helper()
+	want := mustRun(t, g, ranks, src, opts)
+	if !reflect.DeepEqual(got.Dist, want.Dist) {
+		t.Errorf("pooled query from %d: distances differ from sequential run", src)
+	}
+	if !reflect.DeepEqual(got.Parent, want.Parent) {
+		t.Errorf("pooled query from %d: parents differ from sequential run", src)
+	}
+	if got.Stats.Relax != want.Stats.Relax {
+		t.Errorf("pooled query from %d: counters differ: %+v vs %+v", src, got.Stats.Relax, want.Stats.Relax)
+	}
+}
+
+func TestQueryPoolConcurrentMatchesSequential(t *testing.T) {
+	g := rmatTestGraph
+	const ranks, slots = 3, 3
+	opts := OptOptions(25)
+	pool, err := NewQueryPool(g, ranks, slots, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.NumRanks() != ranks || pool.Slots() != slots {
+		t.Fatalf("pool shape: %d ranks, %d slots", pool.NumRanks(), pool.Slots())
+	}
+	roots, err := PickRoots(g, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, len(roots))
+	errs := make([]error, len(roots))
+	var wg sync.WaitGroup
+	for i, root := range roots {
+		wg.Add(1)
+		go func(i int, root graph.Vertex) {
+			defer wg.Done()
+			results[i], errs[i] = pool.Query(root)
+		}(i, root)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	for i, root := range roots {
+		checkAgainstFresh(t, g, ranks, root, opts, results[i])
+	}
+}
+
+// TestQueryPoolOverTCPChannels runs a pool whose slots are logical
+// channels of one TCP socket mesh — the multi-process serving shape,
+// with goroutines standing in for processes.
+func TestQueryPoolOverTCPChannels(t *testing.T) {
+	g := rmatTestGraph
+	const ranks, slots = 2, 2
+	opts := OptOptions(25)
+	addrs := make([]string, ranks)
+	lns := make([]net.Listener, ranks)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	trs := make([]*tcptransport.Transport, ranks)
+	setupErrs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], setupErrs[r] = tcptransport.New(tcptransport.Config{
+				Addrs: addrs, Rank: r, DialTimeout: 10 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range setupErrs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	// Slot s rides channel s+1 on every rank; channel 0 is the root.
+	groups := make([][]comm.Transport, slots)
+	for s := range groups {
+		groups[s] = make([]comm.Transport, ranks)
+		for r := range groups[s] {
+			ch, err := trs[r].Channel(uint32(s + 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups[s][r] = ch
+		}
+	}
+	pd := partition.MustNew(partition.Block, g.NumVertices(), ranks)
+	pool, err := NewQueryPoolWithGroups(g, pd, opts, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	roots, err := PickRoots(g, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, len(roots))
+	errs := make([]error, len(roots))
+	for i, root := range roots {
+		wg.Add(1)
+		go func(i int, root graph.Vertex) {
+			defer wg.Done()
+			results[i], errs[i] = pool.Query(root)
+		}(i, root)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	for i, root := range roots {
+		checkAgainstFresh(t, g, ranks, root, opts, results[i])
+	}
+}
+
+// faultyGroups builds slot communicators over fresh memtransport
+// sub-groups, wrapping every rank of slot 0 with a comm.Faulty that
+// errors on its first collective. Slots 1..n are clean.
+func faultyGroups(t *testing.T, ranks, slots int) [][]comm.Transport {
+	t.Helper()
+	parent, err := memtransport.New(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([][]comm.Transport, slots)
+	for s := range groups {
+		sub, err := parent.SubGroup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[s] = sub.Endpoints()
+	}
+	for r, tr := range groups[0] {
+		f, err := comm.NewFaulty(tr, comm.Fault{Collective: 0, Kind: comm.FaultError})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[0][r] = f
+	}
+	return groups
+}
+
+// TestQueryPoolSlotFaultIsolation is the chaos case: a fault injected
+// into one slot's communicator fails that slot's query with the injected
+// cause and leaves the other slots answering byte-identical results. The
+// faulted slot is retired (these groups have no refresher), not revived.
+func TestQueryPoolSlotFaultIsolation(t *testing.T) {
+	g := rmatTestGraph
+	const ranks, slots = 2, 2
+	opts := OptOptions(25)
+	pd := partition.MustNew(partition.Block, g.NumVertices(), ranks)
+	pool, err := NewQueryPoolWithGroups(g, pd, opts, faultyGroups(t, ranks, slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	src := testRoot(g)
+	// Slots check out in insertion order, so the first query lands on the
+	// faulted slot 0 and must surface the injected error.
+	if _, err := pool.Query(src); !errors.Is(err, comm.ErrInjected) {
+		t.Fatalf("faulted slot: err = %v, want ErrInjected", err)
+	}
+	// The surviving slot keeps answering, repeatedly and correctly.
+	for i := 0; i < 3; i++ {
+		res, err := pool.Query(src)
+		if err != nil {
+			t.Fatalf("query %d after slot fault: %v", i, err)
+		}
+		checkAgainstFresh(t, g, ranks, src, opts, res)
+	}
+}
+
+// TestQueryPoolFaultKillsLastSlot pins the end state: when the final
+// slot dies, pending and future queries fail fast with the recorded
+// cause instead of blocking on a slot that cannot come back.
+func TestQueryPoolFaultKillsLastSlot(t *testing.T) {
+	g := rmatTestGraph
+	const ranks = 2
+	opts := OptOptions(25)
+	pd := partition.MustNew(partition.Block, g.NumVertices(), ranks)
+	pool, err := NewQueryPoolWithGroups(g, pd, opts, faultyGroups(t, ranks, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	src := testRoot(g)
+	if _, err := pool.Query(src); !errors.Is(err, comm.ErrInjected) {
+		t.Fatalf("first query: err = %v, want ErrInjected", err)
+	}
+	_, err = pool.Query(src)
+	if err == nil {
+		t.Fatal("query on a dead pool succeeded")
+	}
+	if !errors.Is(err, comm.ErrInjected) {
+		t.Errorf("dead pool should report the killing cause, got: %v", err)
+	}
+}
+
+// TestQueryPoolRevivesFaultySlot checks the revival path NewQueryPool
+// pools use: after a failed query the slot gets a fresh communicator and
+// rejoins the free list, so a transient fault costs one query, not one
+// slot.
+func TestQueryPoolRevivesFaultySlot(t *testing.T) {
+	g := rmatTestGraph
+	const ranks, slots = 2, 2
+	opts := OptOptions(25)
+	pd := partition.MustNew(partition.Block, g.NumVertices(), ranks)
+	pool, err := NewQueryPoolWithGroups(g, pd, opts, faultyGroups(t, ranks, slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	parent, err := memtransport.New(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.refresh = func() ([]comm.Transport, error) {
+		sub, err := parent.SubGroup()
+		if err != nil {
+			return nil, err
+		}
+		return sub.Endpoints(), nil
+	}
+	src := testRoot(g)
+	if _, err := pool.Query(src); !errors.Is(err, comm.ErrInjected) {
+		t.Fatalf("faulted slot: err = %v, want ErrInjected", err)
+	}
+	// Both slots must be live again: two concurrent queries proceed and
+	// answer correctly.
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = pool.Query(src)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d after revival: %v", i, err)
+		}
+		checkAgainstFresh(t, g, ranks, src, opts, results[i])
+	}
+}
+
+func TestQueryPoolValidationAndClose(t *testing.T) {
+	g := rmatTestGraph
+	if _, err := NewQueryPool(g, 2, 1, Options{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+	pd := partition.MustNew(partition.Block, g.NumVertices(), 2)
+	if _, err := NewQueryPoolWithGroups(g, pd, OptOptions(25), nil); err == nil {
+		t.Error("pool with zero slots accepted")
+	}
+	pool, err := NewQueryPool(g, 2, 2, OptOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Query(graph.Vertex(g.NumVertices())); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := pool.Query(0); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("query on closed pool: err = %v, want closed", err)
+	}
+}

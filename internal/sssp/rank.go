@@ -10,27 +10,22 @@ import (
 	"parsssp/internal/partition"
 )
 
-// rankEngine is the per-rank state of a distributed run. One rankEngine
-// executes on each rank (a goroutine over memtransport, or a process over
-// tcptransport); they advance in lockstep through the bulk-synchronous
-// collectives of their transports.
-type rankEngine struct {
-	g    *graph.Graph
-	pd   partition.Dist
-	opts *Options
-	t    *comm.Counting
-	rank int
-	size int
-	src  graph.Vertex
+// queryState is the query plane of one rank: all per-query mutable state
+// of a distributed run, over an immutable shared rankGraph. One
+// queryState executes on each rank (a goroutine over memtransport, or a
+// process over tcptransport); they advance in lockstep through the
+// bulk-synchronous collectives of their transports. Distinct queryStates
+// over the same rankGraph are independent — a query pool keeps one per
+// slot and runs them concurrently.
+type queryState struct {
+	*rankGraph // shared, read-only; see plane.go
 
-	nLocal int
-	dd     graph.Dist // bucket width Δ
-	maxW   graph.Weight
+	t   *comm.Counting
+	src graph.Vertex
 
 	dist     []graph.Dist   // tentative distances of local vertices
 	parent   []graph.Vertex // tree predecessor of local vertices (NoParent = none)
 	bucketOf []int64        // current bucket of local vertices (infBucket = unreached)
-	shortEnd []int32        // per local vertex: first long-edge index in its adjacency
 	store    bucketStore
 
 	curK       int64
@@ -54,7 +49,6 @@ type rankEngine struct {
 	requesters []uint32 // requester scratch of the pull phase
 	items      []workItem
 	scratch    []byte         // copy of self-delivered buffers when re-emitting (pull responses)
-	hist       []int32        // per-vertex cumulative weight histograms (EstimatorHistogram)
 	applyStage []applyStaging // per-thread staging for the parallel apply path
 	reduceVal  [2]int64       // input scratch of small allreduces
 
@@ -89,32 +83,23 @@ type workItem struct {
 	lo, hi int32
 }
 
-// newRankEngine prepares rank-local state.
-func newRankEngine(g *graph.Graph, pd partition.Dist, src graph.Vertex,
-	opts *Options, t comm.Transport, maxW graph.Weight) (*rankEngine, error) {
-	if pd.NumVertices() != g.NumVertices() {
-		return nil, fmt.Errorf("sssp: distribution covers %d vertices, graph has %d",
-			pd.NumVertices(), g.NumVertices())
+// newQueryState allocates the mutable query plane of one rank over the
+// shared graph plane. The transport must belong to the same machine
+// shape as the plane (same rank, same size); a query pool calls this
+// once per slot, with one independent transport (a memtransport
+// sub-group endpoint or a tcptransport channel) per slot.
+func newQueryState(plane *rankGraph, t comm.Transport) (*queryState, error) {
+	if t.Size() != plane.size {
+		return nil, fmt.Errorf("sssp: plane has %d ranks, transport %d", plane.size, t.Size())
 	}
-	if pd.NumRanks() != t.Size() {
-		return nil, fmt.Errorf("sssp: distribution has %d ranks, transport %d",
-			pd.NumRanks(), t.Size())
+	if t.Rank() != plane.rank {
+		return nil, fmt.Errorf("sssp: plane is rank %d, transport reports rank %d",
+			plane.rank, t.Rank())
 	}
-	if int(src) >= g.NumVertices() {
-		return nil, fmt.Errorf("sssp: source %d out of range", src)
+	r := &queryState{
+		rankGraph: plane,
+		t:         comm.NewCounting(t),
 	}
-	r := &rankEngine{
-		g:    g,
-		pd:   pd,
-		opts: opts,
-		t:    comm.NewCounting(t),
-		rank: t.Rank(),
-		size: t.Size(),
-		src:  src,
-		dd:   graph.Dist(opts.Delta),
-		maxW: maxW,
-	}
-	r.nLocal = pd.Count(r.rank)
 	r.dist = newDistArray(r.nLocal)
 	r.parent = newParentArray(r.nLocal)
 	r.bucketOf = make([]int64, r.nLocal)
@@ -126,43 +111,43 @@ func newRankEngine(g *graph.Graph, pd partition.Dist, src graph.Vertex,
 		r.mark[i] = -1
 	}
 	r.store = newBucketStore()
-	r.shortEnd = make([]int32, r.nLocal)
-	for li := 0; li < r.nLocal; li++ {
-		v := pd.Global(r.rank, li)
-		if opts.EdgeClassification {
-			r.shortEnd[li] = int32(g.ShortEdgeEnd(v, opts.Delta))
-		} else {
-			r.shortEnd[li] = int32(g.Degree(v))
-		}
-	}
-	T := opts.threads()
+	T := r.opts.threads()
 	r.tbufs = make([][][]byte, T)
 	for i := range r.tbufs {
 		r.tbufs[i] = make([][]byte, r.size)
 	}
 	r.tcnt = make([]RelaxCounts, T)
 	r.out = make([][]byte, r.size)
-	if opts.Prune && opts.Estimator == EstimatorHistogram {
-		r.buildHistograms()
-	}
 	return r, nil
 }
 
-// local returns the local index of global vertex v, which must be owned
-// by this rank.
-func (r *rankEngine) local(v graph.Vertex) int { return r.pd.LocalIndex(v) }
-
-// global returns the global id of local index li.
-func (r *rankEngine) global(li uint32) graph.Vertex {
-	return r.pd.Global(r.rank, int(li))
+// newRankEngine builds a plane+state pair in one step: the shape used by
+// single-query runs (RunRank) and tests, where sharing the plane buys
+// nothing.
+func newRankEngine(g *graph.Graph, pd partition.Dist, src graph.Vertex,
+	opts *Options, t comm.Transport, maxW graph.Weight) (*queryState, error) {
+	if pd.NumRanks() != t.Size() {
+		return nil, fmt.Errorf("sssp: distribution has %d ranks, transport %d",
+			pd.NumRanks(), t.Size())
+	}
+	if int(src) >= g.NumVertices() {
+		return nil, fmt.Errorf("sssp: source %d out of range", src)
+	}
+	plane, err := newRankGraph(g, pd, t.Rank(), opts, maxW)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := newQueryState(plane, t)
+	if err != nil {
+		return nil, err
+	}
+	qs.src = src
+	return qs, nil
 }
-
-// bucketEnd returns the largest distance in bucket k.
-func (r *rankEngine) bucketEnd(k int64) graph.Dist { return (k+1)*r.dd - 1 }
 
 // tracef writes an execution-trace line; only rank 0 emits, so the
 // writer needs no synchronization.
-func (r *rankEngine) tracef(format string, args ...interface{}) {
+func (r *queryState) tracef(format string, args ...interface{}) {
 	if r.rank != 0 || r.opts.Trace == nil {
 		return
 	}
@@ -171,7 +156,7 @@ func (r *rankEngine) tracef(format string, args ...interface{}) {
 
 // ---- timed collectives ----------------------------------------------------
 
-func (r *rankEngine) allreduce(vals []int64, op comm.ReduceOp, bucketOverhead bool) ([]int64, error) {
+func (r *queryState) allreduce(vals []int64, op comm.ReduceOp, bucketOverhead bool) ([]int64, error) {
 	start := now()
 	res, err := r.t.AllreduceInt64(vals, op)
 	r.charge(start, bucketOverhead)
@@ -187,7 +172,7 @@ func (r *rankEngine) allreduce(vals []int64, op comm.ReduceOp, bucketOverhead bo
 // (the old mergeBuffers) is gone. WireV2 decodes the staged records,
 // sorts relax batches by destination vertex, and re-encodes them
 // compactly into pooled per-dest buffers; see msg.go for the codec.
-func (r *rankEngine) exchangeRecords(kind recKind) ([][]byte, error) {
+func (r *queryState) exchangeRecords(kind recKind) ([][]byte, error) {
 	start := now()
 	defer r.charge(start, false)
 	wf := r.opts.WireFormat
@@ -214,7 +199,7 @@ func (r *rankEngine) exchangeRecords(kind recKind) ([][]byte, error) {
 // gatherSegs assembles the per-dest segment lists of the WireV1 path from
 // the non-empty staging buffers (thread-major, matching the historical
 // concatenation order) and counts the records sent to other ranks.
-func (r *rankEngine) gatherSegs(kind recKind) [][][]byte {
+func (r *queryState) gatherSegs(kind recKind) [][][]byte {
 	if r.outSegs == nil {
 		r.outSegs = make([][][]byte, r.size)
 	}
@@ -243,7 +228,7 @@ func (r *rankEngine) gatherSegs(kind recKind) [][][]byte {
 // and counts the records sent to other ranks. Relax batches are stably
 // sorted by destination vertex for the delta encoding; request batches
 // keep emission order (see encodeRequestBatch).
-func (r *rankEngine) encodeOut(kind recKind) {
+func (r *queryState) encodeOut(kind recKind) {
 	for dest := 0; dest < r.size; dest++ {
 		buf := r.out[dest][:0]
 		var sent int64
@@ -288,7 +273,7 @@ func (r *rankEngine) encodeOut(kind recKind) {
 	}
 }
 
-func (r *rankEngine) charge(start time.Time, bucketOverhead bool) {
+func (r *queryState) charge(start time.Time, bucketOverhead bool) {
 	d := since(start)
 	if bucketOverhead {
 		r.bktTime += d
@@ -303,7 +288,7 @@ func (r *rankEngine) charge(start time.Time, bucketOverhead bool) {
 // lists of heavy vertices when thread-level load balancing is enabled
 // (the paper's intra-node strategy: the owner thread does not relax all
 // edges of a heavy vertex by itself).
-func (r *rankEngine) buildItems(verts []uint32) []workItem {
+func (r *queryState) buildItems(verts []uint32) []workItem {
 	items := r.items[:0]
 	if r.opts.LoadBalance && r.opts.threads() > 1 {
 		pi := int32(r.opts.heavyThreshold())
@@ -342,7 +327,7 @@ func (r *rankEngine) buildItems(verts []uint32) []workItem {
 // when cost varies smoothly along the item list; genuinely heavy
 // vertices are split across batches by buildItems when LoadBalance is
 // on.
-func (r *rankEngine) runWorkers(items []workItem, fn func(tid int, it workItem)) {
+func (r *queryState) runWorkers(items []workItem, fn func(tid int, it workItem)) {
 	start := now()
 	defer r.charge(start, false)
 	T := r.opts.threads()
@@ -380,7 +365,7 @@ func (r *rankEngine) runWorkers(items []workItem, fn func(tid int, it workItem))
 // writes before the reads here, and the workDone sends order the scan's
 // results before the dispatcher continues). Workers exit when stopWorkers
 // closes their start channel.
-func (r *rankEngine) poolWorker(tid, T int) {
+func (r *queryState) poolWorker(tid, T int) {
 	const batch = 16
 	for range r.workStart[tid] {
 		items, fn := r.workItems, r.workFn
@@ -401,7 +386,7 @@ func (r *rankEngine) poolWorker(tid, T int) {
 // started). The engine must be idle: no runWorkers dispatch in flight.
 // Safe to call more than once; runWorkers would lazily restart the pool
 // if the engine were used again.
-func (r *rankEngine) stopWorkers() {
+func (r *queryState) stopWorkers() {
 	for _, ch := range r.workStart {
 		close(ch)
 	}
@@ -410,7 +395,7 @@ func (r *rankEngine) stopWorkers() {
 }
 
 // relaxTotals sums the per-thread relaxation counters.
-func (r *rankEngine) relaxTotals() RelaxCounts {
+func (r *queryState) relaxTotals() RelaxCounts {
 	var sum RelaxCounts
 	for i := range r.tcnt {
 		sum.Add(r.tcnt[i])
@@ -447,7 +432,7 @@ func (r *rankEngine) relaxTotals() RelaxCounts {
 // it, so the frame was damaged in flight). Distances already applied
 // from the buffer's valid prefix are left in place — the query is failed
 // wholesale, nothing reads them.
-func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStats) error {
+func (r *queryState) applyRelaxIn(in [][]byte, activate bool, census *BucketStats) error {
 	start := now()
 	defer r.charge(start, false)
 	r.stamp++
@@ -509,7 +494,7 @@ func (r *rankEngine) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 
 // corruptErr builds the query-failing error for a damaged exchange
 // payload from rank src.
-func (r *rankEngine) corruptErr(src int, kind string, cause error) error {
+func (r *queryState) corruptErr(src int, kind string, cause error) error {
 	return fmt.Errorf("sssp: rank %d: corrupt %s payload from rank %d: %w", r.rank, kind, src, cause)
 }
 
@@ -517,7 +502,7 @@ func (r *rankEngine) corruptErr(src int, kind string, cause error) error {
 
 // run executes the full query on this rank and leaves per-rank results in
 // r.dist / r.stats.
-func (r *rankEngine) run() error {
+func (r *queryState) run() error {
 	totalStart := now()
 	localMin := int64(infBucket)
 	if r.pd.Owner(r.src) == r.rank {
@@ -595,7 +580,7 @@ func (r *rankEngine) run() error {
 }
 
 // finishStats assembles this rank's Stats.
-func (r *rankEngine) finishStats(totalStart time.Time) {
+func (r *queryState) finishStats(totalStart time.Time) {
 	r.stats.Relax = r.relaxTotals()
 	r.stats.BktTime = r.bktTime
 	r.stats.OtherTime = r.otherTime
@@ -613,7 +598,7 @@ func (r *rankEngine) finishStats(totalStart time.Time) {
 // overhead, per the paper's BktTime definition). The result aliases a
 // rank-owned scratch slice, invalidated by the next collectMembers call;
 // callers that keep it across epochs must copy.
-func (r *rankEngine) collectMembers(k int64) []uint32 {
+func (r *queryState) collectMembers(k int64) []uint32 {
 	start := now()
 	defer r.charge(start, true)
 	members := r.members[:0]
@@ -628,7 +613,7 @@ func (r *rankEngine) collectMembers(k int64) []uint32 {
 
 // processEpoch settles bucket k: short-edge phases to a fixpoint, then
 // the long-edge phase.
-func (r *rankEngine) processEpoch(k int64) error {
+func (r *queryState) processEpoch(k int64) error {
 	bs := BucketStats{Index: k, Mode: ModePush}
 	// Copy out of the shared scratch: r.active survives into the phase
 	// loop's swap chain, and longPhase calls collectMembers again.
@@ -671,7 +656,7 @@ func (r *rankEngine) processEpoch(k int64) error {
 
 // shortPhase relaxes the (inner) short edges of the active vertices and
 // applies the resulting updates.
-func (r *rankEngine) shortPhase(k int64) error {
+func (r *queryState) shortPhase(k int64) error {
 	r.phBEnd = r.bucketEnd(k)
 	if r.shortFn == nil {
 		// Built once per engine; reads the phase bound from r.phBEnd so the

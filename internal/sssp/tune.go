@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"parsssp/internal/graph"
@@ -24,9 +25,23 @@ type TuneResult struct {
 	Trials map[graph.Weight]time.Duration
 }
 
+// tuneSlots bounds the per-candidate pool size: enough concurrency to
+// overlap root queries, not enough to drown the measurement in scheduler
+// noise.
+const tuneSlots = 4
+
 // TuneDelta measures opts with each candidate Δ over the given roots and
 // returns the candidate with the lowest total time. The opts' other
 // fields (heuristics, threads) are preserved.
+//
+// Candidates are measured one after another — the graph plane (edge
+// classification, histograms) depends on Δ, so each candidate builds its
+// own QueryPool — but within a candidate the root queries are
+// independent and run concurrently over the pool's slots. Each trial's
+// mean is the batch wall-clock divided by the root count: the throughput
+// a pool deployment of that Δ would see, which is the quantity a serving
+// configuration wants tuned (per-query latencies under concurrency
+// include scheduler interleaving and would double-count busy cores).
 func TuneDelta(g *graph.Graph, numRanks int, roots []graph.Vertex,
 	opts Options, candidates []graph.Weight) (*TuneResult, error) {
 	if len(candidates) == 0 {
@@ -34,6 +49,10 @@ func TuneDelta(g *graph.Graph, numRanks int, roots []graph.Vertex,
 	}
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("sssp: TuneDelta needs at least one root")
+	}
+	slots := tuneSlots
+	if len(roots) < slots {
+		slots = len(roots)
 	}
 	res := &TuneResult{Trials: make(map[graph.Weight]time.Duration, len(candidates))}
 	bestTime := time.Duration(1<<63 - 1)
@@ -43,15 +62,32 @@ func TuneDelta(g *graph.Graph, numRanks int, roots []graph.Vertex,
 		}
 		trial := opts
 		trial.Delta = delta
-		var total time.Duration
-		for _, root := range roots {
-			run, err := Run(g, numRanks, root, trial)
+		pool, err := NewQueryPool(g, numRanks, slots, trial)
+		if err != nil {
+			return nil, fmt.Errorf("sssp: tuning Δ=%d: %w", delta, err)
+		}
+		errs := make([]error, len(roots))
+		start := now()
+		var wg sync.WaitGroup
+		for i, root := range roots {
+			wg.Add(1)
+			go func(i int, root graph.Vertex) {
+				defer wg.Done()
+				_, errs[i] = pool.Query(root)
+			}(i, root)
+		}
+		wg.Wait()
+		batch := since(start)
+		cerr := pool.Close()
+		for _, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("sssp: tuning Δ=%d: %w", delta, err)
 			}
-			total += run.Stats.Total
 		}
-		mean := total / time.Duration(len(roots))
+		if cerr != nil {
+			return nil, fmt.Errorf("sssp: tuning Δ=%d: %w", delta, cerr)
+		}
+		mean := batch / time.Duration(len(roots))
 		res.Trials[delta] = mean
 		if mean < bestTime {
 			bestTime = mean

@@ -252,13 +252,27 @@ func TopKCloseness(g *Graph, numRanks int, candidates []Vertex, k int, opts Opti
 }
 
 // Machine is a reusable in-process SSSP machine (state allocated once,
-// queries served repeatedly); see NewMachine.
+// queries served repeatedly, one at a time); see NewMachine.
 type Machine = sssp.Machine
 
 // NewMachine builds a machine bound to one graph and option set. Query
 // it repeatedly without re-allocating transports or engine state.
 func NewMachine(g *Graph, numRanks int, opts Options) (*Machine, error) {
 	return sssp.NewMachine(g, numRanks, opts)
+}
+
+// QueryPool answers concurrent SSSP queries over one loaded graph: the
+// immutable graph plane is built once and shared by N pooled query
+// slots, so concurrent callers block for a free slot instead of
+// rebuilding per-graph state per stream. See NewQueryPool.
+type QueryPool = sssp.QueryPool
+
+// NewQueryPool builds an in-process pool with numRanks ranks and slots
+// concurrent query slots over one graph. Query blocks until a slot is
+// free; queries on distinct slots run fully concurrently and return
+// exactly what sequential Machine queries from the same sources return.
+func NewQueryPool(g *Graph, numRanks, slots int, opts Options) (*QueryPool, error) {
+	return sssp.NewQueryPool(g, numRanks, slots, opts)
 }
 
 // RunMultiSource computes every vertex's distance to the nearest of
