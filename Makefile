@@ -26,9 +26,12 @@ vet:
 	go vet ./...
 
 # Domain-specific invariants (determinism, atomics, transport errors,
-# WaitGroup discipline); see DESIGN.md "Static analysis & invariants".
+# WaitGroup discipline, collective ordering, pooled-buffer lifetimes,
+# wire-data taint); see DESIGN.md "Static analysis & invariants". One
+# process, packages analyzed in parallel; the committed baseline is the
+# one-way ratchet for pre-existing findings, and stale suppressions fail.
 lint: vet
-	go run ./cmd/parssspvet ./...
+	go run ./cmd/parssspvet -baseline lint.baseline.json -audit-allows ./...
 
 bench:
 	go test -bench=. -benchmem .

@@ -3,18 +3,28 @@
 // invariants the paper's algorithms rely on but the compiler cannot
 // check: a wall-clock- and global-randomness-free deterministic core,
 // consistent sync/atomic use on shared relaxation state, transport
-// errors that always propagate, and the Add-before-go / defer-Done
-// WaitGroup discipline.
+// errors that always propagate, the Add-before-go / defer-Done
+// WaitGroup discipline, plane purity under concurrent queries, SPMD
+// collective ordering, pooled-buffer lifetimes, and wire-data taint.
 //
 // Usage:
 //
-//	parssspvet [-list] [pattern ...]
+//	parssspvet [flags] [pattern ...]
 //
 // Patterns are resolved relative to the module root and default to
-// "./...". Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// "./...". Exit status: 0 clean (or fully baselined), 1 findings (or
+// findings beyond the baseline, or stale suppressions under
+// -audit-allows), 2 usage or load failure.
+//
 // Findings can be suppressed with a justified directive:
 //
 //	//parssspvet:allow <analyzer> -- <reason>
+//
+// or tolerated en masse through a committed baseline file (-baseline),
+// which acts as a one-way ratchet: findings not covered by the baseline
+// fail the run, and baseline entries no longer matched are reported as
+// stale so the file can only shrink. -update-baseline rewrites the file
+// to exactly cover the current findings.
 package main
 
 import (
@@ -22,15 +32,29 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"parsssp/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list           = flag.Bool("list", false, "list the analyzers and exit")
+		jsonOut        = flag.Bool("json", false, "emit findings as JSON on stdout")
+		sarifPath      = flag.String("sarif", "", "write a SARIF 2.1.0 report to `file` (\"-\" for stdout)")
+		baselinePath   = flag.String("baseline", "", "tolerate findings recorded in the baseline `file`; new findings still fail")
+		updateBaseline = flag.Bool("update-baseline", false, "rewrite -baseline to exactly cover the current findings and exit 0")
+		auditAllows    = flag.Bool("audit-allows", false, "fail on //parssspvet:allow directives that suppress nothing")
+		debug          = flag.Bool("debug", false, "print per-analyzer timing to stderr")
+		serial         = flag.Bool("serial", false, "analyze packages serially instead of in parallel")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parssspvet [-list] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: parssspvet [flags] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,7 +63,11 @@ func main() {
 		for _, a := range lint.Analyzers() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "parssspvet: -update-baseline requires -baseline")
+		return 2
 	}
 
 	patterns := flag.Args()
@@ -50,12 +78,12 @@ func main() {
 	mod, err := lint.LoadModule(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parssspvet:", err)
-		os.Exit(2)
+		return 2
 	}
 	pkgs, err := mod.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parssspvet:", err)
-		os.Exit(2)
+		return 2
 	}
 	// Surface type-checking problems: analysis on broken type information
 	// would silently miss violations, so a non-compiling tree is a hard
@@ -68,17 +96,102 @@ func main() {
 		}
 	}
 	if typeErrs > 0 {
-		os.Exit(2)
+		return 2
 	}
 
-	findings := lint.RunAnalyzers(pkgs, lint.Analyzers())
-	for _, f := range findings {
-		fmt.Println(relativize(f, mod.Root))
+	res := lint.Run(pkgs, lint.Analyzers(), lint.RunOptions{Serial: *serial})
+
+	if *debug {
+		names := make([]string, 0, len(res.Timing))
+		for name := range res.Timing {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return res.Timing[names[i]] > res.Timing[names[j]] })
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "parssspvet: timing %-16s %v\n", name, res.Timing[name])
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "parssspvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+
+	rel := func(filename string) string {
+		if r, err := filepath.Rel(mod.Root, filename); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(filename)
 	}
+
+	if *updateBaseline {
+		entries := lint.BaselineFromFindings(res.Findings, rel)
+		if err := lint.SaveBaseline(*baselinePath, entries); err != nil {
+			fmt.Fprintln(os.Stderr, "parssspvet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "parssspvet: wrote %s with %d entry group(s) covering %d finding(s)\n",
+			*baselinePath, len(entries), len(res.Findings))
+		return 0
+	}
+
+	// The findings that gate the exit status: with a baseline, only the
+	// fresh ones beyond it.
+	gating := res.Findings
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		entries, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parssspvet:", err)
+			return 2
+		}
+		gating, stale = lint.ApplyBaseline(entries, res.Findings, rel)
+	}
+
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, gating, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "parssspvet:", err)
+			return 2
+		}
+	}
+
+	status := 0
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, gating, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "parssspvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range gating {
+			fmt.Println(relativize(f, mod.Root))
+		}
+	}
+	if len(gating) > 0 {
+		kind := "finding(s)"
+		if *baselinePath != "" {
+			kind = "finding(s) beyond the baseline"
+		}
+		fmt.Fprintf(os.Stderr, "parssspvet: %d %s in %d package(s)\n", len(gating), kind, len(pkgs))
+		status = 1
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr,
+			"parssspvet: stale baseline entry %s %s %q: now %d finding(s); ratchet the count down\n",
+			e.Analyzer, e.File, e.Message, e.Count)
+	}
+	if len(stale) > 0 && status == 0 {
+		// Stale entries alone do not fail the gate — they are the ratchet's
+		// reminder — unless the operator asked for a strict audit.
+		if *auditAllows {
+			status = 1
+		}
+	}
+	if *auditAllows {
+		for _, u := range res.UnusedAllows {
+			fmt.Fprintf(os.Stderr,
+				"parssspvet: stale suppression %s:%d:%d: //parssspvet:allow %s no longer suppresses anything; delete it\n",
+				rel(u.Pos.Filename), u.Pos.Line, u.Pos.Column, u.Analyzer)
+		}
+		if len(res.UnusedAllows) > 0 {
+			status = 1
+		}
+	}
+	return status
 }
 
 // relativize shortens a finding's absolute file name to be module-root

@@ -219,7 +219,6 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 		return err
 	}
 	defer func() {
-		//parssspvet:allow transporterr -- the mesh teardown below reports the authoritative close error
 		server.Close()
 	}()
 	rank0 := t.Rank() == 0

@@ -452,7 +452,6 @@ func (t *Transport) poisonAll(err error) {
 	t.chanMu.Lock()
 	chans := make([]*Channel, 0, len(t.chans))
 	for _, ch := range t.chans {
-		//parssspvet:allow nodeterminism -- poisoning every channel; order is irrelevant
 		chans = append(chans, ch)
 	}
 	t.chanMu.Unlock()
@@ -476,7 +475,6 @@ func (t *Transport) failPeer(p int, err error) {
 	}
 	chans := make([]*Channel, 0, len(t.chans))
 	for _, ch := range t.chans {
-		//parssspvet:allow nodeterminism -- failing peer p on every channel; order is irrelevant
 		chans = append(chans, ch)
 	}
 	t.chanMu.Unlock()

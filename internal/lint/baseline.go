@@ -1,0 +1,116 @@
+package lint
+
+// The findings baseline: the ratchet that lets a new analyzer land
+// before the tree is perfectly clean. Pre-existing findings are recorded
+// in a committed JSON file keyed by (analyzer, file, message) with a
+// count — deliberately no line numbers, so unrelated edits that shift
+// code do not invalidate the baseline. The gate then enforces one-way
+// motion: findings not covered by the baseline fail the run, and
+// baseline entries that no longer match anything are reported as stale
+// so the file can only shrink.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry records pre-existing findings of one (analyzer, file,
+// message) group.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is the finding's path relative to the module root, with
+	// forward slashes.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Count is how many findings of this group are tolerated.
+	Count int `json:"count"`
+	// Reason documents why the findings are tolerated rather than fixed.
+	Reason string `json:"reason,omitempty"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error: the ratchet starts engaged.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// SaveBaseline writes entries, sorted for stable diffs.
+func SaveBaseline(path string, entries []BaselineEntry) error {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key() < entries[j].key() })
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineFromFindings builds the baseline that exactly covers the given
+// findings (used by -update-baseline). rel maps absolute filenames to
+// module-relative paths.
+func BaselineFromFindings(findings []Finding, rel func(string) string) []BaselineEntry {
+	byKey := make(map[string]*BaselineEntry)
+	var order []string
+	for _, f := range findings {
+		e := BaselineEntry{Analyzer: f.Analyzer, File: rel(f.Pos.Filename), Message: f.Message}
+		k := e.key()
+		if prev, ok := byKey[k]; ok {
+			prev.Count++
+			continue
+		}
+		e.Count = 1
+		e.Reason = "baselined pre-existing finding; fix or justify before growing"
+		byKey[k] = &e
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	out := make([]BaselineEntry, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// ApplyBaseline splits findings into the ones the baseline covers and
+// the new ones that must fail the run, and reports stale entries
+// (groups whose actual count fell below the recorded count — including
+// to zero) so the baseline can be ratcheted down.
+func ApplyBaseline(entries []BaselineEntry, findings []Finding, rel func(string) string) (fresh []Finding, stale []BaselineEntry) {
+	budget := make(map[string]int, len(entries))
+	matched := make(map[string]int, len(entries))
+	for _, e := range entries {
+		budget[e.key()] += e.Count
+	}
+	for _, f := range findings {
+		k := (BaselineEntry{Analyzer: f.Analyzer, File: rel(f.Pos.Filename), Message: f.Message}).key()
+		if budget[k] > 0 {
+			budget[k]--
+			matched[k]++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range entries {
+		if matched[e.key()] < e.Count {
+			e.Count = matched[e.key()] // the count it should ratchet down to
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

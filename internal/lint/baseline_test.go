@@ -1,0 +1,96 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+func baselineFinding(file, msg string, line int) lint.Finding {
+	return lint.Finding{
+		Analyzer: "wiretaint",
+		Pos:      token.Position{Filename: "/mod/" + file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func baselineRel(filename string) string {
+	r, _ := filepath.Rel("/mod", filename)
+	return filepath.ToSlash(r)
+}
+
+func TestBaselineRatchet(t *testing.T) {
+	findings := []lint.Finding{
+		baselineFinding("a.go", "index", 10),
+		baselineFinding("a.go", "index", 20),
+		baselineFinding("b.go", "bound", 5),
+	}
+	entries := lint.BaselineFromFindings(findings, baselineRel)
+	if len(entries) != 2 {
+		t.Fatalf("got %d entry groups, want 2 (a.go index ×2, b.go bound ×1)", len(entries))
+	}
+	if entries[0].Count != 2 || entries[0].File != "a.go" {
+		t.Errorf("first group = %+v, want a.go with count 2", entries[0])
+	}
+
+	// The exact findings are fully covered: nothing fresh, nothing stale.
+	fresh, stale := lint.ApplyBaseline(entries, findings, baselineRel)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round-trip: fresh=%d stale=%d, want 0/0", len(fresh), len(stale))
+	}
+
+	// Line numbers are deliberately not part of the key: shifted code
+	// still matches.
+	shifted := []lint.Finding{
+		baselineFinding("a.go", "index", 99),
+		baselineFinding("a.go", "index", 100),
+		baselineFinding("b.go", "bound", 1),
+	}
+	fresh, stale = lint.ApplyBaseline(entries, shifted, baselineRel)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("shifted lines: fresh=%d stale=%d, want 0/0", len(fresh), len(stale))
+	}
+
+	// A third a.go finding exceeds the recorded count: fresh, fails.
+	grown := append(append([]lint.Finding{}, findings...), baselineFinding("a.go", "index", 30))
+	fresh, _ = lint.ApplyBaseline(entries, grown, baselineRel)
+	if len(fresh) != 1 {
+		t.Errorf("grown: fresh=%d, want 1", len(fresh))
+	}
+
+	// Fixing one a.go finding makes its group stale with the ratcheted
+	// count, so the committed file must shrink to stay green.
+	shrunk := []lint.Finding{findings[0], findings[2]}
+	fresh, stale = lint.ApplyBaseline(entries, shrunk, baselineRel)
+	if len(fresh) != 0 {
+		t.Errorf("shrunk: fresh=%d, want 0", len(fresh))
+	}
+	if len(stale) != 1 || stale[0].File != "a.go" || stale[0].Count != 1 {
+		t.Errorf("shrunk: stale=%+v, want one a.go entry ratcheted to count 1", stale)
+	}
+}
+
+func TestBaselineSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	// A missing file is an empty baseline, not an error.
+	entries, err := lint.LoadBaseline(path)
+	if err != nil || entries != nil {
+		t.Fatalf("missing file: got %v, %v; want nil, nil", entries, err)
+	}
+	want := []lint.BaselineEntry{
+		{Analyzer: "poolsafety", File: "z.go", Message: "leak", Count: 2, Reason: "queued fix"},
+		{Analyzer: "wiretaint", File: "a.go", Message: "index", Count: 1},
+	}
+	if err := lint.SaveBaseline(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Analyzer != "poolsafety" || got[1].Analyzer != "wiretaint" {
+		t.Errorf("round-trip: got %+v", got)
+	}
+}

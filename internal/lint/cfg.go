@@ -1,0 +1,496 @@
+package lint
+
+// A lightweight control-flow graph over go/ast function bodies: the
+// substrate of the flow-sensitive analyzers (collectiveorder,
+// poolsafety, wiretaint). Each Block is a maximal straight-line sequence
+// of statement/expression nodes in execution order; edges follow Go's
+// structured control flow (if/for/range/switch/select, break/continue/
+// goto/fallthrough, return). The graph is deliberately approximate where
+// precision buys nothing for our analyses: panics are not modeled, and
+// deferred calls are appended to the single Exit block in reverse
+// declaration order, which over-approximates "the defers run on every
+// exit path" well enough for lifetime checks like defer pool.Put(b).
+//
+// Besides the graph itself the file implements postdominators (iterative
+// intersection over the reverse graph) and Ferrante-style control
+// dependence: block X is control-dependent on branch block B when X
+// postdominates one of B's successors but not B itself. The closure of
+// that relation is what collectiveorder uses to decide whether a
+// collective call can be skipped — or repeated a different number of
+// times — depending on a branch condition.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of nodes with its outgoing edges.
+type Block struct {
+	// ID indexes the block in CFG.Blocks.
+	ID int
+	// Nodes are the statements and condition expressions executed in this
+	// block, in order. Condition expressions of if/for statements appear
+	// as the last node of their branch block.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+	// Branch is the statement that makes this block a multi-way branch
+	// (IfStmt, ForStmt, RangeStmt, SwitchStmt, TypeSwitchStmt,
+	// SelectStmt), or nil for straight-line blocks.
+	Branch ast.Stmt
+	// Cond is the branch condition when Branch has an expression
+	// condition (if, for, switch tag); nil for range/select and
+	// condition-less for/switch.
+	Cond ast.Expr
+}
+
+func (b *Block) add(n ast.Node) {
+	if n != nil {
+		b.Nodes = append(b.Nodes, n)
+	}
+}
+
+// A CFG is one function body's control-flow graph.
+type CFG struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+	// Defers are the deferred calls, in declaration order. Their call
+	// expressions are also appended (reversed) to Exit.Nodes.
+	Defers []*ast.CallExpr
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	// Deferred calls run at every exit; model them inside Exit, last
+	// declared first.
+	for i := len(b.cfg.Defers) - 1; i >= 0; i-- {
+		b.cfg.Exit.add(b.cfg.Defers[i])
+	}
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breakables/continuables are the open break/continue target stacks;
+	// label is "" for unlabeled statements.
+	breakables   []labeledTarget
+	continuables []labeledTarget
+	pendingLabel string
+
+	labels map[string]*Block
+	gotos  []pendingGoto
+
+	// fallTarget is the next case body during switch construction.
+	fallTarget *Block
+}
+
+type labeledTarget struct {
+	label  string
+	target *Block
+}
+
+type pendingGoto struct {
+	label string
+	from  *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{ID: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate ends the current block without a fallthrough successor; the
+// fresh dangling block absorbs any (unreachable) code that follows.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label of a labeled loop/switch.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushTargets(label string, brk, cont *Block) {
+	b.breakables = append(b.breakables, labeledTarget{label, brk})
+	if cont != nil {
+		b.continuables = append(b.continuables, labeledTarget{label, cont})
+	}
+}
+
+func (b *cfgBuilder) popTargets(cont bool) {
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	if cont {
+		b.continuables = b.continuables[:len(b.continuables)-1]
+	}
+}
+
+func findTarget(stack []labeledTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].target
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.add(s.Init)
+		}
+		b.cur.add(s.Cond)
+		b.cur.Branch, b.cur.Cond = s, s.Cond
+		condBlk := b.cur
+		join := b.newBlock()
+
+		then := b.newBlock()
+		b.edge(condBlk, then)
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.edge(b.cur, join)
+
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(condBlk, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.add(s.Post)
+			b.edge(post, head)
+		} else {
+			post = head
+		}
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.add(s.Cond)
+			head.Branch, head.Cond = s, s.Cond
+			b.edge(head, body)
+			b.edge(head, after)
+		} else {
+			b.edge(head, body) // for{}: exits only via break
+		}
+		b.pushTargets(label, after, post)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		b.popTargets(true)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.cur.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt node itself stands for the per-iteration key/value
+		// binding; transfer functions interpret it.
+		head.add(s)
+		head.Branch = s
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushTargets(label, after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.popTargets(true)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.add(s.Tag)
+		}
+		b.cur.Branch, b.cur.Cond = s, s.Tag
+		b.switchClauses(label, b.cur, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.add(s.Init)
+		}
+		b.cur.add(s.Assign)
+		b.cur.Branch = s
+		b.switchClauses(label, b.cur, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.cur.Branch = s
+		b.switchClauses(label, b.cur, s.Body.List, nil)
+
+	case *ast.ReturnStmt:
+		b.cur.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breakables, label); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := findTarget(b.continuables, label); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.terminate()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{label, b.cur})
+			b.terminate()
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.edge(b.cur, b.fallTarget)
+			}
+			b.terminate()
+		}
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.DeferStmt:
+		b.cur.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, ExprStmt, GoStmt, IncDecStmt, SendStmt.
+		b.cur.add(s)
+	}
+}
+
+// switchClauses wires the per-clause bodies of a switch/type-switch/
+// select hanging off branch block cond. Every clause body joins a common
+// successor; a missing default adds a direct cond→join edge (the
+// statement can execute no clause at all). Fallthrough edges jump to the
+// following clause's body block.
+func (b *cfgBuilder) switchClauses(label string, cond *Block, clauses []ast.Stmt, _ *Block) {
+	join := b.newBlock()
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(cond, bodies[i])
+	}
+	b.pushTargets(label, join, nil)
+	for i, c := range clauses {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				bodies[i].add(e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				bodies[i].add(c.Comm)
+			} else {
+				hasDefault = true
+			}
+			list = c.Body
+		}
+		if i+1 < len(bodies) {
+			b.fallTarget = bodies[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.cur = bodies[i]
+		b.stmts(list)
+		b.edge(b.cur, join)
+	}
+	b.fallTarget = nil
+	b.popTargets(false)
+	if !hasDefault {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+// ---- postdominators and control dependence ---------------------------------
+
+// bitset is a fixed-size set of block IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+
+func (s bitset) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// intersectWith ands other into s, reporting whether s changed.
+func (s bitset) intersectWith(other bitset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] & other[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// postdominators returns, per block ID, the set of blocks that
+// postdominate it (reflexive: every block postdominates itself). Blocks
+// that cannot reach Exit (dangling unreachable blocks, bodies of
+// exit-less infinite loops) keep the full set; control-dependence
+// queries never involve them in a way that misleads, because a
+// collective inside an exit-less loop has no branch deciding its
+// execution.
+func (c *CFG) postdominators() []bitset {
+	n := len(c.Blocks)
+	pdom := make([]bitset, n)
+	preds := make([][]*Block, n)
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			preds[s.ID] = append(preds[s.ID], b)
+		}
+	}
+	for i := range pdom {
+		pdom[i] = newBitset(n)
+		if i == c.Exit.ID {
+			pdom[i].set(i)
+		} else {
+			pdom[i].fill()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Reverse order approximates reverse-postorder on the reverse
+		// graph; correctness does not depend on it, only iteration count.
+		for i := n - 1; i >= 0; i-- {
+			b := c.Blocks[i]
+			if b == c.Exit || len(b.Succs) == 0 {
+				continue
+			}
+			next := newBitset(n)
+			next.fill()
+			for _, s := range b.Succs {
+				next.intersectWith(pdom[s.ID])
+			}
+			next.set(i)
+			if pdom[i].intersectWith(next) {
+				changed = true
+			}
+			// intersectWith only shrinks; adding the self bit back is safe
+			// because it was set in next.
+			pdom[i].set(i)
+		}
+	}
+	return pdom
+}
+
+// controlDeps returns the branch blocks x is (transitively)
+// control-dependent on: the branches that decide whether — or how many
+// times — x executes. Classical Ferrante et al. dependence (x
+// postdominates a successor of b but not b itself), closed over the
+// governing branches' own dependences so a collective nested two
+// branches deep reports both conditions.
+func (c *CFG) controlDeps(x *Block, pdom []bitset) []*Block {
+	var out []*Block
+	seen := make(map[*Block]bool)
+	work := []*Block{x}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range c.Blocks {
+			if len(b.Succs) < 2 || b.Branch == nil || seen[b] {
+				continue
+			}
+			if pdom[b.ID].has(cur.ID) && cur != b {
+				continue // cur postdominates b: b does not decide cur
+			}
+			dependent := false
+			for _, s := range b.Succs {
+				if s == cur || pdom[s.ID].has(cur.ID) {
+					dependent = true
+					break
+				}
+			}
+			if dependent {
+				seen[b] = true
+				out = append(out, b)
+				work = append(work, b)
+			}
+		}
+	}
+	return out
+}

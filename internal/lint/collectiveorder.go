@@ -1,0 +1,304 @@
+package lint
+
+// collectiveorder enforces the SPMD contract of the bulk-synchronous
+// core: every rank must execute the same sequence of collectives
+// (Exchange, ExchangeV, AllreduceInt64, Barrier) or the mesh deadlocks —
+// one rank blocks in a collective its peers never enter. The analyzer
+// finds collective call sites (including calls to package-local
+// functions whose summaries say they perform a collective) and computes,
+// over the CFG, the branches each site is control-dependent on. A branch
+// whose condition is rank-varying — derived from Rank(), a rank field,
+// or per-rank indexed data, via the shared dataflow facts — makes the
+// collective statically divergent and is flagged, classified as:
+//
+//	branch      the collective sits on one arm of a rank-varying if
+//	early-exit  a rank-varying arm returns/breaks before a collective
+//	            that follows the join, so some ranks skip it
+//	loop        the collective runs inside a loop whose trip count is
+//	            rank-varying, so ranks disagree on the repetition count
+//	switch      the collective sits in a case of a rank-varying switch
+//	select      the collective sits in a select case; which case runs is
+//	            timing-dependent and differs across ranks
+//
+// Two deliberate exemptions keep the real tree honest rather than noisy:
+// error-return arms are uniform-enough (on the fail-fast paths every
+// rank aborts the mesh via comm.Abort, PR 3), so an if whose divergent
+// arm only returns a non-nil error is skipped; and the transport
+// implementations themselves (parsssp/internal/comm/...) are excluded —
+// rank-dependent control flow *inside* a collective (tree reductions,
+// per-peer loops) is their job. The rank-0-admits pattern in ssspd's
+// serve loop stays clean by construction: the admit decision is passed
+// down as a parameter, and parameters are uniform under this
+// context-insensitive analysis unless a caller proves otherwise.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const collectiveOrderName = "collectiveorder"
+
+var CollectiveOrder = &Analyzer{
+	Name: collectiveOrderName,
+	Doc: "flag comm collectives whose execution is control-dependent on " +
+		"rank-varying conditions: statically possible SPMD divergence that " +
+		"deadlocks the bulk-synchronous mesh",
+	Run: runCollectiveOrder,
+}
+
+func runCollectiveOrder(p *Package) []Finding {
+	if p.Path == commPkgPath || strings.HasPrefix(p.Path, commPkgPath+"/") {
+		return nil // transport internals are legitimately rank-dependent
+	}
+	m := modelFor(p)
+	if len(m.transport) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, collectiveCheckFunc(m, fd)...)
+		}
+	}
+	return out
+}
+
+// collectiveSite is one collective call found in a function body: either
+// a direct transport method call or a call into a summarized
+// package-local function that performs one.
+type collectiveSite struct {
+	call  *ast.CallExpr
+	name  string // collective method name
+	via   string // local callee name when indirect, "" when direct
+	block *Block
+}
+
+func collectiveCheckFunc(m *pkgModel, fd *ast.FuncDecl) []Finding {
+	p := m.p
+	ev := &evaluator{m: m}
+	c := buildCFG(fd.Body)
+	in := solveForward(c, factMap{}, ev.transfer)
+
+	var sites []collectiveSite
+	// condMask[blockID] is the rank-variance mask of a branch block's
+	// condition, evaluated with the facts in force at the branch.
+	condMask := make(map[int]uint32)
+
+	walkFacts(c, in, ev.transfer, func(f factMap, b *Block, n ast.Node) {
+		if b.Branch != nil {
+			switch br := b.Branch.(type) {
+			case *ast.RangeStmt:
+				if n == ast.Node(br) {
+					// Divergence comes from the operand: per-rank data means
+					// per-rank iteration counts.
+					condMask[b.ID] |= ev.maskOf(f, br.X) & bitRank
+				}
+			case *ast.TypeSwitchStmt:
+				if n == ast.Node(br.Assign) {
+					condMask[b.ID] |= typeSwitchMask(ev, f, br) & bitRank
+				}
+			default:
+				if b.Cond != nil && n == ast.Node(b.Cond) {
+					condMask[b.ID] |= ev.maskOf(f, b.Cond) & bitRank
+				}
+			}
+		}
+		expr := nodeExpr(n)
+		if expr == nil {
+			return
+		}
+		ast.Inspect(expr, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := m.collectiveName(call); ok {
+				sites = append(sites, collectiveSite{call, name, "", b})
+				return true
+			}
+			if fn := m.calleeFunc(call); fn != nil {
+				if sum := m.sums[fn]; sum != nil && sum.collective != "" {
+					sites = append(sites, collectiveSite{call, sum.collective, fn.Name(), b})
+				}
+			}
+			return true
+		})
+	})
+	if len(sites) == 0 {
+		return nil
+	}
+
+	// Tagless switches have their case conditions in the clause bodies;
+	// fold their masks into the branch block after the walk.
+	for _, b := range c.Blocks {
+		if sw, ok := b.Branch.(*ast.SwitchStmt); ok && sw.Tag == nil {
+			condMask[b.ID] |= taglessSwitchMask(ev, c, in, b, sw)
+		}
+	}
+
+	pdom := c.postdominators()
+	var out []Finding
+	reported := make(map[string]bool) // one finding per (site, branch) pair
+	for _, site := range sites {
+		for _, dep := range c.controlDeps(site.block, pdom) {
+			kind, ok := classifyDivergence(p, site, dep, condMask[dep.ID])
+			if !ok {
+				continue
+			}
+			key := posKey(p, site.call.Pos()) + "|" + posKey(p, dep.Branch.Pos())
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			what := site.name
+			if site.via != "" {
+				what = site.via + " (which performs " + site.name + ")"
+			}
+			out = append(out, p.finding(collectiveOrderName, site.call.Pos(),
+				"collective %s is control-dependent on the rank-varying %s at %s: "+
+					"ranks that take the other path skip or repeat the collective and the mesh deadlocks",
+				what, kind, p.Fset.Position(dep.Branch.Pos())))
+		}
+	}
+	return out
+}
+
+// classifyDivergence decides whether the dependence of site on branch
+// block dep is a reportable divergence and names its kind.
+func classifyDivergence(p *Package, site collectiveSite, dep *Block, mask uint32) (string, bool) {
+	switch br := dep.Branch.(type) {
+	case *ast.SelectStmt:
+		// Which case runs is timing-dependent: inherently rank-varying.
+		// But a collective after the select whose divergent cases all
+		// fail fast (return non-nil errors) is the admission shape —
+		// every rank that proceeds past the select proceeds together.
+		inside := site.call.Pos() >= br.Pos() && site.call.End() <= br.End()
+		if !inside && exitsOnlyWithErrors(p, br) {
+			return "", false
+		}
+		return "select", true
+	case *ast.ForStmt, *ast.RangeStmt:
+		if mask&bitRank == 0 {
+			return "", false
+		}
+		return "loop bound", true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		if mask&bitRank == 0 {
+			return "", false
+		}
+		inside := site.call.Pos() >= dep.Branch.Pos() && site.call.End() <= dep.Branch.End()
+		if !inside && exitsOnlyWithErrors(p, dep.Branch) {
+			return "", false
+		}
+		return "switch condition", true
+	case *ast.IfStmt:
+		if mask&bitRank == 0 {
+			return "", false
+		}
+		inside := site.call.Pos() >= br.Pos() && site.call.End() <= br.End()
+		if inside {
+			return "branch", true
+		}
+		// The collective follows the join: divergence needs an arm that
+		// exits early. Fail-fast arms (every return carries a non-nil
+		// error) are exempt — on those paths all ranks abort the mesh.
+		if exitsOnlyWithErrors(p, br) {
+			return "", false
+		}
+		return "early exit", true
+	}
+	return "", false
+}
+
+// exitsOnlyWithErrors reports whether every return statement inside a
+// branch statement returns a non-nil error: the fail-fast shape
+// `if bad { return ..., err }` that aborts all ranks together.
+func exitsOnlyWithErrors(p *Package, br ast.Node) bool {
+	errType := "error"
+	sawReturn := false
+	ok := true
+	ast.Inspect(br, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) == 0 {
+			return true // named results: value unknown, assume fail-fast
+		}
+		for _, r := range ret.Results {
+			t := p.Info.TypeOf(r)
+			if t == nil || t.String() != errType {
+				continue
+			}
+			if id, isIdent := ast.Unparen(r).(*ast.Ident); isIdent && id.Name == "nil" {
+				ok = false
+			}
+			return true
+		}
+		ok = false // no error result at all: a plain early exit
+		return true
+	})
+	return sawReturn && ok
+}
+
+// typeSwitchMask evaluates the rank-variance of a type switch's operand.
+func typeSwitchMask(ev *evaluator, f factMap, br *ast.TypeSwitchStmt) uint32 {
+	var x ast.Expr
+	switch a := br.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return 0
+	}
+	return ev.maskOf(f, x)
+}
+
+// taglessSwitchMask ORs the masks of a tagless switch's case conditions,
+// evaluated with the facts at the end of the branch block.
+func taglessSwitchMask(ev *evaluator, c *CFG, in []factMap, b *Block, sw *ast.SwitchStmt) uint32 {
+	f := in[b.ID]
+	if f == nil {
+		return 0
+	}
+	f = f.clone()
+	for _, n := range b.Nodes {
+		ev.transfer(f, n)
+	}
+	var mask uint32
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			mask |= ev.maskOf(f, e) & bitRank
+		}
+	}
+	return mask
+}
+
+// posKey renders a position for dedup keys.
+func posKey(p *Package, pos token.Pos) string {
+	return p.Fset.Position(pos).String()
+}

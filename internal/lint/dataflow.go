@@ -1,0 +1,824 @@
+package lint
+
+// The forward dataflow engine shared by the flow-sensitive analyzers.
+// Facts are per-variable bitmasks (factMap); the solver iterates a
+// monotone transfer function over the CFG with OR-join until fixpoint,
+// and walkFacts replays the transfer so a visitor can observe the facts
+// in force immediately before each node.
+//
+// The bit layout is shared by every client so that one evaluator — and
+// one per-package summary table — serves all three analyzers:
+//
+//	bits 0..15   "derived from parameter i" (receiver = parameter 0);
+//	             only meaningful inside summaries, substituted with the
+//	             argument masks at call sites
+//	bitRank      rank-varying: differs across SPMD ranks (collectiveorder)
+//	bitWire      wire-tainted: attacker-controlled integer decoded from
+//	             the wire, not yet bounds-checked (wiretaint)
+//	bitPooled    obtained from a buffer/slot pool (poolsafety)
+//	bitLive      pooled and still owned by this function: not yet
+//	             released, returned, or transferred away (poolsafety)
+//	bitReleased  handed back to its pool; any later mention is a
+//	             use-after-release (poolsafety)
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const (
+	maxParams = 16
+
+	bitRank     uint32 = 1 << 16
+	bitWire     uint32 = 1 << 17
+	bitPooled   uint32 = 1 << 18
+	bitLive     uint32 = 1 << 19
+	bitReleased uint32 = 1 << 20
+
+	paramBits uint32 = 1<<maxParams - 1
+)
+
+// paramBit returns the "derived from parameter i" bit, or 0 when the
+// function has more parameters than the mask can distinguish.
+func paramBit(i int) uint32 {
+	if i >= 0 && i < maxParams {
+		return 1 << uint(i)
+	}
+	return 0
+}
+
+// factMap carries one program point's facts: a bitmask per variable.
+type factMap map[types.Object]uint32
+
+func (f factMap) clone() factMap {
+	c := make(factMap, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// joinFrom ORs other into f, reporting whether f changed.
+func (f factMap) joinFrom(other factMap) bool {
+	changed := false
+	for k, v := range other {
+		if f[k]|v != f[k] {
+			f[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// solveForward computes the fact map at entry to every block of c,
+// starting from entry facts at the CFG entry. transfer must be monotone
+// (it may only add bits, or perform strong updates whose result does not
+// depend on removed bits) — with OR-join that guarantees termination.
+// Unreachable blocks get a nil map.
+func solveForward(c *CFG, entry factMap, transfer func(factMap, ast.Node)) []factMap {
+	in := make([]factMap, len(c.Blocks))
+	in[c.Entry.ID] = entry.clone()
+	work := []*Block{c.Entry}
+	queued := make([]bool, len(c.Blocks))
+	queued[c.Entry.ID] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.ID] = false
+		f := in[b.ID].clone()
+		for _, n := range b.Nodes {
+			transfer(f, n)
+		}
+		for _, s := range b.Succs {
+			changed := false
+			if in[s.ID] == nil {
+				in[s.ID] = f.clone()
+				changed = true
+			} else if in[s.ID].joinFrom(f) {
+				changed = true
+			}
+			if changed && !queued[s.ID] {
+				queued[s.ID] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// walkFacts replays the transfer over every reachable block, calling
+// visit with the facts in force immediately *before* each node takes
+// effect. Visit order follows block IDs, which approximate source order.
+func walkFacts(c *CFG, in []factMap, transfer func(factMap, ast.Node), visit func(f factMap, b *Block, n ast.Node)) {
+	for _, b := range c.Blocks {
+		if in[b.ID] == nil {
+			continue
+		}
+		f := in[b.ID].clone()
+		for _, n := range b.Nodes {
+			visit(f, b, n)
+			transfer(f, n)
+		}
+	}
+}
+
+// exitFacts returns the facts after the Exit block's nodes (the deferred
+// calls) have run — the state at every function exit, joined.
+func exitFacts(c *CFG, in []factMap, transfer func(factMap, ast.Node)) factMap {
+	f := in[c.Exit.ID]
+	if f == nil {
+		return factMap{}
+	}
+	f = f.clone()
+	for _, n := range c.Exit.Nodes {
+		transfer(f, n)
+	}
+	return f
+}
+
+// ---- the package model -----------------------------------------------------
+
+// pkgModel is the per-package semantic model the flow-sensitive
+// analyzers share: the comm collective interfaces, the structural pool
+// model, and the function summaries. Built lazily, once per package.
+type pkgModel struct {
+	p         *Package
+	transport []*types.Interface
+	pools     *poolModel
+	sums      map[*types.Func]*funcSummary
+}
+
+// modelFor returns the package's cached model, building it on first use.
+// Packages are analyzed by a single goroutine each (see RunAnalyzers'
+// parallel driver), so the cache needs no lock.
+func modelFor(p *Package) *pkgModel {
+	if p.model == nil {
+		m := &pkgModel{
+			p:         p,
+			transport: transportInterfaces(p),
+			pools:     detectPools(p),
+		}
+		p.model = m
+		m.computeSummaries()
+	}
+	return p.model.(*pkgModel)
+}
+
+// collectiveName returns the method name when call is one of the comm
+// collectives (Exchange, ExchangeV, AllreduceInt64, Barrier) invoked on
+// a type implementing comm.Transport or comm.GatherExchanger. Rank,
+// Size, and Close are not collectives.
+func (m *pkgModel) collectiveName(call *ast.CallExpr) (string, bool) {
+	sel := selectorCall(call)
+	if sel == nil {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Exchange", "ExchangeV", "AllreduceInt64", "Barrier":
+	default:
+		return "", false
+	}
+	for _, iface := range m.transport {
+		if isTransportMethodCall(m.p, call, iface) {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// isRankCall reports whether call is Rank() on a transport.
+func (m *pkgModel) isRankCall(call *ast.CallExpr) bool {
+	sel := selectorCall(call)
+	if sel == nil || sel.Sel.Name != "Rank" || len(call.Args) != 0 {
+		return false
+	}
+	for _, iface := range m.transport {
+		if isTransportMethodCall(m.p, call, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call invokes: a plain function,
+// a method, or a method value. Nil for builtins, conversions, function
+// values, and interface methods outside the summary table.
+func (m *pkgModel) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := m.p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel := m.p.Info.Selections[fun]; sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := m.p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// summaryFor returns the summary of the package-local function a call
+// invokes, or nil.
+func (m *pkgModel) summaryFor(call *ast.CallExpr) *funcSummary {
+	if fn := m.calleeFunc(call); fn != nil {
+		return m.sums[fn]
+	}
+	return nil
+}
+
+// ---- the shared evaluator --------------------------------------------------
+
+// evaluator computes expression masks and node transfer effects against
+// a package model. params maps the enclosing function's parameter (and
+// receiver) objects to their index, for summary construction; it may be
+// nil when analyzing a function body directly.
+type evaluator struct {
+	m      *pkgModel
+	params map[types.Object]int
+}
+
+// objectOf resolves an expression to the variable it names, unwrapping
+// parens and pointer dereferences: the granularity facts are tracked at.
+func (ev *evaluator) objectOf(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if obj := ev.m.p.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return ev.m.p.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// maskOf evaluates the fact mask of an expression under facts f.
+func (ev *evaluator) maskOf(f factMap, e ast.Expr) uint32 {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := ev.objectOf(e); obj != nil {
+			return f[obj]
+		}
+	case *ast.ParenExpr:
+		return ev.maskOf(f, e.X)
+	case *ast.StarExpr:
+		return ev.maskOf(f, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			// Channel receive: acquiring from a pool channel yields a
+			// pooled value; anything else is untracked.
+			if ev.m.pools.isPoolChan(ev.m.p, e.X) {
+				return bitPooled | bitLive
+			}
+			return 0
+		}
+		return ev.maskOf(f, e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			// Boolean results carry the operands' rank-variance (a
+			// condition comparing Rank() against anything is itself
+			// rank-varying) but never wire taint.
+			return (ev.maskOf(f, e.X) | ev.maskOf(f, e.Y)) & bitRank
+		case token.AND, token.REM, token.AND_NOT:
+			// Masking and modulo bound the result: the canonical
+			// wire-taint sanitizers (v & 0xff, v % len(table)).
+			l, r := ev.maskOf(f, e.X), ev.maskOf(f, e.Y)
+			if r&bitWire == 0 || l&bitWire == 0 {
+				return (l | r) &^ bitWire
+			}
+			return l | r
+		default:
+			return ev.maskOf(f, e.X) | ev.maskOf(f, e.Y)
+		}
+	case *ast.IndexExpr:
+		// Elements of a tainted container are tainted; indexing with a
+		// rank-derived index makes the result rank-varying.
+		return ev.maskOf(f, e.X) | ev.maskOf(f, e.Index)&bitRank
+	case *ast.SliceExpr:
+		return ev.maskOf(f, e.X)
+	case *ast.TypeAssertExpr:
+		return ev.maskOf(f, e.X)
+	case *ast.SelectorExpr:
+		// Qualified identifier (pkg.Var) or field/method read.
+		if obj := ev.m.p.Info.Uses[e.Sel]; obj != nil {
+			if v, ok := f[obj]; ok {
+				return v
+			}
+		}
+		if sel := ev.m.p.Info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			if strings.EqualFold(sel.Obj().Name(), "rank") {
+				return bitRank
+			}
+		}
+	case *ast.CallExpr:
+		var out uint32
+		for _, m := range ev.resultMasks(f, e) {
+			out |= m
+		}
+		return out
+	case *ast.CompositeLit:
+		var out uint32
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			out |= ev.maskOf(f, elt)
+		}
+		return out
+	}
+	return 0
+}
+
+// resultMasks evaluates a call, one mask per result. Conversions,
+// builtins, rank/wire sources, collectives, pool acquires, and
+// package-local summaries are modeled; everything else is clean.
+func (ev *evaluator) resultMasks(f factMap, call *ast.CallExpr) []uint32 {
+	p := ev.m.p
+	// Type conversion: conversions to sub-int-sized integers bound the
+	// value and sanitize wire taint.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		m := ev.maskOf(f, call.Args[0])
+		if isNarrowInt(tv.Type) {
+			m &^= bitWire
+		}
+		return []uint32{m}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap":
+				// len of a wire-tainted slice is a trusted local fact, but
+				// len of a rank-varying slice still varies per rank.
+				return []uint32{ev.maskOf(f, call.Args[0]) & bitRank}
+			case "min", "max":
+				var m uint32
+				for _, a := range call.Args {
+					m |= ev.maskOf(f, a)
+				}
+				return []uint32{m &^ bitWire} // clamped: bounds established
+			case "append":
+				var m uint32
+				for _, a := range call.Args {
+					m |= ev.maskOf(f, a)
+				}
+				return []uint32{m}
+			default:
+				return []uint32{0}
+			}
+		}
+	}
+	if ev.m.isRankCall(call) {
+		return []uint32{bitRank}
+	}
+	if masks, ok := wireDecodeMasks(p, call); ok {
+		return masks
+	}
+	if name, ok := ev.m.collectiveName(call); ok {
+		switch name {
+		case "Exchange", "ExchangeV":
+			// Received frames are attacker-controlled bytes.
+			return []uint32{bitWire, 0}
+		default: // AllreduceInt64, Barrier: results uniform across ranks
+			return []uint32{0, 0}
+		}
+	}
+	if idx, ok := ev.m.pools.acquireResult(ev.m, call); ok {
+		out := make([]uint32, numResults(p, call))
+		if idx < len(out) {
+			out[idx] = bitPooled | bitLive
+		}
+		return out
+	}
+	if sum := ev.m.summaryFor(call); sum != nil {
+		args := ev.argMasks(f, call)
+		out := make([]uint32, len(sum.results))
+		for i, rm := range sum.results {
+			out[i] = substParams(rm, args)
+		}
+		return out
+	}
+	return make([]uint32, numResults(p, call))
+}
+
+// argMasks evaluates a call's argument masks, receiver first, padded to
+// the summary parameter numbering.
+func (ev *evaluator) argMasks(f factMap, call *ast.CallExpr) []uint32 {
+	var out []uint32
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := ev.m.p.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			out = append(out, ev.maskOf(f, sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		out = append(out, ev.maskOf(f, a))
+	}
+	return out
+}
+
+// substParams replaces the param bits of a summary result mask with the
+// call-site argument masks. Flow-local pool bits never cross a call.
+func substParams(rm uint32, args []uint32) uint32 {
+	out := rm &^ (paramBits | bitPooled | bitLive | bitReleased)
+	for i := 0; i < maxParams && i < len(args); i++ {
+		if rm&paramBit(i) != 0 {
+			out |= args[i] &^ (bitPooled | bitLive | bitReleased)
+		}
+	}
+	return out
+}
+
+// ---- transfer --------------------------------------------------------------
+
+// transfer applies one CFG node's effect to the facts. It handles
+// assignment shapes, range bindings, sanitizing comparisons, and release
+// effects of calls; it is shared verbatim by the summary builder and all
+// three flow analyzers.
+func (ev *evaluator) transfer(f factMap, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		ev.assign(f, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				ev.declSpec(f, vs)
+			}
+		}
+	case *ast.RangeStmt:
+		m := ev.maskOf(f, n.X)
+		if n.Key != nil {
+			// The key is a bounded index (wire-clean), but the iteration
+			// count of a rank-varying container varies per rank.
+			ev.assignTo(f, n.Key, m&bitRank)
+		}
+		if n.Value != nil {
+			ev.assignTo(f, n.Value, m&^(bitLive|bitReleased))
+		}
+	case *ast.SendStmt:
+		ev.exprEffects(f, n.Value)
+		if ev.m.pools.isPoolChan(ev.m.p, n.Chan) {
+			// Sending back into the pool channel releases the value.
+			if obj := ev.objectOf(n.Value); obj != nil && f[obj]&bitPooled != 0 {
+				f[obj] = (f[obj] | bitReleased) &^ bitLive
+			}
+		} else if obj := ev.objectOf(n.Value); obj != nil {
+			// Ownership leaves through the channel.
+			f[obj] &^= bitLive
+		}
+	case *ast.ExprStmt:
+		ev.exprEffects(f, n.X)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			ev.exprEffects(f, r)
+			if obj := ev.objectOf(r); obj != nil {
+				f[obj] &^= bitLive // ownership transferred to the caller
+			}
+		}
+	case *ast.GoStmt:
+		ev.exprEffects(f, n.Call)
+	case *ast.DeferStmt:
+		// Effects modeled at Exit, where the CFG replays the call.
+	case *ast.IncDecStmt:
+		// x++ preserves x's mask.
+	case ast.Expr:
+		ev.exprEffects(f, n)
+	}
+}
+
+// declSpec handles var declarations like assignments.
+func (ev *evaluator) declSpec(f factMap, vs *ast.ValueSpec) {
+	for _, v := range vs.Values {
+		ev.exprEffects(f, v)
+	}
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			ms := ev.resultMasks(f, call)
+			for i, name := range vs.Names {
+				m := uint32(0)
+				if i < len(ms) {
+					m = ms[i]
+				}
+				ev.assignTo(f, name, m)
+			}
+			return
+		}
+	}
+	for i, name := range vs.Names {
+		m := uint32(0)
+		if i < len(vs.Values) {
+			m = ev.maskOf(f, vs.Values[i])
+		}
+		ev.assignTo(f, name, m)
+	}
+}
+
+// assign applies an assignment statement, including tuple shapes and
+// compound operators.
+func (ev *evaluator) assign(f factMap, a *ast.AssignStmt) {
+	for _, r := range a.Rhs {
+		ev.exprEffects(f, r)
+	}
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		// Tuple: call, comma-ok, or channel receive.
+		var ms []uint32
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			ms = ev.resultMasks(f, call)
+		} else {
+			m := ev.maskOf(f, a.Rhs[0])
+			ms = []uint32{m, m & bitRank} // the ok/err leg carries no taint
+		}
+		for i, lhs := range a.Lhs {
+			m := uint32(0)
+			if i < len(ms) {
+				m = ms[i]
+			}
+			ev.assignTo(f, lhs, m)
+		}
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if i >= len(a.Rhs) {
+			break
+		}
+		m := ev.maskOf(f, a.Rhs[i])
+		switch a.Tok {
+		case token.ASSIGN, token.DEFINE:
+			ev.assignTo(f, lhs, m)
+		case token.AND_ASSIGN, token.REM_ASSIGN, token.AND_NOT_ASSIGN:
+			// x &= mask / x %= n: bounding sanitizers.
+			if obj := ev.objectOf(lhs); obj != nil {
+				f[obj] = (f[obj] | m) &^ bitWire
+			}
+		default:
+			// +=, -=, etc: accumulate.
+			if obj := ev.objectOf(lhs); obj != nil {
+				f[obj] |= m
+			}
+		}
+	}
+}
+
+// assignTo stores mask into an assignment target. Identifier targets get
+// a strong update (a fresh value wipes stale taint and release state);
+// element/field targets weakly taint their base variable.
+func (ev *evaluator) assignTo(f factMap, lhs ast.Expr, mask uint32) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if obj := ev.objectOf(l); obj != nil {
+			f[obj] = mask
+		}
+	case *ast.IndexExpr:
+		if obj := ev.objectOf(l.X); obj != nil {
+			f[obj] |= mask & (bitWire | bitRank)
+		}
+	case *ast.StarExpr:
+		if obj := ev.objectOf(l.X); obj != nil {
+			f[obj] |= mask & (bitWire | bitRank)
+		}
+	case *ast.SelectorExpr:
+		// Storing a pooled value into a field transfers ownership out of
+		// this frame; the escape analyzer decides if the destination is
+		// legitimate. Handled in exprEffects via the RHS walk.
+	}
+}
+
+// exprEffects applies the side effects buried inside an expression:
+// release calls mark their argument released, sanitizing comparisons
+// clear wire taint, passing a pooled value away unbinds ownership, and
+// closures capture (and thereby untrack) what they mention.
+func (ev *evaluator) exprEffects(f factMap, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Captured variables escape this frame's ownership.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if obj := ev.m.p.Info.Uses[id]; obj != nil {
+						if _, tracked := f[obj]; tracked {
+							f[obj] &^= bitLive
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				// A comparison mentioning a tainted variable is the
+				// bounds check: trust it and clear the taint from here on.
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if obj := sanitizeTarget(ev, side); obj != nil {
+						f[obj] &^= bitWire
+					}
+				}
+			}
+		case *ast.CallExpr:
+			ev.callEffects(f, n)
+		}
+		return true
+	})
+}
+
+// callEffects applies a call's effects on its arguments: releases mark
+// bitReleased, summary-known releases likewise, and any other call
+// receiving a tracked pooled value takes ownership away.
+func (ev *evaluator) callEffects(f factMap, call *ast.CallExpr) {
+	p := ev.m.p
+	if relIdx, ok := ev.m.pools.releaseArg(ev.m, call); ok {
+		var target ast.Expr
+		if relIdx < len(call.Args) {
+			target = call.Args[relIdx]
+		}
+		if obj := ev.objectOf(target); obj != nil {
+			f[obj] = (f[obj] | bitPooled | bitReleased) &^ bitLive
+		}
+		return
+	}
+	if sum := ev.m.summaryFor(call); sum != nil {
+		args := ev.callArgExprs(call)
+		for i, rel := range sum.releases {
+			if !rel || i >= len(args) {
+				continue
+			}
+			if obj := ev.objectOf(args[i]); obj != nil && f[obj]&bitPooled != 0 {
+				f[obj] = (f[obj] | bitReleased) &^ bitLive
+			}
+		}
+		// A summarized callee that takes a pooled value without releasing
+		// it absorbs ownership (disposal helpers, encoders that stash the
+		// buffer): stop tracking it rather than report a speculative leak.
+		for _, a := range args {
+			if obj := ev.objectOf(a); obj != nil && f[obj]&bitLive != 0 {
+				f[obj] &^= bitLive
+			}
+		}
+		return
+	}
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, no effects
+	}
+	// Unknown callee: passing a pooled value transfers ownership.
+	for _, a := range call.Args {
+		if obj := ev.objectOf(a); obj != nil && f[obj]&bitLive != 0 {
+			f[obj] &^= bitLive
+		}
+	}
+}
+
+// callArgExprs returns a call's argument expressions aligned with the
+// summary parameter numbering (receiver first).
+func (ev *evaluator) callArgExprs(call *ast.CallExpr) []ast.Expr {
+	var out []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := ev.m.p.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			out = append(out, sel.X)
+		}
+	}
+	return append(out, call.Args...)
+}
+
+// sanitizeTarget unwraps conversions, parens, and unary ops around a
+// comparison operand to find the variable being bounds-checked:
+// `uint(li) >= uint(n)` sanitizes li.
+func sanitizeTarget(ev *evaluator, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if tv, ok := ev.m.p.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.Ident:
+			return ev.objectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// ---- small type helpers ----------------------------------------------------
+
+// isNarrowInt reports whether t is an integer type of at most 16 bits:
+// converting to it bounds the value tightly enough to count as a
+// wire-taint sanitizer.
+func isNarrowInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Uint8, types.Uint16:
+		return true
+	}
+	return false
+}
+
+// numResults returns how many results a call produces.
+func numResults(p *Package, call *ast.CallExpr) int {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return 1
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		return tuple.Len()
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.Invalid {
+		return 1
+	}
+	return 1
+}
+
+// wireDecodeMasks recognizes the encoding/binary decode entry points and
+// returns their result masks: the decoded values are wire-tainted.
+func wireDecodeMasks(p *Package, call *ast.CallExpr) ([]uint32, bool) {
+	sel := selectorCall(call)
+	if sel == nil {
+		return nil, false
+	}
+	// Package-level binary.Uvarint / binary.Varint / binary.ReadUvarint /
+	// binary.ReadVarint.
+	if p.pkgNamePath(sel.X) == "encoding/binary" {
+		switch sel.Sel.Name {
+		case "Uvarint", "Varint":
+			// (value, bytesRead): both attacker-controlled.
+			return []uint32{bitWire, bitWire}, true
+		case "ReadUvarint", "ReadVarint":
+			return []uint32{bitWire, 0}, true
+		}
+		return nil, false
+	}
+	// ByteOrder methods: binary.LittleEndian.Uint32(buf) etc.
+	if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		if named, ok := s.Recv().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "encoding/binary" {
+				switch sel.Sel.Name {
+				case "Uint16", "Uint32", "Uint64":
+					return []uint32{bitWire}, true
+				}
+			}
+		}
+		// Interface receiver (binary.ByteOrder variable).
+		if iface, ok := s.Recv().Underlying().(*types.Interface); ok && iface.NumMethods() > 0 {
+			if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" {
+				switch sel.Sel.Name {
+				case "Uint16", "Uint32", "Uint64":
+					return []uint32{bitWire}, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// funcParams returns a function's parameter objects, receiver first.
+func funcParams(p *Package, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				out = append(out, nil) // unnamed parameter still occupies a slot
+				continue
+			}
+			for _, name := range field.Names {
+				out = append(out, p.Info.Defs[name])
+			}
+		}
+	}
+	addField(decl.Recv)
+	addField(decl.Type.Params)
+	return out
+}

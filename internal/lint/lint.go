@@ -69,6 +69,9 @@ func Analyzers() []*Analyzer {
 		TransportErr,
 		WGMisuse,
 		PlanePurity,
+		CollectiveOrder,
+		PoolSafety,
+		WireTaint,
 	}
 }
 
@@ -85,21 +88,15 @@ func ByName(name string) *Analyzer {
 // RunAnalyzers applies every analyzer to every package, filters findings
 // through the //parssspvet:allow directives, and returns the survivors
 // sorted by position. Malformed or reason-less directives are reported as
-// findings of the pseudo-analyzer "directive".
+// findings of the pseudo-analyzer "directive". This is the serial
+// convenience form of Run; the CLI uses Run directly for parallel
+// analysis, per-analyzer timing, and the suppression audit.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, p := range pkgs {
-		dirs, bad := collectDirectives(p)
-		out = append(out, bad...)
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if dirs.allows(a.Name, f.Pos) {
-					continue
-				}
-				out = append(out, f)
-			}
-		}
-	}
+	return Run(pkgs, analyzers, RunOptions{Serial: true}).Findings
+}
+
+// sortFindings orders findings by position, then analyzer name.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -113,7 +110,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
 // ---- suppression directives ------------------------------------------------
@@ -122,10 +118,20 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 // part is validated separately so its absence can be reported precisely.
 var directiveRE = regexp.MustCompile(`^//parssspvet:allow\s+([a-z][a-z0-9-]*)\s*(--\s*(.*))?$`)
 
-// directives maps filename -> line -> set of analyzer names allowed on
-// that line and the next.
-type directives map[string]map[int]map[string]bool
+// allowDirective is one well-formed suppression, with usage tracking for
+// the stale-suppression audit (-audit-allows).
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
 
+// directives maps filename -> line -> analyzer name -> the directive
+// allowed on that line and the next.
+type directives map[string]map[int]map[string]*allowDirective
+
+// allows reports whether a finding at pos is suppressed, marking the
+// matching directive used.
 func (d directives) allows(analyzer string, pos token.Position) bool {
 	lines := d[pos.Filename]
 	if lines == nil {
@@ -133,7 +139,33 @@ func (d directives) allows(analyzer string, pos token.Position) bool {
 	}
 	// A directive suppresses findings on its own line (trailing comment)
 	// and on the line immediately below (comment-above style).
-	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if dir := lines[line][analyzer]; dir != nil {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// all returns every well-formed directive, sorted by position.
+func (d directives) all() []*allowDirective {
+	var out []*allowDirective
+	for _, lines := range d {
+		for _, set := range lines {
+			for _, dir := range set {
+				out = append(out, dir)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
 }
 
 // collectDirectives scans a package's comments for allow directives.
@@ -178,15 +210,15 @@ func collectDirectives(p *Package) (directives, []Finding) {
 				}
 				fl := dirs[pos.Filename]
 				if fl == nil {
-					fl = make(map[int]map[string]bool)
+					fl = make(map[int]map[string]*allowDirective)
 					dirs[pos.Filename] = fl
 				}
 				set := fl[pos.Line]
 				if set == nil {
-					set = make(map[string]bool)
+					set = make(map[string]*allowDirective)
 					fl[pos.Line] = set
 				}
-				set[name] = true
+				set[name] = &allowDirective{pos: pos, analyzer: name}
 			}
 		}
 	}

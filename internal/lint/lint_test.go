@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -51,7 +52,10 @@ func Bad() {
 }
 
 func TestAnalyzersRegistry(t *testing.T) {
-	want := []string{"nodeterminism", "atomicmix", "transporterr", "wgmisuse", "planepurity"}
+	want := []string{
+		"nodeterminism", "atomicmix", "transporterr", "wgmisuse", "planepurity",
+		"collectiveorder", "poolsafety", "wiretaint",
+	}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
@@ -92,9 +96,10 @@ func TestLoadModulePatterns(t *testing.T) {
 }
 
 // TestRepositoryIsClean runs the full suite over the real module — the
-// same gate CI applies via cmd/parssspvet. A finding here means a
-// regression against one of the enforced invariants (or a new rule that
-// the tree has not been cleaned up for yet).
+// same gate CI applies via cmd/parssspvet: findings are filtered through
+// the committed baseline, anything beyond it fails, stale suppression
+// directives fail, and stale baseline entries fail so the ratchet only
+// moves one way.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -115,7 +120,27 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
 	}
-	for _, f := range lint.RunAnalyzers(pkgs, lint.Analyzers()) {
-		t.Errorf("finding: %s", f)
+	res := lint.Run(pkgs, lint.Analyzers(), lint.RunOptions{})
+	baseline, err := lint.LoadBaseline(filepath.Join(mod.Root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(filename string) string {
+		if r, err := filepath.Rel(mod.Root, filename); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(filename)
+	}
+	fresh, stale := lint.ApplyBaseline(baseline, res.Findings, rel)
+	for _, f := range fresh {
+		t.Errorf("finding beyond baseline: %s", f)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry (%s %s %q): now matches %d finding(s); ratchet lint.baseline.json down",
+			e.Analyzer, e.File, e.Message, e.Count)
+	}
+	for _, u := range res.UnusedAllows {
+		t.Errorf("stale suppression %s:%d:%d: //parssspvet:allow %s suppresses nothing; delete it",
+			rel(u.Pos.Filename), u.Pos.Line, u.Pos.Column, u.Analyzer)
 	}
 }

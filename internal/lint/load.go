@@ -43,6 +43,10 @@ type Package struct {
 	// TypeErrors collects type-checking problems; analysis proceeds
 	// best-effort when non-empty.
 	TypeErrors []error
+
+	// model caches the dataflow package model (see modelFor). Each
+	// package is analyzed by exactly one goroutine, so no lock is needed.
+	model interface{}
 }
 
 // Module loads and caches the packages of one Go module.

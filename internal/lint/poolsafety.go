@@ -1,0 +1,546 @@
+package lint
+
+// poolsafety tracks values obtained from buffer/slot pools through the
+// dataflow engine and flags the four lifetime bugs the pooling design
+// (internal/sssp/pool.go, bucketstore.go, the comm buffer pools) makes
+// possible:
+//
+//	use-after-release  a pooled value is mentioned after being handed
+//	                   back to its pool — the pool may already have
+//	                   re-issued it to a concurrent query
+//	double-release     the same value is handed back twice, so two
+//	                   owners will be issued the same buffer
+//	leak               a locally-acquired value reaches a non-error
+//	                   return still owned: the pool shrinks by one slot
+//	                   every time that path runs
+//	escape             a pooled value is stored into the shared graph
+//	                   plane (a rankGraph field, composing with
+//	                   planepurity) or a package-level variable, both of
+//	                   which outlive the query that owns the buffer
+//
+// Pools are detected structurally, not by name matching on the call
+// site: a named type with a method called put/release/recycle/free/
+// checkin/giveback whose first parameter is a pointer or slice is a
+// pool; that parameter's type is its pooled type; the pool's methods
+// returning the pooled type are acquisitions, and channel fields of the
+// pooled type model hand-off pools (receive acquires, send releases).
+// sync.Pool's Get/Put are recognized directly. Functions that release a
+// parameter on some path export that fact through the call summaries, so
+// a release buried one call deep still counts.
+//
+// Error returns are exempt from leak checking: on the fail-fast paths
+// (PR 3) the whole mesh aborts and the pools are torn down with it.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const poolSafetyName = "poolsafety"
+
+var PoolSafety = &Analyzer{
+	Name: poolSafetyName,
+	Doc: "track pool-acquired values: flag use-after-release, " +
+		"double-release, release-skipping leaks on non-error returns, and " +
+		"escapes into the shared plane or package-level state",
+	Run: runPoolSafety,
+}
+
+// releaseNames are the method names that structurally mark a pool's
+// release entry point (lower-cased comparison).
+var releaseNames = map[string]bool{
+	"put": true, "release": true, "recycle": true,
+	"free": true, "checkin": true, "giveback": true,
+}
+
+// poolModel is the package's structural pool description, built once by
+// detectPools and consulted by the shared evaluator.
+type poolModel struct {
+	// releases maps a release method to the index (in summary numbering:
+	// receiver = 0, so the first proper argument is 1) of the parameter
+	// being returned to the pool.
+	releases map[*types.Func]int
+	// acquires maps a pool method to the result index holding the
+	// pooled value.
+	acquires map[*types.Func]int
+	// chanFields are struct fields typed as channels of a pooled type.
+	chanFields map[*types.Var]bool
+}
+
+// detectPools builds the structural pool model for a package.
+func detectPools(p *Package) *poolModel {
+	pm := &poolModel{
+		releases:   make(map[*types.Func]int),
+		acquires:   make(map[*types.Func]int),
+		chanFields: make(map[*types.Var]bool),
+	}
+	if p.Types == nil {
+		return pm
+	}
+	// Pass 1: find release methods; record each pool type's pooled types.
+	pooledOf := make(map[*types.Named][]types.Type)
+	scope := p.Types.Scope()
+	var namedTypes []*types.Named
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		namedTypes = append(namedTypes, named)
+		for i := 0; i < named.NumMethods(); i++ {
+			fn := named.Method(i)
+			if !releaseNames[strings.ToLower(fn.Name())] {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 {
+				continue
+			}
+			v := sig.Params().At(0).Type()
+			if !isPoolable(v) {
+				continue
+			}
+			pm.releases[fn] = 1 // receiver is 0; released value is arg 0
+			pooledOf[named] = append(pooledOf[named], v)
+		}
+	}
+	// Pass 2: the pool types' methods returning a pooled type acquire it;
+	// their channel fields of a pooled type are hand-off channels.
+	for _, named := range namedTypes {
+		pooled := pooledOf[named]
+		if len(pooled) == 0 {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			fn := named.Method(i)
+			if _, isRelease := pm.releases[fn]; isRelease {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			// A method that also *takes* the pooled type is a rebinder or
+			// pass-through, not a mint: it returns an alias of its
+			// argument, so treating it as an acquisition would double-track
+			// the same value.
+			passThrough := false
+			for a := 0; a < sig.Params().Len(); a++ {
+				if typeInList(sig.Params().At(a).Type(), pooled) {
+					passThrough = true
+					break
+				}
+			}
+			if passThrough {
+				continue
+			}
+			for r := 0; r < sig.Results().Len(); r++ {
+				if typeInList(sig.Results().At(r).Type(), pooled) {
+					pm.acquires[fn] = r
+					break
+				}
+			}
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if ch, ok := field.Type().Underlying().(*types.Chan); ok && typeInList(ch.Elem(), pooled) {
+					pm.chanFields[field] = true
+				}
+			}
+		}
+	}
+	return pm
+}
+
+// isPoolable reports whether t is a type worth pooling: a pointer to a
+// named type or a slice.
+func isPoolable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice:
+		return true
+	}
+	return false
+}
+
+func typeInList(t types.Type, list []types.Type) bool {
+	for _, v := range list {
+		if types.Identical(t, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseArg reports whether call releases a value to a pool, returning
+// the index of the released expression in call.Args.
+func (pm *poolModel) releaseArg(m *pkgModel, call *ast.CallExpr) (int, bool) {
+	fn := m.calleeFunc(call)
+	if fn == nil {
+		return 0, false
+	}
+	if idx, ok := pm.releases[fn]; ok {
+		return idx - 1, true // summary numbering → call.Args numbering
+	}
+	if isSyncPoolMethod(m.p, call, "Put") {
+		return 0, true
+	}
+	return 0, false
+}
+
+// acquireResult reports whether call acquires a pooled value, returning
+// the result index carrying it.
+func (pm *poolModel) acquireResult(m *pkgModel, call *ast.CallExpr) (int, bool) {
+	fn := m.calleeFunc(call)
+	if fn != nil {
+		if idx, ok := pm.acquires[fn]; ok {
+			return idx, true
+		}
+	}
+	if isSyncPoolMethod(m.p, call, "Get") {
+		return 0, true
+	}
+	return 0, false
+}
+
+// isPoolChan reports whether e denotes one of the pool's hand-off
+// channel fields.
+func (pm *poolModel) isPoolChan(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return ok && pm.chanFields[v]
+}
+
+// isSyncPoolMethod reports whether call is (*sync.Pool).Get or Put.
+func isSyncPoolMethod(p *Package, call *ast.CallExpr, name string) bool {
+	sel := selectorCall(call)
+	if sel == nil || sel.Sel.Name != name {
+		return false
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// ---- the analyzer ----------------------------------------------------------
+
+func runPoolSafety(p *Package) []Finding {
+	m := modelFor(p)
+	if len(m.pools.releases) == 0 && len(m.pools.acquires) == 0 &&
+		!packageUsesSyncPool(p) {
+		return nil
+	}
+	planeFields := rankGraphFields(p)
+	var out []Finding
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, poolCheckFunc(m, fd, planeFields)...)
+		}
+	}
+	return out
+}
+
+// packageUsesSyncPool is a cheap pre-filter so packages with no pooling
+// at all skip the dataflow pass.
+func packageUsesSyncPool(p *Package) bool {
+	if p.Types == nil {
+		return false
+	}
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == "sync" {
+			return true
+		}
+	}
+	return false
+}
+
+func poolCheckFunc(m *pkgModel, fd *ast.FuncDecl, planeFields map[types.Object]bool) []Finding {
+	p := m.p
+	ev := &evaluator{m: m}
+	c := buildCFG(fd.Body)
+	in := solveForward(c, factMap{}, ev.transfer)
+
+	var out []Finding
+	// acquired tracks locally-acquired pooled values, in source order,
+	// with the position of the acquisition for leak reporting.
+	type acquisition struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var acquired []acquisition
+	acquiredSet := make(map[types.Object]bool)
+	leaked := make(map[types.Object]bool)
+	errIdx := errorResultIndex(fd, p)
+
+	recordAcquire := func(lhs ast.Expr, rhs ast.Expr) {
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		isAcquire := false
+		if isCall {
+			_, isAcquire = m.pools.acquireResult(m, call)
+		} else if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			isAcquire = m.pools.isPoolChan(p, u.X)
+		}
+		if !isAcquire {
+			return
+		}
+		if obj := ev.objectOf(lhs); obj != nil && !acquiredSet[obj] {
+			acquiredSet[obj] = true
+			acquired = append(acquired, acquisition{obj, rhs.Pos()})
+		}
+	}
+
+	walkFacts(c, in, ev.transfer, func(f factMap, _ *Block, n ast.Node) {
+		// Track local acquisitions.
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recordAcquire(s.Lhs[0], s.Rhs[0])
+			} else {
+				for i := range s.Lhs {
+					if i < len(s.Rhs) {
+						recordAcquire(s.Lhs[i], s.Rhs[i])
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == 1 && len(vs.Names) >= 1 {
+						recordAcquire(vs.Names[0], vs.Values[0])
+					}
+				}
+			}
+		}
+
+		// Double-release: a release call whose target is already released.
+		releaseTargets := make(map[*ast.Ident]bool)
+		if stmtExpr := nodeExpr(n); stmtExpr != nil {
+			ast.Inspect(stmtExpr, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				idx, ok := m.pools.releaseArg(m, call)
+				if !ok || idx >= len(call.Args) {
+					return true
+				}
+				target := call.Args[idx]
+				if id, ok := ast.Unparen(target).(*ast.Ident); ok {
+					releaseTargets[id] = true
+				}
+				if obj := ev.objectOf(target); obj != nil && f[obj]&bitReleased != 0 {
+					out = append(out, p.finding(poolSafetyName, call.Pos(),
+						"double release of %s: it was already handed back to its pool, which may have re-issued it",
+						types.ExprString(target)))
+				}
+				return true
+			})
+		}
+
+		// Use-after-release: any other mention of a released value. A
+		// plain-identifier store (b = fresh()) is not a use — it starts a
+		// new lifetime.
+		if s, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					releaseTargets[id] = true
+				}
+			}
+		}
+		if stmtExpr := nodeExpr(n); stmtExpr != nil {
+			ast.Inspect(stmtExpr, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if !ok || releaseTargets[id] {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || f[obj]&bitReleased == 0 {
+					return true
+				}
+				out = append(out, p.finding(poolSafetyName, id.Pos(),
+					"use of %s after it was released to its pool: the pool may already have re-issued it to a concurrent owner",
+					id.Name))
+				return true
+			})
+		}
+
+		// Escape: a still-pooled value stored into the shared plane or a
+		// package-level variable.
+		if s, ok := n.(*ast.AssignStmt); ok {
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) && len(s.Rhs) != 1 {
+					break
+				}
+				rhs := s.Rhs[min(i, len(s.Rhs)-1)]
+				robj := ev.objectOf(rhs)
+				if robj == nil || f[robj]&bitPooled == 0 {
+					continue
+				}
+				if dest, kind := escapeDest(p, planeFields, lhs); dest != "" {
+					out = append(out, p.finding(poolSafetyName, lhs.Pos(),
+						"pooled value %s escapes into %s %s, which outlives the query that owns the buffer",
+						types.ExprString(rhs), kind, dest))
+				}
+			}
+		}
+
+		// Leak: at a non-error return, a locally-acquired value is still
+		// owned once the deferred releases have run.
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			if errIdx >= 0 && returnsNonNilError(ret, errIdx) {
+				return // fail-fast path: the mesh aborts, pools are torn down
+			}
+			snap := f.clone()
+			ev.transfer(snap, ret)
+			for _, node := range c.Exit.Nodes {
+				ev.transfer(snap, node)
+			}
+			for _, acq := range acquired {
+				if leaked[acq.obj] || snap[acq.obj]&bitLive == 0 {
+					continue
+				}
+				leaked[acq.obj] = true
+				out = append(out, p.finding(poolSafetyName, acq.pos,
+					"%s acquired here is not released on every non-error path: the pool shrinks by one slot each time that path runs",
+					acq.obj.Name()))
+			}
+		}
+	})
+
+	// Functions that can fall off the end (no trailing return) exit
+	// through the implicit return; check the joined exit facts.
+	if fallsOffEnd(fd.Body) {
+		exit := exitFacts(c, in, ev.transfer)
+		for _, acq := range acquired {
+			if leaked[acq.obj] || exit[acq.obj]&bitLive == 0 {
+				continue
+			}
+			leaked[acq.obj] = true
+			out = append(out, p.finding(poolSafetyName, acq.pos,
+				"%s acquired here is not released on every non-error path: the pool shrinks by one slot each time that path runs",
+				acq.obj.Name()))
+		}
+	}
+	return out
+}
+
+// nodeExpr extracts the expression content of a CFG node for use
+// scanning; nil for nodes with no interesting expressions.
+func nodeExpr(n ast.Node) ast.Node {
+	switch n.(type) {
+	case *ast.ReturnStmt, *ast.AssignStmt, *ast.ExprStmt, *ast.SendStmt,
+		*ast.IncDecStmt, *ast.GoStmt, *ast.DeclStmt:
+		return n
+	case ast.Expr:
+		return n
+	}
+	return nil
+}
+
+// escapeDest classifies an escape destination: a rankGraph (plane) field
+// or a package-level variable. Returns ("", "") for safe destinations.
+func escapeDest(p *Package, planeFields map[types.Object]bool, lhs ast.Expr) (string, string) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[l]; sel != nil && planeFields[sel.Obj()] {
+			return sel.Obj().Name(), "shared plane field"
+		}
+		// Package-level variable through a qualified name.
+		if v, ok := p.Info.Uses[l.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return v.Name(), "package-level variable"
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[l].(*types.Var); ok && isPkgLevel(v) {
+			return v.Name(), "package-level variable"
+		}
+	case *ast.IndexExpr:
+		return escapeDest(p, planeFields, l.X)
+	}
+	return "", ""
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// errorResultIndex returns the index of fd's error result, or -1.
+func errorResultIndex(fd *ast.FuncDecl, p *Package) int {
+	if fd.Type.Results == nil {
+		return -1
+	}
+	errType := types.Universe.Lookup("error").Type()
+	i := 0
+	for _, field := range fd.Type.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := p.Info.TypeOf(field.Type); t != nil && types.Identical(t, errType) {
+			return i
+		}
+		i += n
+	}
+	return -1
+}
+
+// returnsNonNilError reports whether ret's error result is anything but
+// the nil literal. A bare return (named results) is treated as an error
+// path too: the value is unknown, and flagging it would punish the
+// fail-fast idiom.
+func returnsNonNilError(ret *ast.ReturnStmt, errIdx int) bool {
+	if len(ret.Results) == 0 {
+		return true
+	}
+	if errIdx >= len(ret.Results) {
+		return false
+	}
+	id, ok := ast.Unparen(ret.Results[errIdx]).(*ast.Ident)
+	return !ok || id.Name != "nil"
+}
+
+// fallsOffEnd reports whether a body's last statement is not a
+// terminating statement, so control can reach the implicit return.
+func fallsOffEnd(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ForStmt:
+		return last.Cond != nil // for{} never falls through
+	case *ast.BlockStmt:
+		return fallsOffEnd(last)
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package lint_test
+
+import (
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+func TestPoolSafetyLifetimeKinds(t *testing.T) {
+	src := `package pool
+
+type buf struct{ b []byte }
+
+// pool is detected structurally: put() makes it a pool of *buf, get()
+// becomes an acquisition, and free is a hand-off channel.
+type pool struct {
+	free chan *buf
+}
+
+func (p *pool) get() *buf  { return <-p.free }
+func (p *pool) put(b *buf) { p.free <- b }
+
+type rankGraph struct {
+	scratch *buf
+}
+
+var global *buf
+
+// Kind 1: use after release — the pool may have re-issued the buffer.
+func useAfterPut(p *pool) {
+	b := p.get()
+	p.put(b)
+	b.b[0] = 1
+}
+
+// Kind 2: double release — two future owners get the same buffer.
+func doublePut(p *pool) {
+	b := p.get()
+	p.put(b)
+	p.put(b)
+}
+
+// Kind 3: leak — one path reaches the exit still owning the buffer.
+func leak(p *pool, cond bool) {
+	b := p.get()
+	if cond {
+		p.put(b)
+	}
+}
+
+// Kind 4: escape — a pooled buffer stored into state that outlives the
+// query: a package-level variable or a shared plane (rankGraph) field.
+func escapeGlobal(p *pool) {
+	b := p.get()
+	global = b
+	p.put(b)
+}
+
+func escapePlane(p *pool, g *rankGraph) {
+	b := p.get()
+	g.scratch = b
+	p.put(b)
+}
+
+// A release one call deep still counts, via the call summaries.
+func dispose(p *pool, b *buf) { p.put(b) }
+
+func useAfterHelper(p *pool) []byte {
+	b := p.get()
+	dispose(p, b)
+	return b.b
+}
+`
+	got := runFixture(t, map[string]string{"internal/pool/pool.go": src}, lint.PoolSafety)
+	wantFindings(t, got, []string{
+		"pool.go:24:2 poolsafety", // useAfterPut: use of b after release
+		"pool.go:31:2 poolsafety", // doublePut: second put
+		"pool.go:36:7 poolsafety", // leak: acquired here, not released on every path
+		"pool.go:46:2 poolsafety", // escapeGlobal
+		"pool.go:52:2 poolsafety", // escapePlane
+		"pool.go:62:9 poolsafety", // useAfterHelper: use after summarized release
+	})
+}
+
+func TestPoolSafetyDisciplinedUsesAreClean(t *testing.T) {
+	src := `package pool
+
+import "errors"
+
+var errOops = errors.New("oops")
+
+type buf struct{ b []byte }
+
+type pool struct {
+	free chan *buf
+}
+
+func (p *pool) get() *buf  { return <-p.free }
+func (p *pool) put(b *buf) { p.free <- b }
+
+// The canonical shape: acquire, defer the release, use freely.
+func deferred(p *pool) {
+	b := p.get()
+	defer p.put(b)
+	b.b = append(b.b, 1)
+}
+
+// Error returns are fail-fast paths: the mesh aborts and the pool is
+// torn down, so not releasing there is not a leak.
+func errExempt(p *pool, fail bool) error {
+	b := p.get()
+	if fail {
+		return errOops
+	}
+	p.put(b)
+	return nil
+}
+
+// Passing the buffer to an unknown callee transfers ownership.
+func handoff(p *pool, sink func(*buf)) {
+	b := p.get()
+	sink(b)
+}
+
+// Returning the buffer transfers ownership to the caller.
+func produce(p *pool) *buf {
+	return p.get()
+}
+
+// Releasing via the hand-off channel directly is a release.
+func chanRelease(p *pool) {
+	b := p.get()
+	p.free <- b
+}
+
+// Reassignment starts a fresh lifetime: no stale release state.
+func reuse(p *pool) {
+	b := p.get()
+	p.put(b)
+	b = p.get()
+	b.b = nil
+	p.put(b)
+}
+`
+	got := runFixture(t, map[string]string{"internal/pool/pool.go": src}, lint.PoolSafety)
+	wantFindings(t, got, nil)
+}

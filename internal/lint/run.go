@@ -1,0 +1,132 @@
+package lint
+
+// The analysis driver. Loading stays serial (the module loader's
+// type-check cache is not safe for concurrent use), but analysis is
+// embarrassingly parallel across packages: each package is handed to one
+// goroutine that runs every analyzer over it, so the wall-clock cost of
+// the dataflow analyzers is hidden behind the breadth of the module.
+// Per-analyzer wall-clock is aggregated across packages for -debug.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunOptions configures a Run.
+type RunOptions struct {
+	// Serial disables the per-package goroutines (useful for debugging
+	// and for deterministic profiling).
+	Serial bool
+}
+
+// UnusedAllow is a suppression directive that no longer suppresses any
+// finding: dead weight that hides nothing and should be deleted.
+type UnusedAllow struct {
+	// Pos is the directive's own position.
+	Pos Position
+	// Analyzer is the analyzer the directive names.
+	Analyzer string
+}
+
+// Position is re-exported for the CLI without dragging go/token along.
+type Position struct {
+	Filename string
+	Line     int
+	Column   int
+}
+
+// RunResult is the outcome of one analysis run.
+type RunResult struct {
+	// Findings are the surviving findings, sorted by position.
+	Findings []Finding
+	// UnusedAllows lists the well-formed //parssspvet:allow directives
+	// that suppressed nothing in this run, sorted by position. Only
+	// meaningful when the run included the analyzer each directive names.
+	UnusedAllows []UnusedAllow
+	// Timing aggregates each analyzer's wall-clock across packages,
+	// keyed by analyzer name ("directive" covers directive collection).
+	Timing map[string]time.Duration
+}
+
+// Run applies the analyzers to the packages — in parallel across
+// packages unless opts.Serial — filters findings through the
+// suppression directives, and reports findings, stale suppressions, and
+// per-analyzer timing.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) RunResult {
+	type pkgOut struct {
+		findings []Finding
+		unused   []UnusedAllow
+		timing   map[string]time.Duration
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	analyzeOne := func(p *Package) pkgOut {
+		out := pkgOut{timing: make(map[string]time.Duration, len(analyzers)+1)}
+		t0 := time.Now()
+		dirs, bad := collectDirectives(p)
+		out.timing["directive"] = time.Since(t0)
+		out.findings = append(out.findings, bad...)
+		for _, a := range analyzers {
+			t0 = time.Now()
+			fs := a.Run(p)
+			out.timing[a.Name] += time.Since(t0)
+			for _, f := range fs {
+				if dirs.allows(a.Name, f.Pos) {
+					continue
+				}
+				out.findings = append(out.findings, f)
+			}
+		}
+		for _, dir := range dirs.all() {
+			if !dir.used && ran[dir.analyzer] {
+				out.unused = append(out.unused, UnusedAllow{
+					Pos:      Position{dir.pos.Filename, dir.pos.Line, dir.pos.Column},
+					Analyzer: dir.analyzer,
+				})
+			}
+		}
+		return out
+	}
+
+	outs := make([]pkgOut, len(pkgs))
+	if opts.Serial {
+		for i, p := range pkgs {
+			outs[i] = analyzeOne(p)
+		}
+	} else {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for i, p := range pkgs {
+			wg.Add(1)
+			go func(i int, p *Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outs[i] = analyzeOne(p)
+			}(i, p)
+		}
+		wg.Wait()
+	}
+
+	res := RunResult{Timing: make(map[string]time.Duration)}
+	for _, o := range outs {
+		res.Findings = append(res.Findings, o.findings...)
+		res.UnusedAllows = append(res.UnusedAllows, o.unused...)
+		for name, d := range o.timing {
+			res.Timing[name] += d
+		}
+	}
+	sortFindings(res.Findings)
+	sort.Slice(res.UnusedAllows, func(i, j int) bool {
+		a, b := res.UnusedAllows[i].Pos, res.UnusedAllows[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return res
+}

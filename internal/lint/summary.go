@@ -1,0 +1,213 @@
+package lint
+
+// Call summaries: the intra-module layer that lets facts propagate
+// across calls within a package. Each package-local function with a body
+// gets a funcSummary describing, context-insensitively, (a) the fact
+// mask of every result expressed over the parameter bits, (b) which
+// parameters the function hands back to a pool on some path, and (c)
+// whether the function (transitively) performs a comm collective.
+//
+// Summaries are computed by running the real CFG dataflow over each
+// body with the parameters seeded to their param bits, using the current
+// summary table for calls between package-local functions, and
+// iterating the whole package to fixpoint. Masks and flags only grow
+// across rounds (results are OR-accumulated), so the iteration
+// terminates; a generous round cap guards against surprises.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcSummary is one function's context-insensitive dataflow summary.
+type funcSummary struct {
+	// results holds one mask per result; bits 0..15 mean "derived from
+	// parameter i" (receiver = parameter 0) and are substituted with the
+	// argument masks at each call site.
+	results []uint32
+	// releases[i] reports that the function returns parameter i to a
+	// pool on at least one path, so callers must treat the argument as
+	// released.
+	releases []bool
+	// collective names the first comm collective the function performs,
+	// directly or through package-local callees; "" when none. A call to
+	// a function with a non-empty collective is itself a collective site
+	// for ordering purposes.
+	collective string
+}
+
+// summaryRounds caps the package fixpoint iteration. Masks grow
+// monotonically, so convergence is typically 2-3 rounds; the cap only
+// bounds pathological call graphs.
+const summaryRounds = 8
+
+// computeSummaries fills m.sums for every package-local function.
+func (m *pkgModel) computeSummaries() {
+	m.sums = make(map[*types.Func]*funcSummary)
+	type fnBody struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fnBody
+	for _, file := range m.p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := m.p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			nparams := sig.Params().Len()
+			if sig.Recv() != nil {
+				nparams++
+			}
+			m.sums[fn] = &funcSummary{
+				results:  make([]uint32, sig.Results().Len()),
+				releases: make([]bool, nparams),
+			}
+			fns = append(fns, fnBody{fn, fd})
+		}
+	}
+	for round := 0; round < summaryRounds; round++ {
+		changed := false
+		for _, fb := range fns {
+			if m.summarizeOne(fb.fn, fb.decl) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// summarizeOne recomputes one function's summary against the current
+// table, reporting whether the summary grew.
+func (m *pkgModel) summarizeOne(fn *types.Func, decl *ast.FuncDecl) bool {
+	sum := m.sums[fn]
+	params := funcParams(m.p, decl)
+	ev := &evaluator{m: m, params: make(map[types.Object]int)}
+	entry := make(factMap, len(params))
+	for i, obj := range params {
+		if obj == nil {
+			continue
+		}
+		ev.params[obj] = i
+		entry[obj] = paramBit(i)
+	}
+
+	c := buildCFG(decl.Body)
+	in := solveForward(c, entry, ev.transfer)
+
+	changed := false
+	grow := func(i int, mask uint32) {
+		mask &^= bitPooled | bitLive | bitReleased // flow-local, never exported
+		if i < len(sum.results) && sum.results[i]|mask != sum.results[i] {
+			sum.results[i] |= mask
+			changed = true
+		}
+	}
+
+	sig := fn.Type().(*types.Signature)
+	namedResults := resultObjects(m.p, decl)
+	walkFacts(c, in, ev.transfer, func(f factMap, _ *Block, n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if len(ret.Results) == 0 {
+			// Bare return: named results carry the facts.
+			for i, obj := range namedResults {
+				if obj != nil {
+					grow(i, f[obj])
+				}
+			}
+			return
+		}
+		if len(ret.Results) == 1 && sig.Results().Len() > 1 {
+			// return f(...): forward the callee's tuple.
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				for i, mask := range ev.resultMasks(f, call) {
+					grow(i, mask)
+				}
+				return
+			}
+		}
+		for i, r := range ret.Results {
+			grow(i, ev.maskOf(f, r))
+		}
+	})
+
+	// A parameter that reaches any exit released was handed back to its
+	// pool on some path.
+	exit := exitFacts(c, in, ev.transfer)
+	for i, obj := range params {
+		if obj == nil || i >= len(sum.releases) || sum.releases[i] {
+			continue
+		}
+		if exit[obj]&bitReleased != 0 {
+			sum.releases[i] = true
+			changed = true
+		}
+	}
+
+	if sum.collective == "" {
+		if name := m.findCollective(decl.Body); name != "" {
+			sum.collective = name
+			changed = true
+		}
+	}
+	return changed
+}
+
+// findCollective returns the first collective performed in body, either
+// directly or through a summarized package-local callee.
+func (m *pkgModel) findCollective(body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := m.collectiveName(call); ok {
+			found = name
+			return false
+		}
+		if fn := m.calleeFunc(call); fn != nil {
+			if sum := m.sums[fn]; sum != nil && sum.collective != "" {
+				found = sum.collective
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// resultObjects returns the named result objects of a declaration, nil
+// entries for unnamed results.
+func resultObjects(p *Package, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if decl.Type.Results == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Results.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, p.Info.Defs[name])
+		}
+	}
+	return out
+}

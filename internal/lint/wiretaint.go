@@ -1,0 +1,165 @@
+package lint
+
+// wiretaint tracks attacker-controlled integers from the moment they are
+// decoded off the wire to the moment they reach a memory-shaping sink.
+// PR 3 hardened the frame and record decoders by hand after exactly this
+// bug shape: a varint length or vertex index read from a peer used to
+// index a local slice or size an allocation without a bounds check. The
+// analyzer makes that discipline permanent.
+//
+// Sources (bitWire): results of encoding/binary decoders (Uvarint,
+// Varint, ReadUvarint, ReadVarint, and the ByteOrder Uint16/32/64
+// methods), payloads returned by Exchange/ExchangeV (remote bytes), and
+// — compositionally, so helpers stay honest without whole-program
+// analysis — parameters of type []byte or [][]byte, which by convention
+// carry undecoded wire data. Package-local calls propagate taint
+// through the function summaries.
+//
+// Sanitizers clear the taint: any comparison mentioning the variable
+// (the bounds check itself), masking (& with an untainted operand),
+// modulo, the min/max builtins, and conversions to integer types of at
+// most 16 bits (the value is then bounded by the type).
+//
+// Sinks, each a distinct finding kind:
+//
+//	index        s[v] on a slice, array, or string
+//	slice bound  s[v:], s[:v], s[::v]
+//	make size    make(T, v) or make(T, _, v)
+//	shift        x << v or x >> v (v ≥ 64 is silently well-defined in
+//	             Go but almost always a decode bug here)
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const wireTaintName = "wiretaint"
+
+var WireTaint = &Analyzer{
+	Name: wireTaintName,
+	Doc: "flag wire-decoded integers reaching a slice index, slice bound, " +
+		"make size, or shift amount without an intervening bounds check",
+	Run: runWireTaint,
+}
+
+func runWireTaint(p *Package) []Finding {
+	m := modelFor(p)
+	var out []Finding
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, wireCheckFunc(m, fd)...)
+		}
+	}
+	return out
+}
+
+func wireCheckFunc(m *pkgModel, fd *ast.FuncDecl) []Finding {
+	p := m.p
+	ev := &evaluator{m: m}
+	entry := factMap{}
+	for _, obj := range funcParams(p, fd) {
+		if obj != nil && isWireParam(obj.Type()) {
+			entry[obj] = bitWire
+		}
+	}
+	c := buildCFG(fd.Body)
+	in := solveForward(c, entry, ev.transfer)
+
+	var out []Finding
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, expr ast.Expr, kind string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, p.finding(wireTaintName, pos,
+			"wire-decoded value %s used as %s without a bounds check: a corrupt or malicious frame controls it",
+			types.ExprString(expr), kind))
+	}
+
+	walkFacts(c, in, ev.transfer, func(f factMap, _ *Block, n ast.Node) {
+		expr := nodeExpr(n)
+		if expr == nil {
+			return
+		}
+		ast.Inspect(expr, func(inner ast.Node) bool {
+			switch e := inner.(type) {
+			case *ast.IndexExpr:
+				if !indexableSink(p, e.X) {
+					return true
+				}
+				if ev.maskOf(f, e.Index)&bitWire != 0 {
+					report(e.Index.Pos(), e.Index, "slice index")
+				}
+			case *ast.SliceExpr:
+				for _, bound := range []ast.Expr{e.Low, e.High, e.Max} {
+					if bound != nil && ev.maskOf(f, bound)&bitWire != 0 {
+						report(bound.Pos(), bound, "slice bound")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+						for _, size := range e.Args[1:] {
+							if ev.maskOf(f, size)&bitWire != 0 {
+								report(size.Pos(), size, "make size")
+							}
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if e.Op == token.SHL || e.Op == token.SHR {
+					if ev.maskOf(f, e.Y)&bitWire != 0 {
+						report(e.Y.Pos(), e.Y, "shift amount")
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// isWireParam reports whether a parameter type conventionally carries
+// raw wire bytes: []byte or [][]byte.
+func isWireParam(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if isByteType(sl.Elem()) {
+		return true
+	}
+	inner, ok := sl.Elem().Underlying().(*types.Slice)
+	return ok && isByteType(inner.Elem())
+}
+
+func isByteType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// indexableSink reports whether indexing x with an untrusted value can
+// fault: slices, arrays, and strings. Map lookups are safe.
+func indexableSink(p *Package, x ast.Expr) bool {
+	t := p.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Basic:
+		if b, ok := u.(*types.Basic); ok {
+			return b.Info()&types.IsString != 0
+		}
+		return true
+	case *types.Pointer:
+		_, isArray := u.Elem().Underlying().(*types.Array)
+		return isArray
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package lint_test
+
+import (
+	"testing"
+
+	"parsssp/internal/lint"
+)
+
+func TestWireTaintSinkKinds(t *testing.T) {
+	src := `package wire
+
+import "encoding/binary"
+
+// Kind 1: wire-decoded value as a slice index.
+func index(data []byte, table []int) int {
+	v, _ := binary.Uvarint(data)
+	return table[v]
+}
+
+// Kind 2: wire-decoded value as a slice bound.
+func sliceBound(data []byte) []byte {
+	n := binary.LittleEndian.Uint32(data)
+	return data[:n]
+}
+
+// Kind 3: wire-decoded value as an allocation size.
+func makeSize(data []byte) []int {
+	n, _ := binary.Uvarint(data)
+	return make([]int, n)
+}
+
+// Kind 4: wire-decoded value as a shift amount.
+func shift(data []byte) uint64 {
+	s, _ := binary.Uvarint(data)
+	return 1 << s
+}
+
+// Parameters of type []byte carry wire data compositionally: an element
+// read off one is as tainted as a decoder result.
+func paramTaint(frame []byte) byte {
+	off := int(frame[0])
+	return frame[off]
+}
+
+// Taint flows through package-local helpers via the call summaries.
+func readLen(b []byte) int {
+	v, _ := binary.Uvarint(b)
+	return int(v)
+}
+
+func viaHelper(frame []byte, table []int) int {
+	n := readLen(frame)
+	return table[n]
+}
+`
+	got := runFixture(t, map[string]string{"internal/wire/wire.go": src}, lint.WireTaint)
+	wantFindings(t, got, []string{
+		"wire.go:8:15 wiretaint",  // index
+		"wire.go:14:15 wiretaint", // sliceBound
+		"wire.go:20:21 wiretaint", // makeSize
+		"wire.go:26:14 wiretaint", // shift
+		"wire.go:33:15 wiretaint", // paramTaint
+		"wire.go:44:15 wiretaint", // viaHelper
+	})
+}
+
+func TestWireTaintSanitizersAreClean(t *testing.T) {
+	src := `package wire
+
+import "encoding/binary"
+
+// The bounds check is the sanitizer: a comparison mentioning the value
+// clears its taint.
+func checked(data []byte, table []int) int {
+	v, _ := binary.Uvarint(data)
+	if v >= uint64(len(table)) {
+		return -1
+	}
+	return table[v]
+}
+
+// The hardened decode-loop shape from the frame readers: the
+// bytes-consumed count is validated before advancing the offset.
+func decodeLoop(frame []byte) int {
+	total := 0
+	for off := 0; off < len(frame); {
+		v, n := binary.Uvarint(frame[off:])
+		if n <= 0 {
+			return -1
+		}
+		off += n
+		total += int(v)
+	}
+	return total
+}
+
+// Masking bounds the value; so does a conversion to a narrow integer.
+func masked(data []byte) int {
+	var table [16]int
+	v, _ := binary.Uvarint(data)
+	i := byte(data[1])
+	return table[v&0xf] + int(i)
+}
+
+// min clamps against a trusted bound.
+func clamped(data []byte, table []int) int {
+	v, _ := binary.Uvarint(data)
+	return table[min(int(v), len(table)-1)]
+}
+
+// len of a tainted slice is a trusted local fact.
+func lengths(frame []byte) []int {
+	return make([]int, len(frame))
+}
+`
+	got := runFixture(t, map[string]string{"internal/wire/wire.go": src}, lint.WireTaint)
+	wantFindings(t, got, nil)
+}
