@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race chaos lint vet bench bench-json bench-serve-json experiments fuzz clean
+.PHONY: all build test race chaos lint vet bench bench-json bench-serve-json bench-dynamic-json experiments fuzz clean
 
 all: build test lint
 
@@ -49,6 +49,13 @@ bench-json:
 bench-serve-json:
 	go test -run '^$$' -bench BenchmarkServeThroughput -benchtime 10x . \
 		| go run ./cmd/benchjson -out BENCH_serve.json
+
+# Archive the dynamic-update benchmarks (incremental repair vs full
+# rebuild after an edge-update batch, scale 13 / 4 ranks) as
+# BENCH_dynamic.json. See EXPERIMENTS.md "Dynamic updates".
+bench-dynamic-json:
+	go test -run '^$$' -bench BenchmarkIncrementalRepair -benchtime 16x . \
+		| go run ./cmd/benchjson -out BENCH_dynamic.json
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 experiments:

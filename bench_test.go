@@ -8,6 +8,7 @@ package parsssp_test
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -512,6 +513,129 @@ func BenchmarkCommWireV2(b *testing.B) { benchCommWire(b, sssp.WireV2) }
 // amortizes them. The headline metric is queries/sec; speedup over the
 // concurrency=1 line is the benefit of slot parallelism on this host
 // (bounded by free cores — on a single-core runner the lines coincide).
+// --- Dynamic updates (incremental repair vs rebuild) ------------------------
+
+// updateBatchPair builds a forward batch (dels deletions of existing
+// edges plus ins insertions of fresh edges) and its exact inverse.
+// Alternating the two lets a benchmark update the same graph through
+// b.N iterations in steady state: every delete always hits a live edge,
+// and the graph only ever occupies two states.
+func updateBatchPair(rng *rand.Rand, g *graph.Graph, dels, ins int) (fwd, rev sssp.UpdateBatch) {
+	edges := g.Edges()
+	picked := make(map[int]bool, dels)
+	for len(picked) < dels {
+		i := rng.Intn(len(edges))
+		if picked[i] {
+			continue
+		}
+		picked[i] = true
+		e := edges[i]
+		fwd = append(fwd, sssp.EdgeUpdate{Op: sssp.OpDelete, U: e.U, V: e.V})
+		rev = append(rev, sssp.EdgeUpdate{Op: sssp.OpInsert, U: e.U, V: e.V, W: e.W})
+	}
+	n := g.NumVertices()
+	for added := 0; added < ins; {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		// Only brand-new edges keep the pair invertible (inserting over
+		// an existing edge min-merges; deleting removes both).
+		if _, ok := g.EdgeWeight(u, v); ok {
+			continue
+		}
+		fwd = append(fwd, sssp.EdgeUpdate{Op: sssp.OpInsert, U: u, V: v, W: graph.Weight(1 + rng.Intn(255))})
+		rev = append(rev, sssp.EdgeUpdate{Op: sssp.OpDelete, U: u, V: v})
+		added++
+	}
+	return fwd, rev
+}
+
+// BenchmarkIncrementalRepair measures the serving cost of one edge-update
+// batch two ways on the scale-13 / 4-rank machine: "repair" applies the
+// batch and incrementally repairs the standing tree in place
+// (Machine.ApplyUpdates — the affected-subgraph path of dynamic.go),
+// "rebuild" applies the batch and recomputes the tree from scratch (a
+// one-slot pool's migrate path). Both sides pay the same copy-on-write
+// plane rebuild; the difference is the incremental repair against the
+// full run. make bench-dynamic-json archives the numbers as
+// BENCH_dynamic.json; see EXPERIMENTS.md "Dynamic updates".
+func BenchmarkIncrementalRepair(b *testing.B) {
+	g := rmatGraph(b, expt.RMAT1, benchScale)
+	opts := sssp.OptOptions(25)
+	opts.Threads = 2
+	roots, err := sssp.PickRoots(g, 2, 0xC0FFEE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Several independent pairs per batch size, cycled fwd,rev,fwd,rev…
+	// so the measurement averages over batch placements: one batch that
+	// happens to delete a tree edge near the root orphans (and repairs) a
+	// large subtree, most batches touch almost nothing.
+	const numPairs = 8
+	pick := func(pairs [][2]sssp.UpdateBatch, i int) sssp.UpdateBatch {
+		return pairs[(i/2)%len(pairs)][i%2]
+	}
+	for _, size := range []int{4, 32, 256} {
+		pairs := make([][2]sssp.UpdateBatch, numPairs)
+		for k := range pairs {
+			rng := rand.New(rand.NewSource(int64(0xD15C0<<8 | size<<4 | k)))
+			pairs[k][0], pairs[k][1] = updateBatchPair(rng, g, size/2, size-size/2)
+		}
+		b.Run(fmt.Sprintf("repair/batch=%d", size), func(b *testing.B) {
+			m, err := sssp.NewMachine(g, benchRanks, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			if _, err := m.Query(roots[0]); err != nil {
+				b.Fatal(err)
+			}
+			var invalidated int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, rs, err := m.ApplyUpdates(pick(pairs, i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res == nil || rs == nil {
+					b.Fatal("no repair ran")
+				}
+				invalidated += rs.Invalidated
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+			b.ReportMetric(float64(invalidated)/float64(b.N), "invalidated/op")
+		})
+		b.Run(fmt.Sprintf("rebuild/batch=%d", size), func(b *testing.B) {
+			pool, err := sssp.NewQueryPool(g, benchRanks, 1, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			// Warm the slot on the root the first iteration will NOT ask
+			// for: alternating two roots keeps the slot's standing tree
+			// from ever matching the requested source, so every iteration
+			// pays apply + plane migration + a full from-scratch run.
+			if _, err := pool.Query(roots[1]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.ApplyUpdates(pick(pairs, i)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pool.Query(roots[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+		})
+	}
+}
+
 func BenchmarkServeThroughput(b *testing.B) {
 	g := rmatGraph(b, expt.RMAT1, benchScale)
 	roots, err := sssp.PickRoots(g, 16, 0xC0FFEE)

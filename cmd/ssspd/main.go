@@ -14,12 +14,22 @@
 // With -serve the machine becomes a long-lived concurrent query server
 // instead of a one-shot runner: the socket mesh carries -slots logical
 // channels, each backing one pooled query slot on every rank
-// (sssp.RankServer over tcptransport channels). Rank 0 accepts source
-// vertices — one integer per line — on stdin and, with -serve-listen, on
-// TCP connections; each answer line reports the reached count, an
-// FNV-1a checksum of the distance array, and the query time. Up to
-// -slots queries are in flight at once; a failed query poisons only its
-// slot, and the server keeps answering on the others.
+// (sssp.RankServer over tcptransport channels). Rank 0 accepts requests
+// — one per line — on stdin and, with -serve-listen, on TCP
+// connections:
+//
+//	17              query from source 17
+//	U add 3 5 7     insert edge (3,5) with weight 7 (one new graph version)
+//	U del 3 5       delete edge (3,5)
+//	stats           report version, queue depth, shed count
+//
+// Each answer line reports the reached count, an FNV-1a checksum of the
+// distance array, and the query time. Up to -slots queries are in
+// flight at once; updates are serialized — applied to every slot, with
+// finished trees repaired incrementally, before any later line runs. At
+// most -queue requests wait for admission; excess lines get an
+// immediate busy reply instead of backpressure. A failed query poisons
+// only its slot, and the server keeps answering on the others.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsssp/internal/comm"
@@ -75,10 +86,12 @@ func run() (err error) {
 			"bound on connection establishment to each peer (dial, accept, handshake)")
 		collTimeout = flag.Duration("collective-timeout", 30*time.Second,
 			"per-collective bound on peer I/O; a peer silent past this fails the run (0 disables)")
-		serve       = flag.Bool("serve", false, "serve concurrent queries instead of running one (-root is ignored)")
-		slots       = flag.Int("slots", 4, "concurrent query slots in -serve mode")
+		serve    = flag.Bool("serve", false, "serve concurrent queries instead of running one (-root is ignored)")
+		slots    = flag.Int("slots", 4, "concurrent query slots in -serve mode")
+		queueCap = flag.Int("queue", 64,
+			"admission-queue bound in -serve mode; requests beyond it get an immediate busy reply")
 		serveListen = flag.String("serve-listen", "",
-			"rank 0 also accepts query sources on this TCP address in -serve mode (one integer per line)")
+			"rank 0 also accepts requests on this TCP address in -serve mode (one per line)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("ssspd[%d]: ", *rank))
@@ -131,7 +144,7 @@ func run() (err error) {
 	opts.Threads = *threads
 
 	if *serve {
-		return runServe(t, g, pd, opts, *slots, *serveListen)
+		return runServe(t, g, pd, opts, *slots, *queueCap, *serveListen)
 	}
 
 	rr, err := sssp.RunRank(g, pd, graph.Vertex(*root), opts, t, 0)
@@ -173,6 +186,50 @@ type serveReq struct {
 	reply func(string)
 }
 
+// serveCmd is one parsed input line bound for the dispatcher: a query
+// source or an update batch.
+type serveCmd struct {
+	update bool
+	batch  sssp.UpdateBatch
+	src    graph.Vertex
+	reply  func(string)
+}
+
+// updateCmd is one update broadcast to a slot worker: the version it
+// produces, the wire-encoded batch rank 0 ships to its peers, and the
+// ack the dispatcher waits on before touching the next slot or line.
+type updateCmd struct {
+	target uint64
+	enc    []byte
+	ack    chan error
+}
+
+// admission is rank 0's bounded intake: lines wait in the buffered
+// channel for the dispatcher; when it is full the request is shed with
+// an immediate busy reply instead of blocking the reader.
+type admission struct {
+	lines   chan serveCmd
+	shed    atomic.Int64
+	g       *graph.Graph
+	version func() uint64
+}
+
+// admit queues one command, shedding it with a busy reply when the
+// queue is full.
+func (a *admission) admit(cmd serveCmd) {
+	select {
+	case a.lines <- cmd:
+	default:
+		a.shed.Add(1)
+		cmd.reply("busy: admission queue full")
+	}
+}
+
+func (a *admission) statsLine() string {
+	return fmt.Sprintf("stats version=%d queued=%d shed=%d",
+		a.version(), len(a.lines), a.shed.Load())
+}
+
 // printer serializes answer lines from concurrent slot workers.
 type printer struct {
 	mu sync.Mutex
@@ -188,23 +245,32 @@ func (p *printer) println(line string) {
 // runServe is the -serve mode body, executed by every rank. The mesh is
 // split into `slots` logical channels; each backs one sssp.RankServer
 // slot on every rank, so up to `slots` queries run concurrently with
-// per-slot failure isolation. Rank 0 is the front end: it admits sources
-// from stdin (and -serve-listen connections), hands each to a free
-// slot's worker, and writes the answer lines; the other ranks' workers
-// are driven entirely by the per-slot source broadcasts.
+// per-slot failure isolation. Rank 0 is the front end: it admits
+// requests from stdin (and -serve-listen connections) through a bounded
+// queue, dispatches queries to whichever slot frees up first and
+// updates to every slot in turn, and writes the answer lines; the other
+// ranks' workers are driven entirely by the per-slot broadcasts.
 //
-// Per-slot protocol, in lockstep on every rank: (1) source broadcast —
-// an Allreduce(Max) where rank 0 contributes src+1 and everyone else 0,
-// with 0 the shutdown sentinel; (2) the query; (3) the distance gather
-// to rank 0. A query error ends that slot's workers everywhere (the
-// abort poisons the slot's channel on every rank) and is reported to the
-// caller whose query failed; the remaining slots keep serving. Shutdown
-// is stdin EOF: each worker that drains the queue broadcasts the
-// sentinel, and the process exits when every slot's worker has.
+// Per-slot protocol, in lockstep on every rank: (1) a [code, arg]
+// Allreduce(Max) where rank 0 contributes the operation and everyone
+// else zeros — code 0 is shutdown, code 1 a query (arg = source), code
+// 2 an update (arg = target graph version); (2) the operation's body —
+// for a query, the run and the distance gather to rank 0; for an
+// update, an Exchange broadcasting rank 0's wire-encoded batch, then
+// sssp.RankServer.ApplyUpdates (graph rebuilt once per process,
+// finished trees repaired incrementally). An error ends that slot's
+// workers everywhere (the abort poisons the slot's channel on every
+// rank) and is reported to the caller whose request failed; the
+// remaining slots keep serving. Shutdown is stdin EOF: each worker the
+// dispatcher releases broadcasts the sentinel, and the process exits
+// when every slot's worker has.
 func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
-	opts sssp.Options, slots int, listenAddr string) error {
+	opts sssp.Options, slots, queueCap int, listenAddr string) error {
 	if slots < 1 {
 		return fmt.Errorf("ssspd: -slots must be >= 1, got %d", slots)
+	}
+	if queueCap < 1 {
+		return fmt.Errorf("ssspd: -queue must be >= 1, got %d", queueCap)
 	}
 	chans := make([]comm.Transport, slots)
 	for s := 0; s < slots; s++ {
@@ -214,7 +280,7 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 		}
 		chans[s] = ch
 	}
-	server, err := sssp.NewRankServer(g, pd, opts, chans, 0)
+	server, err := sssp.NewRankServer(g, pd, opts, chans)
 	if err != nil {
 		return err
 	}
@@ -223,15 +289,31 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 	}()
 	rank0 := t.Rank() == 0
 
-	var reqs chan serveReq
 	out := &printer{w: os.Stdout}
+	var reqs chan serveReq
+	var updChs []chan updateCmd
+	done := make([]chan struct{}, slots) // done[s] closes when slot s's worker returns
+	for s := range done {
+		done[s] = make(chan struct{})
+	}
+	allDead := make(chan struct{})
+
 	if rank0 {
 		reqs = make(chan serveReq)
+		updChs = make([]chan updateCmd, slots)
+		for s := range updChs {
+			updChs[s] = make(chan updateCmd)
+		}
+		adm := &admission{
+			lines:   make(chan serveCmd, queueCap),
+			g:       g,
+			version: server.Version,
+		}
 		var intake sync.WaitGroup
 		intake.Add(1)
 		go func() {
 			defer intake.Done()
-			admitSources(os.Stdin, g, reqs, out.println)
+			admitRequests(os.Stdin, adm, out.println)
 		}()
 		if listenAddr != "" {
 			ln, lerr := net.Listen("tcp", listenAddr)
@@ -252,31 +334,43 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 					go func(conn net.Conn) {
 						defer conn.Close()
 						connOut := &printer{w: conn}
-						admitSources(conn, g, reqs, connOut.println)
+						admitRequests(conn, adm, connOut.println)
 					}(conn)
 				}
 			}()
 		}
 		go func() {
 			intake.Wait()
-			close(reqs)
+			close(adm.lines)
 		}()
+		go dispatch(adm.lines, reqs, updChs, done, allDead)
 	}
 
 	workerErrs := make([]error, slots)
 	var wg sync.WaitGroup
+	var live atomic.Int64
+	live.Store(int64(slots))
 	for s := 0; s < slots; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			workerErrs[s] = slotWorker(s, chans[s], server, pd, rank0, reqs, out)
+			var upd chan updateCmd
+			if rank0 {
+				upd = updChs[s]
+			}
+			workerErrs[s] = slotWorker(s, chans[s], server, g, pd, rank0, reqs, upd, out)
+			close(done[s])
+			if live.Add(-1) == 0 {
+				close(allDead)
+			}
 		}(s)
 	}
 	wg.Wait()
-	if rank0 && reqs != nil {
+	if rank0 {
 		// Every slot is gone (all failed, or shutdown won the race);
-		// requests still queued or arriving get an immediate refusal
-		// until the intakes close the queue.
+		// queries the dispatcher still forwards get an immediate refusal
+		// through allDead, and the dispatcher drains until the intakes
+		// close the queue.
 		for req := range reqs {
 			req.reply(fmt.Sprintf("error src=%d: no live query slots", req.src))
 		}
@@ -284,80 +378,265 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 	return errors.Join(workerErrs...)
 }
 
-// admitSources parses integer sources off r (one per line), answering
-// malformed and out-of-range lines directly and queueing the rest.
-func admitSources(r io.Reader, g *graph.Graph, reqs chan<- serveReq, reply func(string)) {
+// dispatch serializes rank 0's admitted lines. Queries are handed to
+// whichever slot's worker frees up first; an update is applied — and
+// acknowledged — on every live slot before any later line is forwarded,
+// so every subsequent query runs on the updated graph. Closing reqs at
+// the end releases the idle workers into their shutdown broadcast.
+func dispatch(lines <-chan serveCmd, reqs chan<- serveReq,
+	upd []chan updateCmd, done []chan struct{}, allDead <-chan struct{}) {
+	version := uint64(0)
+	for cmd := range lines {
+		if !cmd.update {
+			select {
+			case reqs <- serveReq{src: cmd.src, reply: cmd.reply}:
+			case <-allDead:
+				cmd.reply(fmt.Sprintf("error src=%d: no live query slots", cmd.src))
+			}
+			continue
+		}
+		version++
+		uc := updateCmd{
+			target: version,
+			enc:    sssp.EncodeUpdateBatch(cmd.batch),
+			ack:    make(chan error, 1),
+		}
+		applied := 0
+		var failures []string
+		for s := range upd {
+			select {
+			case upd[s] <- uc:
+			case <-done[s]:
+				continue
+			}
+			if err := <-uc.ack; err != nil {
+				failures = append(failures, fmt.Sprintf("slot %d: %v", s, err))
+			} else {
+				applied++
+			}
+		}
+		switch {
+		case len(failures) > 0:
+			cmd.reply(fmt.Sprintf("error update version=%d: %s", version, strings.Join(failures, "; ")))
+		case applied == 0:
+			cmd.reply(fmt.Sprintf("error update version=%d: no live query slots", version))
+		default:
+			cmd.reply(fmt.Sprintf("updated version=%d ops=%d slots=%d", version, len(cmd.batch), applied))
+		}
+	}
+	close(reqs)
+}
+
+// admitRequests parses request lines off r, answering malformed lines
+// and stats requests directly and queueing the rest through the bounded
+// admission queue (see serveCmd for the grammar).
+func admitRequests(r io.Reader, adm *admission, reply func(string)) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
+		if strings.EqualFold(line, "stats") {
+			reply(adm.statsLine())
+			continue
+		}
+		fields := strings.Fields(line)
+		if strings.EqualFold(fields[0], "U") {
+			batch, err := parseUpdate(fields[1:], adm.g.NumVertices())
+			if err != nil {
+				reply(fmt.Sprintf("error: bad update %q: %v", line, err))
+				continue
+			}
+			adm.admit(serveCmd{update: true, batch: batch, reply: reply})
+			continue
+		}
 		src, err := strconv.ParseUint(line, 10, 32)
-		if err != nil || int(src) >= g.NumVertices() {
+		if err != nil || int(src) >= adm.g.NumVertices() {
 			reply(fmt.Sprintf("error: bad source %q", line))
 			continue
 		}
-		reqs <- serveReq{src: graph.Vertex(src), reply: reply}
+		adm.admit(serveCmd{src: graph.Vertex(src), reply: reply})
 	}
 }
 
-// slotWorker drives one slot's lockstep query loop; see runServe for the
+// parseUpdate parses the fields after the leading "U" of an update
+// line: "add u v w" inserts edge (u,v) with weight w, "del u v"
+// deletes edge (u,v). The batch is validated against the vertex count
+// before it is admitted, so a bad update is refused at the front door.
+func parseUpdate(fields []string, n int) (sssp.UpdateBatch, error) {
+	uintField := func(s string) (uint64, error) {
+		v, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		return v, nil
+	}
+	if len(fields) == 0 {
+		return nil, errors.New("missing op (add or del)")
+	}
+	var rec sssp.EdgeUpdate
+	var nargs int
+	switch {
+	case strings.EqualFold(fields[0], "add"):
+		rec.Op, nargs = sssp.OpInsert, 3
+	case strings.EqualFold(fields[0], "del"):
+		rec.Op, nargs = sssp.OpDelete, 2
+	default:
+		return nil, fmt.Errorf("unknown op %q (want add or del)", fields[0])
+	}
+	if len(fields)-1 != nargs {
+		return nil, fmt.Errorf("%s takes %d arguments, got %d", strings.ToLower(fields[0]), nargs, len(fields)-1)
+	}
+	u, err := uintField(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	v, err := uintField(fields[2])
+	if err != nil {
+		return nil, err
+	}
+	rec.U, rec.V = graph.Vertex(u), graph.Vertex(v)
+	if rec.Op == sssp.OpInsert {
+		w, err := uintField(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		rec.W = graph.Weight(w)
+	}
+	batch := sssp.UpdateBatch{rec}
+	if err := batch.Validate(n); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+// Slot-protocol operation codes; see runServe.
+const (
+	opShutdown = 0
+	opQuery    = 1
+	opUpdate   = 2
+)
+
+// slotWorker drives one slot's lockstep loop; see runServe for the
 // protocol. Returns nil on clean shutdown and the slot-killing error
-// otherwise (on the rank whose caller was answered, the error is
-// reported in-band and the worker returns nil).
-func slotWorker(s int, ch comm.Transport, server *sssp.RankServer,
-	pd partition.Dist, rank0 bool, reqs <-chan serveReq, out *printer) error {
+// otherwise (on the rank whose caller was answered in-band — rank 0 —
+// the worker returns nil).
+func slotWorker(s int, ch comm.Transport, server *sssp.RankServer, g *graph.Graph,
+	pd partition.Dist, rank0 bool, reqs <-chan serveReq, updIn <-chan updateCmd, out *printer) error {
 	for {
-		var contrib int64
+		contrib := [2]int64{opShutdown, 0}
 		var req serveReq
-		var admitted bool
+		var upd updateCmd
+		var admitted, isUpdate bool
 		if rank0 {
-			req, admitted = <-reqs
-			if admitted {
-				contrib = int64(req.src) + 1
+			select {
+			case upd, isUpdate = <-updIn:
+				contrib = [2]int64{opUpdate, int64(upd.target)}
+			case req, admitted = <-reqs:
+				if admitted {
+					contrib = [2]int64{opQuery, int64(req.src)}
+				}
 			}
 		}
-		vals, err := ch.AllreduceInt64([]int64{contrib}, comm.Max)
+		vals, err := ch.AllreduceInt64(contrib[:], comm.Max)
 		if err != nil {
-			if admitted {
+			switch {
+			case isUpdate:
+				upd.ack <- err
+				return nil
+			case admitted:
 				req.reply(fmt.Sprintf("error src=%d: %v", req.src, err))
 				return nil
+			default:
+				return fmt.Errorf("slot %d: request broadcast: %w", s, err)
 			}
-			return fmt.Errorf("slot %d: source broadcast: %w", s, err)
 		}
-		if vals[0] == 0 {
-			return nil // shutdown sentinel
-		}
-		src := graph.Vertex(vals[0] - 1)
 
-		rr, err := server.Query(s, src)
-		if err == nil {
-			var dist []graph.Dist
-			dist, err = gatherDistances(ch, pd, rr)
-			if err == nil && rank0 {
-				var reached int64
-				h := fnv.New64a()
-				var buf [8]byte
-				for _, d := range dist {
-					if d < graph.Inf {
-						reached++
+		switch vals[0] {
+		case opShutdown:
+			return nil
+
+		case opQuery:
+			src := graph.Vertex(vals[1])
+			rr, err := server.Query(s, src)
+			if err == nil {
+				var dist []graph.Dist
+				dist, err = gatherDistances(ch, pd, rr)
+				if err == nil && rank0 {
+					var reached int64
+					h := fnv.New64a()
+					var buf [8]byte
+					for _, d := range dist {
+						if d < graph.Inf {
+							reached++
+						}
+						binary.LittleEndian.PutUint64(buf[:], uint64(d))
+						h.Write(buf[:])
 					}
-					binary.LittleEndian.PutUint64(buf[:], uint64(d))
-					h.Write(buf[:])
+					req.reply(fmt.Sprintf("answer src=%d reached=%d checksum=%016x time=%v",
+						src, reached, h.Sum64(), rr.Stats.Total))
 				}
-				req.reply(fmt.Sprintf("answer src=%d reached=%d checksum=%016x time=%v",
-					src, reached, h.Sum64(), rr.Stats.Total))
 			}
-		}
-		if err != nil {
-			if admitted {
-				req.reply(fmt.Sprintf("error src=%d: %v", src, err))
-				return nil
+			if err != nil {
+				if admitted {
+					req.reply(fmt.Sprintf("error src=%d: %v", src, err))
+					return nil
+				}
+				return fmt.Errorf("slot %d: query src=%d: %w", s, src, err)
 			}
-			return fmt.Errorf("slot %d: query src=%d: %w", s, src, err)
+
+		case opUpdate:
+			target := uint64(vals[1])
+			err := applyUpdate(s, ch, server, g, target, upd.enc, rank0)
+			if isUpdate { // rank 0: ack the dispatcher either way
+				upd.ack <- err
+				if err != nil {
+					return nil
+				}
+			} else if err != nil {
+				return fmt.Errorf("slot %d: update to version %d: %w", s, target, err)
+			}
+
+		default:
+			err := fmt.Errorf("slot %d: protocol code %d", s, vals[0])
+			comm.Abort(ch, err)
+			return err
 		}
 	}
+}
+
+// applyUpdate runs the update body of the slot protocol: rank 0
+// broadcasts the wire-encoded batch over the slot's channel, every rank
+// decodes it (a damaged batch fails whole, applying nothing) and moves
+// its slot to the target version, repairing its finished tree
+// incrementally. Any failure aborts the slot's channel so no peer hangs
+// in the collective.
+func applyUpdate(s int, ch comm.Transport, server *sssp.RankServer,
+	g *graph.Graph, target uint64, enc []byte, rank0 bool) error {
+	bufs := make([][]byte, ch.Size())
+	if rank0 {
+		for d := range bufs {
+			bufs[d] = enc
+		}
+	}
+	in, err := ch.Exchange(bufs)
+	if err != nil {
+		return err
+	}
+	batch, err := sssp.DecodeUpdateBatch(in[0], g.NumVertices())
+	if err != nil {
+		err = fmt.Errorf("update batch from rank 0: %w", err)
+		comm.Abort(ch, err)
+		return err
+	}
+	if _, err := server.ApplyUpdates(s, target, batch); err != nil {
+		// ApplyUpdates aborts on repair failures; abort again for the
+		// pre-collective refusals (version skew) so peers never hang.
+		comm.Abort(ch, err)
+		return err
+	}
+	return nil
 }
 
 // gatherDistances sends every rank's local distances to rank 0, which

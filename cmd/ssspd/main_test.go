@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"parsssp/internal/sssp"
+)
+
+func TestParseUpdate(t *testing.T) {
+	const n = 100
+	good := []struct {
+		line string
+		want sssp.EdgeUpdate
+	}{
+		{"add 3 5 7", sssp.EdgeUpdate{Op: sssp.OpInsert, U: 3, V: 5, W: 7}},
+		{"ADD 0 99 255", sssp.EdgeUpdate{Op: sssp.OpInsert, U: 0, V: 99, W: 255}},
+		{"del 3 5", sssp.EdgeUpdate{Op: sssp.OpDelete, U: 3, V: 5}},
+	}
+	for _, tc := range good {
+		b, err := parseUpdate(strings.Fields(tc.line), n)
+		if err != nil {
+			t.Errorf("parseUpdate(%q): %v", tc.line, err)
+			continue
+		}
+		if len(b) != 1 || b[0] != tc.want {
+			t.Errorf("parseUpdate(%q) = %+v, want %+v", tc.line, b, tc.want)
+		}
+	}
+	bad := []string{
+		"",                   // missing op
+		"frob 1 2",           // unknown op
+		"add 1 2",            // insert without weight
+		"add 1 2 3 4",        // too many fields
+		"del 1",              // delete missing endpoint
+		"del 1 2 3",          // delete with weight
+		"add x 2 3",          // non-numeric
+		"add 1 2 -3",         // negative weight
+		"add 7 7 1",          // self-loop
+		"del 1 100",          // out of range
+		"add 1 4294967296 1", // overflows Vertex
+	}
+	for _, line := range bad {
+		if _, err := parseUpdate(strings.Fields(line), n); err == nil {
+			t.Errorf("parseUpdate(%q) accepted bad input", line)
+		}
+	}
+}
+
+func TestAdmissionShedsWhenFull(t *testing.T) {
+	adm := &admission{
+		lines:   make(chan serveCmd, 1),
+		version: func() uint64 { return 3 },
+	}
+	var replies []string
+	reply := func(s string) { replies = append(replies, s) }
+	adm.admit(serveCmd{src: 1, reply: reply})
+	adm.admit(serveCmd{src: 2, reply: reply}) // queue full: shed
+	if len(replies) != 1 || !strings.Contains(replies[0], "busy") {
+		t.Fatalf("expected one busy reply, got %q", replies)
+	}
+	if got := adm.shed.Load(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+	line := adm.statsLine()
+	for _, want := range []string{"version=3", "queued=1", "shed=1"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stats line %q missing %q", line, want)
+		}
+	}
+	// Draining the queue frees capacity again.
+	<-adm.lines
+	adm.admit(serveCmd{src: 3, reply: reply})
+	if len(replies) != 1 {
+		t.Fatalf("admission after drain was shed: %q", replies)
+	}
+}

@@ -165,6 +165,71 @@ func TestSSSPDTwoProcesses(t *testing.T) {
 	}
 }
 
+// TestSSSPDServeUpdates interleaves edge updates with queries on a
+// two-process serve-mode machine: update lines advance the graph
+// version on every rank (batches broadcast over the slot channels,
+// finished trees repaired incrementally), bad update lines are refused
+// at the front door, and stats lines report the admission counters.
+func TestSSSPDServeUpdates(t *testing.T) {
+	addrs := "127.0.0.1:9737,127.0.0.1:9738"
+	bin := filepath.Join(binaries(t), "ssspd")
+	common := []string{"-addrs", addrs, "-scale", "10", "-serve", "-slots", "2"}
+	c1 := exec.Command(bin, append([]string{"-rank", "1"}, common...)...)
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c0 := exec.Command(bin, append([]string{"-rank", "0"}, common...)...)
+	c0.Stdin = strings.NewReader(strings.Join([]string{
+		"5",
+		"U add 5 9 1",
+		"5",
+		"U bogus 1 2",
+		"U add 5 5 3", // self-loop: refused before dispatch
+		"U del 5 9",
+		"5",
+		"stats",
+	}, "\n") + "\n")
+	out0, err0 := c0.CombinedOutput()
+	err1 := c1.Wait()
+	if err0 != nil {
+		t.Fatalf("rank 0: %v\n%s", err0, out0)
+	}
+	if err1 != nil {
+		t.Fatalf("rank 1: %v", err1)
+	}
+	var answers, updated, badUpdates, stats int
+	for _, line := range strings.Split(strings.TrimSpace(string(out0)), "\n") {
+		switch {
+		case strings.HasPrefix(line, "answer src=5"):
+			answers++
+		case strings.HasPrefix(line, "updated version="):
+			updated++
+		case strings.HasPrefix(line, "error: bad update"):
+			badUpdates++
+		case strings.HasPrefix(line, "stats version="):
+			stats++
+			if !strings.Contains(line, "queued=") || !strings.Contains(line, "shed=") {
+				t.Errorf("stats line missing counters: %q", line)
+			}
+		}
+	}
+	if answers != 3 {
+		t.Errorf("got %d answers, want 3:\n%s", answers, out0)
+	}
+	if updated != 2 {
+		t.Errorf("got %d updated lines, want 2:\n%s", updated, out0)
+	}
+	if badUpdates != 2 {
+		t.Errorf("got %d bad-update lines, want 2:\n%s", badUpdates, out0)
+	}
+	if stats != 1 {
+		t.Errorf("got %d stats lines, want 1:\n%s", stats, out0)
+	}
+	if !strings.Contains(string(out0), "updated version=2 ops=1 slots=2") {
+		t.Errorf("missing second update confirmation:\n%s", out0)
+	}
+}
+
 func TestDIMACSWorkflow(t *testing.T) {
 	dir := t.TempDir()
 	grPath := filepath.Join(dir, "g.gr")

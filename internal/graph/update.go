@@ -1,0 +1,76 @@
+package graph
+
+// Copy-on-write graph updates. A Graph is immutable; applying a batch of
+// edge deletions and insertions produces a fresh Graph built from the
+// filtered edge list (rebuilt-slice swap rather than a CSR delta
+// overlay: O(N+M) per batch, but the result is a plain Graph every
+// consumer — engine planes, validators, generators — already handles,
+// with no overlay indirection on the hot relax path). Readers of the old
+// version are unaffected; the versioned-plane layer (internal/sssp
+// PlaneSet) decides when the old snapshot retires.
+
+// pairKey canonicalizes an unordered endpoint pair to a map key.
+func pairKey(u, v Vertex) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// WithUpdates returns a new graph with the given edges removed and then
+// added. Semantics, chosen for streaming-update batches:
+//
+//   - Deletions remove the edge between the named endpoints whatever its
+//     weight (after min-weight dedup a pair hosts at most one edge, so
+//     the pair identifies it). Deleting an absent edge is a no-op, so a
+//     stream replaying against a graph that already saw part of it stays
+//     applicable.
+//   - Insertions are then added under the builder's default rules:
+//     self-loops are dropped, and a parallel insert collapses with any
+//     surviving edge to the minimum weight. A weight change is therefore
+//     expressed as delete + insert of the same pair in one batch.
+//   - The vertex set is fixed; inserting an edge with an endpoint >= n
+//     is an error (and fails the whole batch — the result graph is only
+//     returned when every update applied).
+//
+// The receiver is not modified.
+func (g *Graph) WithUpdates(deletes, inserts []Edge) (*Graph, error) {
+	del := make(map[uint64]struct{}, len(deletes))
+	for _, e := range deletes {
+		del[pairKey(e.U, e.V)] = struct{}{}
+	}
+	kept := make([]Edge, 0, int(g.numEdge)+len(inserts))
+	for v := 0; v < g.NumVertices(); v++ {
+		nbr, ws := g.Neighbors(Vertex(v))
+		for i, u := range nbr {
+			if Vertex(v) > u {
+				continue // the U <= V half carries the edge
+			}
+			if _, dead := del[pairKey(Vertex(v), u)]; dead {
+				continue
+			}
+			kept = append(kept, Edge{Vertex(v), u, ws[i]})
+		}
+	}
+	kept = append(kept, inserts...)
+	return FromEdges(g.NumVertices(), kept, BuildOptions{})
+}
+
+// EdgeWeight returns the weight of the edge between u and v and whether
+// it exists. With min-weight dedup the pair has at most one edge. Cost is
+// linear in the smaller of the two degrees.
+func (g *Graph) EdgeWeight(u, v Vertex) (Weight, bool) {
+	if int(u) >= g.NumVertices() || int(v) >= g.NumVertices() {
+		return 0, false
+	}
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	nbr, ws := g.Neighbors(u)
+	for i, x := range nbr {
+		if x == v {
+			return ws[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustFromEdges(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges, BuildOptions{})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestWithUpdatesInsert(t *testing.T) {
+	g := mustFromEdges(t, 4, []Edge{{0, 1, 5}, {1, 2, 3}})
+	g2, err := g.WithUpdates(nil, []Edge{{2, 3, 7}})
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if w, ok := g2.EdgeWeight(2, 3); !ok || w != 7 {
+		t.Errorf("EdgeWeight(2,3) = %d,%v", w, ok)
+	}
+	// The original is untouched.
+	if _, ok := g.EdgeWeight(2, 3); ok {
+		t.Error("insert mutated the receiver")
+	}
+	if g2.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g2.NumEdges())
+	}
+}
+
+func TestWithUpdatesDelete(t *testing.T) {
+	g := mustFromEdges(t, 4, []Edge{{0, 1, 5}, {1, 2, 3}, {2, 3, 7}})
+	// Deletion matches the pair whatever weight the request names, and in
+	// either endpoint order.
+	g2, err := g.WithUpdates([]Edge{{2, 1, 99}}, nil)
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	if _, ok := g2.EdgeWeight(1, 2); ok {
+		t.Error("edge (1,2) survived deletion")
+	}
+	if g2.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g2.NumEdges())
+	}
+	// Deleting an absent edge is a no-op.
+	g3, err := g.WithUpdates([]Edge{{0, 3, 0}}, nil)
+	if err != nil {
+		t.Fatalf("WithUpdates(absent delete): %v", err)
+	}
+	if g3.NumEdges() != g.NumEdges() {
+		t.Errorf("absent delete changed edge count: %d", g3.NumEdges())
+	}
+}
+
+func TestWithUpdatesWeightChange(t *testing.T) {
+	g := mustFromEdges(t, 3, []Edge{{0, 1, 5}})
+	g2, err := g.WithUpdates([]Edge{{0, 1, 0}}, []Edge{{0, 1, 9}})
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	if w, ok := g2.EdgeWeight(0, 1); !ok || w != 9 {
+		t.Errorf("EdgeWeight(0,1) = %d,%v, want 9", w, ok)
+	}
+	// Without the delete, the insert collapses to the minimum weight.
+	g3, err := g.WithUpdates(nil, []Edge{{0, 1, 9}})
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	if w, _ := g3.EdgeWeight(0, 1); w != 5 {
+		t.Errorf("parallel insert kept weight %d, want min 5", w)
+	}
+	g4, err := g.WithUpdates(nil, []Edge{{0, 1, 2}})
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	if w, _ := g4.EdgeWeight(0, 1); w != 2 {
+		t.Errorf("lighter parallel insert kept weight %d, want 2", w)
+	}
+}
+
+func TestWithUpdatesRejectsOutOfRange(t *testing.T) {
+	g := mustFromEdges(t, 3, []Edge{{0, 1, 5}})
+	if _, err := g.WithUpdates(nil, []Edge{{0, 3, 1}}); err == nil {
+		t.Error("out-of-range insert did not fail")
+	}
+}
+
+func TestWithUpdatesEmptyBatchIsIdentity(t *testing.T) {
+	g := mustFromEdges(t, 5, []Edge{{0, 1, 5}, {1, 2, 3}, {3, 4, 1}, {0, 4, 2}})
+	g2, err := g.WithUpdates(nil, nil)
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Error("empty batch changed the edge list")
+	}
+}
+
+// TestWithUpdatesMatchesRebuild drives random batches against random
+// graphs and checks the incremental result equals a from-scratch
+// FromEdges of the expected edge multiset.
+func TestWithUpdatesMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40
+	for trial := 0; trial < 50; trial++ {
+		var edges []Edge
+		for i := 0; i < 120; i++ {
+			u, v := Vertex(rng.Intn(n)), Vertex(rng.Intn(n))
+			edges = append(edges, Edge{u, v, Weight(rng.Intn(256))})
+		}
+		g := mustFromEdges(t, n, edges)
+		cur := g.Edges()
+
+		var dels, ins []Edge
+		for _, e := range cur {
+			if rng.Intn(4) == 0 {
+				dels = append(dels, e)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			u, v := Vertex(rng.Intn(n)), Vertex(rng.Intn(n))
+			ins = append(ins, Edge{u, v, Weight(rng.Intn(256))})
+		}
+
+		got, err := g.WithUpdates(dels, ins)
+		if err != nil {
+			t.Fatalf("trial %d: WithUpdates: %v", trial, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: Validate: %v", trial, err)
+		}
+
+		dead := make(map[uint64]bool)
+		for _, e := range dels {
+			dead[pairKey(e.U, e.V)] = true
+		}
+		var want []Edge
+		for _, e := range cur {
+			if !dead[pairKey(e.U, e.V)] {
+				want = append(want, e)
+			}
+		}
+		want = append(want, ins...)
+		exp := mustFromEdges(t, n, want)
+		if !reflect.DeepEqual(exp.Edges(), got.Edges()) {
+			t.Fatalf("trial %d: edge lists diverge", trial)
+		}
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	g := mustFromEdges(t, 4, []Edge{{0, 1, 5}, {1, 2, 3}})
+	if w, ok := g.EdgeWeight(1, 0); !ok || w != 5 {
+		t.Errorf("EdgeWeight(1,0) = %d,%v", w, ok)
+	}
+	if _, ok := g.EdgeWeight(0, 2); ok {
+		t.Error("EdgeWeight reported an absent edge")
+	}
+	if _, ok := g.EdgeWeight(0, 9); ok {
+		t.Error("EdgeWeight reported an out-of-range vertex")
+	}
+}

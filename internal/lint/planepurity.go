@@ -1,20 +1,35 @@
 package lint
 
-// planepurity enforces the immutability of the graph plane. The
-// concurrent-query design (internal/sssp/plane.go) shares one rankGraph
-// read-only across every pooled query slot with no synchronization, so
-// the type system's inability to express "deeply const" is a real data
-// race waiting to happen: any assignment to a rankGraph field — or to an
-// element of one of its slices — from query code corrupts every
-// in-flight query on the pool.
+// planepurity enforces the immutability of the graph plane and of its
+// versioned snapshots. The concurrent-query design (internal/sssp/
+// plane.go, version.go) shares one rankGraph read-only across every
+// pooled query slot with no synchronization, so the type system's
+// inability to express "deeply const" is a real data race waiting to
+// happen: any assignment to a rankGraph field — or to an element of one
+// of its slices — from query code corrupts every in-flight query on the
+// pool. The dynamic-update subsystem raises the stakes: a planeVersion
+// is an immutable published snapshot whose whole point is that updates
+// never mutate state under a pinned query, so its fields (including the
+// refcount, which PlaneSet guards with its own mutex) may only be
+// written along the PlaneSet apply path.
 //
 // The analyzer applies to any package that declares a struct type named
-// rankGraph. Within it, every assignment or ++/-- whose left-hand side
-// resolves (through the type-checker's selection records, so promoted
-// fields of an embedding queryState are caught too) to a rankGraph field
-// is flagged, unless it appears inside the constructor newRankGraph or a
-// method on rankGraph itself (the constructor's helpers, e.g. the
-// histogram builder, carry that receiver).
+// rankGraph or planeVersion. Within it, every assignment or ++/-- whose
+// left-hand side resolves (through the type-checker's selection records,
+// so promoted fields of an embedding queryState are caught too) to a
+// field of a guarded struct is flagged, unless it appears inside that
+// struct's sanctioned writers:
+//
+//   - rankGraph: the constructor newRankGraph, or a method on rankGraph
+//     itself (the constructor's helpers, e.g. the histogram builder,
+//     carry that receiver).
+//   - planeVersion: the constructor NewPlaneSet, a method on PlaneSet
+//     (build, Apply, Acquire/Release and their locked helpers), or a
+//     method on planeVersion itself.
+//
+// Repointing an engine at a new snapshot (r.rankGraph = newPlane,
+// slot.pv = pv) is not a finding: those assign the *referring* struct's
+// own pointer field, not a field of the guarded struct.
 //
 // Writes through an alias (s := p.shortEnd; s[0] = 1) are out of reach
 // of this purely syntactic pass; keep plane slices out of local
@@ -26,37 +41,77 @@ import (
 )
 
 // PlanePurity flags writes to rankGraph fields outside the plane's
-// constructor.
+// constructor, and writes to planeVersion fields outside the PlaneSet
+// apply path.
 var PlanePurity = &Analyzer{
 	Name: "planepurity",
-	Doc: "rankGraph is shared read-only across concurrent query slots; " +
-		"only newRankGraph and rankGraph's own methods may write its fields",
+	Doc: "rankGraph planes and planeVersion snapshots are shared read-only across " +
+		"concurrent query slots; only their constructors (newRankGraph, NewPlaneSet), " +
+		"PlaneSet and their own methods may write their fields",
 	Run: runPlanePurity,
 }
 
+// planeRule guards one struct type: the set of its field objects, the
+// functions allowed to write them, and the finding message (one %s, the
+// field name).
+type planeRule struct {
+	fields  map[types.Object]bool
+	allowed func(fd *ast.FuncDecl) bool
+	message string
+}
+
 func runPlanePurity(p *Package) []Finding {
-	fields := rankGraphFields(p)
-	if fields == nil {
+	var rules []*planeRule
+	if fields := guardedFields(p, "rankGraph"); fields != nil {
+		rules = append(rules, &planeRule{
+			fields: fields,
+			allowed: func(fd *ast.FuncDecl) bool {
+				return receiverNamed(fd, "rankGraph") ||
+					(fd.Recv == nil && fd.Name.Name == "newRankGraph")
+			},
+			message: "write to rankGraph.%s outside newRankGraph: the graph plane is shared read-only across concurrent query slots",
+		})
+	}
+	if fields := guardedFields(p, "planeVersion"); fields != nil {
+		rules = append(rules, &planeRule{
+			fields: fields,
+			allowed: func(fd *ast.FuncDecl) bool {
+				return receiverNamed(fd, "PlaneSet") || receiverNamed(fd, "planeVersion") ||
+					(fd.Recv == nil && fd.Name.Name == "NewPlaneSet")
+			},
+			message: "write to planeVersion.%s outside PlaneSet: a published snapshot is immutable; apply updates through PlaneSet",
+		})
+	}
+	if len(rules) == 0 {
 		return nil
 	}
 	var out []Finding
 	for _, file := range p.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || planeConstructor(fd) {
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var active []*planeRule
+			for _, r := range rules {
+				if !r.allowed(fd) {
+					active = append(active, r)
+				}
+			}
+			if len(active) == 0 {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch s := n.(type) {
 				case *ast.AssignStmt:
 					for _, lhs := range s.Lhs {
-						out = appendPlaneWrite(p, fields, lhs, out)
+						out = appendPlaneWrite(p, active, lhs, out)
 					}
 				case *ast.IncDecStmt:
-					out = appendPlaneWrite(p, fields, s.X, out)
+					out = appendPlaneWrite(p, active, s.X, out)
 				case *ast.RangeStmt:
-					out = appendPlaneWrite(p, fields, s.Key, out)
-					out = appendPlaneWrite(p, fields, s.Value, out)
+					out = appendPlaneWrite(p, active, s.Key, out)
+					out = appendPlaneWrite(p, active, s.Value, out)
 				}
 				return true
 			})
@@ -65,13 +120,13 @@ func runPlanePurity(p *Package) []Finding {
 	return out
 }
 
-// rankGraphFields returns the set of field objects of the package's
-// rankGraph struct type, or nil if the package declares no such type.
-func rankGraphFields(p *Package) map[types.Object]bool {
+// guardedFields returns the set of field objects of the package's struct
+// type with the given name, or nil if the package declares no such type.
+func guardedFields(p *Package, name string) map[types.Object]bool {
 	if p.Types == nil {
 		return nil
 	}
-	tn, ok := p.Types.Scope().Lookup("rankGraph").(*types.TypeName)
+	tn, ok := p.Types.Scope().Lookup(name).(*types.TypeName)
 	if !ok {
 		return nil
 	}
@@ -86,29 +141,29 @@ func rankGraphFields(p *Package) map[types.Object]bool {
 	return fields
 }
 
-// planeConstructor reports whether fd is allowed to write plane fields:
-// the constructor itself, or a method on rankGraph (its helpers).
-func planeConstructor(fd *ast.FuncDecl) bool {
+// receiverNamed reports whether fd is a method on the named type
+// (pointer or value receiver).
+func receiverNamed(fd *ast.FuncDecl, name string) bool {
 	if fd.Recv == nil {
-		return fd.Name.Name == "newRankGraph"
+		return false
 	}
 	for _, f := range fd.Recv.List {
 		t := f.Type
 		if star, ok := t.(*ast.StarExpr); ok {
 			t = star.X
 		}
-		if id, ok := t.(*ast.Ident); ok && id.Name == "rankGraph" {
+		if id, ok := t.(*ast.Ident); ok && id.Name == name {
 			return true
 		}
 	}
 	return false
 }
 
-// appendPlaneWrite appends a finding if lhs is (an element of) a
-// rankGraph field. Index, dereference and paren wrappers are stripped so
-// that p.shortEnd[i] = x and *p.opts = o are both caught at the base
-// selector.
-func appendPlaneWrite(p *Package, fields map[types.Object]bool, lhs ast.Expr, out []Finding) []Finding {
+// appendPlaneWrite appends a finding if lhs is (an element of) a guarded
+// struct's field under one of the active rules. Index, dereference and
+// paren wrappers are stripped so that p.shortEnd[i] = x and *p.opts = o
+// are both caught at the base selector.
+func appendPlaneWrite(p *Package, active []*planeRule, lhs ast.Expr, out []Finding) []Finding {
 	for {
 		switch e := lhs.(type) {
 		case *ast.ParenExpr:
@@ -119,12 +174,15 @@ func appendPlaneWrite(p *Package, fields map[types.Object]bool, lhs ast.Expr, ou
 			lhs = e.X
 		case *ast.SelectorExpr:
 			sel := p.Info.Selections[e]
-			if sel == nil || !fields[sel.Obj()] {
+			if sel == nil {
 				return out
 			}
-			return append(out, p.finding("planepurity", e.Pos(),
-				"write to rankGraph.%s outside newRankGraph: the graph plane is shared read-only across concurrent query slots",
-				sel.Obj().Name()))
+			for _, r := range active {
+				if r.fields[sel.Obj()] {
+					return append(out, p.finding("planepurity", e.Pos(), r.message, sel.Obj().Name()))
+				}
+			}
+			return out
 		default:
 			return out
 		}

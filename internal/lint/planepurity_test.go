@@ -61,6 +61,82 @@ func TestPlanePurityFlagsWritesOutsideConstructor(t *testing.T) {
 	// exact-match list above already proves that.
 }
 
+// badVersion exercises the planeVersion rules: NewPlaneSet, PlaneSet
+// methods and planeVersion's own methods may write snapshot fields,
+// everything else may not. Repointing a slot's pv pointer or an
+// embedding engine's rankGraph is not a snapshot write and must pass.
+const badVersion = `package sssp
+
+type rankGraph struct {
+	nLocal int
+}
+
+func newRankGraph(n int) *rankGraph {
+	return &rankGraph{nLocal: n}
+}
+
+type queryState struct {
+	*rankGraph
+}
+
+type planeVersion struct {
+	version uint64
+	planes  map[int]*rankGraph
+	refs    int
+}
+
+func (pv *planeVersion) retain() {
+	pv.refs++
+}
+
+type PlaneSet struct {
+	cur *planeVersion
+}
+
+func NewPlaneSet() *PlaneSet {
+	pv := &planeVersion{planes: map[int]*rankGraph{}}
+	pv.version = 0
+	return &PlaneSet{cur: pv}
+}
+
+func (s *PlaneSet) apply() *planeVersion {
+	pv := &planeVersion{version: s.cur.version + 1}
+	pv.refs = 1
+	s.cur = pv
+	return pv
+}
+
+type slot struct {
+	pv  *planeVersion
+	eng *queryState
+}
+
+func (sl *slot) migrate(s *PlaneSet) {
+	pv := s.apply()
+	sl.pv = pv
+	sl.eng.rankGraph = pv.planes[0]
+}
+
+func tamperVersion(pv *planeVersion) {
+	pv.refs--
+	pv.version = 9
+	pv.planes[0] = nil
+}
+`
+
+func TestPlanePurityFlagsSnapshotWritesOutsidePlaneSet(t *testing.T) {
+	got := runFixture(t, map[string]string{"internal/sssp/bad.go": badVersion}, lint.PlanePurity)
+	wantFindings(t, got, []string{
+		"bad.go:54:2 planepurity", // pv.refs--
+		"bad.go:55:2 planepurity", // pv.version = 9
+		"bad.go:56:2 planepurity", // pv.planes[0] = nil (element write)
+	})
+	// The pin swap sl.pv = pv (line 49) and the engine repoint
+	// sl.eng.rankGraph = ... (line 50) assign the referring structs' own
+	// pointer fields — the exact-match list above proves neither is
+	// flagged, nor are the writes inside NewPlaneSet, apply and retain.
+}
+
 func TestPlanePurityIgnoresPackagesWithoutRankGraph(t *testing.T) {
 	// The identical shape under a different type name is not a plane;
 	// the analyzer must key off the rankGraph declaration, not field

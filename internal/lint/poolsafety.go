@@ -248,7 +248,7 @@ func runPoolSafety(p *Package) []Finding {
 		!packageUsesSyncPool(p) {
 		return nil
 	}
-	planeFields := rankGraphFields(p)
+	planeFields := guardedFields(p, "rankGraph")
 	var out []Finding
 	for _, file := range p.Files {
 		for _, d := range file.Decls {

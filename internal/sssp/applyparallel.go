@@ -3,6 +3,8 @@ package sssp
 import (
 	"fmt"
 	"sync"
+
+	"parsssp/internal/graph"
 )
 
 // This file implements the ownership-partitioned parallel apply path of
@@ -55,17 +57,27 @@ func (r *queryState) applyRelaxParallel(in [][]byte, activate bool, T int) error
 			for src, buf := range in {
 				rd := newRelaxReader(buf, wf)
 				for {
-					v, par, nd, ok := rd.next()
+					v, tpar, nd, ok := rd.next()
 					if !ok {
 						break
 					}
+					par, zw := untagParent(tpar)
 					li := r.local(v)
 					if uint(li) >= uint(r.nLocal) {
 						st.err = r.corruptErr(src, "relax",
 							fmt.Errorf("vertex %d is not owned by this rank", v))
 						return
 					}
-					if li%T != t || nd >= r.dist[li] {
+					if li%T != t {
+						continue
+					}
+					if nd >= r.dist[li] {
+						// Canonical parent election on positive-weight ties,
+						// as in the serial path; the write is still
+						// thread-owned.
+						if nd == r.dist[li] && nd < graph.Inf && !zw && par < r.parent[li] && v != r.src {
+							r.parent[li] = par
+						}
 						continue
 					}
 					r.dist[li] = nd

@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"errors"
+	"math/rand"
 	"net"
 	"reflect"
 	"strings"
@@ -281,6 +282,115 @@ func TestMachineWithTransportsCleanQueries(t *testing.T) {
 	}
 	if _, err := NewMachineWithTransports(g, blockDist(g.NumVertices(), 2), chaosOpts(), group.Endpoints()); err == nil {
 		t.Error("transport count mismatch accepted")
+	}
+}
+
+// TestChaosUpdateRepairFaults extends the fail-fast contract to the
+// incremental-repair collectives: a rank erroring, dying, or damaging
+// frames mid-ApplyUpdates must fail the update on every rank (or, for
+// payload damage the hardened readers happened not to flag, leave a tree
+// identical to the recompute) — never hang, never panic, and the Machine
+// stays poisoned-but-Closeable exactly like a failed query.
+func TestChaosUpdateRepairFaults(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	opts := chaosOpts()
+	rng := rand.New(rand.NewSource(91))
+	batch := randomBatch(rng, g, 4, 4)
+
+	// Clean recording run: where in rank 1's collective schedule the
+	// repair begins, and which repair exchanges carry payload.
+	group, err := memtransport.New(chaosRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports := group.Endpoints()
+	rec := &recordingTransport{t: transports[1]}
+	transports[1] = rec
+	m, err := NewMachineWithTransports(g, blockDist(g.NumVertices(), chaosRanks), opts, transports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(src); err != nil {
+		t.Fatalf("clean query: %v", err)
+	}
+	queryEnd := len(rec.kinds)
+	if res, rs, err := m.ApplyUpdates(batch); err != nil || res == nil || rs == nil {
+		t.Fatalf("clean ApplyUpdates: res=%v rs=%v err=%v", res, rs, err)
+	}
+	repairSpan := len(rec.kinds) - queryEnd
+	m.Close()
+	if repairSpan < 2 {
+		t.Fatalf("repair used only %d collectives; cannot aim faults", repairSpan)
+	}
+
+	// newFaulted rebuilds the identical machine with one fault injected
+	// on rank 1 and runs the pre-fault query; the engine's determinism
+	// makes the faulted run follow the recorded schedule.
+	newFaulted := func(fault comm.Fault) *Machine {
+		t.Helper()
+		group, err := memtransport.New(chaosRanks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports := group.Endpoints()
+		f, err := comm.NewFaulty(transports[1], fault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[1] = f
+		m, err := NewMachineWithTransports(g, blockDist(g.NumVertices(), chaosRanks), opts, transports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Query(src); err != nil {
+			t.Fatalf("pre-fault query: %v", err)
+		}
+		return m
+	}
+
+	for _, kind := range []comm.FaultKind{comm.FaultError, comm.FaultCrash} {
+		for _, off := range []int{0, repairSpan / 2, repairSpan - 1} {
+			m := newFaulted(comm.Fault{Collective: queryEnd + off, Kind: kind})
+			if _, _, err := m.ApplyUpdates(batch); err == nil {
+				t.Errorf("kind %v offset %d: faulted repair succeeded", kind, off)
+			} else if !errors.Is(err, comm.ErrInjected) {
+				t.Errorf("kind %v offset %d: error %v is not the injected root cause", kind, off, err)
+			}
+			if _, err := m.Query(src); err == nil {
+				t.Errorf("kind %v offset %d: query on a poisoned machine succeeded", kind, off)
+			}
+			if err := m.Close(); err != nil {
+				t.Errorf("kind %v offset %d: Close after failed update: %v", kind, off, err)
+			}
+		}
+	}
+
+	// Payload damage, aimed at the first repair exchange that actually
+	// carries bytes from the faulted rank.
+	idx := -1
+	for i := queryEnd; i < len(rec.kinds); i++ {
+		if rec.kinds[i] == 'X' && rec.xBytes[i] >= 4 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no loaded exchange inside the repair")
+	}
+	for _, kind := range []comm.FaultKind{comm.FaultTruncate, comm.FaultCorrupt} {
+		m := newFaulted(comm.Fault{Collective: idx, Kind: kind})
+		res, _, err := m.ApplyUpdates(batch)
+		if err == nil {
+			// Damage the readers happened not to flag must have been
+			// harmless: the repaired tree still matches the recompute.
+			pv := m.set.Acquire()
+			requireTreesEqual(t, pv.Graph(), src, res, opts, chaosRanks, "damaged repair")
+			m.set.Release(pv)
+		}
+		if err := m.Close(); err != nil {
+			t.Errorf("kind %v: Close after damaged update: %v", kind, err)
+		}
 	}
 }
 

@@ -1,0 +1,454 @@
+package sssp
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"parsssp/internal/comm/memtransport"
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+)
+
+// positivize lifts zero weights to one, giving the strictly positive
+// graphs the byte-for-byte parent oracle needs (see applyRelaxIn: ties
+// across zero-weight edges elect schedule-dependent parents).
+func positivize(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	edges := g.Edges()
+	for i := range edges {
+		if edges[i].W == 0 {
+			edges[i].W = 1
+		}
+	}
+	ng, err := graph.FromEdges(g.NumVertices(), edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return ng
+}
+
+// dynHarness drives per-rank engines through queries and repairs in
+// lockstep over a memtransport group, the way a pool slot does.
+type dynHarness struct {
+	pd      partition.Dist
+	opts    Options
+	set     *PlaneSet
+	engines []*queryState
+}
+
+func newDynHarness(t *testing.T, g *graph.Graph, ranks int, opts Options) *dynHarness {
+	t.Helper()
+	pd, err := partition.New(partition.Block, g.NumVertices(), ranks)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	group, err := memtransport.New(ranks)
+	if err != nil {
+		t.Fatalf("memtransport: %v", err)
+	}
+	h := &dynHarness{pd: pd, opts: opts}
+	hosted := make([]int, ranks)
+	for r := range hosted {
+		hosted[r] = r
+	}
+	h.set, err = NewPlaneSet(g, pd, &h.opts, hosted)
+	if err != nil {
+		t.Fatalf("NewPlaneSet: %v", err)
+	}
+	pv := h.set.Acquire()
+	defer h.set.Release(pv)
+	for r, tr := range group.Endpoints() {
+		eng, err := newQueryState(pv.Plane(r), tr)
+		if err != nil {
+			t.Fatalf("newQueryState: %v", err)
+		}
+		h.engines = append(h.engines, eng)
+	}
+	return h
+}
+
+// lockstep runs fn on every rank concurrently and returns the root
+// cause, if any rank failed.
+func (h *dynHarness) lockstep(fn func(eng *queryState) error) error {
+	errs := make([]error, len(h.engines))
+	var wg sync.WaitGroup
+	for i, eng := range h.engines {
+		wg.Add(1)
+		go func(i int, eng *queryState) {
+			defer wg.Done()
+			errs[i] = fn(eng)
+		}(i, eng)
+	}
+	wg.Wait()
+	return firstCause(errs)
+}
+
+func (h *dynHarness) query(t *testing.T, src graph.Vertex) {
+	t.Helper()
+	if err := h.lockstep(func(eng *queryState) error {
+		eng.reset(src)
+		return eng.run()
+	}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+}
+
+// applyAndRepair advances the plane set one version and repairs every
+// engine's tree against it, returning rank 0's repair stats.
+func (h *dynHarness) applyAndRepair(t *testing.T, batch UpdateBatch) RepairStats {
+	t.Helper()
+	pv, err := h.set.Apply(batch)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	defer h.set.Release(pv)
+	var rs0 RepairStats
+	if err := h.lockstep(func(eng *queryState) error {
+		rs, err := eng.repair(pv.Plane(eng.rank), batch)
+		if eng.rank == 0 {
+			rs0 = rs
+		}
+		return err
+	}); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	return rs0
+}
+
+// check asserts the repaired trees equal a from-scratch run on the
+// current graph, byte for byte.
+func (h *dynHarness) check(t *testing.T, src graph.Vertex, label string) {
+	t.Helper()
+	g := h.set.Acquire()
+	defer h.set.Release(g)
+	exp, err := Run(g.Graph(), len(h.engines), src, h.opts)
+	if err != nil {
+		t.Fatalf("%s: recompute: %v", label, err)
+	}
+	ranks := make([]*RankResult, len(h.engines))
+	for i, eng := range h.engines {
+		ranks[i] = &RankResult{Rank: eng.rank, LocalDist: eng.dist, LocalParent: eng.parent, Stats: eng.stats}
+	}
+	got, err := assemble(g.Graph(), h.pd, ranks)
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", label, err)
+	}
+	if !reflect.DeepEqual(got.Dist, exp.Dist) {
+		for v := range got.Dist {
+			if got.Dist[v] != exp.Dist[v] {
+				t.Fatalf("%s: dist diverges at vertex %d: repaired %d, recomputed %d",
+					label, v, got.Dist[v], exp.Dist[v])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Parent, exp.Parent) {
+		for v := range got.Parent {
+			if got.Parent[v] != exp.Parent[v] {
+				t.Fatalf("%s: parent diverges at vertex %d (dist %d): repaired %d, recomputed %d",
+					label, v, got.Dist[v], got.Parent[v], exp.Parent[v])
+			}
+		}
+	}
+}
+
+// randomBatch builds a seeded batch against the current graph: dels
+// deletions of existing edges and ins insertions of fresh positive-weight
+// edges.
+func randomBatch(rng *rand.Rand, g *graph.Graph, dels, ins int) UpdateBatch {
+	var b UpdateBatch
+	edges := g.Edges()
+	for i := 0; i < dels && len(edges) > 0; i++ {
+		e := edges[rng.Intn(len(edges))]
+		b = append(b, EdgeUpdate{Op: OpDelete, U: e.U, V: e.V})
+	}
+	n := g.NumVertices()
+	for i := 0; i < ins; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			v = (v + 1) % graph.Vertex(n)
+		}
+		b = append(b, EdgeUpdate{Op: OpInsert, U: u, V: v, W: graph.Weight(1 + rng.Intn(255))})
+	}
+	return b
+}
+
+func TestRepairMatchesRecompute(t *testing.T) {
+	base, err := rmat.Generate(rmat.Family2(9, 42))
+	if err != nil {
+		t.Fatalf("rmat: %v", err)
+	}
+	g := positivize(t, base)
+	src := testRoot(g)
+
+	cases := []struct {
+		name      string
+		dels, ins int
+	}{
+		{"insert-only", 0, 8},
+		{"delete-only", 8, 0},
+		{"mixed", 6, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newDynHarness(t, g, 3, OptOptions(25))
+			h.query(t, src)
+			rng := rand.New(rand.NewSource(int64(tc.dels)<<8 | int64(tc.ins)))
+			for step := 0; step < 5; step++ {
+				cur := h.set.Acquire()
+				batch := randomBatch(rng, cur.Graph(), tc.dels, tc.ins)
+				h.set.Release(cur)
+				h.applyAndRepair(t, batch)
+				h.check(t, src, tc.name)
+			}
+		})
+	}
+}
+
+// TestRepairEmptyBatch proves a no-op batch repairs to the identical
+// tree without touching anything.
+func TestRepairEmptyBatch(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	h := newDynHarness(t, g, 3, OptOptions(25))
+	h.query(t, src)
+	rs := h.applyAndRepair(t, nil)
+	if rs.Invalidated != 0 || rs.RelaxRounds != 0 {
+		t.Errorf("empty batch did work: %+v", rs)
+	}
+	h.check(t, src, "empty")
+}
+
+// TestRepairDisconnects deletes every edge of the source's neighbors'
+// subtrees aggressively and checks unreachable vertices match the
+// recompute (Inf distance, NoParent).
+func TestRepairDisconnects(t *testing.T) {
+	g, err := gen.Grid(12, 12, 1, 9, 7)
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	src := graph.Vertex(0)
+	h := newDynHarness(t, g, 3, OptOptions(25))
+	h.query(t, src)
+	// Cut the corner off: vertex 0's only edges are (0,1) and (0,12).
+	h.applyAndRepair(t, UpdateBatch{
+		{Op: OpDelete, U: 0, V: 1},
+		{Op: OpDelete, U: 0, V: 12},
+	})
+	h.check(t, src, "disconnect")
+}
+
+// TestRepairZeroWeightDistances: with zero-weight edges in play the
+// parent trees may legitimately diverge on ties, but distances must
+// still be exact and the repaired tree must still be a valid shortest
+// path tree.
+func TestRepairZeroWeightDistances(t *testing.T) {
+	g := rmatTestGraph // weights include 0
+	src := testRoot(g)
+	h := newDynHarness(t, g, 3, OptOptions(25))
+	h.query(t, src)
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 4; step++ {
+		cur := h.set.Acquire()
+		batch := randomBatch(rng, cur.Graph(), 5, 5)
+		h.set.Release(cur)
+		h.applyAndRepair(t, batch)
+
+		pv := h.set.Acquire()
+		exp, err := Run(pv.Graph(), 3, src, h.opts)
+		if err != nil {
+			t.Fatalf("recompute: %v", err)
+		}
+		ranks := make([]*RankResult, len(h.engines))
+		for i, eng := range h.engines {
+			ranks[i] = &RankResult{Rank: eng.rank, LocalDist: eng.dist, LocalParent: eng.parent, Stats: eng.stats}
+		}
+		got, err := assemble(pv.Graph(), h.pd, ranks)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		if !reflect.DeepEqual(got.Dist, exp.Dist) {
+			t.Fatalf("step %d: distances diverge", step)
+		}
+		checkTreeValid(t, pv.Graph(), src, got.Dist, got.Parent)
+		h.set.Release(pv)
+	}
+}
+
+// TestPlaneSetRetirement proves copy-on-write version lifetimes: a
+// pinned version survives an update and retires when released.
+func TestPlaneSetRetirement(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	pd, err := partition.New(partition.Block, g.NumVertices(), 2)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	opts := OptOptions(25)
+	set, err := NewPlaneSet(g, pd, &opts, []int{0, 1})
+	if err != nil {
+		t.Fatalf("NewPlaneSet: %v", err)
+	}
+	pinned := set.Acquire()
+	pv1, err := set.Apply(UpdateBatch{{Op: OpInsert, U: 1, V: 2, W: 3}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if pv1.Version() != 1 || set.Version() != 1 {
+		t.Fatalf("version = %d/%d, want 1", pv1.Version(), set.Version())
+	}
+	if got := set.LiveVersions(); got != 2 {
+		t.Fatalf("LiveVersions = %d, want 2 (v0 still pinned)", got)
+	}
+	if pinned.Graph() == pv1.Graph() {
+		t.Fatal("update mutated the pinned snapshot")
+	}
+	set.Release(pinned)
+	if got := set.LiveVersions(); got != 1 {
+		t.Fatalf("LiveVersions = %d after release, want 1", got)
+	}
+	set.Release(pv1)
+}
+
+// TestPlaneSetEnsureVersion proves idempotent lockstep application: N
+// drivers demanding the same target apply the batch exactly once.
+func TestPlaneSetEnsureVersion(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	pd, err := partition.New(partition.Block, g.NumVertices(), 2)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	opts := OptOptions(25)
+	set, err := NewPlaneSet(g, pd, &opts, []int{0, 1})
+	if err != nil {
+		t.Fatalf("NewPlaneSet: %v", err)
+	}
+	batch := UpdateBatch{{Op: OpInsert, U: 1, V: 2, W: 3}}
+	var wg sync.WaitGroup
+	versions := make([]*planeVersion, 4)
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			versions[i], errs[i] = set.EnsureVersion(1, batch)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if errs[i] != nil {
+			t.Fatalf("driver %d: %v", i, errs[i])
+		}
+		if versions[i] != versions[0] {
+			t.Fatal("drivers got different snapshots")
+		}
+		set.Release(versions[i])
+	}
+	if set.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", set.Version())
+	}
+	// A gap is an error, not a silent jump.
+	if _, err := set.EnsureVersion(5, batch); err == nil {
+		t.Fatal("EnsureVersion accepted a version gap")
+	}
+	// Stale target too.
+	if _, err := set.EnsureVersion(0, nil); err == nil {
+		t.Fatal("EnsureVersion accepted a past target")
+	}
+}
+
+// TestPlaneSetSince proves batch history catch-up and its bound.
+func TestPlaneSetSince(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	pd, err := partition.New(partition.Block, g.NumVertices(), 1)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	opts := OptOptions(25)
+	set, err := NewPlaneSet(g, pd, &opts, []int{0})
+	if err != nil {
+		t.Fatalf("NewPlaneSet: %v", err)
+	}
+	var applied []UpdateBatch
+	for i := 0; i < 5; i++ {
+		b := UpdateBatch{{Op: OpInsert, U: graph.Vertex(i), V: graph.Vertex(i + 7), W: 5}}
+		applied = append(applied, b)
+		pv, err := set.Apply(b)
+		if err != nil {
+			t.Fatalf("Apply %d: %v", i, err)
+		}
+		set.Release(pv)
+	}
+	got, ok := set.Since(2)
+	if !ok || len(got) != 3 {
+		t.Fatalf("Since(2) = %d batches, ok=%v; want 3, true", len(got), ok)
+	}
+	if !reflect.DeepEqual(got, applied[2:]) {
+		t.Fatal("Since(2) returned the wrong batches")
+	}
+	if got, ok := set.Since(5); !ok || len(got) != 0 {
+		t.Fatalf("Since(current) = %d batches, ok=%v; want 0, true", len(got), ok)
+	}
+	if _, ok := set.Since(6); ok {
+		t.Fatal("Since(future) reported ok")
+	}
+	set.mu.Lock()
+	set.keep = 2
+	set.mu.Unlock()
+	pv, err := set.Apply(UpdateBatch{{Op: OpInsert, U: 20, V: 21, W: 1}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	set.Release(pv)
+	if _, ok := set.Since(2); ok {
+		t.Fatal("Since reached past the bounded history")
+	}
+	if _, ok := set.Since(4); !ok {
+		t.Fatal("Since failed within the bounded history")
+	}
+}
+
+// checkTreeValid asserts dist/parent form a consistent shortest-path
+// tree over g: every reachable non-source vertex's parent edge exists,
+// is tight (dist[v] = dist[p] + w), and following parents reaches the
+// source without cycling.
+func checkTreeValid(t *testing.T, g *graph.Graph, src graph.Vertex, dist []graph.Dist, parent []graph.Vertex) {
+	t.Helper()
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		switch {
+		case dist[v] >= graph.Inf:
+			if parent[v] != NoParent {
+				t.Fatalf("unreachable vertex %d has parent %d", v, parent[v])
+			}
+		case graph.Vertex(v) == src:
+			if parent[v] != src {
+				t.Fatalf("source parent = %d", parent[v])
+			}
+		default:
+			p := parent[v]
+			w, ok := g.EdgeWeight(p, graph.Vertex(v))
+			if !ok {
+				t.Fatalf("vertex %d: parent edge (%d,%d) does not exist", v, p, v)
+			}
+			if dist[v] != dist[p]+graph.Dist(w) {
+				t.Fatalf("vertex %d: parent edge not tight: %d != %d + %d", v, dist[v], dist[p], w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if dist[v] >= graph.Inf {
+			continue
+		}
+		cur, steps := graph.Vertex(v), 0
+		for cur != src {
+			cur = parent[cur]
+			if steps++; steps > n {
+				t.Fatalf("parent cycle tracing vertex %d", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package sssp
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"parsssp/internal/graph"
+)
+
+// randomUpdateBatch builds a valid batch against an n-vertex graph:
+// random ops, in-range distinct endpoints, positive weights.
+func randomUpdateBatch(rng *rand.Rand, n, recs int) UpdateBatch {
+	b := make(UpdateBatch, 0, recs)
+	for i := 0; i < recs; i++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			v = (v + 1) % graph.Vertex(n)
+		}
+		if rng.Intn(2) == 0 {
+			b = append(b, EdgeUpdate{Op: OpDelete, U: u, V: v})
+		} else {
+			b = append(b, EdgeUpdate{Op: OpInsert, U: u, V: v, W: graph.Weight(1 + rng.Intn(1<<16))})
+		}
+	}
+	return b
+}
+
+func TestUpdateBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 1 << 20
+	for trial := 0; trial < 200; trial++ {
+		b := randomUpdateBatch(rng, n, rng.Intn(64))
+		buf := EncodeUpdateBatch(b)
+		got, err := DecodeUpdateBatch(buf, n)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(b) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, b) {
+			t.Fatalf("trial %d: round trip mismatch:\ngot  %+v\nwant %+v", trial, got, b)
+		}
+	}
+}
+
+// TestUpdateBatchDecodeRejectsDamage enumerates every way a batch can be
+// damaged on the wire. Each one must fail whole — no prefix applied, no
+// panic — because ssspd applies whatever this decoder returns.
+func TestUpdateBatchDecodeRejectsDamage(t *testing.T) {
+	const n = 100
+	valid := EncodeUpdateBatch(UpdateBatch{
+		{Op: OpDelete, U: 3, V: 5},
+		{Op: OpInsert, U: 7, V: 9, W: 11},
+	})
+	if _, err := DecodeUpdateBatch(valid, n); err != nil {
+		t.Fatalf("valid batch refused: %v", err)
+	}
+
+	overflowVertex := func() []byte {
+		buf := binary.AppendUvarint(nil, 1)
+		buf = append(buf, byte(OpDelete))
+		buf = binary.AppendUvarint(buf, 1<<33) // u wider than Vertex
+		return binary.AppendUvarint(buf, 2)
+	}
+	overflowWeight := func() []byte {
+		buf := binary.AppendUvarint(nil, 1)
+		buf = append(buf, byte(OpInsert))
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.AppendUvarint(buf, 2)
+		return binary.AppendUvarint(buf, 1<<40) // w wider than Weight
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"count without records", []byte{0x01}},
+		{"dishonest count", append(binary.AppendUvarint(nil, 10), byte(OpDelete), 1, 2)},
+		{"unknown op", append(binary.AppendUvarint(nil, 1), 7, 1, 2)},
+		{"out-of-range endpoint", EncodeUpdateBatch(UpdateBatch{{Op: OpInsert, U: 200, V: 1, W: 1}})},
+		{"self-loop", EncodeUpdateBatch(UpdateBatch{{Op: OpDelete, U: 5, V: 5}})},
+		{"trailing junk", append(append([]byte(nil), valid...), 0x00)},
+		{"unterminated varint", []byte{0x01, byte(OpDelete), 0x80}},
+		{"vertex overflow", overflowVertex()},
+		{"weight overflow", overflowWeight()},
+	}
+	for _, tc := range cases {
+		if b, err := DecodeUpdateBatch(tc.buf, n); err == nil {
+			t.Errorf("%s: accepted as %+v", tc.name, b)
+		}
+	}
+
+	// Every proper truncation of a valid encoding must fail too: the
+	// count header makes any shortened batch dishonest.
+	for k := 0; k < len(valid); k++ {
+		if b, err := DecodeUpdateBatch(valid[:k], n); err == nil {
+			t.Errorf("truncation to %d bytes accepted as %+v", k, b)
+		}
+	}
+}
+
+// FuzzDecodeUpdateBatch throws arbitrary bytes at the decoder: it must
+// never panic, and anything it accepts must survive a re-encode round
+// trip (accepted batches are real batches, not artifacts of damage).
+func FuzzDecodeUpdateBatch(f *testing.F) {
+	const n = 100
+	rng := rand.New(rand.NewSource(13))
+	f.Add([]byte(nil))
+	f.Add(EncodeUpdateBatch(nil))
+	f.Add(EncodeUpdateBatch(randomUpdateBatch(rng, n, 8)))
+	f.Add([]byte{0x05, byte(OpInsert), 1, 2, 3})
+	f.Add([]byte{0x01, byte(OpDelete), 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeUpdateBatch(data, n)
+		if err != nil {
+			return
+		}
+		if err := b.Validate(n); err != nil {
+			t.Fatalf("decoder accepted an invalid batch: %v", err)
+		}
+		again, err := DecodeUpdateBatch(EncodeUpdateBatch(b), n)
+		if err != nil {
+			t.Fatalf("re-decode of accepted batch failed: %v", err)
+		}
+		if len(b) != 0 && !reflect.DeepEqual(again, b) {
+			t.Fatalf("re-encode round trip mismatch:\ngot  %+v\nwant %+v", again, b)
+		}
+	})
+}
+
+func TestIDBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200)
+		ids := make([]graph.Vertex, n)
+		v := graph.Vertex(0)
+		for i := range ids {
+			v += graph.Vertex(1 + rng.Intn(1<<16))
+			ids[i] = v
+		}
+		buf := encodeIDBatch(nil, ids)
+		rd := newIDReader(buf)
+		for i := 0; i < n; i++ {
+			id, ok := rd.next()
+			if !ok {
+				t.Fatalf("trial %d: exhausted at %d of %d (err %v)", trial, i, n, rd.err())
+			}
+			if id != ids[i] {
+				t.Fatalf("trial %d: id %d = %d, want %d", trial, i, id, ids[i])
+			}
+		}
+		if _, ok := rd.next(); ok {
+			t.Fatalf("trial %d: extra ids", trial)
+		}
+		if err := rd.err(); err != nil {
+			t.Fatalf("trial %d: clean batch flagged: %v", trial, err)
+		}
+	}
+}
+
+// TestIDReaderToleratesCorruption mirrors the wire-reader hardening test
+// for the invalidation-flood record: random bytes and truncated valid
+// batches terminate without panicking, and a reader that survived must
+// have delivered exactly what the header promised.
+func TestIDReaderToleratesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	drain := func(buf []byte) (int, error) {
+		rd := newIDReader(buf)
+		got := 0
+		for {
+			if _, ok := rd.next(); !ok {
+				break
+			}
+			got++
+		}
+		return got, rd.err()
+	}
+	for trial := 0; trial < 500; trial++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		got, err := drain(buf)
+		if err == nil && len(buf) > 0 {
+			claimed, sz := binary.Uvarint(buf)
+			if sz <= 0 || got != int(claimed) {
+				t.Fatalf("trial %d: reader accepted %d ids against header %d", trial, got, claimed)
+			}
+		}
+	}
+	ids := make([]graph.Vertex, 50)
+	v := graph.Vertex(0)
+	for i := range ids {
+		v += graph.Vertex(1 + rng.Intn(1<<20))
+		ids[i] = v
+	}
+	valid := encodeIDBatch(nil, ids)
+	// Any proper truncation leaves the count header dishonest (every id
+	// costs at least one byte), so the reader must flag it.
+	for k := 1; k < len(valid); k++ {
+		if _, err := drain(valid[:k]); err == nil {
+			t.Errorf("truncation to %d bytes went unflagged", k)
+		}
+	}
+}

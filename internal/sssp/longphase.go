@@ -86,7 +86,7 @@ func (r *queryState) pushOuterShort(k int64, members []uint32) error {
 				}
 				cnt.OuterShortPush++
 				dst := r.pd.Owner(nbr[i])
-				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], tagParent(v, ws[i]), nd)
 			}
 		}
 	}
@@ -117,7 +117,7 @@ func (r *queryState) pushScanLong(k int64, members []uint32, bs *BucketStats) er
 				cnt.LongPush++
 				nd := du + graph.Dist(ws[i])
 				dst := r.pd.Owner(nbr[i])
-				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], tagParent(v, ws[i]), nd)
 			}
 		}
 	}
@@ -136,8 +136,9 @@ func (r *queryState) pushScanLong(k int64, members []uint32, bs *BucketStats) er
 
 // pullScan runs the pull model: every local vertex in a later bucket
 // requests, over each long edge whose weight passes the usefulness test
-// w < d(v) − kΔ, the tentative distance of the far endpoint; owners of
-// current-bucket vertices respond with relaxations.
+// w <= d(v) − kΔ, the tentative distance of the far endpoint; owners of
+// current-bucket vertices respond with relaxations. (Equality is useful
+// only to parent election, see the loop body.)
 func (r *queryState) pullScan(k int64) error {
 	// Requesters are all local unsettled vertices. Collect them (this is
 	// work the pull model pays for; charged to relaxation time). The
@@ -158,7 +159,7 @@ func (r *queryState) pullScan(k int64) error {
 		r.pullFn = func(tid int, it workItem) {
 			v := r.global(it.li)
 			dv := r.dist[it.li]
-			bound := dv - r.phKBase // request iff w < bound
+			bound := dv - r.phKBase // request iff w <= bound
 			nbr, ws := r.g.Neighbors(v)
 			cnt := &r.tcnt[tid]
 			se := r.shortEnd[it.li]
@@ -167,7 +168,11 @@ func (r *queryState) pullScan(k int64) error {
 				lo = se
 			}
 			for i := lo; i < it.hi; i++ {
-				if graph.Dist(ws[i]) >= bound {
+				// A boundary-weight edge (w = d(v) − kΔ) cannot improve d(v),
+				// but a bucket-k responder at exactly kΔ answers it with a
+				// tie — and ties elect parents canonically, so the offer must
+				// travel. Hence <=, not <.
+				if graph.Dist(ws[i]) > bound {
 					cnt.Skipped += int64(it.hi - i)
 					break // weight-sorted: the rest fail the test too
 				}
@@ -231,7 +236,7 @@ func (r *queryState) pullScan(k int64) error {
 			cnt.PullResponses++
 			nd := r.dist[li] + graph.Dist(w)
 			dst := r.pd.Owner(v)
-			r.tbufs[0][dst] = appendRelax(r.tbufs[0][dst], v, u, nd)
+			r.tbufs[0][dst] = appendRelax(r.tbufs[0][dst], v, tagParent(u, w), nd)
 		}
 		if err := rd.err(); err != nil {
 			r.charge(start, false)
@@ -360,6 +365,27 @@ func (r *queryState) requestCount(li uint32, kBase graph.Dist) int64 {
 	return int64(r.g.CountWeightRange(v, r.opts.Delta, graph.Weight(hi)))
 }
 
+// bellmanFordFn lazily builds the full-adjacency relaxation scan shared
+// by the post-switch Bellman-Ford stage and the incremental repair's
+// re-relax rounds (dynamic.go).
+func (r *queryState) bellmanFordFn() func(tid int, it workItem) {
+	if r.bfFn == nil {
+		r.bfFn = func(tid int, it workItem) {
+			v := r.global(it.li)
+			du := r.dist[it.li]
+			nbr, ws := r.g.Neighbors(v)
+			cnt := &r.tcnt[tid]
+			for i := it.lo; i < it.hi; i++ {
+				cnt.BellmanFord++
+				nd := du + graph.Dist(ws[i])
+				dst := r.pd.Owner(nbr[i])
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], tagParent(v, ws[i]), nd)
+			}
+		}
+	}
+	return r.bfFn
+}
+
 // runBellmanFord executes the post-switch Bellman-Ford stage: all
 // remaining buckets are merged and processed with full-adjacency
 // relaxation rounds until no distance changes anywhere.
@@ -389,22 +415,8 @@ func (r *queryState) runBellmanFord(k int64) error {
 		bfStart := now()
 		bfBefore := r.relaxTotals()
 		nActive := len(r.active)
-		if r.bfFn == nil {
-			r.bfFn = func(tid int, it workItem) {
-				v := r.global(it.li)
-				du := r.dist[it.li]
-				nbr, ws := r.g.Neighbors(v)
-				cnt := &r.tcnt[tid]
-				for i := it.lo; i < it.hi; i++ {
-					cnt.BellmanFord++
-					nd := du + graph.Dist(ws[i])
-					dst := r.pd.Owner(nbr[i])
-					r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
-				}
-			}
-		}
 		items := r.buildItems(r.active)
-		r.runWorkers(items, r.bfFn)
+		r.runWorkers(items, r.bellmanFordFn())
 		in, err := r.exchangeRecords(relaxKind)
 		if err != nil {
 			return err

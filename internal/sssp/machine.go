@@ -18,14 +18,22 @@ import (
 // queries over one graph — the Graph500 benchmark loop, the analytics
 // package's multi-query measures, and the Δ auto-tuner all fit it.
 //
-// A Machine is bound to one graph, distribution and option set. Query is
-// not safe for concurrent use (queries share the engine state); issue
-// them sequentially or build one Machine per concurrent stream.
+// A Machine is bound to one distribution and option set, and to the
+// versioned succession of one graph: ApplyUpdates advances the graph a
+// batch of edge mutations at a time, repairing the last query's tree
+// incrementally instead of recomputing it. Query and ApplyUpdates are
+// not safe for concurrent use (they share the engine state); issue them
+// sequentially or build one Machine per concurrent stream.
 type Machine struct {
-	g       *graph.Graph
+	g       *graph.Graph // version-0 graph; the current one is pv.Graph()
 	pd      partition.Dist
 	opts    Options
+	set     *PlaneSet
+	pv      *planeVersion // pinned version the engines point at
 	engines []*queryState
+
+	treeSrc   graph.Vertex // source of the engines' finished tree
+	treeValid bool         // the engines hold a correct tree for treeSrc at pv
 }
 
 // NewMachine builds a machine with numRanks in-process ranks (block
@@ -54,17 +62,22 @@ func NewMachineWithTransports(g *graph.Graph, pd partition.Dist, opts Options,
 	if len(transports) != pd.NumRanks() {
 		return nil, fmt.Errorf("sssp: %d transports for %d ranks", len(transports), pd.NumRanks())
 	}
-	maxW := g.MaxWeight()
 	m := &Machine{g: g, pd: pd, opts: opts}
+	ranks := make([]int, pd.NumRanks())
+	for r := range ranks {
+		ranks[r] = r
+	}
+	set, err := NewPlaneSet(g, pd, &m.opts, ranks)
+	if err != nil {
+		return nil, err
+	}
+	m.set = set
+	m.pv = set.Acquire()
 	for r, t := range transports {
 		if t.Rank() != r {
 			return nil, fmt.Errorf("sssp: transport %d reports rank %d", r, t.Rank())
 		}
-		plane, err := newRankGraph(g, pd, r, &m.opts, maxW)
-		if err != nil {
-			return nil, err
-		}
-		eng, err := newQueryState(plane, t)
+		eng, err := newQueryState(m.pv.Plane(r), t)
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +112,17 @@ func (m *Machine) Query(src graph.Vertex) (*Result, error) {
 	}
 	wg.Wait()
 	if err := firstCause(errs); err != nil {
+		m.treeValid = false
 		return nil, err
 	}
+	m.treeSrc, m.treeValid = src, true
+	return m.assembleEngines()
+}
+
+// assembleEngines collects the engines' finished local trees into a
+// Result. assemble copies the local arrays into fresh global slices, so
+// the Result outlives the next reset or repair.
+func (m *Machine) assembleEngines() (*Result, error) {
 	ranks := make([]*RankResult, len(m.engines))
 	for i, eng := range m.engines {
 		ranks[i] = &RankResult{
@@ -110,10 +132,67 @@ func (m *Machine) Query(src graph.Vertex) (*Result, error) {
 			Stats:       eng.stats,
 		}
 	}
-	// assemble copies local arrays into fresh global slices, so the
-	// Result outlives the next reset.
 	return assemble(m.g, m.pd, ranks)
 }
+
+// ApplyUpdates advances the machine's graph one version by applying
+// batch copy-on-write, then repairs the last successful query's
+// distance/parent tree in place against the new graph (dynamic.go)
+// instead of recomputing it. The returned Result is the updated tree
+// for that query's source — distances and parents exactly as a fresh
+// Query on the post-update graph would report them (its Stats are the
+// original run's, not a recompute's). Before any successful query there
+// is no tree to repair: the engines just repoint at the new plane and
+// the Result is nil.
+//
+// A failed repair poisons the transports like a failed query and
+// invalidates the tree; the Machine remains safe to Close. A failed
+// Apply (an invalid batch) changes nothing.
+func (m *Machine) ApplyUpdates(batch UpdateBatch) (*Result, *RepairStats, error) {
+	//parssspvet:allow poolsafety -- the pin transfers to m.pv two lines down (after the old pin is released); Close releases it
+	pv, err := m.set.Apply(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.set.Release(m.pv)
+	m.pv = pv
+	if !m.treeValid {
+		for _, eng := range m.engines {
+			eng.rankGraph = pv.Plane(eng.rank)
+		}
+		return nil, nil, nil
+	}
+	stats := make([]RepairStats, len(m.engines))
+	errs := make([]error, len(m.engines))
+	var wg sync.WaitGroup
+	for i, eng := range m.engines {
+		wg.Add(1)
+		go func(i int, eng *queryState) {
+			defer wg.Done()
+			rs, err := eng.repair(pv.Plane(eng.rank), batch)
+			if err != nil {
+				comm.Abort(eng.t, err)
+				errs[i] = err
+			}
+			stats[i] = rs
+		}(i, eng)
+	}
+	wg.Wait()
+	if err := firstCause(errs); err != nil {
+		m.treeValid = false
+		return nil, nil, err
+	}
+	res, err := m.assembleEngines()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The collective round counters are identical on every rank;
+	// Invalidated is already the machine-wide Allreduce total.
+	return res, &stats[0], nil
+}
+
+// Version returns the number of update batches applied to the machine.
+func (m *Machine) Version() uint64 { return m.set.Version() }
 
 // NumRanks returns the machine size.
 func (m *Machine) NumRanks() int { return len(m.engines) }

@@ -98,6 +98,35 @@ func decodeRelax(buf []byte, i int) (v, parent graph.Vertex, d graph.Dist) {
 // numRelaxRecords returns the v1 relax record count of a buffer.
 func numRelaxRecords(buf []byte) int { return len(buf) / relaxRecordSize }
 
+// ---- parent-field tagging ---------------------------------------------------
+
+// The parent field of a relax record carries, besides the tree
+// predecessor's id, one flag in its lowest bit: whether the offering
+// edge has zero weight. Parent election needs the distinction (see
+// applyRelaxIn): offers over zero-weight edges must not compete in the
+// canonical equal-distance election, because inside a cluster of
+// equal-distance vertices joined by zero-weight edges a pointwise min-id
+// election can pick parents that form a cycle. Both wire formats carry
+// the field opaquely, so only the emit and apply sites know about the
+// tag. Shifting the id left one bit caps vertex ids at 2^31-1, far above
+// what the int-indexed CSR can host anyway.
+
+// tagParent packs a parent id and the zero-weight flag of the offering
+// edge into a relax record's parent field.
+func tagParent(parent graph.Vertex, w graph.Weight) graph.Vertex {
+	t := parent << 1
+	if w == 0 {
+		t |= 1
+	}
+	return t
+}
+
+// untagParent splits a relax record's parent field back into the
+// predecessor id and the zero-weight flag.
+func untagParent(t graph.Vertex) (parent graph.Vertex, zeroW bool) {
+	return t >> 1, t&1 == 1
+}
+
 // appendRequest appends a v1 pull-request record to buf.
 func appendRequest(buf []byte, u, v graph.Vertex, w graph.Weight) []byte {
 	var rec [requestRecordSize]byte

@@ -22,6 +22,13 @@ import (
 // (the runtime wakes channel waiters FIFO), and at most N queries run at
 // once.
 //
+// The graph is versioned (PlaneSet): ApplyUpdates advances it one edge
+// batch at a time, copy-on-write, without stopping the pool. In-flight
+// queries finish on the version they pinned at checkout; each slot
+// catches up lazily the next time it is checked out — repairing its
+// cached tree incrementally (dynamic.go) when the new query repeats the
+// slot's last source, recomputing from scratch otherwise.
+//
 // This is the serving shape of the ROADMAP's north star: the per-graph
 // work (the weights) is paid once, the per-query work (the activations)
 // is pooled and reused, and concurrent streams no longer rebuild edge
@@ -37,11 +44,11 @@ import (
 // concurrency: it would interleave lines from all slots. Leave it nil on
 // pools with more than one slot.
 type QueryPool struct {
-	g    *graph.Graph
+	g    *graph.Graph // version-0 graph (the vertex set never changes)
 	pd   partition.Dist
 	opts Options // owned copy; every plane's opts points here
 
-	planes []*rankGraph // one per rank, shared by all slots
+	set *PlaneSet // versioned planes, shared by all slots
 
 	slots   chan *poolSlot
 	refresh func() ([]comm.Transport, error) // fresh slot communicator, nil if not revivable
@@ -55,10 +62,17 @@ type QueryPool struct {
 }
 
 // poolSlot is one checkout unit: per-rank query planes over one
-// independent communicator.
+// independent communicator, pinned to the graph version its engines
+// point at, plus the provenance of the tree sitting in the engines (so
+// checkout can decide between serving it cached, repairing it, and
+// recomputing).
 type poolSlot struct {
 	id      int
 	engines []*queryState
+
+	pv        *planeVersion // pinned version the engines point at
+	treeSrc   graph.Vertex  // source of the engines' finished tree
+	treeValid bool          // the engines hold a correct tree for treeSrc at pv
 }
 
 // NewQueryPool builds an in-process pool: numRanks ranks (block
@@ -111,7 +125,6 @@ func NewQueryPoolWithGroups(g *graph.Graph, pd partition.Dist, opts Options,
 	if len(groups) == 0 {
 		return nil, errors.New("sssp: pool needs at least one slot")
 	}
-	maxW := g.MaxWeight()
 	p := &QueryPool{
 		g:        g,
 		pd:       pd,
@@ -121,14 +134,15 @@ func NewQueryPoolWithGroups(g *graph.Graph, pd partition.Dist, opts Options,
 		dead:     make(chan struct{}),
 		closedCh: make(chan struct{}),
 	}
-	p.planes = make([]*rankGraph, pd.NumRanks())
-	for r := range p.planes {
-		plane, err := newRankGraph(g, pd, r, &p.opts, maxW)
-		if err != nil {
-			return nil, err
-		}
-		p.planes[r] = plane
+	ranks := make([]int, pd.NumRanks())
+	for r := range ranks {
+		ranks[r] = r
 	}
+	set, err := NewPlaneSet(g, pd, &p.opts, ranks)
+	if err != nil {
+		return nil, err
+	}
+	p.set = set
 	for s, ts := range groups {
 		slot, err := p.newSlot(s, ts)
 		if err != nil {
@@ -140,18 +154,21 @@ func NewQueryPoolWithGroups(g *graph.Graph, pd partition.Dist, opts Options,
 }
 
 // newSlot builds one slot's per-rank query planes over the given
-// transports (one per rank, in rank order).
+// transports (one per rank, in rank order), pinned to the current graph
+// version.
 func (p *QueryPool) newSlot(id int, ts []comm.Transport) (*poolSlot, error) {
-	if len(ts) != len(p.planes) {
-		return nil, fmt.Errorf("sssp: slot %d has %d transports for %d ranks", id, len(ts), len(p.planes))
+	if len(ts) != p.pd.NumRanks() {
+		return nil, fmt.Errorf("sssp: slot %d has %d transports for %d ranks", id, len(ts), p.pd.NumRanks())
 	}
-	slot := &poolSlot{id: id}
+	slot := &poolSlot{id: id, pv: p.set.Acquire()}
 	for r, t := range ts {
 		if t.Rank() != r {
+			p.set.Release(slot.pv)
 			return nil, fmt.Errorf("sssp: slot %d transport %d reports rank %d", id, r, t.Rank())
 		}
-		eng, err := newQueryState(p.planes[r], t)
+		eng, err := newQueryState(slot.pv.Plane(r), t)
 		if err != nil {
+			p.set.Release(slot.pv)
 			return nil, err
 		}
 		slot.engines = append(slot.engines, eng)
@@ -164,6 +181,13 @@ func (p *QueryPool) newSlot(id int, ts []comm.Transport) (*poolSlot, error) {
 // what a sequential Machine.Query over the same graph and options
 // returns — identical distances, parents and algorithm counters; the
 // only shared state between slots is the read-only graph plane.
+//
+// A query runs on the graph version that is current at checkout. When
+// the slot's cached tree answers it — same source, and either the same
+// version or one reachable by incremental repair — the distances and
+// parents are still exactly a fresh run's, but Stats describe the run
+// (possibly on an earlier version) that built the tree, not a
+// recompute.
 //
 // A failed query returns its root cause to this caller only. The slot is
 // revived with a fresh communicator when the pool owns one (NewQueryPool
@@ -182,6 +206,45 @@ func (p *QueryPool) Query(src graph.Vertex) (*Result, error) {
 		return nil, fmt.Errorf("sssp: query pool has no live slots: %w", p.cause())
 	}
 
+	//parssspvet:allow poolsafety -- the pin is released on the same-version path below or transfers to slot.pv (repairSlot / the migrate branch); disposeSlot releases it
+	pv := p.set.Acquire()
+	if pv == slot.pv {
+		p.set.Release(pv) // the slot holds its own pin on this version
+		if slot.treeValid && slot.treeSrc == src {
+			return p.finish(slot) // cached: the tree is already in the engines
+		}
+		return p.runSlot(slot, src)
+	}
+	// The graph moved under the slot. A valid tree for the requested
+	// source catches up through the batch history — the batches applied
+	// since the slot's version concatenate into one repair (dynamic.go
+	// explains why that composes) — while anything else repoints at the
+	// new plane and recomputes. ok=false means the bounded history no
+	// longer reaches back to the slot's version.
+	if slot.treeValid && slot.treeSrc == src {
+		if batches, ok := p.set.Since(slot.pv.Version()); ok {
+			var all UpdateBatch
+			for _, b := range batches {
+				all = append(all, b...)
+			}
+			if err := p.repairSlot(slot, pv, all); err != nil {
+				return nil, err
+			}
+			return p.finish(slot)
+		}
+	}
+	for _, eng := range slot.engines {
+		eng.rankGraph = pv.Plane(eng.rank)
+	}
+	p.set.Release(slot.pv)
+	slot.pv = pv
+	slot.treeValid = false
+	return p.runSlot(slot, src)
+}
+
+// runSlot runs a full query from src on a checked-out slot whose
+// engines already point at slot.pv's planes.
+func (p *QueryPool) runSlot(slot *poolSlot, src graph.Vertex) (*Result, error) {
 	errs := make([]error, len(slot.engines))
 	var wg sync.WaitGroup
 	for i, eng := range slot.engines {
@@ -197,9 +260,49 @@ func (p *QueryPool) Query(src graph.Vertex) (*Result, error) {
 	}
 	wg.Wait()
 	if err := firstCause(errs); err != nil {
+		slot.treeValid = false
 		p.retire(slot, err)
 		return nil, err
 	}
+	slot.treeSrc, slot.treeValid = src, true
+	return p.finish(slot)
+}
+
+// repairSlot moves a checked-out slot's finished tree to pv by one
+// lockstep incremental repair over the concatenated batch. On success
+// the slot's tree is valid for pv; on failure the slot is retired (the
+// failing rank aborted the slot's communicator) and the error returned.
+// Either way the slot's pin moves to pv.
+func (p *QueryPool) repairSlot(slot *poolSlot, pv *planeVersion, batch UpdateBatch) error {
+	p.set.Release(slot.pv)
+	slot.pv = pv
+	slot.treeValid = false
+	errs := make([]error, len(slot.engines))
+	var wg sync.WaitGroup
+	for i, eng := range slot.engines {
+		wg.Add(1)
+		go func(i int, eng *queryState) {
+			defer wg.Done()
+			if _, err := eng.repair(pv.Plane(eng.rank), batch); err != nil {
+				comm.Abort(eng.t, err)
+				errs[i] = err
+			}
+		}(i, eng)
+	}
+	wg.Wait()
+	if err := firstCause(errs); err != nil {
+		p.retire(slot, err)
+		return err
+	}
+	slot.treeValid = true
+	return nil
+}
+
+// finish assembles the checked-out slot's engines into a Result and
+// returns the slot to the free list. assemble copies the local arrays
+// into fresh global slices, so the Result outlives the slot's next
+// checkout.
+func (p *QueryPool) finish(slot *poolSlot) (*Result, error) {
 	ranks := make([]*RankResult, len(slot.engines))
 	for i, eng := range slot.engines {
 		ranks[i] = &RankResult{
@@ -209,12 +312,29 @@ func (p *QueryPool) Query(src graph.Vertex) (*Result, error) {
 			Stats:       eng.stats,
 		}
 	}
-	// assemble copies local arrays into fresh global slices, so the
-	// Result outlives the slot's next checkout.
 	res, aerr := assemble(p.g, p.pd, ranks)
 	p.checkin(slot)
 	return res, aerr
 }
+
+// ApplyUpdates advances the pool's graph one version by applying batch
+// copy-on-write (see UpdateBatch). The pool keeps serving throughout:
+// queries in flight finish on the version they pinned, and each slot
+// migrates lazily at its next checkout. Returns the new version number.
+// A failed apply (an invalid batch) changes nothing.
+func (p *QueryPool) ApplyUpdates(batch UpdateBatch) (uint64, error) {
+	pv, err := p.set.Apply(batch)
+	if err != nil {
+		return 0, err
+	}
+	v := pv.Version()
+	p.set.Release(pv) // slots pin versions; the pool itself holds none
+	return v, nil
+}
+
+// Version returns the current graph version (the number of update
+// batches applied).
+func (p *QueryPool) Version() uint64 { return p.set.Version() }
 
 // checkin returns a healthy slot to the free list (or disposes of it if
 // the pool closed while the query ran).
@@ -223,7 +343,7 @@ func (p *QueryPool) checkin(slot *poolSlot) {
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
-		disposeSlot(slot)
+		p.disposeSlot(slot)
 		return
 	}
 	p.slots <- slot
@@ -242,7 +362,7 @@ func (p *QueryPool) retire(slot *poolSlot, cause error) {
 			}
 		}
 	}
-	disposeSlot(slot)
+	p.disposeSlot(slot)
 	p.mu.Lock()
 	if p.lastErr == nil {
 		p.lastErr = cause
@@ -282,17 +402,19 @@ func (p *QueryPool) cause() error {
 	return p.lastErr
 }
 
-// disposeSlot releases one slot's goroutines and transports.
-func disposeSlot(slot *poolSlot) {
+// disposeSlot releases one slot's goroutines, transports and version
+// pin.
+func (p *QueryPool) disposeSlot(slot *poolSlot) {
 	for _, eng := range slot.engines {
 		eng.stopWorkers()
 		//parssspvet:allow transporterr -- disposing a retired slot; the transport is already poisoned
 		eng.t.Close()
 	}
+	p.set.Release(slot.pv)
 }
 
 // NumRanks returns the number of ranks of the pool's machine.
-func (p *QueryPool) NumRanks() int { return len(p.planes) }
+func (p *QueryPool) NumRanks() int { return p.pd.NumRanks() }
 
 // Slots returns the number of slots the pool was built with (live or
 // retired).
@@ -314,7 +436,7 @@ func (p *QueryPool) Close() error {
 	for {
 		select {
 		case slot := <-p.slots:
-			disposeSlot(slot)
+			p.disposeSlot(slot)
 		default:
 			return nil
 		}
@@ -322,45 +444,56 @@ func (p *QueryPool) Close() error {
 }
 
 // RankServer is the one-rank building block of a multi-process query
-// pool: the rank's shared graph plane plus N query slots, each over a
-// caller-provided transport of the same rank (in deployment, N channels
-// of one tcptransport mesh — see cmd/ssspd -serve). Every rank of the
-// machine runs one RankServer with the same graph, options and slot
-// count; slot s's Query must be driven in lockstep on every rank, while
-// distinct slots are fully concurrent.
+// pool: the rank's versioned graph planes plus N query slots, each over
+// a caller-provided transport of the same rank (in deployment, N
+// channels of one tcptransport mesh — see cmd/ssspd -serve). Every rank
+// of the machine runs one RankServer with the same graph, options and
+// slot count; slot s's Query and ApplyUpdates must be driven in lockstep
+// on every rank, while distinct slots are fully concurrent.
 type RankServer struct {
-	opts  Options // owned copy; the plane's opts points here
-	plane *rankGraph
-	slots []*queryState
+	opts  Options // owned copy; the planes' opts point here
+	rank  int
+	set   *PlaneSet
+	slots []*serverSlot
+}
+
+// serverSlot is one lockstep slot: its engine, the version the engine's
+// plane is pinned at, and the provenance of the tree in the engine.
+// Slots advance through versions independently — the driver applies
+// each update batch to every slot (ApplyUpdates), and EnsureVersion
+// makes the underlying graph rebuild happen once per process.
+type serverSlot struct {
+	eng       *queryState
+	pv        *planeVersion
+	treeSrc   graph.Vertex
+	treeValid bool
 }
 
 // NewRankServer builds this rank's server. transports[s] is slot s's
-// transport; all must report the same rank and size. maxWeight must be
-// the graph's maximum edge weight, or 0 to compute it (all ranks must
-// agree on it).
+// transport; all must report the same rank and size.
 func NewRankServer(g *graph.Graph, pd partition.Dist, opts Options,
-	transports []comm.Transport, maxWeight graph.Weight) (*RankServer, error) {
+	transports []comm.Transport) (*RankServer, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if len(transports) == 0 {
 		return nil, errors.New("sssp: rank server needs at least one slot")
 	}
-	if maxWeight == 0 {
-		maxWeight = g.MaxWeight()
-	}
-	s := &RankServer{opts: opts}
-	plane, err := newRankGraph(g, pd, transports[0].Rank(), &s.opts, maxWeight)
+	s := &RankServer{opts: opts, rank: transports[0].Rank()}
+	set, err := NewPlaneSet(g, pd, &s.opts, []int{s.rank})
 	if err != nil {
 		return nil, err
 	}
-	s.plane = plane
+	s.set = set
 	for i, t := range transports {
-		eng, err := newQueryState(plane, t)
+		slot := &serverSlot{pv: set.Acquire()}
+		eng, err := newQueryState(slot.pv.Plane(s.rank), t)
 		if err != nil {
+			set.Release(slot.pv)
 			return nil, fmt.Errorf("sssp: slot %d: %w", i, err)
 		}
-		s.slots = append(s.slots, eng)
+		slot.eng = eng
+		s.slots = append(s.slots, slot)
 	}
 	return s, nil
 }
@@ -368,23 +501,35 @@ func NewRankServer(g *graph.Graph, pd partition.Dist, opts Options,
 // Slots returns the number of query slots.
 func (s *RankServer) Slots() int { return len(s.slots) }
 
+// Version returns the current graph version of this process.
+func (s *RankServer) Version() uint64 { return s.set.Version() }
+
 // Query runs this rank's part of one query on the given slot. Every rank
 // must call Query with the same slot and source (the lockstep collective
-// discipline); concurrent calls must use distinct slots. A failed query
-// aborts the slot's transport — poisoning that slot on every rank, and
-// nothing else — and leaves the slot unusable.
+// discipline); concurrent calls must use distinct slots. When the slot's
+// engine already holds the tree for src — the previous query on this
+// slot asked the same source, or an ApplyUpdates repaired it — the
+// result is served from it without a run, collective-free (valid
+// because the tree's provenance is lockstep-identical on every rank).
+// A failed query aborts the slot's transport — poisoning that slot on
+// every rank, and nothing else — and leaves the slot unusable.
 func (s *RankServer) Query(slot int, src graph.Vertex) (*RankResult, error) {
 	if slot < 0 || slot >= len(s.slots) {
 		return nil, fmt.Errorf("sssp: slot %d out of range [0,%d)", slot, len(s.slots))
 	}
-	if int(src) >= s.plane.g.NumVertices() {
+	sl := s.slots[slot]
+	if int(src) >= sl.pv.Graph().NumVertices() {
 		return nil, fmt.Errorf("sssp: source %d out of range", src)
 	}
-	eng := s.slots[slot]
-	eng.reset(src)
-	if err := eng.run(); err != nil {
-		comm.Abort(eng.t, err)
-		return nil, err
+	eng := sl.eng
+	if !sl.treeValid || sl.treeSrc != src {
+		eng.reset(src)
+		if err := eng.run(); err != nil {
+			sl.treeValid = false
+			comm.Abort(eng.t, err)
+			return nil, err
+		}
+		sl.treeSrc, sl.treeValid = src, true
 	}
 	return &RankResult{
 		Rank:        eng.rank,
@@ -394,13 +539,52 @@ func (s *RankServer) Query(slot int, src graph.Vertex) (*RankResult, error) {
 	}, nil
 }
 
+// ApplyUpdates moves one slot to graph version target by applying batch
+// — a collective: every rank must call it in lockstep with the same
+// slot, target and batch, like a query. The process-wide graph rebuild
+// happens exactly once (EnsureVersion); each slot then migrates its own
+// engine — an incremental repair of its finished tree when it has one,
+// a plane repoint otherwise. target must be the slot's current version
+// plus one: the driver applies every batch to every slot, in order.
+//
+// Repair stats are returned when a repair ran (nil otherwise). A failed
+// repair aborts the slot's transport like a failed query.
+func (s *RankServer) ApplyUpdates(slot int, target uint64, batch UpdateBatch) (*RepairStats, error) {
+	if slot < 0 || slot >= len(s.slots) {
+		return nil, fmt.Errorf("sssp: slot %d out of range [0,%d)", slot, len(s.slots))
+	}
+	sl := s.slots[slot]
+	if sl.pv.Version()+1 != target {
+		return nil, fmt.Errorf("sssp: slot %d at version %d cannot apply batch for version %d",
+			slot, sl.pv.Version(), target)
+	}
+	pv, err := s.set.EnsureVersion(target, batch)
+	if err != nil {
+		return nil, err
+	}
+	s.set.Release(sl.pv)
+	sl.pv = pv
+	if !sl.treeValid {
+		sl.eng.rankGraph = pv.Plane(s.rank)
+		return nil, nil
+	}
+	rs, err := sl.eng.repair(pv.Plane(s.rank), batch)
+	if err != nil {
+		sl.treeValid = false
+		comm.Abort(sl.eng.t, err)
+		return nil, err
+	}
+	return &rs, nil
+}
+
 // Close releases the server's worker goroutines and transports. Queries
 // must not be in flight.
 func (s *RankServer) Close() error {
 	var err error
-	for _, eng := range s.slots {
-		eng.stopWorkers()
-		err = errors.Join(err, eng.t.Close())
+	for _, sl := range s.slots {
+		sl.eng.stopWorkers()
+		err = errors.Join(err, sl.eng.t.Close())
+		s.set.Release(sl.pv)
 	}
 	return err
 }

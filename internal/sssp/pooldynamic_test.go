@@ -1,0 +1,378 @@
+package sssp
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"parsssp/internal/comm"
+	"parsssp/internal/comm/memtransport"
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+)
+
+// requireTreesEqual asserts a served result's distances and parents
+// equal a from-scratch run on g.
+func requireTreesEqual(t *testing.T, g *graph.Graph, src graph.Vertex, got *Result, opts Options, ranks int, label string) {
+	t.Helper()
+	exp, err := Run(g, ranks, src, opts)
+	if err != nil {
+		t.Fatalf("%s: recompute: %v", label, err)
+	}
+	if !reflect.DeepEqual(got.Dist, exp.Dist) {
+		t.Fatalf("%s: distances diverge from recompute", label)
+	}
+	if !reflect.DeepEqual(got.Parent, exp.Parent) {
+		t.Fatalf("%s: parents diverge from recompute", label)
+	}
+}
+
+// TestMachineApplyUpdates drives a Machine through an update stream:
+// each ApplyUpdates must return the repaired tree for the last source,
+// identical to a from-scratch run on the updated graph.
+func TestMachineApplyUpdates(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	const ranks = 3
+	opts := OptOptions(25)
+	m, err := NewMachine(g, ranks, opts)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	defer m.Close()
+
+	// Before any query there is no tree: the update applies, no repair.
+	if res, rs, err := m.ApplyUpdates(UpdateBatch{{Op: OpInsert, U: 1, V: 2, W: 3}}); err != nil {
+		t.Fatalf("ApplyUpdates (no tree): %v", err)
+	} else if res != nil || rs != nil {
+		t.Fatal("ApplyUpdates repaired a tree that does not exist")
+	}
+	if m.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", m.Version())
+	}
+
+	if _, err := m.Query(src); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	cur := g
+	for step := 0; step < 4; step++ {
+		pv := m.set.Acquire()
+		cur = pv.Graph()
+		m.set.Release(pv)
+		batch := randomBatch(rng, cur, 5, 5)
+		res, rs, err := m.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("step %d: ApplyUpdates: %v", step, err)
+		}
+		if res == nil || rs == nil {
+			t.Fatalf("step %d: no repaired result", step)
+		}
+		pv = m.set.Acquire()
+		requireTreesEqual(t, pv.Graph(), src, res, opts, ranks, "repair")
+		m.set.Release(pv)
+	}
+
+	// An invalid batch changes nothing.
+	n := graph.Vertex(cur.NumVertices())
+	if _, _, err := m.ApplyUpdates(UpdateBatch{{Op: OpInsert, U: n, V: 0, W: 1}}); err == nil {
+		t.Fatal("ApplyUpdates accepted an out-of-range edge")
+	}
+	// A fresh query after updates runs on the current graph.
+	other := graph.Vertex(1)
+	res, err := m.Query(other)
+	if err != nil {
+		t.Fatalf("Query after updates: %v", err)
+	}
+	pv := m.set.Acquire()
+	requireTreesEqual(t, pv.Graph(), other, res, opts, ranks, "post-update query")
+	m.set.Release(pv)
+}
+
+// TestPoolUpdatesSingleSlot pins down the three checkout decisions of a
+// one-slot pool: cached (same source, same version), incremental repair
+// (same source, newer version), and recompute (new source).
+func TestPoolUpdatesSingleSlot(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	const ranks = 3
+	opts := OptOptions(25)
+	p, err := NewQueryPool(g, ranks, 1, opts)
+	if err != nil {
+		t.Fatalf("NewQueryPool: %v", err)
+	}
+	defer p.Close()
+
+	if _, err := p.Query(src); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// Cached: same source, same version.
+	res, err := p.Query(src)
+	if err != nil {
+		t.Fatalf("cached Query: %v", err)
+	}
+	requireTreesEqual(t, g, src, res, opts, ranks, "cached")
+
+	rng := rand.New(rand.NewSource(23))
+	cur := g
+	for step := 0; step < 3; step++ {
+		batch := randomBatch(rng, cur, 4, 4)
+		v, err := p.ApplyUpdates(batch)
+		if err != nil {
+			t.Fatalf("step %d: ApplyUpdates: %v", step, err)
+		}
+		if want := uint64(step + 1); v != want {
+			t.Fatalf("step %d: version = %d, want %d", step, v, want)
+		}
+		pv := p.set.Acquire()
+		cur = pv.Graph()
+		p.set.Release(pv)
+
+		// Same source: the slot's tree repairs incrementally.
+		res, err := p.Query(src)
+		if err != nil {
+			t.Fatalf("step %d: repair Query: %v", step, err)
+		}
+		requireTreesEqual(t, cur, src, res, opts, ranks, "repair")
+	}
+
+	// New source on the updated graph: full recompute on the new plane.
+	other := graph.Vertex(2)
+	res, err = p.Query(other)
+	if err != nil {
+		t.Fatalf("recompute Query: %v", err)
+	}
+	requireTreesEqual(t, cur, other, res, opts, ranks, "recompute")
+}
+
+// TestPoolRepairAcrossVersions lets a slot fall several versions behind
+// and repairs it with the concatenated batch history in one catch-up.
+func TestPoolRepairAcrossVersions(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	const ranks = 3
+	opts := OptOptions(25)
+	p, err := NewQueryPool(g, ranks, 1, opts)
+	if err != nil {
+		t.Fatalf("NewQueryPool: %v", err)
+	}
+	defer p.Close()
+	if _, err := p.Query(src); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	cur := g
+	for step := 0; step < 3; step++ {
+		if _, err := p.ApplyUpdates(randomBatch(rng, cur, 4, 4)); err != nil {
+			t.Fatalf("ApplyUpdates: %v", err)
+		}
+		pv := p.set.Acquire()
+		cur = pv.Graph()
+		p.set.Release(pv)
+	}
+	res, err := p.Query(src)
+	if err != nil {
+		t.Fatalf("catch-up Query: %v", err)
+	}
+	requireTreesEqual(t, cur, src, res, opts, ranks, "multi-version repair")
+	if got := p.set.LiveVersions(); got != 1 {
+		t.Fatalf("LiveVersions = %d after catch-up, want 1", got)
+	}
+}
+
+// TestPoolRepairHistoryExhausted forces the slot further behind than
+// the bounded batch history reaches; the pool must fall back to a full
+// recompute and still answer correctly.
+func TestPoolRepairHistoryExhausted(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	const ranks = 3
+	opts := OptOptions(25)
+	p, err := NewQueryPool(g, ranks, 1, opts)
+	if err != nil {
+		t.Fatalf("NewQueryPool: %v", err)
+	}
+	defer p.Close()
+	p.set.mu.Lock()
+	p.set.keep = 1
+	p.set.mu.Unlock()
+	if _, err := p.Query(src); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	cur := g
+	for step := 0; step < 3; step++ {
+		if _, err := p.ApplyUpdates(randomBatch(rng, cur, 3, 3)); err != nil {
+			t.Fatalf("ApplyUpdates: %v", err)
+		}
+		pv := p.set.Acquire()
+		cur = pv.Graph()
+		p.set.Release(pv)
+	}
+	res, err := p.Query(src)
+	if err != nil {
+		t.Fatalf("Query past history: %v", err)
+	}
+	requireTreesEqual(t, cur, src, res, opts, ranks, "history-exhausted")
+}
+
+// TestPoolConcurrentQueriesAndUpdates races a stream of updates against
+// concurrent queries on a multi-slot pool. Every query must succeed (on
+// whichever version it pinned); afterwards, every slot has migrated and
+// answers on the final graph.
+func TestPoolConcurrentQueriesAndUpdates(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	const ranks, slots = 2, 3
+	opts := OptOptions(25)
+	opts.Threads = 1
+	p, err := NewQueryPool(g, ranks, slots, opts)
+	if err != nil {
+		t.Fatalf("NewQueryPool: %v", err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	qerrs := make([]error, 4)
+	for i := range qerrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				if _, err := p.Query(src + graph.Vertex(i)); err != nil {
+					qerrs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	rng := rand.New(rand.NewSource(57))
+	for step := 0; step < 4; step++ {
+		pv := p.set.Acquire()
+		batch := randomBatch(rng, pv.Graph(), 3, 3)
+		p.set.Release(pv)
+		if _, err := p.ApplyUpdates(batch); err != nil {
+			t.Fatalf("ApplyUpdates: %v", err)
+		}
+	}
+	wg.Wait()
+	for i, err := range qerrs {
+		if err != nil {
+			t.Fatalf("querier %d: %v", i, err)
+		}
+	}
+	pv := p.set.Acquire()
+	final := pv.Graph()
+	p.set.Release(pv)
+	for i := 0; i < slots+1; i++ {
+		s := src + graph.Vertex(i)
+		res, err := p.Query(s)
+		if err != nil {
+			t.Fatalf("final Query(%d): %v", s, err)
+		}
+		requireTreesEqual(t, final, s, res, opts, ranks, "final")
+	}
+	// All slots idle and migrated: only the current version is live.
+	if got := p.set.LiveVersions(); got != 1 {
+		t.Fatalf("LiveVersions = %d after drain, want 1", got)
+	}
+}
+
+// TestRankServerApplyUpdates drives one RankServer per rank over a
+// memtransport group — the multi-process serving shape in miniature —
+// through interleaved queries and updates, checking the gathered trees
+// against recomputes and the cached/repair fast paths against the
+// lockstep provenance rules.
+func TestRankServerApplyUpdates(t *testing.T) {
+	g := positivize(t, rmatTestGraph)
+	src := testRoot(g)
+	const ranks = 3
+	opts := OptOptions(25)
+	pd, err := partition.New(partition.Block, g.NumVertices(), ranks)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	group, err := memtransport.New(ranks)
+	if err != nil {
+		t.Fatalf("memtransport: %v", err)
+	}
+	servers := make([]*RankServer, ranks)
+	for r, tr := range group.Endpoints() {
+		servers[r], err = NewRankServer(g, pd, opts, []comm.Transport{tr})
+		if err != nil {
+			t.Fatalf("NewRankServer: %v", err)
+		}
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	lockstep := func(fn func(r int, s *RankServer) error) {
+		t.Helper()
+		errs := make([]error, ranks)
+		var wg sync.WaitGroup
+		for r, s := range servers {
+			wg.Add(1)
+			go func(r int, s *RankServer) {
+				defer wg.Done()
+				errs[r] = fn(r, s)
+			}(r, s)
+		}
+		wg.Wait()
+		if err := firstCause(errs); err != nil {
+			t.Fatalf("lockstep: %v", err)
+		}
+	}
+	gather := func(curr *graph.Graph) *Result {
+		t.Helper()
+		rrs := make([]*RankResult, ranks)
+		lockstep(func(r int, s *RankServer) error {
+			rr, err := s.Query(0, src)
+			rrs[r] = rr
+			return err
+		})
+		res, err := assemble(curr, pd, rrs)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		return res
+	}
+
+	res := gather(g)
+	requireTreesEqual(t, g, src, res, opts, ranks, "initial")
+
+	rng := rand.New(rand.NewSource(71))
+	cur := g
+	for step := 0; step < 3; step++ {
+		batch := randomBatch(rng, cur, 4, 4)
+		target := uint64(step + 1)
+		stats := make([]*RepairStats, ranks)
+		lockstep(func(r int, s *RankServer) error {
+			rs, err := s.ApplyUpdates(0, target, batch)
+			stats[r] = rs
+			return err
+		})
+		for r, rs := range stats {
+			if rs == nil {
+				t.Fatalf("step %d: rank %d did not repair", step, r)
+			}
+		}
+		pv := servers[0].set.Acquire()
+		cur = pv.Graph()
+		servers[0].set.Release(pv)
+		// The repaired tree serves the next same-source query cached.
+		res := gather(cur)
+		requireTreesEqual(t, cur, src, res, opts, ranks, "post-update")
+		if v := servers[0].Version(); v != target {
+			t.Fatalf("step %d: Version = %d, want %d", step, v, target)
+		}
+	}
+
+	// A version gap is refused before any collective runs.
+	if _, err := servers[0].ApplyUpdates(0, 9, nil); err == nil {
+		t.Fatal("ApplyUpdates accepted a version gap")
+	}
+}

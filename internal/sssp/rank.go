@@ -412,12 +412,28 @@ func (r *queryState) relaxTotals() RelaxCounts {
 // non-nil, receives the self/backward/forward categorization of each
 // record relative to bucket k.
 //
-// Parents are assigned only on strict improvement (first record to reach
-// the final distance wins). Combined with the deterministic emission
-// order of runWorkers this makes dist AND parent reproducible run to
-// run; the v2 codec's stable per-vertex sort preserves exactly the
-// per-vertex record order the winner is defined by, so both wire formats
-// elect the same parents. See DESIGN.md "Wire format v2".
+// Parent election is canonical: a strict distance improvement takes the
+// sender as parent, and a positive-weight record matching the current
+// distance takes the sender if its id is smaller than the incumbent's.
+// For graphs with strictly positive weights the final parent of v is
+// therefore min{u : d(u)+w(u,v) = d(v), u offered} — a pure function of
+// the final distances and the offered candidate set, independent of the
+// schedule that delivered the offers. That is what lets an incremental
+// repair (dynamic.go), which re-relaxes only the affected subgraph in a
+// completely different phase order, reproduce a from-scratch run's
+// parent tree byte for byte. Zero-weight offers are excluded from the
+// equal-distance election (the wire tags them — see tagParent): inside a
+// cluster of equal-distance vertices joined by zero-weight edges, a
+// pointwise min-id election can elect parents that form a cycle. They
+// still win on strict improvement, first-wins, so zero-weight-tie
+// parents stay schedule-dependent — a valid tree always, byte-equal to
+// a recompute only when no zero-weight tie is involved.
+//
+// The tree stays acyclic in all cases: an equality reassignment needs
+// positive weight, so it points strictly downhill in distance, and a
+// cycle would need every hop distance-flat — all zero-weight strict
+// assignments, whose settle-time ordering already forbids a cycle. See
+// DESIGN.md "Wire format v2" and "Dynamic updates & plane versioning".
 //
 // With ParallelApply enabled (and no census, which needs exact serial
 // counting), application runs on the rank's thread pool using the
@@ -445,10 +461,11 @@ func (r *queryState) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 	for src, buf := range in {
 		rd := newRelaxReader(buf, wf)
 		for {
-			v, par, nd, ok := rd.next()
+			v, tpar, nd, ok := rd.next()
 			if !ok {
 				break
 			}
+			par, zw := untagParent(tpar)
 			li := r.local(v)
 			if uint(li) >= uint(r.nLocal) {
 				return r.corruptErr(src, "relax", fmt.Errorf("vertex %d is not owned by this rank", v))
@@ -464,6 +481,12 @@ func (r *queryState) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 				}
 			}
 			if nd >= r.dist[li] {
+				// Positive-weight equal-distance offers still compete for
+				// the parent slot (canonical min-id election); they never
+				// move the vertex.
+				if nd == r.dist[li] && nd < graph.Inf && !zw && par < r.parent[li] && v != r.src {
+					r.parent[li] = par
+				}
 				continue
 			}
 			r.dist[li] = nd
@@ -679,7 +702,7 @@ func (r *queryState) shortPhase(k int64) error {
 				}
 				cnt.ShortPush++
 				dst := r.pd.Owner(nbr[i])
-				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], v, nd)
+				r.tbufs[tid][dst] = appendRelax(r.tbufs[tid][dst], nbr[i], tagParent(v, ws[i]), nd)
 			}
 		}
 	}

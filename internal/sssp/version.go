@@ -1,0 +1,232 @@
+package sssp
+
+import (
+	"fmt"
+	"sync"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+)
+
+// Plane versioning. A PlaneSet owns the succession of immutable graph
+// snapshots a dynamic workload moves through: version 0 is the loaded
+// graph, and every applied UpdateBatch produces version n+1 copy-on-write
+// (graph.WithUpdates rebuilds the CSR; newRankGraph rebuilds the hosted
+// ranks' planes). Queries pin the version they run on — Acquire/Release
+// refcounts — so an update never mutates state under an in-flight query;
+// a superseded version is retired (dropped for the collector) when its
+// last pin drains. The set also keeps a bounded history of the applied
+// batches, so a consumer holding a repaired tree a few versions behind
+// can catch up incrementally (Since) instead of recomputing.
+//
+// A PlaneSet is per-process: an in-process pool hosts every rank's
+// planes in one set, a tcptransport deployment hosts one rank per set.
+// All processes must apply the same batches in the same order —
+// EnsureVersion makes that idempotent per process, so each of N slot
+// drivers can demand "be at version v for this batch" and exactly one
+// application happens.
+
+// planeVersion is one immutable snapshot: the graph at some version plus
+// the per-rank planes built from it for the ranks this set hosts. All
+// fields are written only by PlaneSet (the planepurity analyzer enforces
+// it, like it does for rankGraph); everything else reads.
+type planeVersion struct {
+	version uint64
+	g       *graph.Graph
+	maxW    graph.Weight
+	planes  map[int]*rankGraph // hosted rank -> plane
+
+	refs int // pins; guarded by the owning set's mu
+}
+
+// Graph returns the snapshot's graph.
+func (pv *planeVersion) Graph() *graph.Graph { return pv.g }
+
+// Version returns the snapshot's version number.
+func (pv *planeVersion) Version() uint64 { return pv.version }
+
+// Plane returns the snapshot's plane for a hosted rank.
+func (pv *planeVersion) Plane(rank int) *rankGraph { return pv.planes[rank] }
+
+// PlaneSet is the versioned home of a graph's planes. Safe for
+// concurrent use.
+type PlaneSet struct {
+	pd    partition.Dist
+	opts  *Options
+	ranks []int
+
+	mu      sync.Mutex
+	cur     *planeVersion
+	retired map[uint64]*planeVersion // superseded but still pinned
+	history []UpdateBatch            // history[i] produced version base+i+1
+	base    uint64                   // version the oldest kept batch applied to
+	keep    int
+}
+
+// versionHistoryDepth bounds how many applied batches a PlaneSet
+// remembers for Since. A consumer further behind than this recomputes.
+const versionHistoryDepth = 32
+
+// NewPlaneSet builds version 0 of the hosted ranks' planes. opts must
+// outlive the set and must not be mutated while it is in use (the same
+// contract newRankGraph has); ranks lists the ranks this process hosts —
+// every rank for an in-process pool, one for a distributed deployment.
+func NewPlaneSet(g *graph.Graph, pd partition.Dist, opts *Options, ranks []int) (*PlaneSet, error) {
+	s := &PlaneSet{
+		pd:      pd,
+		opts:    opts,
+		ranks:   ranks,
+		retired: make(map[uint64]*planeVersion),
+		keep:    versionHistoryDepth,
+	}
+	//parssspvet:allow poolsafety -- build constructs version 0, it does not draw from a pool; the set owns it through s.cur
+	pv, err := s.build(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.cur = pv
+	return s, nil
+}
+
+// build constructs one snapshot at the given version.
+func (s *PlaneSet) build(g *graph.Graph, version uint64) (*planeVersion, error) {
+	pv := &planeVersion{
+		version: version,
+		g:       g,
+		maxW:    g.MaxWeight(),
+		planes:  make(map[int]*rankGraph, len(s.ranks)),
+	}
+	for _, rank := range s.ranks {
+		plane, err := newRankGraph(g, s.pd, rank, s.opts, pv.maxW)
+		if err != nil {
+			return nil, err
+		}
+		pv.planes[rank] = plane
+	}
+	return pv, nil
+}
+
+// Acquire pins and returns the current version. The caller must Release
+// it when its query or repair finishes.
+func (s *PlaneSet) Acquire() *planeVersion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.refs++
+	return s.cur
+}
+
+// Release unpins a version acquired with Acquire. A superseded version
+// whose last pin drains retires for good.
+func (s *PlaneSet) Release(pv *planeVersion) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pv.refs--
+	if pv.refs <= 0 && pv != s.cur {
+		delete(s.retired, pv.version)
+	}
+}
+
+// Version returns the current version number.
+func (s *PlaneSet) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.version
+}
+
+// LiveVersions returns how many snapshots are reachable: the current one
+// plus superseded versions still pinned by in-flight queries. Tests use
+// it to prove retirement-on-drain.
+func (s *PlaneSet) LiveVersions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 1 + len(s.retired)
+}
+
+// Apply advances the set one version by applying batch copy-on-write.
+// The previous version stays live for its pinned queries and retires
+// when they drain. Returns the new current version, pinned for the
+// caller (Release it after any repair driven from it completes).
+func (s *PlaneSet) Apply(batch UpdateBatch) (*planeVersion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(batch)
+}
+
+func (s *PlaneSet) applyLocked(batch UpdateBatch) (*planeVersion, error) {
+	if err := batch.Validate(s.cur.g.NumVertices()); err != nil {
+		return nil, err
+	}
+	deletes, inserts := batch.split()
+	ng, err := s.cur.g.WithUpdates(deletes, inserts)
+	if err != nil {
+		return nil, err
+	}
+	//parssspvet:allow poolsafety -- build constructs a fresh snapshot, not a pool slot; ownership transfers to s.cur and the pinned return
+	pv, err := s.build(ng, s.cur.version+1)
+	if err != nil {
+		return nil, err
+	}
+	old := s.cur
+	if old.refs > 0 {
+		s.retired[old.version] = old
+	}
+	s.cur = pv
+	if len(s.history) == 0 {
+		s.base = old.version
+	}
+	s.history = append(s.history, batch)
+	if len(s.history) > s.keep {
+		drop := len(s.history) - s.keep
+		s.history = append(s.history[:0], s.history[drop:]...)
+		s.base += uint64(drop)
+	}
+	s.cur.refs++
+	return s.cur, nil
+}
+
+// EnsureVersion makes the set current at target, applying batch if and
+// only if the set is one version behind it. It is how N lockstep slot
+// drivers apply one broadcast batch exactly once per process: every
+// driver calls EnsureVersion(target, batch); the first one applies, the
+// rest see the work done. The returned version (== target) is pinned for
+// the caller. A gap — the set more than one version behind — is an
+// error: a batch was lost, and incremental state cannot be trusted.
+func (s *PlaneSet) EnsureVersion(target uint64, batch UpdateBatch) (*planeVersion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch cur := s.cur.version; {
+	case cur == target:
+		s.cur.refs++
+		return s.cur, nil
+	case cur+1 == target:
+		return s.applyLocked(batch)
+	case cur > target:
+		return nil, fmt.Errorf("sssp: plane set at version %d, past target %d", cur, target)
+	default:
+		return nil, fmt.Errorf("sssp: plane set at version %d cannot reach target %d (missed batches)", cur, target)
+	}
+}
+
+// Since returns the batches that advance version v to the current
+// version, oldest first, with ok=true (an empty list when v is already
+// current). ok=false means the bounded history no longer reaches back to
+// v — the caller's incremental state is too stale and it must recompute
+// from scratch.
+func (s *PlaneSet) Since(v uint64) (batches []UpdateBatch, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.version
+	if v == cur {
+		return nil, true
+	}
+	if v > cur || v < s.base || len(s.history) == 0 {
+		return nil, false
+	}
+	idx := v - s.base
+	if idx > uint64(len(s.history)) {
+		return nil, false
+	}
+	out := make([]UpdateBatch, cur-v)
+	copy(out, s.history[idx:])
+	return out, true
+}

@@ -261,10 +261,35 @@ func NewMachine(g *Graph, numRanks int, opts Options) (*Machine, error) {
 	return sssp.NewMachine(g, numRanks, opts)
 }
 
+// Dynamic updates: a loaded graph advances through versions one edge
+// batch at a time (copy-on-write), and finished distance/parent trees
+// are repaired incrementally instead of recomputed. See
+// Machine.ApplyUpdates and QueryPool.ApplyUpdates.
+type (
+	// EdgeUpdate is one edge mutation of an update batch.
+	EdgeUpdate = sssp.EdgeUpdate
+	// UpdateBatch is an ordered list of edge mutations applied
+	// atomically: one batch, one new graph version.
+	UpdateBatch = sssp.UpdateBatch
+	// UpdateOp says what an EdgeUpdate does (OpInsert or OpDelete).
+	UpdateOp = sssp.UpdateOp
+	// RepairStats summarizes one incremental tree repair.
+	RepairStats = sssp.RepairStats
+)
+
+// Edge-update operations.
+const (
+	OpDelete = sssp.OpDelete
+	OpInsert = sssp.OpInsert
+)
+
 // QueryPool answers concurrent SSSP queries over one loaded graph: the
 // immutable graph plane is built once and shared by N pooled query
 // slots, so concurrent callers block for a free slot instead of
-// rebuilding per-graph state per stream. See NewQueryPool.
+// rebuilding per-graph state per stream. The graph is versioned:
+// ApplyUpdates advances it without stopping the pool, and slots migrate
+// lazily — repairing their cached trees incrementally where possible.
+// See NewQueryPool.
 type QueryPool = sssp.QueryPool
 
 // NewQueryPool builds an in-process pool with numRanks ranks and slots
