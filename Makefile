@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race chaos lint vet bench bench-json bench-serve-json bench-dynamic-json experiments fuzz clean
+.PHONY: all build test race chaos lint vet bench bench-json bench-serve-json bench-dynamic-json bench-async-json experiments fuzz clean
 
 all: build test lint
 
@@ -56,6 +56,14 @@ bench-serve-json:
 bench-dynamic-json:
 	go test -run '^$$' -bench BenchmarkIncrementalRepair -benchtime 16x . \
 		| go run ./cmd/benchjson -out BENCH_dynamic.json
+
+# Archive the execution-mode benchmarks (asynchronous barrier-free
+# relaxation vs BSP at 0 and 100µs emulated latency, scale 13 / 4
+# ranks) as BENCH_async.json. See EXPERIMENTS.md "Asynchronous
+# execution".
+bench-async-json:
+	go test -run '^$$' -bench BenchmarkAsyncVsBSP -benchtime 10x . \
+		| go run ./cmd/benchjson -out BENCH_async.json
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -11,9 +11,12 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"parsssp"
 	"parsssp/internal/bfs"
+	"parsssp/internal/comm"
+	"parsssp/internal/comm/memtransport"
 	"parsssp/internal/expt"
 	"parsssp/internal/gen"
 	"parsssp/internal/graph"
@@ -633,6 +636,76 @@ func BenchmarkIncrementalRepair(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
 		})
+	}
+}
+
+// --- Asynchronous execution (barrier-free relaxation vs BSP) ----------------
+
+// benchExecMode measures repeated queries on a warm Machine whose
+// transports are wrapped in comm.Latent, so every collective charges the
+// emulated network latency and every async batch becomes visible to its
+// receiver one delay after it is sent. This is where the asynchronous
+// mode earns its keep: BSP pays the latency once per phase (hundreds of
+// phases per query), async pays it only on termination probes and on the
+// critical path of the relax wavefront. make bench-async-json archives
+// the numbers as BENCH_async.json; see EXPERIMENTS.md "Asynchronous
+// execution".
+func benchExecMode(b *testing.B, mode sssp.ExecMode, delay time.Duration) {
+	g := rmatGraph(b, expt.RMAT1, benchScale)
+	opts := sssp.OptOptions(25)
+	opts.Threads = 2
+	opts.ExecMode = mode
+	group, err := memtransport.New(benchRanks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	transports := group.Endpoints()
+	for i := range transports {
+		transports[i] = comm.NewLatent(transports[i], delay)
+	}
+	pd := partition.MustNew(partition.Block, g.NumVertices(), benchRanks)
+	m, err := sssp.NewMachineWithTransports(g, pd, opts, transports)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	root := benchRoot(g)
+	if _, err := m.Query(root); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *sssp.Result
+	for i := 0; i < b.N; i++ {
+		res, err := m.Query(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last != nil {
+		b.ReportMetric(last.Stats.GTEPS(g.NumEdges()), "GTEPS")
+		b.ReportMetric(float64(last.Stats.Relax.Total()), "relaxations")
+		if mode == sssp.ExecAsync {
+			b.ReportMetric(float64(last.Stats.AsyncRounds), "async-rounds")
+			b.ReportMetric(float64(last.Stats.AsyncProbes), "probes")
+		} else {
+			b.ReportMetric(float64(last.Stats.Phases), "phases")
+		}
+	}
+}
+
+// BenchmarkAsyncVsBSP is the headline comparison: both execution modes
+// on the same 4-rank machine, without latency (BSP's home turf — phases
+// are nearly free in-process) and with the paper-realistic 100µs one-way
+// latency where barrier-free execution pulls ahead.
+func BenchmarkAsyncVsBSP(b *testing.B) {
+	for _, lat := range []time.Duration{0, 100 * time.Microsecond} {
+		for _, mode := range []sssp.ExecMode{sssp.ExecBSP, sssp.ExecAsync} {
+			b.Run(fmt.Sprintf("latency=%v/%v", lat, mode), func(b *testing.B) {
+				benchExecMode(b, mode, lat)
+			})
+		}
 	}
 }
 

@@ -86,12 +86,15 @@ func run() (err error) {
 			"bound on connection establishment to each peer (dial, accept, handshake)")
 		collTimeout = flag.Duration("collective-timeout", 30*time.Second,
 			"per-collective bound on peer I/O; a peer silent past this fails the run (0 disables)")
+		execMode = flag.String("exec-mode", "bsp", "execution mode: bsp (lockstep phases) or async (barrier-free relaxation)")
 		serve    = flag.Bool("serve", false, "serve concurrent queries instead of running one (-root is ignored)")
 		slots    = flag.Int("slots", 4, "concurrent query slots in -serve mode")
 		queueCap = flag.Int("queue", 64,
 			"admission-queue bound in -serve mode; requests beyond it get an immediate busy reply")
 		serveListen = flag.String("serve-listen", "",
 			"rank 0 also accepts requests on this TCP address in -serve mode (one per line)")
+		queryDeadline = flag.Duration("query-deadline", 0,
+			"per-query bound in -serve mode: a query running past this poisons its slot only (0 disables)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("ssspd[%d]: ", *rank))
@@ -120,7 +123,8 @@ func run() (err error) {
 		// non-zero ranks wait in a source broadcast until rank 0 has a
 		// query to hand out. A collective timeout would shoot down the
 		// whole mesh after -collective-timeout of quiet, so serve mode runs
-		// without one (per-query deadlines are the ROADMAP follow-up).
+		// without one; stall detection is -query-deadline, which is scoped
+		// to one query on one slot channel and poisons only that slot.
 		meshTimeout = 0
 	}
 	t, err := tcptransport.New(tcptransport.Config{
@@ -142,9 +146,13 @@ func run() (err error) {
 	}
 	opts := sssp.OptOptions(graph.Weight(*delta))
 	opts.Threads = *threads
+	opts.ExecMode, err = sssp.ParseExecMode(*execMode)
+	if err != nil {
+		return err
+	}
 
 	if *serve {
-		return runServe(t, g, pd, opts, *slots, *queueCap, *serveListen)
+		return runServe(t, g, pd, opts, *slots, *queueCap, *serveListen, *queryDeadline)
 	}
 
 	rr, err := sssp.RunRank(g, pd, graph.Vertex(*root), opts, t, 0)
@@ -265,7 +273,7 @@ func (p *printer) println(line string) {
 // dispatcher releases broadcasts the sentinel, and the process exits
 // when every slot's worker has.
 func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
-	opts sssp.Options, slots, queueCap int, listenAddr string) error {
+	opts sssp.Options, slots, queueCap int, listenAddr string, queryDeadline time.Duration) error {
 	if slots < 1 {
 		return fmt.Errorf("ssspd: -slots must be >= 1, got %d", slots)
 	}
@@ -358,7 +366,7 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 			if rank0 {
 				upd = updChs[s]
 			}
-			workerErrs[s] = slotWorker(s, chans[s], server, g, pd, rank0, reqs, upd, out)
+			workerErrs[s] = slotWorker(s, chans[s], server, g, pd, rank0, reqs, upd, out, queryDeadline)
 			close(done[s])
 			if live.Add(-1) == 0 {
 				close(allDead)
@@ -381,24 +389,57 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 // dispatch serializes rank 0's admitted lines. Queries are handed to
 // whichever slot's worker frees up first; an update is applied — and
 // acknowledged — on every live slot before any later line is forwarded,
-// so every subsequent query runs on the updated graph. Closing reqs at
-// the end releases the idle workers into their shutdown broadcast.
+// so every subsequent query runs on the updated graph.
+//
+// Consecutive queued update lines are coalesced into one batch and one
+// graph version before applying: each U line still costs a broadcast and
+// an incremental repair on every slot, so a burst of updates admitted
+// while an earlier one was being applied would otherwise pay that
+// per-slot cost once per line. Coalescing stops at the first queued
+// query, which keeps the serialized semantics exact — a query admitted
+// between two updates still runs on a graph with only the earlier one
+// applied. Every merged line is answered with the shared version it
+// landed in. Closing reqs at the end releases the idle workers into
+// their shutdown broadcast.
 func dispatch(lines <-chan serveCmd, reqs chan<- serveReq,
 	upd []chan updateCmd, done []chan struct{}, allDead <-chan struct{}) {
 	version := uint64(0)
+	forward := func(cmd serveCmd) {
+		select {
+		case reqs <- serveReq{src: cmd.src, reply: cmd.reply}:
+		case <-allDead:
+			cmd.reply(fmt.Sprintf("error src=%d: no live query slots", cmd.src))
+		}
+	}
 	for cmd := range lines {
 		if !cmd.update {
-			select {
-			case reqs <- serveReq{src: cmd.src, reply: cmd.reply}:
-			case <-allDead:
-				cmd.reply(fmt.Sprintf("error src=%d: no live query slots", cmd.src))
-			}
+			forward(cmd)
 			continue
+		}
+		batch := cmd.batch
+		replies := []func(string){cmd.reply}
+		var next *serveCmd
+	coalesce:
+		for {
+			select {
+			case nxt, ok := <-lines:
+				if !ok {
+					break coalesce
+				}
+				if !nxt.update {
+					next = &nxt
+					break coalesce
+				}
+				batch = append(append(sssp.UpdateBatch(nil), batch...), nxt.batch...)
+				replies = append(replies, nxt.reply)
+			default:
+				break coalesce
+			}
 		}
 		version++
 		uc := updateCmd{
 			target: version,
-			enc:    sssp.EncodeUpdateBatch(cmd.batch),
+			enc:    sssp.EncodeUpdateBatch(batch),
 			ack:    make(chan error, 1),
 		}
 		applied := 0
@@ -415,13 +456,21 @@ func dispatch(lines <-chan serveCmd, reqs chan<- serveReq,
 				applied++
 			}
 		}
+		var line string
 		switch {
 		case len(failures) > 0:
-			cmd.reply(fmt.Sprintf("error update version=%d: %s", version, strings.Join(failures, "; ")))
+			line = fmt.Sprintf("error update version=%d: %s", version, strings.Join(failures, "; "))
 		case applied == 0:
-			cmd.reply(fmt.Sprintf("error update version=%d: no live query slots", version))
+			line = fmt.Sprintf("error update version=%d: no live query slots", version)
 		default:
-			cmd.reply(fmt.Sprintf("updated version=%d ops=%d slots=%d", version, len(cmd.batch), applied))
+			line = fmt.Sprintf("updated version=%d ops=%d slots=%d merged=%d",
+				version, len(batch), applied, len(replies))
+		}
+		for _, reply := range replies {
+			reply(line)
+		}
+		if next != nil {
+			forward(*next)
 		}
 	}
 	close(reqs)
@@ -523,7 +572,8 @@ const (
 // otherwise (on the rank whose caller was answered in-band — rank 0 —
 // the worker returns nil).
 func slotWorker(s int, ch comm.Transport, server *sssp.RankServer, g *graph.Graph,
-	pd partition.Dist, rank0 bool, reqs <-chan serveReq, updIn <-chan updateCmd, out *printer) error {
+	pd partition.Dist, rank0 bool, reqs <-chan serveReq, updIn <-chan updateCmd, out *printer,
+	queryDeadline time.Duration) error {
 	for {
 		contrib := [2]int64{opShutdown, 0}
 		var req serveReq
@@ -559,6 +609,19 @@ func slotWorker(s int, ch comm.Transport, server *sssp.RankServer, g *graph.Grap
 
 		case opQuery:
 			src := graph.Vertex(vals[1])
+			// Arm the per-query deadline: every rank bounds its own
+			// participation in this one query on this one channel, so an
+			// expiry poisons exactly this slot (the abort rides the slot's
+			// channel) while the other slots keep serving. The timer is
+			// disarmed the moment this rank's part of the answer is done —
+			// the mesh-wide CollectiveTimeout stays off in serve mode (see
+			// run), so idle waiting never trips anything.
+			var deadline *time.Timer
+			if queryDeadline > 0 {
+				deadline = time.AfterFunc(queryDeadline, func() {
+					comm.Abort(ch, fmt.Errorf("slot %d: query src=%d exceeded deadline %v", s, src, queryDeadline))
+				})
+			}
 			rr, err := server.Query(s, src)
 			if err == nil {
 				var dist []graph.Dist
@@ -577,6 +640,9 @@ func slotWorker(s int, ch comm.Transport, server *sssp.RankServer, g *graph.Grap
 					req.reply(fmt.Sprintf("answer src=%d reached=%d checksum=%016x time=%v",
 						src, reached, h.Sum64(), rr.Stats.Total))
 				}
+			}
+			if deadline != nil {
+				deadline.Stop()
 			}
 			if err != nil {
 				if admitted {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
+	"parsssp/internal/graph"
 	"parsssp/internal/sssp"
 )
 
@@ -73,5 +75,63 @@ func TestAdmissionShedsWhenFull(t *testing.T) {
 	adm.admit(serveCmd{src: 3, reply: reply})
 	if len(replies) != 1 {
 		t.Fatalf("admission after drain was shed: %q", replies)
+	}
+}
+
+func TestDispatchCoalescesUpdates(t *testing.T) {
+	// Three updates and a query are queued before the (single) slot
+	// worker picks anything up: the updates must merge into one batch and
+	// one version, every merged line must get the shared version reply,
+	// and the query must still run after the apply.
+	lines := make(chan serveCmd, 8)
+	reqs := make(chan serveReq, 8)
+	upd := []chan updateCmd{make(chan updateCmd)}
+	done := []chan struct{}{make(chan struct{})}
+	allDead := make(chan struct{})
+
+	var mu sync.Mutex
+	var updReplies []string
+	updReply := func(s string) { mu.Lock(); updReplies = append(updReplies, s); mu.Unlock() }
+	mkUpd := func(u, v int) serveCmd {
+		return serveCmd{update: true, reply: updReply,
+			batch: sssp.UpdateBatch{{Op: sssp.OpInsert, U: graph.Vertex(u), V: graph.Vertex(v), W: 1}}}
+	}
+	lines <- mkUpd(1, 2)
+	lines <- mkUpd(3, 4)
+	lines <- mkUpd(5, 6)
+	lines <- serveCmd{src: 7, reply: func(string) {}}
+	close(lines)
+
+	go dispatch(lines, reqs, upd, done, allDead)
+
+	uc := <-upd[0]
+	if uc.target != 1 {
+		t.Errorf("coalesced update targets version %d, want 1", uc.target)
+	}
+	batch, err := sssp.DecodeUpdateBatch(uc.enc, 100)
+	if err != nil {
+		t.Fatalf("decode merged batch: %v", err)
+	}
+	if len(batch) != 3 {
+		t.Errorf("merged batch has %d ops, want 3", len(batch))
+	}
+	uc.ack <- nil
+
+	req, ok := <-reqs
+	if !ok || req.src != 7 {
+		t.Fatalf("query after coalesced update: ok=%v src=%d", ok, req.src)
+	}
+	if _, ok := <-reqs; ok {
+		t.Fatal("unexpected extra request")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(updReplies) != 3 {
+		t.Fatalf("got %d update replies, want 3: %q", len(updReplies), updReplies)
+	}
+	for _, r := range updReplies {
+		if !strings.Contains(r, "version=1") || !strings.Contains(r, "merged=3") || !strings.Contains(r, "ops=3") {
+			t.Errorf("merged reply %q lacks shared version/merge count", r)
+		}
 	}
 }

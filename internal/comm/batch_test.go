@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fakeBatchTransport extends fakeTransport with an in-memory batch queue
+// so the wrapper behavior (Counting, Latent, Faulty, SupportsBatch) can
+// be observed without a real group.
+type fakeBatchTransport struct {
+	fakeTransport
+	sent  []fakeBatch
+	queue []fakeBatch
+}
+
+type fakeBatch struct {
+	src, dest int
+	payload   []byte
+}
+
+func (f *fakeBatchTransport) SendBatch(dest int, payload []byte) error {
+	f.sent = append(f.sent, fakeBatch{src: f.rank, dest: dest, payload: append([]byte(nil), payload...)})
+	return nil
+}
+
+func (f *fakeBatchTransport) RecvBatch(wait time.Duration) (int, []byte, bool, error) {
+	if len(f.queue) == 0 {
+		return 0, nil, false, nil
+	}
+	b := f.queue[0]
+	f.queue = f.queue[1:]
+	return b.src, b.payload, true, nil
+}
+
+func (f *fakeBatchTransport) SupportsBatch() bool { return true }
+
+func TestSupportsBatchProbe(t *testing.T) {
+	plain := &fakeTransport{rank: 0, size: 2}
+	if SupportsBatch(plain) {
+		t.Error("plain transport reported batch support")
+	}
+	fb := &fakeBatchTransport{fakeTransport: fakeTransport{rank: 0, size: 2}}
+	if !SupportsBatch(fb) {
+		t.Error("batch transport not detected")
+	}
+	// The probe must see through every interposer in a wrapper chain.
+	if !SupportsBatch(NewCounting(fb)) {
+		t.Error("Counting hid batch support")
+	}
+	if !SupportsBatch(NewLatent(fb, time.Millisecond)) {
+		t.Error("Latent hid batch support")
+	}
+	f, err := NewFaulty(fb, Fault{Collective: 99, Kind: FaultError})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SupportsBatch(f) {
+		t.Error("Faulty hid batch support")
+	}
+	if SupportsBatch(NewCounting(plain)) {
+		t.Error("Counting invented batch support")
+	}
+}
+
+func TestCountingBatchTraffic(t *testing.T) {
+	fb := &fakeBatchTransport{fakeTransport: fakeTransport{rank: 1, size: 3}}
+	c := NewCounting(fb)
+	if err := c.SendBatch(0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(1, make([]byte, 100)); err != nil { // self: local delivery
+		t.Fatal(err)
+	}
+	if c.Stats.BytesSent != 32 || c.Stats.MessagesSent != 1 {
+		t.Errorf("after sends: BytesSent=%d MessagesSent=%d, want 32/1",
+			c.Stats.BytesSent, c.Stats.MessagesSent)
+	}
+	fb.queue = append(fb.queue, fakeBatch{src: 2, payload: make([]byte, 16)})
+	if _, _, ok, err := c.RecvBatch(0); err != nil || !ok {
+		t.Fatalf("RecvBatch: ok=%v err=%v", ok, err)
+	}
+	if c.Stats.BytesReceived != 16 {
+		t.Errorf("BytesReceived = %d, want 16", c.Stats.BytesReceived)
+	}
+}
+
+func TestLatentBatchDelay(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	fb := &fakeBatchTransport{fakeTransport: fakeTransport{rank: 0, size: 2}}
+	l := NewLatent(fb, delay)
+
+	// SendBatch is free for the sender.
+	start := time.Now()
+	if err := l.SendBatch(1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > delay {
+		t.Errorf("SendBatch slept %v; one-way latency must be charged at the receiver", d)
+	}
+
+	// A freshly arrived batch is invisible to a poll until Delay passes.
+	fb.queue = append(fb.queue, fakeBatch{src: 1, payload: []byte("msg")})
+	if _, _, ok, _ := l.RecvBatch(0); ok {
+		t.Fatal("batch visible to a poll before its latency elapsed")
+	}
+	// A bounded wait spanning the remaining latency delivers it.
+	src, payload, ok, err := l.RecvBatch(2 * delay)
+	if err != nil || !ok {
+		t.Fatalf("bounded wait: ok=%v err=%v", ok, err)
+	}
+	if src != 1 || !bytes.Equal(payload, []byte("msg")) {
+		t.Errorf("got src=%d payload=%q", src, payload)
+	}
+	// Drained queue: a poll stays empty and a short wait times out clean.
+	if _, _, ok, _ := l.RecvBatch(0); ok {
+		t.Error("empty queue returned a batch")
+	}
+}
+
+func TestFaultyBatchPassthrough(t *testing.T) {
+	// Batches pass through Faulty untouched and do not advance the
+	// collective fault schedule: a fault aimed at collective 1 must fire
+	// on the second collective no matter how many batches flow between.
+	fb := &fakeBatchTransport{fakeTransport: fakeTransport{rank: 0, size: 2}}
+	f, err := NewFaulty(fb, Fault{Collective: 1, Kind: FaultError})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Barrier(); err != nil { // collective 0: clean
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.SendBatch(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		fb.queue = append(fb.queue, fakeBatch{src: 1, payload: []byte("y")})
+		if _, _, ok, err := f.RecvBatch(0); err != nil || !ok {
+			t.Fatalf("RecvBatch through Faulty: ok=%v err=%v", ok, err)
+		}
+	}
+	if err := f.Barrier(); err == nil { // collective 1: fault fires here
+		t.Fatal("fault did not fire on the scheduled collective")
+	}
+	if len(fb.sent) != 5 {
+		t.Errorf("%d batches reached the wrapped transport, want 5", len(fb.sent))
+	}
+}
+
+func TestBatchUnsupportedErrors(t *testing.T) {
+	plain := &fakeTransport{rank: 0, size: 2}
+	l := NewLatent(plain, time.Millisecond)
+	if err := l.SendBatch(1, []byte("x")); err != ErrBatchUnsupported {
+		t.Errorf("Latent.SendBatch over plain transport: %v", err)
+	}
+	if _, _, _, err := l.RecvBatch(0); err != ErrBatchUnsupported {
+		t.Errorf("Latent.RecvBatch over plain transport: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ReduceOp selects the elementwise reduction applied by AllreduceInt64.
@@ -133,6 +134,54 @@ func Abort(t Transport, err error) {
 	// error has nowhere useful to go — the abort cause err is what callers
 	// report.
 	_ = t.Close() //parssspvet:allow transporterr -- abort fallback: the abort cause, not the close error, is reported
+}
+
+// ErrBatchUnsupported is returned by BatchSender wrappers whose wrapped
+// transport does not implement asynchronous batches. Engines select the
+// async execution path only after SupportsBatch says the whole wrapper
+// chain can carry it, so hitting this error indicates a wiring bug.
+var ErrBatchUnsupported = errors.New("comm: transport does not support async batches")
+
+// BatchSender is an optional Transport extension for the asynchronous
+// execution mode: point-to-point, non-collective batch delivery. Unlike
+// the collectives, SendBatch and RecvBatch impose no ordering discipline
+// across ranks — any rank may send to any rank at any time, and batches
+// from one sender arrive in send order but interleave arbitrarily with
+// other senders'.
+//
+// SendBatch must not block on the receiver (fire-and-forget; the payload
+// is copied before the call returns, so the caller may reuse it
+// immediately). RecvBatch returns one pending batch if any: with wait=0
+// it polls and returns ok=false when the queue is empty; with wait>0 it
+// blocks up to wait for a batch to arrive. A transport abort (Abort, a
+// peer's death, Close) fails both with an error wrapping ErrAborted, so
+// an async receive loop can never outlive the machine it is part of.
+// The returned payload is owned by the receiver.
+//
+// The same endpoint may be used for collectives and batches concurrently:
+// the asynchronous termination-detection protocol settles over
+// AllreduceInt64 while data batches are still in flight.
+type BatchSender interface {
+	SendBatch(dest int, payload []byte) error
+	RecvBatch(wait time.Duration) (src int, payload []byte, ok bool, err error)
+}
+
+// batchProber lets wrappers report whether their wrapped chain supports
+// asynchronous batches (the wrapper itself always implements BatchSender,
+// delegating or failing with ErrBatchUnsupported at call time).
+type batchProber interface {
+	SupportsBatch() bool
+}
+
+// SupportsBatch reports whether t can carry asynchronous batches:
+// wrappers forward the probe to the transport they wrap, bare transports
+// answer for themselves.
+func SupportsBatch(t Transport) bool {
+	if p, ok := t.(batchProber); ok {
+		return p.SupportsBatch()
+	}
+	_, ok := t.(BatchSender)
+	return ok
 }
 
 // GatherExchanger is an optional Transport extension: a gathered
@@ -270,6 +319,36 @@ func (c *Counting) ExchangeV(out [][][]byte) ([][]byte, error) {
 	}
 	return in, nil
 }
+
+// SendBatch implements BatchSender, counting payload traffic.
+func (c *Counting) SendBatch(dest int, payload []byte) error {
+	bs, ok := c.T.(BatchSender)
+	if !ok {
+		return ErrBatchUnsupported
+	}
+	if dest != c.T.Rank() && len(payload) > 0 {
+		c.Stats.BytesSent += int64(len(payload))
+		c.Stats.MessagesSent++
+	}
+	return bs.SendBatch(dest, payload)
+}
+
+// RecvBatch implements BatchSender, counting payload traffic.
+func (c *Counting) RecvBatch(wait time.Duration) (int, []byte, bool, error) {
+	bs, ok := c.T.(BatchSender)
+	if !ok {
+		return 0, nil, false, ErrBatchUnsupported
+	}
+	src, payload, ok, err := bs.RecvBatch(wait)
+	if ok && src != c.T.Rank() {
+		c.Stats.BytesReceived += int64(len(payload))
+	}
+	return src, payload, ok, err
+}
+
+// SupportsBatch forwards the async-batch capability probe to the wrapped
+// transport.
+func (c *Counting) SupportsBatch() bool { return SupportsBatch(c.T) }
 
 // AllreduceInt64 implements Transport.
 func (c *Counting) AllreduceInt64(vals []int64, op ReduceOp) ([]int64, error) {

@@ -291,6 +291,32 @@ func (f *Faulty) Barrier() error {
 	return f.T.Barrier()
 }
 
+// SendBatch implements BatchSender, delegating without consuming a
+// collective index: the fault schedule counts collectives only, so the
+// same plan stays meaningful whether a run is BSP or async (async data
+// batches vary in count run to run; the collectives do not).
+func (f *Faulty) SendBatch(dest int, payload []byte) error {
+	bs, ok := f.T.(BatchSender)
+	if !ok {
+		return ErrBatchUnsupported
+	}
+	return bs.SendBatch(dest, payload)
+}
+
+// RecvBatch implements BatchSender, delegating without consuming a
+// collective index (see SendBatch).
+func (f *Faulty) RecvBatch(wait time.Duration) (int, []byte, bool, error) {
+	bs, ok := f.T.(BatchSender)
+	if !ok {
+		return 0, nil, false, ErrBatchUnsupported
+	}
+	return bs.RecvBatch(wait)
+}
+
+// SupportsBatch forwards the async-batch capability probe to the wrapped
+// transport.
+func (f *Faulty) SupportsBatch() bool { return SupportsBatch(f.T) }
+
 // Close implements Transport.
 func (f *Faulty) Close() error { return f.T.Close() }
 

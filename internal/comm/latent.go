@@ -18,7 +18,28 @@ type Latent struct {
 	// Exchange: payloadBytes / BytesPerSecond, modelling link bandwidth
 	// on top of base latency.
 	BytesPerSecond float64
+
+	// held delays received async batches: each sits here until Delay has
+	// elapsed since its arrival. The latency of a one-way batch is charged
+	// at the receiver — sleeping in SendBatch would block the sender,
+	// which is exactly the coupling asynchronous execution removes.
+	held []latentBatch
 }
+
+// latentBatch is one received async batch awaiting its release time.
+type latentBatch struct {
+	src     int
+	payload []byte
+	due     time.Time
+}
+
+// latNow is the emulator's sole wall-clock entry point. Latency
+// emulation is wall-clock by definition; its readings gate only the
+// moment a batch becomes visible, never what the batch contains, so
+// algorithmic output stays a pure function of the inputs.
+//
+//parssspvet:allow nodeterminism -- latency emulation reads the clock to time delivery only; payloads are untouched
+var latNow = time.Now
 
 // NewLatent wraps t with a per-collective delay.
 func NewLatent(t Transport, delay time.Duration) *Latent {
@@ -59,6 +80,81 @@ func (l *Latent) Barrier() error {
 	time.Sleep(l.Delay)
 	return l.T.Barrier()
 }
+
+// SendBatch implements BatchSender without delay: a one-way send costs
+// the sender nothing, the latency is observed by the receiver (see held).
+func (l *Latent) SendBatch(dest int, payload []byte) error {
+	bs, ok := l.T.(BatchSender)
+	if !ok {
+		return ErrBatchUnsupported
+	}
+	return bs.SendBatch(dest, payload)
+}
+
+// RecvBatch implements BatchSender: batches become visible Delay after
+// they arrive on the wrapped transport. A poll (wait=0) never sleeps — a
+// batch still "in flight" is simply not there yet; a bounded wait sleeps
+// until the first held batch is due, within the deadline.
+func (l *Latent) RecvBatch(wait time.Duration) (int, []byte, bool, error) {
+	bs, ok := l.T.(BatchSender)
+	if !ok {
+		return 0, nil, false, ErrBatchUnsupported
+	}
+	var deadline time.Time
+	if wait > 0 {
+		deadline = latNow().Add(wait)
+	}
+	for {
+		// Drain everything already arrived, stamping each batch with its
+		// release time. Constant Delay keeps the held queue due-ordered.
+		for {
+			src, payload, got, err := bs.RecvBatch(0)
+			if err != nil {
+				return 0, nil, false, err
+			}
+			if !got {
+				break
+			}
+			l.held = append(l.held, latentBatch{src: src, payload: payload, due: latNow().Add(l.Delay)})
+		}
+		if len(l.held) > 0 {
+			head := l.held[0]
+			now := latNow()
+			visibleInTime := !head.due.After(now) || (wait > 0 && !head.due.After(deadline))
+			if !visibleInTime {
+				return 0, nil, false, nil
+			}
+			if d := head.due.Sub(now); d > 0 {
+				time.Sleep(d)
+			}
+			l.held[0] = latentBatch{}
+			l.held = l.held[1:]
+			if len(l.held) == 0 {
+				l.held = nil // let the drained backing array go
+			}
+			return head.src, head.payload, true, nil
+		}
+		if wait <= 0 {
+			return 0, nil, false, nil
+		}
+		remaining := deadline.Sub(latNow())
+		if remaining <= 0 {
+			return 0, nil, false, nil
+		}
+		src, payload, got, err := bs.RecvBatch(remaining)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if !got {
+			return 0, nil, false, nil
+		}
+		l.held = append(l.held, latentBatch{src: src, payload: payload, due: latNow().Add(l.Delay)})
+	}
+}
+
+// SupportsBatch forwards the async-batch capability probe to the wrapped
+// transport.
+func (l *Latent) SupportsBatch() bool { return SupportsBatch(l.T) }
 
 // Close implements Transport.
 func (l *Latent) Close() error { return l.T.Close() }

@@ -1,0 +1,168 @@
+package memtransport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parsssp/internal/comm"
+)
+
+func TestBatchFIFOPerSender(t *testing.T) {
+	g, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := g.Rank(0).(comm.BatchSender)
+	receiver := g.Rank(1).(comm.BatchSender)
+	for i := 0; i < 10; i++ {
+		if err := sender.SendBatch(1, []byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		src, payload, ok, err := receiver.RecvBatch(0)
+		if err != nil || !ok {
+			t.Fatalf("batch %d: ok=%v err=%v", i, ok, err)
+		}
+		if src != 0 || string(payload) != fmt.Sprintf("b%d", i) {
+			t.Fatalf("batch %d: src=%d payload=%q", i, src, payload)
+		}
+	}
+	if _, _, ok, _ := receiver.RecvBatch(0); ok {
+		t.Fatal("drained queue returned a batch")
+	}
+}
+
+func TestBatchCopyOnSend(t *testing.T) {
+	g, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("original")
+	if err := g.Rank(0).(comm.BatchSender).SendBatch(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBER!") // sender reuses its buffer immediately
+	_, payload, ok, err := g.Rank(1).(comm.BatchSender).RecvBatch(0)
+	if err != nil || !ok {
+		t.Fatalf("RecvBatch: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(payload, []byte("original")) {
+		t.Fatalf("receiver saw %q; SendBatch must copy", payload)
+	}
+}
+
+func TestBatchBoundedWait(t *testing.T) {
+	g, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		src, payload, ok, err := g.Rank(1).(comm.BatchSender).RecvBatch(5 * time.Second)
+		if err != nil || !ok || src != 0 || string(payload) != "late" {
+			t.Errorf("blocked recv: src=%d payload=%q ok=%v err=%v", src, payload, ok, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := g.Rank(0).(comm.BatchSender).SendBatch(1, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// A bounded wait on a quiet queue returns !ok, not an error.
+	start := time.Now()
+	_, _, ok, err := g.Rank(1).(comm.BatchSender).RecvBatch(20 * time.Millisecond)
+	if err != nil || ok {
+		t.Fatalf("timeout recv: ok=%v err=%v", ok, err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("bounded wait returned early")
+	}
+}
+
+func TestBatchAbortWakesReceiver(t *testing.T) {
+	g, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("chaos")
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := g.Rank(1).(comm.BatchSender).RecvBatch(time.Minute)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	g.Abort(cause)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) || !errors.Is(err, comm.ErrAborted) {
+			t.Errorf("aborted recv error %v lost the cause or the abort marker", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not wake the blocked receiver")
+	}
+	// Post-abort operations fail fast.
+	if err := g.Rank(0).(comm.BatchSender).SendBatch(1, []byte("x")); err == nil {
+		t.Error("SendBatch succeeded after abort")
+	}
+}
+
+func TestBatchConcurrentWithCollectives(t *testing.T) {
+	// Batches and lockstep collectives share the group; interleaving them
+	// from every rank concurrently must neither deadlock nor cross wires.
+	const size, batches = 4, 50
+	runRanks(t, size, func(tr comm.Transport) error {
+		bs := tr.(comm.BatchSender)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		recvErr := make(chan error, 1)
+		got := 0
+		go func() {
+			defer wg.Done()
+			for got < batches*(size-1) {
+				_, payload, ok, err := bs.RecvBatch(5 * time.Second)
+				if err != nil {
+					recvErr <- err
+					return
+				}
+				if !ok {
+					recvErr <- fmt.Errorf("receiver starved at %d batches", got)
+					return
+				}
+				if len(payload) != 8 {
+					recvErr <- fmt.Errorf("payload len %d", len(payload))
+					return
+				}
+				got++
+			}
+			recvErr <- nil
+		}()
+		payload := make([]byte, 8)
+		for i := 0; i < batches; i++ {
+			for dest := 0; dest < size; dest++ {
+				if dest == tr.Rank() {
+					continue
+				}
+				if err := bs.SendBatch(dest, payload); err != nil {
+					return err
+				}
+			}
+			if i%10 == 0 {
+				if _, err := tr.AllreduceInt64([]int64{1}, comm.Sum); err != nil {
+					return err
+				}
+			}
+		}
+		wg.Wait()
+		if err := <-recvErr; err != nil {
+			return err
+		}
+		return tr.Barrier()
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"parsssp/internal/comm"
 )
@@ -38,6 +39,10 @@ type Group struct {
 	// reduce[rank] holds each rank's Allreduce contribution.
 	reduce [][]int64
 	bar    *barrier
+	// async[dst] queues point-to-point batches for rank dst
+	// (comm.BatchSender); unlike the collective mailbox it is not
+	// barrier-synchronized.
+	async []asyncBox
 }
 
 // New creates a communicator with size ranks.
@@ -50,9 +55,11 @@ func New(size int) (*Group, error) {
 		mailbox: make([][][][]byte, size),
 		reduce:  make([][]int64, size),
 		bar:     newBarrier(size),
+		async:   make([]asyncBox, size),
 	}
 	for i := range g.mailbox {
 		g.mailbox[i] = make([][][]byte, size)
+		g.async[i].init()
 	}
 	return g, nil
 }
@@ -74,7 +81,11 @@ func (g *Group) Abort(err error) {
 	if err == nil {
 		err = errors.New("memtransport: aborted")
 	}
-	g.bar.abort(fmt.Errorf("%w: %w", comm.ErrAborted, err))
+	wrapped := fmt.Errorf("%w: %w", comm.ErrAborted, err)
+	g.bar.abort(wrapped)
+	for i := range g.async {
+		g.async[i].abort(wrapped)
+	}
 }
 
 // SubGroup derives a fresh communicator of the same size, the in-process
@@ -199,6 +210,22 @@ func (e *endpoint) Barrier() error {
 	return e.g.bar.wait()
 }
 
+// SendBatch implements comm.BatchSender: the payload is copied and
+// appended to the destination's async queue without any synchronization
+// with the collective schedule.
+func (e *endpoint) SendBatch(dest int, payload []byte) error {
+	if dest < 0 || dest >= e.g.size {
+		return errors.New("memtransport: SendBatch destination out of range")
+	}
+	return e.g.async[dest].push(e.rank, payload)
+}
+
+// RecvBatch implements comm.BatchSender: it pops the oldest pending batch
+// for this rank, waiting up to wait for one to arrive (wait=0 polls).
+func (e *endpoint) RecvBatch(wait time.Duration) (int, []byte, bool, error) {
+	return e.g.async[e.rank].pop(wait)
+}
+
 // Close aborts the whole group: a closed endpoint can never reach
 // another collective, so peers blocked on it must fail rather than wait
 // forever. This mirrors process death over tcptransport, where closing
@@ -265,6 +292,99 @@ func (b *barrier) abort(err error) {
 	if b.err == nil {
 		b.err = err
 		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// asyncBox is one rank's FIFO queue of point-to-point async batches.
+// Senders push copies concurrently; the owning rank pops, optionally
+// blocking with a bounded wait. A group abort poisons the box so blocked
+// (and future) pops fail instead of waiting for batches that will never
+// come.
+type asyncBox struct {
+	mu   sync.Mutex
+	q    []asyncMsg
+	err  error
+	done chan struct{} // closed on abort, wakes bounded waits
+	// notify carries a single wake-up token to the (single) receiving
+	// rank; pushes refill it non-blockingly.
+	notify chan struct{}
+}
+
+type asyncMsg struct {
+	src     int
+	payload []byte
+}
+
+func (b *asyncBox) init() {
+	b.done = make(chan struct{})
+	b.notify = make(chan struct{}, 1)
+}
+
+func (b *asyncBox) push(src int, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
+	b.q = append(b.q, asyncMsg{src: src, payload: cp})
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (b *asyncBox) pop(wait time.Duration) (int, []byte, bool, error) {
+	var timeout <-chan time.Time
+	for {
+		b.mu.Lock()
+		if len(b.q) > 0 {
+			m := b.q[0]
+			b.q[0] = asyncMsg{}
+			b.q = b.q[1:]
+			if len(b.q) == 0 {
+				b.q = nil // let the drained backing array go
+			}
+			b.mu.Unlock()
+			return m.src, m.payload, true, nil
+		}
+		err := b.err
+		b.mu.Unlock()
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if wait <= 0 {
+			return 0, nil, false, nil
+		}
+		if timeout == nil {
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case <-b.notify:
+			// Recheck the queue; the token may be stale (an earlier poll
+			// already consumed the batch), in which case we loop and wait
+			// again within the same deadline.
+		case <-b.done:
+			// Poisoned; loop reports the error after draining any batch
+			// that raced ahead of the abort.
+		case <-timeout:
+			return 0, nil, false, nil
+		}
+	}
+}
+
+func (b *asyncBox) abort(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+		close(b.done)
 	}
 	b.mu.Unlock()
 }

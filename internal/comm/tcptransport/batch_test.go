@@ -1,0 +1,135 @@
+package tcptransport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parsssp/internal/comm"
+)
+
+func TestBatchOverSockets(t *testing.T) {
+	runMachine(t, 3, func(tr comm.Transport) error {
+		bs := tr.(comm.BatchSender)
+		// Every rank sends one tagged batch to every peer (and itself).
+		for dest := 0; dest < tr.Size(); dest++ {
+			payload := []byte(fmt.Sprintf("from=%d to=%d", tr.Rank(), dest))
+			if err := bs.SendBatch(dest, payload); err != nil {
+				return err
+			}
+		}
+		seen := make(map[int]bool)
+		for len(seen) < tr.Size() {
+			src, payload, ok, err := bs.RecvBatch(5 * time.Second)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("rank %d: starved with %d/%d batches", tr.Rank(), len(seen), tr.Size())
+			}
+			want := []byte(fmt.Sprintf("from=%d to=%d", src, tr.Rank()))
+			if !bytes.Equal(payload, want) {
+				return fmt.Errorf("rank %d: got %q from %d, want %q", tr.Rank(), payload, src, want)
+			}
+			if seen[src] {
+				return fmt.Errorf("rank %d: duplicate batch from %d", tr.Rank(), src)
+			}
+			seen[src] = true
+		}
+		return tr.Barrier()
+	})
+}
+
+func TestBatchInterleavedWithCollectives(t *testing.T) {
+	// Async frames and lockstep collective frames share each socket; the
+	// ctrlAsync routing must keep them apart under sustained interleaving.
+	const rounds = 20
+	runMachine(t, 3, func(tr comm.Transport) error {
+		bs := tr.(comm.BatchSender)
+		next := (tr.Rank() + 1) % tr.Size()
+		got := 0
+		for i := 0; i < rounds; i++ {
+			if err := bs.SendBatch(next, []byte{byte(i)}); err != nil {
+				return err
+			}
+			sums, err := tr.AllreduceInt64([]int64{int64(i)}, comm.Sum)
+			if err != nil {
+				return err
+			}
+			if sums[0] != int64(i*tr.Size()) {
+				return fmt.Errorf("allreduce polluted: got %d at round %d", sums[0], i)
+			}
+			for {
+				_, _, ok, err := bs.RecvBatch(0)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				got++
+			}
+		}
+		// Ring topology: exactly one predecessor sends rounds batches.
+		for got < rounds {
+			_, _, ok, err := bs.RecvBatch(5 * time.Second)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("rank %d: starved at %d/%d", tr.Rank(), got, rounds)
+			}
+			got++
+		}
+		return tr.Barrier()
+	})
+}
+
+func TestBatchLargePayload(t *testing.T) {
+	runMachine(t, 2, func(tr comm.Transport) error {
+		bs := tr.(comm.BatchSender)
+		const n = 1 << 20
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		other := 1 - tr.Rank()
+		if err := bs.SendBatch(other, payload); err != nil {
+			return err
+		}
+		src, got, ok, err := bs.RecvBatch(10 * time.Second)
+		if err != nil || !ok {
+			return fmt.Errorf("recv: ok=%v err=%v", ok, err)
+		}
+		if src != other || !bytes.Equal(got, payload) {
+			return fmt.Errorf("large payload damaged in flight (src=%d len=%d)", src, len(got))
+		}
+		return tr.Barrier()
+	})
+}
+
+func TestBatchCloseWakesReceiver(t *testing.T) {
+	pair := newPair(t, 0)
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, err := pair[1].RecvBatch(time.Minute)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	pair[1].Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RecvBatch returned clean after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the blocked batch receiver")
+	}
+	wg.Wait()
+	pair[0].Close()
+}

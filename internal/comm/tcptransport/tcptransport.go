@@ -60,8 +60,10 @@
 // links the timeout would otherwise be the only guard against.
 //
 // Frame format (little-endian): u32 payload length, u32 channel word
-// (low 31 bits: channel id; high bit: abort control frame, payload is
-// the cause), then payload. The handshake frame is: u32 magic, u32 rank.
+// (low 30 bits: channel id; bit 31: abort control frame, payload is the
+// cause; bit 30: asynchronous batch frame, routed to the channel's
+// point-to-point queue instead of the lockstep inbox), then payload. The
+// handshake frame is: u32 magic, u32 rank.
 package tcptransport
 
 import (
@@ -90,8 +92,14 @@ const frameHeaderSize = 8
 // was aborted by the sender and the payload carries the cause.
 const ctrlAbort = 1 << 31
 
-// maxChannelID bounds channel ids to the low 31 bits of the channel word.
-const maxChannelID = ctrlAbort - 1
+// ctrlAsync marks an asynchronous batch frame (comm.BatchSender): the
+// payload bypasses the named channel's lockstep inbox and lands in its
+// point-to-point batch queue, so async traffic never perturbs the
+// positional frame matching the collectives rely on.
+const ctrlAsync = 1 << 30
+
+// maxChannelID bounds channel ids to the low 30 bits of the channel word.
+const maxChannelID = ctrlAsync - 1
 
 // Config describes the machine: one address per rank. Rank i listens on
 // Addrs[i]; all ranks must share an identical Addrs slice.
@@ -427,6 +435,7 @@ func (t *Transport) newChannelLocked(id uint32) *Channel {
 		abortCh:   make(chan struct{}),
 		peerErrs:  make([]error, t.size),
 		peerFailC: make([]chan struct{}, t.size),
+		batchC:    make(chan struct{}, 1),
 	}
 	for p := 0; p < t.size; p++ {
 		ch.inbox[p] = make(chan frame, 1)
@@ -505,7 +514,7 @@ func (t *Transport) readLoop(p int, conn net.Conn) {
 			fail(fmt.Errorf("oversized frame %d", n))
 			return
 		}
-		id := cw &^ ctrlAbort
+		id := cw &^ (ctrlAbort | ctrlAsync)
 		ch := t.channel(id)
 		if cw&ctrlAbort != 0 {
 			// Channel-level abort: the payload is the remote cause. Only
@@ -516,6 +525,18 @@ func (t *Transport) readLoop(p int, conn net.Conn) {
 				return
 			}
 			ch.poison(fmt.Errorf("%w: channel %d aborted by rank %d: %s", comm.ErrAborted, id, p, msg))
+			continue
+		}
+		if cw&ctrlAsync != 0 {
+			// Asynchronous batch: freshly allocated payload (its ownership
+			// transfers to the RecvBatch caller for good, so the pooled
+			// collective buffers cannot back it), queued out of band.
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				fail(err)
+				return
+			}
+			ch.pushBatch(p, payload)
 			continue
 		}
 		payload := ch.recvBuf(p, int(n))
@@ -589,6 +610,16 @@ func (t *Transport) AllreduceInt64(vals []int64, op comm.ReduceOp) ([]int64, err
 
 // Barrier implements comm.Transport on channel 0.
 func (t *Transport) Barrier() error { return t.root.Barrier() }
+
+// SendBatch implements comm.BatchSender on channel 0.
+func (t *Transport) SendBatch(dest int, payload []byte) error {
+	return t.root.SendBatch(dest, payload)
+}
+
+// RecvBatch implements comm.BatchSender on channel 0.
+func (t *Transport) RecvBatch(wait time.Duration) (int, []byte, bool, error) {
+	return t.root.RecvBatch(wait)
+}
 
 // failConns moves every connection's deadline into the past, forcing all
 // in-flight reads and writes to fail promptly. Called when a collective
@@ -675,6 +706,19 @@ type Channel struct {
 	peerErrMu sync.Mutex
 	peerErrs  []error
 	peerFailC []chan struct{}
+
+	// batchMu guards batchQ, the FIFO of received async batches
+	// (comm.BatchSender); batchC carries a single wake-up token to the
+	// channel's (single) RecvBatch caller.
+	batchMu sync.Mutex
+	batchQ  []asyncBatch
+	batchC  chan struct{}
+}
+
+// asyncBatch is one received point-to-point batch awaiting RecvBatch.
+type asyncBatch struct {
+	src     int
+	payload []byte
 }
 
 // failPeer marks peer p's link to this channel failed (first cause
@@ -1010,4 +1054,99 @@ func (c *Channel) AllreduceInt64(vals []int64, op comm.ReduceOp) ([]int64, error
 func (c *Channel) Barrier() error {
 	_, err := c.AllreduceInt64(nil, comm.Sum)
 	return err
+}
+
+// ---- asynchronous batches ---------------------------------------------------
+
+// pushBatch queues a received async batch for RecvBatch and wakes a
+// blocked receiver. Called by the read loops.
+func (c *Channel) pushBatch(src int, payload []byte) {
+	c.batchMu.Lock()
+	c.batchQ = append(c.batchQ, asyncBatch{src: src, payload: payload})
+	c.batchMu.Unlock()
+	select {
+	case c.batchC <- struct{}{}:
+	default:
+	}
+}
+
+// popBatch removes the oldest queued batch, if any.
+func (c *Channel) popBatch() (asyncBatch, bool) {
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	if len(c.batchQ) == 0 {
+		return asyncBatch{}, false
+	}
+	m := c.batchQ[0]
+	c.batchQ[0] = asyncBatch{}
+	c.batchQ = c.batchQ[1:]
+	if len(c.batchQ) == 0 {
+		c.batchQ = nil // let the drained backing array go
+	}
+	return m, true
+}
+
+// SendBatch implements comm.BatchSender: the payload is copied into one
+// freshly framed buffer and handed to the destination's writer goroutine
+// fire-and-forget (async frame loss modes — a dead socket — already
+// poison the mesh through the read loops, exactly as for abort control
+// frames). Self-sends bypass the wire and land directly in the local
+// queue.
+func (c *Channel) SendBatch(dest int, payload []byte) error {
+	if dest < 0 || dest >= c.t.size {
+		return errors.New("tcptransport: SendBatch destination out of range")
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("tcptransport: batch for rank %d exceeds frame limit", dest)
+	}
+	if err := c.err(); err != nil {
+		return err
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	if dest == c.t.rank {
+		c.pushBatch(dest, cp)
+		return nil
+	}
+	if c.t.conns[dest] == nil {
+		return fmt.Errorf("tcptransport: no connection to rank %d", dest)
+	}
+	buf := make([]byte, frameHeaderSize, frameHeaderSize+len(cp))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(cp)))
+	binary.LittleEndian.PutUint32(buf[4:8], c.id|ctrlAsync)
+	buf = append(buf, cp...)
+	return c.t.enqueue(dest, outFrame{bufs: net.Buffers{buf}})
+}
+
+// RecvBatch implements comm.BatchSender: it pops the oldest pending
+// batch, waiting up to wait for one to arrive (wait=0 polls). Batches
+// that arrived before a channel failure are still delivered; once the
+// queue is empty a poisoned channel reports its abort cause.
+func (c *Channel) RecvBatch(wait time.Duration) (int, []byte, bool, error) {
+	var timeoutC <-chan time.Time
+	for {
+		if m, ok := c.popBatch(); ok {
+			return m.src, m.payload, true, nil
+		}
+		if err := c.err(); err != nil {
+			return 0, nil, false, err
+		}
+		if wait <= 0 {
+			return 0, nil, false, nil
+		}
+		if timeoutC == nil {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			timeoutC = timer.C
+		}
+		select {
+		case <-c.batchC:
+			// Recheck the queue; the token may be stale.
+		case <-c.abortCh:
+			// Poisoned; the next iteration drains any batch that raced
+			// ahead of the abort, then reports the cause.
+		case <-timeoutC:
+			return 0, nil, false, nil
+		}
+	}
 }

@@ -4,9 +4,17 @@ package sssp
 // by bucket index) with lazy deletion: when a vertex's tentative distance
 // improves it is appended to its new bucket's list, and the entry in the
 // old list goes stale. Stale entries are filtered against bucketOf when a
-// list is read. Because tentative distances only decrease, a vertex is
-// appended to any given bucket at most once, so lists never contain
+// list is read. Under bulk-synchronous execution, tentative distances
+// only decrease and a bucket is processed exactly once, so a vertex is
+// appended to any given bucket at most once and lists never contain
 // duplicates of valid entries.
+//
+// The asynchronous mode (async.go) breaks that at-most-once property: a
+// vertex collected from bucket k can be re-improved within k and
+// re-appended to the same list. Async reads therefore filter on a
+// per-vertex pending flag as well (nextPending, collectAsyncMembers),
+// which the collection pass clears first-occurrence-wins, making later
+// duplicates of the same vertex stale by construction.
 //
 // Retired list storage (dropped buckets, fully-stale lists, reset) is
 // kept on a free list and handed back out by add, so a long-lived
@@ -62,6 +70,39 @@ func (s *bucketStore) nextNonEmpty(k int64, bucketOf []int64) int64 {
 		valid := l[:0]
 		for _, li := range l {
 			if bucketOf[li] == best {
+				valid = append(valid, li)
+			}
+		}
+		if len(valid) > 0 {
+			s.lists[best] = valid
+			return best
+		}
+		s.drop(best)
+	}
+}
+
+// nextPending returns the smallest bucket index holding at least one
+// entry that is both valid (bucketOf matches) and pending, or infBucket
+// if none. Unlike nextNonEmpty it scans every bucket, not only those
+// above a floor: asynchronous arrival can re-populate a bucket below the
+// one processed last. Visited fully-useless lists are recycled; partially
+// useless ones are compacted.
+func (s *bucketStore) nextPending(bucketOf []int64, pending []bool) int64 {
+	for {
+		best := int64(infBucket)
+		//parssspvet:allow nodeterminism -- pure min reduction over the keys; result is order-insensitive
+		for idx := range s.lists {
+			if idx < best {
+				best = idx
+			}
+		}
+		if best == int64(infBucket) {
+			return best
+		}
+		l := s.lists[best]
+		valid := l[:0]
+		for _, li := range l {
+			if bucketOf[li] == best && pending[li] {
 				valid = append(valid, li)
 			}
 		}

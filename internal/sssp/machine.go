@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"parsssp/internal/comm"
 	"parsssp/internal/comm/memtransport"
@@ -224,7 +225,18 @@ func (r *queryState) reset(src graph.Vertex) {
 		r.bucketOf[i] = infBucket
 		r.mark[i] = -1
 	}
+	for i := range r.pending {
+		r.pending[i] = false
+	}
+	for i := range r.longPending {
+		r.longPending[i] = false
+	}
+	for i := range r.asyncStage {
+		r.asyncStage[i] = r.asyncStage[i][:0]
+		r.asyncStageAt[i] = time.Time{}
+	}
 	r.store.reset()
+	r.longStore.reset()
 	r.curK = 0
 	r.hybridMode = false
 	r.active = r.active[:0]

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"parsssp/internal/graph"
 )
@@ -58,6 +59,43 @@ func (e PullEstimator) String() string {
 	default:
 		return fmt.Sprintf("PullEstimator(%d)", int(e))
 	}
+}
+
+// ExecMode selects the engine's execution discipline.
+type ExecMode int
+
+const (
+	// ExecBSP is the bulk-synchronous reference: relaxations travel in
+	// per-phase collective exchanges, progress is settled at phase
+	// barriers. Deterministic, and the paper's execution model.
+	ExecBSP ExecMode = iota
+	// ExecAsync is the barrier-free mode: each rank drains incoming relax
+	// batches as they arrive, applies them through the lazy-deletion
+	// buckets, and forwards outgoing batches as soon as a size or time
+	// watermark fills — with counting-based distributed termination
+	// detection over the collective Allreduce replacing per-phase
+	// barriers. Produces the same distance and parent trees as ExecBSP
+	// (see DESIGN.md "Asynchronous execution & termination detection").
+	ExecAsync
+)
+
+// String returns "bsp" or "async".
+func (m ExecMode) String() string {
+	if m == ExecAsync {
+		return "async"
+	}
+	return "bsp"
+}
+
+// ParseExecMode parses the -exec-mode flag values "bsp" and "async".
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "bsp":
+		return ExecBSP, nil
+	case "async":
+		return ExecAsync, nil
+	}
+	return ExecBSP, fmt.Errorf("sssp: unknown exec mode %q (want bsp or async)", s)
 }
 
 // Mode selects the relaxation mechanism of a long-edge phase.
@@ -174,6 +212,28 @@ type Options struct {
 	// identical dist/parent results and identical record-level Stats;
 	// only Traffic.BytesSent/BytesReceived differ. See msg.go.
 	WireFormat WireFormat
+
+	// ExecMode selects bulk-synchronous (the default) or asynchronous
+	// barrier-free execution; see ExecMode. Async ignores the per-bucket
+	// phase machinery (Prune, IOS, Hybrid, Census): without phase
+	// boundaries there is no bucket-wide member set to decide push/pull
+	// over, so every relaxation is a push — eager for short edges,
+	// deferred per bucket for long ones (see async.go).
+	ExecMode ExecMode
+
+	// AsyncFlushBytes is the size watermark of the async mode's outgoing
+	// staging: a destination's batch is sent as soon as it holds at least
+	// this many staged bytes. Zero means 1 — forward every round's
+	// records immediately, which measures fastest on latency-dominated
+	// fabrics because improvements propagate at wire speed and peers
+	// speculate less on stale distances. Raise it to amortize a
+	// per-message cost when the fabric has one.
+	AsyncFlushBytes int
+
+	// AsyncFlushInterval is the time watermark: staged records older than
+	// this are flushed even below the size watermark, bounding the
+	// latency a small tail of records can linger unsent. Zero means 200µs.
+	AsyncFlushInterval time.Duration
 }
 
 // Validate reports configuration errors.
@@ -199,7 +259,35 @@ func (o *Options) Validate() error {
 	if o.WireFormat != WireV1 && o.WireFormat != WireV2 {
 		return fmt.Errorf("sssp: unknown WireFormat %d", int(o.WireFormat))
 	}
+	if o.ExecMode != ExecBSP && o.ExecMode != ExecAsync {
+		return fmt.Errorf("sssp: unknown ExecMode %d", int(o.ExecMode))
+	}
+	if o.ExecMode == ExecAsync {
+		if o.Census {
+			return fmt.Errorf("sssp: Census requires bulk-synchronous per-bucket phases (ExecMode bsp)")
+		}
+		if o.AsyncFlushBytes < 0 {
+			return fmt.Errorf("sssp: negative AsyncFlushBytes %d", o.AsyncFlushBytes)
+		}
+		if o.AsyncFlushInterval < 0 {
+			return fmt.Errorf("sssp: negative AsyncFlushInterval %v", o.AsyncFlushInterval)
+		}
+	}
 	return nil
+}
+
+func (o *Options) asyncFlushBytes() int {
+	if o.AsyncFlushBytes == 0 {
+		return 1
+	}
+	return o.AsyncFlushBytes
+}
+
+func (o *Options) asyncFlushInterval() time.Duration {
+	if o.AsyncFlushInterval == 0 {
+		return 200 * time.Microsecond
+	}
+	return o.AsyncFlushInterval
 }
 
 func (o *Options) threads() int {

@@ -20,6 +20,11 @@ const (
 	PhaseLongPull
 	// PhaseBellmanFord is a post-hybrid-switch relaxation round.
 	PhaseBellmanFord
+	// PhaseAsync is one rank-local relax-drain round of the asynchronous
+	// execution mode. Unlike the other kinds it is not a collective: each
+	// rank's rounds run unaligned with its peers', so a merged timeline
+	// concatenates rather than zips them (see mergePhaseLogs).
+	PhaseAsync
 )
 
 // String returns the phase kind name.
@@ -35,6 +40,8 @@ func (k PhaseKind) String() string {
 		return "long-pull"
 	case PhaseBellmanFord:
 		return "bellman-ford"
+	case PhaseAsync:
+		return "async-round"
 	default:
 		return fmt.Sprintf("PhaseKind(%d)", int(k))
 	}
@@ -72,14 +79,20 @@ func (r *queryState) logPhase(bucket int64, kind PhaseKind, active int,
 	})
 }
 
-// mergePhaseLogs combines per-rank timelines (which align exactly,
-// because phases are lockstep collectives).
+// mergePhaseLogs combines per-rank timelines. BSP timelines align
+// exactly (phases are lockstep collectives) and are zipped: Active and
+// Relax summed, Duration maxed. Async timelines are rank-local and do
+// not align, so rank 0's log is kept as the representative timeline —
+// zipping unrelated rounds would produce nonsense.
 func mergePhaseLogs(out *Stats, ranks []*RankResult) {
 	if len(ranks) == 0 || len(ranks[0].Stats.PhaseLog) == 0 {
 		return
 	}
 	out.PhaseLog = make([]PhaseRecord, len(ranks[0].Stats.PhaseLog))
 	copy(out.PhaseLog, ranks[0].Stats.PhaseLog)
+	if len(out.PhaseLog) > 0 && out.PhaseLog[0].Kind == PhaseAsync {
+		return
+	}
 	for _, rr := range ranks[1:] {
 		log := rr.Stats.PhaseLog
 		for i := range out.PhaseLog {

@@ -68,7 +68,16 @@ type queryState struct {
 	phBEnd  graph.Dist // bucket end of the current short/outer-short phase
 	phKBase graph.Dist // kΔ of the current pull phase
 
-	shortFn, outerFn, longFn, pullFn, bfFn func(tid int, it workItem)
+	shortFn, outerFn, longFn, pullFn, bfFn, asyncShortFn, asyncLongFn func(tid int, it workItem)
+
+	// Asynchronous execution scratch (ExecMode async; see async.go).
+	// Allocated lazily by the first async run on this state.
+	pending       []bool      // vertex is queued for an async short-edge round
+	longPending   []bool      // vertex has a deferred async long-edge relax
+	longStore     bucketStore // deferred long-edge queue, keyed like store
+	asyncStage    [][]byte    // per-dest staged v1 records awaiting a watermark
+	asyncStageAt  []time.Time // stage time of each dest's oldest staged record
+	asyncFlushBuf []byte      // wire-encoding scratch of async flushes
 
 	settledTotal int64
 	epochSeq     int // epoch ordinal (for DecisionSequence)
@@ -526,6 +535,9 @@ func (r *queryState) corruptErr(src int, kind string, cause error) error {
 // run executes the full query on this rank and leaves per-rank results in
 // r.dist / r.stats.
 func (r *queryState) run() error {
+	if r.opts.ExecMode == ExecAsync {
+		return r.runAsync()
+	}
 	totalStart := now()
 	localMin := int64(infBucket)
 	if r.pd.Owner(r.src) == r.rank {

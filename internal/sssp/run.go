@@ -200,6 +200,12 @@ func mergeStats(ranks []*RankResult) Stats {
 		if t := s.Relax.Total(); t > out.MaxRankRelax {
 			out.MaxRankRelax = t
 		}
+		if s.AsyncRounds > out.AsyncRounds {
+			out.AsyncRounds = s.AsyncRounds
+		}
+		if s.AsyncProbes > out.AsyncProbes {
+			out.AsyncProbes = s.AsyncProbes
+		}
 		out.RankRelax = append(out.RankRelax, s.Relax.Total())
 		for i, b := range s.Buckets {
 			if i >= len(out.Buckets) {

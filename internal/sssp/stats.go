@@ -25,6 +25,10 @@ type RelaxCounts struct {
 	PullResponses int64
 	// BellmanFord counts relaxations performed after the hybrid switch.
 	BellmanFord int64
+	// AsyncPush counts full-adjacency relaxations performed by the
+	// asynchronous execution mode (which has no short/long or push/pull
+	// split; see async.go).
+	AsyncPush int64
 	// Skipped counts IOS- or pull-condition-suppressed relaxations
 	// (edges inspected but provably useless).
 	Skipped int64
@@ -35,7 +39,7 @@ type RelaxCounts struct {
 // fair comparison).
 func (r RelaxCounts) Total() int64 {
 	return r.ShortPush + r.OuterShortPush + r.LongPush +
-		r.PullRequests + r.PullResponses + r.BellmanFord
+		r.PullRequests + r.PullResponses + r.BellmanFord + r.AsyncPush
 }
 
 // Add accumulates other into r.
@@ -46,6 +50,7 @@ func (r *RelaxCounts) Add(other RelaxCounts) {
 	r.PullRequests += other.PullRequests
 	r.PullResponses += other.PullResponses
 	r.BellmanFord += other.BellmanFord
+	r.AsyncPush += other.AsyncPush
 	r.Skipped += other.Skipped
 }
 
@@ -112,6 +117,14 @@ type Stats struct {
 	// PhaseLog is the per-phase execution timeline (only when
 	// Options.RecordPhases is set).
 	PhaseLog []PhaseRecord
+	// AsyncRounds is the largest per-rank count of asynchronous
+	// relax-drain rounds (async mode only). Rounds are rank-local — there
+	// are no phase barriers to align them — so the merge takes the max.
+	AsyncRounds int64
+	// AsyncProbes is the number of termination-detection probe rounds the
+	// async run settled over (async mode only; collective, so identical
+	// on every rank).
+	AsyncProbes int64
 	// Traffic aggregates wire counters over all ranks.
 	Traffic comm.TrafficStats
 }

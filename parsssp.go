@@ -74,6 +74,8 @@ type (
 	BucketStats = sssp.BucketStats
 	// Mode is a long-edge mechanism (push or pull).
 	Mode = sssp.Mode
+	// ExecMode selects bulk-synchronous or asynchronous execution.
+	ExecMode = sssp.ExecMode
 	// SeqResult is the output of the sequential reference algorithms.
 	SeqResult = sssp.SeqResult
 )
@@ -83,6 +85,20 @@ const (
 	ModePush = sssp.ModePush
 	ModePull = sssp.ModePull
 )
+
+// Execution modes: collectively scheduled per-bucket phases (the
+// deterministic default) or barrier-free relaxation with distributed
+// termination detection. Both produce byte-identical distances and
+// parent trees; see DESIGN.md "Asynchronous execution & termination
+// detection".
+const (
+	ExecBSP   = sssp.ExecBSP
+	ExecAsync = sssp.ExecAsync
+)
+
+// ParseExecMode parses "bsp" or "async" (as accepted by
+// `ssspd -exec-mode`).
+var ParseExecMode = sssp.ParseExecMode
 
 // Algorithm presets from the paper.
 var (
