@@ -50,11 +50,15 @@ bench-serve-json:
 	go test -run '^$$' -bench BenchmarkServeThroughput -benchtime 10x . \
 		| go run ./cmd/benchjson -out BENCH_serve.json
 
-# Archive the dynamic-update benchmarks (incremental repair vs full
-# rebuild after an edge-update batch, scale 13 / 4 ranks) as
-# BENCH_dynamic.json. See EXPERIMENTS.md "Dynamic updates".
+# Archive the dynamic-update benchmarks as BENCH_dynamic.json:
+# end-to-end incremental repair vs full recompute after an edge-update
+# batch (BenchmarkIncrementalRepair), plus the isolated version-advance
+# cost — patched CSR/plane apply vs legacy full rebuild at batch sizes
+# 4/32/256 (BenchmarkPlaneApply). Scale 13 / 4 ranks throughout. See
+# EXPERIMENTS.md "Dynamic updates".
 bench-dynamic-json:
-	go test -run '^$$' -bench BenchmarkIncrementalRepair -benchtime 16x . \
+	{ go test -run '^$$' -bench BenchmarkIncrementalRepair -benchtime 16x . ; \
+	  go test -run '^$$' -bench BenchmarkPlaneApply -benchtime 64x ./internal/sssp ; } \
 		| go run ./cmd/benchjson -out BENCH_dynamic.json
 
 # Archive the execution-mode benchmarks (asynchronous barrier-free

@@ -64,7 +64,20 @@ func FromEdges(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
 	}
 	g := &Graph{offsets: offsets, adj: adj, weights: weights, numEdge: int64(len(work))}
 	g.sortRows()
+	g.cacheMaxWeight()
 	return g, nil
+}
+
+// cacheMaxWeight records the maximum edge weight so MaxWeight is O(1)
+// and patch derivation can track it incrementally.
+func (g *Graph) cacheMaxWeight() {
+	var mw Weight
+	for _, w := range g.weights {
+		if w > mw {
+			mw = w
+		}
+	}
+	g.maxW, g.maxWOK = mw, true
 }
 
 // dedupMinWeight collapses parallel edges, keeping the minimum weight per
@@ -137,6 +150,7 @@ func FromCSR(offsets []int64, adj []Vertex, weights []Weight, skipValidate bool)
 	}
 	g := &Graph{offsets: offsets, adj: adj, weights: weights, numEdge: int64(len(adj) / 2)}
 	g.sortRows()
+	g.cacheMaxWeight()
 	if !skipValidate {
 		if err := g.Validate(); err != nil {
 			return nil, err

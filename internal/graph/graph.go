@@ -43,12 +43,25 @@ type Edge struct {
 }
 
 // Graph is an immutable weighted undirected graph in CSR form. Use a
-// Builder or FromEdges to construct one.
+// Builder or FromEdges to construct one; Patched derives a new graph
+// from an existing one by a row-granularity copy-on-write overlay
+// (patch.go) instead of a full rebuild.
 type Graph struct {
-	offsets []int64  // len N+1; adjacency of v is [offsets[v], offsets[v+1])
-	adj     []Vertex // len 2M
-	weights []Weight // len 2M; sorted ascending within each vertex's range
+	offsets []int64  // len N+1; base adjacency of v is [offsets[v], offsets[v+1])
+	adj     []Vertex // base CSR entries (2M at construction)
+	weights []Weight // parallel to adj; sorted ascending within each row
 	numEdge int64    // M, number of undirected edges
+
+	// patch, when non-nil, overlays rewritten rows on the base arrays:
+	// a patched vertex's row lives in the overlay arena and its base
+	// entries are dead. All row accessors dispatch through it.
+	patch *rowPatch
+
+	// maxW caches the maximum edge weight when maxWOK; constructors set
+	// it so patched graphs (whose base weights include dead entries)
+	// never scan raw arrays.
+	maxW   Weight
+	maxWOK bool
 }
 
 // NumVertices returns N, the number of vertices.
@@ -60,24 +73,38 @@ func (g *Graph) NumEdges() int64 { return g.numEdge }
 
 // Degree returns the number of CSR entries (incident edge endpoints) of v.
 func (g *Graph) Degree(v Vertex) int {
+	if g.patch != nil {
+		if i, ok := g.patch.find(v); ok {
+			return int(g.patch.starts[i+1] - g.patch.starts[i])
+		}
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
 // Neighbors returns the adjacency and weight slices of v, sorted by
 // ascending weight. The slices alias the graph's internal storage and must
-// not be modified.
+// not be modified. On a patched graph the row may come from the patch
+// arena rather than the base arrays; callers cannot tell the difference.
 func (g *Graph) Neighbors(v Vertex) ([]Vertex, []Weight) {
+	if g.patch != nil {
+		if i, ok := g.patch.find(v); ok {
+			return g.patch.row(i)
+		}
+	}
 	lo, hi := g.offsets[v], g.offsets[v+1]
 	return g.adj[lo:hi], g.weights[lo:hi]
 }
 
 // AdjOffsets returns the CSR row bounds of v, for callers that index the
-// shared arrays directly.
+// shared arrays directly. Only meaningful on compact graphs (IsCompact):
+// a patched vertex's row lives in the overlay arena, not at these
+// offsets. Use Neighbors for representation-independent access.
 func (g *Graph) AdjOffsets(v Vertex) (lo, hi int64) {
 	return g.offsets[v], g.offsets[v+1]
 }
 
-// AdjAt returns the i-th CSR entry (global index into the shared arrays).
+// AdjAt returns the i-th CSR entry (global index into the shared
+// arrays). Like AdjOffsets, only meaningful on compact graphs.
 func (g *Graph) AdjAt(i int64) (Vertex, Weight) {
 	return g.adj[i], g.weights[i]
 }
@@ -105,8 +132,12 @@ func (g *Graph) CountWeightRange(v Vertex, a, b Weight) int {
 }
 
 // MaxWeight returns the maximum edge weight in the graph, or 0 for an
-// edgeless graph.
+// edgeless graph. Constructors cache it, so the call is O(1); the scan
+// fallback only serves zero-value graphs no constructor produced.
 func (g *Graph) MaxWeight() Weight {
+	if g.maxWOK {
+		return g.maxW
+	}
 	var mw Weight
 	for _, w := range g.weights {
 		if w > mw {
@@ -166,9 +197,10 @@ func (g *Graph) Stats(thresholds ...int) DegreeStats {
 }
 
 // Validate checks structural invariants: monotone offsets, in-range
-// adjacency targets, weight-sorted rows, and symmetric edges (every CSR
-// entry (u,v,w) has a matching (v,u,w)). It is O(M log M) and intended for
-// tests and tools, not hot paths.
+// adjacency targets, weight-sorted rows, symmetric edges (every CSR
+// entry (u,v,w) has a matching (v,u,w)), a consistent patch overlay and
+// a truthful max-weight cache. It is O(M log M) and intended for tests
+// and tools, not hot paths.
 func (g *Graph) Validate() error {
 	n := g.NumVertices()
 	if len(g.offsets) == 0 {
@@ -185,26 +217,40 @@ func (g *Graph) Validate() error {
 	if g.offsets[n] != int64(len(g.adj)) || len(g.adj) != len(g.weights) {
 		return errors.New("graph: offsets/adjacency length mismatch")
 	}
-	if int64(len(g.adj)) != 2*g.numEdge {
+	if err := g.validatePatch(); err != nil {
+		return err
+	}
+	var entries int64
+	for v := 0; v < n; v++ {
+		entries += int64(g.Degree(Vertex(v)))
+	}
+	if entries != 2*g.numEdge {
 		return fmt.Errorf("graph: numEdge %d inconsistent with %d CSR entries",
-			g.numEdge, len(g.adj))
+			g.numEdge, entries)
 	}
 	type half struct {
 		u, v Vertex
 		w    Weight
 	}
-	halves := make([]half, 0, len(g.adj))
+	halves := make([]half, 0, entries)
+	var maxSeen Weight
 	for v := 0; v < n; v++ {
-		lo, hi := g.offsets[v], g.offsets[v+1]
-		for i := lo; i < hi; i++ {
-			if int(g.adj[i]) >= n {
-				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, g.adj[i])
+		nbr, ws := g.Neighbors(Vertex(v))
+		for i, u := range nbr {
+			if int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
 			}
-			if i > lo && g.weights[i] < g.weights[i-1] {
+			if i > 0 && ws[i] < ws[i-1] {
 				return fmt.Errorf("graph: adjacency of vertex %d not weight-sorted", v)
 			}
-			halves = append(halves, half{Vertex(v), g.adj[i], g.weights[i]})
+			if ws[i] > maxSeen {
+				maxSeen = ws[i]
+			}
+			halves = append(halves, half{Vertex(v), u, ws[i]})
 		}
+	}
+	if g.maxWOK && g.maxW != maxSeen {
+		return fmt.Errorf("graph: cached max weight %d, rows say %d", g.maxW, maxSeen)
 	}
 	key := func(h half) uint64 {
 		return uint64(h.u)<<32 | uint64(h.v)

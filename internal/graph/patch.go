@@ -1,0 +1,445 @@
+package graph
+
+// Incremental CSR patching. WithUpdates (update.go) rebuilds the whole
+// CSR from a filtered edge list — O(N+M) per batch however small the
+// batch. Patched below applies the same delete/insert semantics as a
+// row-granularity copy-on-write overlay instead: only touched vertices'
+// adjacency rows are rewritten (into a small patch arena), untouched
+// rows keep aliasing the parent snapshot's arrays, and the result is
+// still an immutable plain *Graph — every consumer reads rows through
+// Neighbors/Degree, which dispatch into the overlay, so engine planes,
+// validators and generators are none the wiser.
+//
+// Overlay growth is bounded by amortized compaction: once the arena
+// plus the base entries it shadows exceed a fraction of the base CSR,
+// Patched returns a fully compacted graph (contiguous arrays, nil
+// overlay). Compaction is a straight O(N+M) row copy — the rows are
+// already canonically sorted — so its cost amortizes over the batches
+// that accumulated the deltas, and the overlay lookup cost (a bitmap
+// probe, plus a binary search only for rows actually patched) never
+// drifts far from the compact graph's.
+//
+// Precondition: the receiver must follow the default builder rules —
+// no self-loops, at most one edge per vertex pair (min-weight dedup).
+// That is what FromEdges produces with default BuildOptions and what
+// the delete-by-pair semantics already assume; a graph built with
+// KeepSelfLoops/KeepParallelEdges must go through WithUpdates, which
+// renormalizes everything.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// rowPatch is the copy-on-write overlay of a patched Graph: the rows
+// that differ from the base arrays, in one shared arena. A rowPatch is
+// immutable once its Graph is returned; parents and children may alias
+// one (Grown) or share the base arrays around different overlays
+// (Patched).
+type rowPatch struct {
+	verts   []Vertex // patched vertices, sorted ascending, no duplicates
+	starts  []int64  // len(verts)+1; row i occupies arena [starts[i], starts[i+1])
+	adj     []Vertex // arena, rows canonically sorted like the base CSR
+	weights []Weight
+	bits    []uint64 // bit v set iff v's row is patched; len (n+63)/64
+	shadow  int64    // base CSR entries shadowed (dead) under patched rows
+}
+
+// find returns the overlay row index of v. The bitmap rejects the
+// common untouched-vertex case in O(1); only patched rows pay the
+// binary search.
+func (p *rowPatch) find(v Vertex) (int, bool) {
+	w := int(v >> 6)
+	if w >= len(p.bits) || p.bits[w]&(1<<(v&63)) == 0 {
+		return 0, false
+	}
+	lo, hi := 0, len(p.verts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.verts[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// row returns the arena row at overlay index i.
+func (p *rowPatch) row(i int) ([]Vertex, []Weight) {
+	lo, hi := p.starts[i], p.starts[i+1]
+	return p.adj[lo:hi], p.weights[lo:hi]
+}
+
+// entries returns the number of CSR entries resident in the arena.
+func (p *rowPatch) entries() int64 { return int64(len(p.adj)) }
+
+// patchCompact* set the amortized compaction policy: a patch chain
+// compacts once arena entries plus shadowed base entries exceed
+// base/patchCompactDen + patchCompactSlack. Package variables so tests
+// can force threshold crossings on small graphs.
+var (
+	patchCompactDen   = int64(4)
+	patchCompactSlack = int64(64)
+)
+
+// patchThreshold returns the overlay size beyond which Patched compacts.
+func patchThreshold(baseEntries int) int64 {
+	return int64(baseEntries)/patchCompactDen + patchCompactSlack
+}
+
+// IsCompact reports whether the graph has no pending patch overlay.
+// AdjOffsets/AdjAt are only meaningful on compact graphs.
+func (g *Graph) IsCompact() bool { return g.patch == nil }
+
+// PatchStats returns the overlay shape — patched row count, arena
+// entries, and shadowed base entries — all zero for a compact graph.
+// Tests use it to drive the compaction policy.
+func (g *Graph) PatchStats() (rows int, entries, shadow int64) {
+	if g.patch == nil {
+		return 0, 0, 0
+	}
+	return len(g.patch.verts), g.patch.entries(), g.patch.shadow
+}
+
+// pairChange is the effective outcome of one batch on one vertex pair
+// whose row content actually changes (no-ops are filtered out).
+type pairChange struct {
+	u, v           Vertex // u < v
+	hasOld, hasNew bool
+	oldW, newW     Weight
+}
+
+// other returns the endpoint of c that is not x.
+func (c pairChange) other(x Vertex) Vertex {
+	if c.u == x {
+		return c.v
+	}
+	return c.u
+}
+
+// Patched returns a new graph with the given edges removed and then
+// added — WithUpdates semantics exactly (delete by pair whatever the
+// weight, absent delete is a no-op, inserts min-merge with survivors,
+// self-loop inserts dropped, out-of-range insert fails the whole
+// batch) — but built as a row-granularity copy-on-write patch: cost is
+// O(batch + overlay) rather than O(N+M), untouched rows share storage
+// with the receiver, and an amortized compaction keeps the overlay a
+// bounded fraction of the base CSR. The receiver is not modified and
+// stays fully readable.
+func (g *Graph) Patched(deletes, inserts []Edge) (*Graph, error) {
+	n := g.NumVertices()
+	for _, e := range inserts {
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
+		}
+	}
+	del := make(map[uint64]struct{}, len(deletes))
+	for _, e := range deletes {
+		del[pairKey(e.U, e.V)] = struct{}{}
+	}
+	// Min-weight dedup of the inserts themselves, self-loops dropped —
+	// the builder's rules, applied up front so each pair resolves once.
+	ins := make(map[uint64]Weight, len(inserts))
+	for _, e := range inserts {
+		if e.U == e.V {
+			continue
+		}
+		k := pairKey(e.U, e.V)
+		if w, ok := ins[k]; !ok || e.W < w {
+			ins[k] = e.W
+		}
+	}
+
+	// Resolve every named pair to its effective change, dropping no-ops
+	// (absent deletes, inserts that min-merge to the existing weight).
+	seen := make(map[uint64]struct{}, len(del)+len(ins))
+	var changes []pairChange
+	consider := func(u, v Vertex) {
+		if u == v || int(u) >= n || int(v) >= n {
+			return // self pair or out-of-range delete: can match nothing
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := pairKey(u, v)
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		oldW, hasOld := g.EdgeWeight(u, v)
+		_, deleted := del[k]
+		insW, hasIns := ins[k]
+		hasNew, newW := false, Weight(0)
+		switch {
+		case hasIns && (deleted || !hasOld):
+			hasNew, newW = true, insW
+		case hasIns: // min-merge with the surviving edge
+			hasNew, newW = true, oldW
+			if insW < newW {
+				newW = insW
+			}
+		case deleted:
+			// pair ends absent
+		}
+		if hasOld == hasNew && (!hasOld || oldW == newW) {
+			return
+		}
+		changes = append(changes, pairChange{u, v, hasOld, hasNew, oldW, newW})
+	}
+	for _, e := range deletes {
+		consider(e.U, e.V)
+	}
+	for _, e := range inserts {
+		consider(e.U, e.V)
+	}
+	if len(changes) == 0 {
+		ng := *g // content-identical snapshot; the overlay is immutable and shared
+		return &ng, nil
+	}
+
+	// Per-endpoint edit lists and the sorted touched-vertex set.
+	edits := make(map[Vertex][]pairChange, 2*len(changes))
+	for _, c := range changes {
+		edits[c.u] = append(edits[c.u], c)
+		edits[c.v] = append(edits[c.v], c)
+	}
+	touched := make([]Vertex, 0, len(edits))
+	for v := range edits {
+		touched = append(touched, v)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+
+	// Edge-count delta and incremental max-weight tracking. Losing a
+	// max-weight edge without a replacement at or above it forces a
+	// rescan — O(N) only, because rows are weight-sorted.
+	var dM int64
+	oldMax := g.MaxWeight()
+	newMax, maxLost := oldMax, false
+	for _, c := range changes {
+		if c.hasOld && !c.hasNew {
+			dM--
+		}
+		if !c.hasOld && c.hasNew {
+			dM++
+		}
+		if c.hasOld && c.oldW == oldMax && (!c.hasNew || c.newW < c.oldW) {
+			maxLost = true
+		}
+		if c.hasNew && c.newW > newMax {
+			newMax = c.newW
+		}
+	}
+
+	np := g.mergedOverlay(touched, edits)
+	ng := &Graph{
+		offsets: g.offsets,
+		adj:     g.adj,
+		weights: g.weights,
+		numEdge: g.numEdge + dM,
+		patch:   np,
+		maxWOK:  true,
+		maxW:    newMax,
+	}
+	if maxLost && newMax == oldMax {
+		ng.maxW = ng.scanMaxWeight()
+	}
+	if np.entries()+np.shadow > patchThreshold(len(g.adj)) {
+		return ng.compacted(), nil
+	}
+	return ng, nil
+}
+
+// mergedOverlay builds the child overlay: the receiver's patched rows
+// that stay untouched are copied into the new arena verbatim, touched
+// rows are rebuilt from their current content plus their edits.
+func (g *Graph) mergedOverlay(touched []Vertex, edits map[Vertex][]pairChange) *rowPatch {
+	old := g.patch
+	var oldVerts []Vertex
+	if old != nil {
+		oldVerts = old.verts
+	}
+	n := g.NumVertices()
+	np := &rowPatch{
+		verts:  make([]Vertex, 0, len(oldVerts)+len(touched)),
+		starts: make([]int64, 1, len(oldVerts)+len(touched)+1),
+		bits:   make([]uint64, (n+63)/64),
+	}
+	if old != nil {
+		copy(np.bits, old.bits)
+	}
+	appendRow := func(v Vertex, radj []Vertex, rws []Weight) {
+		np.verts = append(np.verts, v)
+		np.adj = append(np.adj, radj...)
+		np.weights = append(np.weights, rws...)
+		np.starts = append(np.starts, int64(len(np.adj)))
+		np.bits[v>>6] |= 1 << (v & 63)
+		np.shadow += g.offsets[v+1] - g.offsets[v]
+	}
+	i, j := 0, 0
+	for i < len(oldVerts) || j < len(touched) {
+		switch {
+		case j >= len(touched) || (i < len(oldVerts) && oldVerts[i] < touched[j]):
+			radj, rws := old.row(i)
+			appendRow(oldVerts[i], radj, rws)
+			i++
+		case i >= len(oldVerts) || touched[j] < oldVerts[i]:
+			radj, rws := g.editedRow(touched[j], edits[touched[j]])
+			appendRow(touched[j], radj, rws)
+			j++
+		default: // same vertex: the edited row supersedes the old patch row
+			radj, rws := g.editedRow(touched[j], edits[touched[j]])
+			appendRow(touched[j], radj, rws)
+			i++
+			j++
+		}
+	}
+	return np
+}
+
+// editedRow materializes the post-batch adjacency row of v: current
+// entries minus every edited pair's old entry, plus the surviving new
+// entries, re-sorted canonically (weight, then neighbor id).
+func (g *Graph) editedRow(v Vertex, ed []pairChange) ([]Vertex, []Weight) {
+	nbr, ws := g.Neighbors(v)
+	drop := make(map[Vertex]bool, len(ed))
+	adds := 0
+	for _, c := range ed {
+		drop[c.other(v)] = true
+		if c.hasNew {
+			adds++
+		}
+	}
+	radj := make([]Vertex, 0, len(nbr)+adds)
+	rws := make([]Weight, 0, len(nbr)+adds)
+	for i, u := range nbr {
+		if drop[u] {
+			continue
+		}
+		radj = append(radj, u)
+		rws = append(rws, ws[i])
+	}
+	for _, c := range ed {
+		if !c.hasNew {
+			continue
+		}
+		radj = append(radj, c.other(v))
+		rws = append(rws, c.newW)
+	}
+	sort.Sort(rowSorter{adj: radj, w: rws})
+	return radj, rws
+}
+
+// scanMaxWeight recomputes the maximum edge weight from row content.
+// Rows are weight-sorted, so only each row's last entry matters: O(N).
+func (g *Graph) scanMaxWeight() Weight {
+	var mw Weight
+	for v := 0; v < g.NumVertices(); v++ {
+		_, ws := g.Neighbors(Vertex(v))
+		if len(ws) > 0 && ws[len(ws)-1] > mw {
+			mw = ws[len(ws)-1]
+		}
+	}
+	return mw
+}
+
+// compacted materializes every row into fresh contiguous CSR arrays —
+// the canonical representation FromEdges would build, reached by a
+// straight row copy (no sorting: rows are already canonical).
+func (g *Graph) compacted() *Graph {
+	n := g.NumVertices()
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + int64(g.Degree(Vertex(v)))
+	}
+	adj := make([]Vertex, offsets[n])
+	weights := make([]Weight, offsets[n])
+	for v := 0; v < n; v++ {
+		nbr, ws := g.Neighbors(Vertex(v))
+		copy(adj[offsets[v]:offsets[v+1]], nbr)
+		copy(weights[offsets[v]:offsets[v+1]], ws)
+	}
+	return &Graph{
+		offsets: offsets,
+		adj:     adj,
+		weights: weights,
+		numEdge: g.numEdge,
+		maxW:    g.maxW,
+		maxWOK:  g.maxWOK,
+	}
+}
+
+// validatePatch checks the overlay's structural invariants: sorted
+// unique in-range patched vertices, a monotone arena index covering the
+// arena exactly, a bitmap that agrees with the vertex list, and a
+// shadow count matching the base rows it hides. Called from Validate.
+func (g *Graph) validatePatch() error {
+	p := g.patch
+	if p == nil {
+		return nil
+	}
+	n := g.NumVertices()
+	if len(p.starts) != len(p.verts)+1 || p.starts[0] != 0 ||
+		p.starts[len(p.verts)] != int64(len(p.adj)) || len(p.adj) != len(p.weights) {
+		return fmt.Errorf("graph: patch index/arena length mismatch")
+	}
+	if len(p.bits) != (n+63)/64 {
+		return fmt.Errorf("graph: patch bitmap covers %d words, want %d", len(p.bits), (n+63)/64)
+	}
+	var shadow int64
+	for i, v := range p.verts {
+		if int(v) >= n {
+			return fmt.Errorf("graph: patched vertex %d out of range", v)
+		}
+		if i > 0 && p.verts[i-1] >= v {
+			return fmt.Errorf("graph: patched vertices not sorted at %d", v)
+		}
+		if p.starts[i+1] < p.starts[i] {
+			return fmt.Errorf("graph: patch index not monotone at vertex %d", v)
+		}
+		if p.bits[v>>6]&(1<<(v&63)) == 0 {
+			return fmt.Errorf("graph: patched vertex %d missing from bitmap", v)
+		}
+		shadow += g.offsets[v+1] - g.offsets[v]
+	}
+	if shadow != p.shadow {
+		return fmt.Errorf("graph: patch shadow %d, base rows say %d", p.shadow, shadow)
+	}
+	var popcnt int
+	for _, w := range p.bits {
+		for ; w != 0; w &= w - 1 {
+			popcnt++
+		}
+	}
+	if popcnt != len(p.verts) {
+		return fmt.Errorf("graph: patch bitmap marks %d vertices, overlay has %d", popcnt, len(p.verts))
+	}
+	return nil
+}
+
+// Grown returns a graph with extra additional (edgeless) vertices
+// appended after the receiver's, sharing all row storage with it. The
+// offsets table is the only copy — O(N) — and new rows are empty until
+// a Patched call inserts edges to them. RunMultiSource uses it to graft
+// a virtual super-source onto a graph without rebuilding the CSR.
+func (g *Graph) Grown(extra int) *Graph {
+	ng := *g
+	if extra <= 0 {
+		return &ng
+	}
+	n := g.NumVertices()
+	offsets := make([]int64, n+1+extra)
+	copy(offsets, g.offsets)
+	total := g.offsets[n]
+	for i := n + 1; i < len(offsets); i++ {
+		offsets[i] = total
+	}
+	ng.offsets = offsets
+	if g.patch != nil {
+		np := *g.patch // shares verts/starts/arena; only the bitmap resizes
+		np.bits = make([]uint64, (n+extra+63)/64)
+		copy(np.bits, g.patch.bits)
+		ng.patch = &np
+	}
+	return &ng
+}

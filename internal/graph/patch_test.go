@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// lowerCompaction tightens the compaction policy for the duration of a
+// test and restores it afterwards. Not safe under t.Parallel.
+func lowerCompaction(t *testing.T, den, slack int64) {
+	t.Helper()
+	oldDen, oldSlack := patchCompactDen, patchCompactSlack
+	patchCompactDen, patchCompactSlack = den, slack
+	t.Cleanup(func() { patchCompactDen, patchCompactSlack = oldDen, oldSlack })
+}
+
+// checkEquiv asserts got (patched) is semantically identical to want
+// (rebuilt): same edge list, edge count, max weight, degrees, and a
+// clean Validate on both representations.
+func checkEquiv(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("patched Validate: %v", err)
+	}
+	if err := want.Validate(); err != nil {
+		t.Fatalf("rebuilt Validate: %v", err)
+	}
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("NumVertices: patched %d, rebuilt %d", got.NumVertices(), want.NumVertices())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("NumEdges: patched %d, rebuilt %d", got.NumEdges(), want.NumEdges())
+	}
+	if got.MaxWeight() != want.MaxWeight() {
+		t.Fatalf("MaxWeight: patched %d, rebuilt %d", got.MaxWeight(), want.MaxWeight())
+	}
+	if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+		t.Fatal("edge lists diverge")
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		if got.Degree(Vertex(v)) != want.Degree(Vertex(v)) {
+			t.Fatalf("Degree(%d): patched %d, rebuilt %d", v, got.Degree(Vertex(v)), want.Degree(Vertex(v)))
+		}
+	}
+}
+
+func TestPatchedBasics(t *testing.T) {
+	g := mustFromEdges(t, 4, []Edge{{0, 1, 5}, {1, 2, 3}})
+	g2, err := g.Patched(nil, []Edge{{2, 3, 7}})
+	if err != nil {
+		t.Fatalf("Patched: %v", err)
+	}
+	if g2.IsCompact() {
+		t.Error("patched graph reports compact")
+	}
+	if w, ok := g2.EdgeWeight(2, 3); !ok || w != 7 {
+		t.Errorf("EdgeWeight(2,3) = %d,%v", w, ok)
+	}
+	if _, ok := g.EdgeWeight(2, 3); ok {
+		t.Error("Patched mutated the receiver")
+	}
+	want, err := g.WithUpdates(nil, []Edge{{2, 3, 7}})
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	checkEquiv(t, g2, want)
+
+	// Delete matches the pair whatever the named weight, either order;
+	// absent delete is a no-op; min-merge keeps the lighter weight.
+	g3, err := g2.Patched([]Edge{{2, 1, 99}, {0, 3, 0}}, []Edge{{0, 1, 9}})
+	if err != nil {
+		t.Fatalf("Patched: %v", err)
+	}
+	want3, err := want.WithUpdates([]Edge{{2, 1, 99}, {0, 3, 0}}, []Edge{{0, 1, 9}})
+	if err != nil {
+		t.Fatalf("WithUpdates: %v", err)
+	}
+	checkEquiv(t, g3, want3)
+	if _, ok := g3.EdgeWeight(1, 2); ok {
+		t.Error("edge (1,2) survived deletion")
+	}
+	if w, _ := g3.EdgeWeight(0, 1); w != 5 {
+		t.Errorf("parallel insert kept weight %d, want min 5", w)
+	}
+
+	// Out-of-range insert fails the whole batch; self-loop inserts drop.
+	if _, err := g.Patched(nil, []Edge{{0, 9, 1}}); err == nil {
+		t.Error("out-of-range insert did not fail")
+	}
+	g4, err := g.Patched(nil, []Edge{{1, 1, 2}})
+	if err != nil {
+		t.Fatalf("Patched(self-loop): %v", err)
+	}
+	if g4.NumEdges() != g.NumEdges() {
+		t.Error("self-loop insert changed the edge count")
+	}
+}
+
+func TestPatchedNoopSharesOverlay(t *testing.T) {
+	g := mustFromEdges(t, 4, []Edge{{0, 1, 5}, {1, 2, 3}})
+	g2, err := g.Patched(nil, nil)
+	if err != nil {
+		t.Fatalf("Patched: %v", err)
+	}
+	if g2 == g {
+		t.Error("no-op batch returned the receiver itself")
+	}
+	checkEquiv(t, g2, g)
+}
+
+func TestPatchedCompaction(t *testing.T) {
+	lowerCompaction(t, 4, 4)
+	g := mustFromEdges(t, 16, []Edge{{0, 1, 5}, {1, 2, 3}, {2, 3, 7}, {3, 4, 2}})
+	cur := g
+	compacted := false
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 40; step++ {
+		u := Vertex(rng.Intn(16))
+		v := Vertex(rng.Intn(16))
+		if u == v {
+			continue
+		}
+		ng, err := cur.Patched(nil, []Edge{{u, v, Weight(1 + rng.Intn(9))}})
+		if err != nil {
+			t.Fatalf("step %d: Patched: %v", step, err)
+		}
+		if ng.IsCompact() {
+			compacted = true
+		}
+		cur = ng
+	}
+	if !compacted {
+		t.Error("overlay never crossed the (lowered) compaction threshold")
+	}
+	if err := cur.Validate(); err != nil {
+		t.Fatalf("final Validate: %v", err)
+	}
+}
+
+func TestGrownSuperSource(t *testing.T) {
+	g := mustFromEdges(t, 5, []Edge{{0, 1, 5}, {1, 2, 3}, {3, 4, 1}})
+	n := g.NumVertices()
+	ag := g.Grown(1)
+	if ag.NumVertices() != n+1 {
+		t.Fatalf("Grown: %d vertices, want %d", ag.NumVertices(), n+1)
+	}
+	if ag.Degree(Vertex(n)) != 0 {
+		t.Fatalf("new vertex has degree %d", ag.Degree(Vertex(n)))
+	}
+	super := []Edge{{Vertex(n), 0, 0}, {Vertex(n), 3, 0}}
+	ag, err := ag.Patched(nil, super)
+	if err != nil {
+		t.Fatalf("Patched(super): %v", err)
+	}
+	edges := append(g.Edges(), super...)
+	want := mustFromEdges(t, n+1, edges)
+	checkEquiv(t, ag, want)
+	// The base graph is untouched.
+	if g.NumVertices() != n || g.NumEdges() != 3 {
+		t.Error("Grown/Patched mutated the receiver")
+	}
+}
+
+// applyOracle tracks the live edge set the way WithUpdates defines it,
+// so streams can be checked against a from-scratch FromEdges build.
+type applyOracle struct {
+	n     int
+	pairs map[uint64]Edge
+}
+
+func newApplyOracle(g *Graph) *applyOracle {
+	o := &applyOracle{n: g.NumVertices(), pairs: make(map[uint64]Edge)}
+	for _, e := range g.Edges() {
+		o.pairs[pairKey(e.U, e.V)] = e
+	}
+	return o
+}
+
+func (o *applyOracle) apply(deletes, inserts []Edge) {
+	for _, e := range deletes {
+		delete(o.pairs, pairKey(e.U, e.V))
+	}
+	for _, e := range inserts {
+		if e.U == e.V {
+			continue
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := pairKey(u, v)
+		if prev, ok := o.pairs[k]; !ok || e.W < prev.W {
+			o.pairs[k] = Edge{u, v, e.W}
+		}
+	}
+}
+
+func (o *applyOracle) graph(t testing.TB) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, len(o.pairs))
+	for _, e := range o.pairs {
+		edges = append(edges, e)
+	}
+	g, err := FromEdges(o.n, edges, BuildOptions{})
+	if err != nil {
+		t.Fatalf("oracle FromEdges: %v", err)
+	}
+	return g
+}
+
+// TestPatchedMatchesRebuildStream is the long-stream property test: a
+// randomized update stream chained through Patched must stay
+// semantically identical to a from-scratch rebuild at every step,
+// across compaction crossings.
+func TestPatchedMatchesRebuildStream(t *testing.T) {
+	for _, tight := range []bool{false, true} {
+		name := "default-threshold"
+		if tight {
+			name = "tight-threshold"
+		}
+		t.Run(name, func(t *testing.T) {
+			if tight {
+				lowerCompaction(t, 2, 8)
+			}
+			rng := rand.New(rand.NewSource(42))
+			const n = 48
+			var edges []Edge
+			for i := 0; i < 150; i++ {
+				u, v := Vertex(rng.Intn(n)), Vertex(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				edges = append(edges, Edge{u, v, Weight(rng.Intn(256))})
+			}
+			cur := mustFromEdges(t, n, edges)
+			oracle := newApplyOracle(cur)
+			sawOverlay, sawCompact := false, false
+			for step := 0; step < 120; step++ {
+				live := cur.Edges()
+				var dels, ins []Edge
+				for _, e := range live {
+					if rng.Intn(10) == 0 {
+						dels = append(dels, e)
+					}
+				}
+				for i := rng.Intn(4); i > 0; i-- {
+					u, v := Vertex(rng.Intn(n)), Vertex(rng.Intn(n))
+					ins = append(ins, Edge{u, v, Weight(rng.Intn(256))})
+				}
+				got, err := cur.Patched(dels, ins)
+				if err != nil {
+					t.Fatalf("step %d: Patched: %v", step, err)
+				}
+				oracle.apply(dels, ins)
+				checkEquiv(t, got, oracle.graph(t))
+				if got.IsCompact() {
+					sawCompact = true
+				} else {
+					sawOverlay = true
+				}
+				cur = got
+			}
+			if !sawOverlay {
+				t.Error("stream never ran on an overlay")
+			}
+			if tight && !sawCompact {
+				t.Error("tight threshold never compacted")
+			}
+		})
+	}
+}
+
+// FuzzPatchedMatchesRebuild feeds arbitrary byte streams as update ops
+// and cross-checks Patched against the rebuild oracle after every
+// batch. Each op quintuple is (kind, u, v, w, batchBreak).
+func FuzzPatchedMatchesRebuild(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 9, 0, 1, 1, 2, 0, 1})
+	f.Add([]byte{1, 3, 3, 0, 0, 0, 250, 1, 200, 1, 1, 250, 1, 7, 0})
+	f.Add([]byte{0, 0, 1, 255, 1, 1, 0, 1, 255, 0, 0, 2, 3, 4, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 12
+		cur, err := FromEdges(n, []Edge{{0, 1, 4}, {1, 2, 9}, {2, 3, 1}, {0, 3, 200}}, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := newApplyOracle(cur)
+		var dels, ins []Edge
+		flush := func() {
+			got, err := cur.Patched(dels, ins)
+			if err != nil {
+				t.Fatalf("Patched: %v", err)
+			}
+			oracle.apply(dels, ins)
+			checkEquiv(t, got, oracle.graph(t))
+			cur = got
+			dels, ins = nil, nil
+		}
+		for len(data) >= 5 {
+			kind, u, v, w, brk := data[0], data[1]%n, data[2]%n, data[3], data[4]
+			data = data[5:]
+			e := Edge{Vertex(u), Vertex(v), Weight(w)}
+			if kind%2 == 0 {
+				dels = append(dels, e)
+			} else if u != v {
+				ins = append(ins, e)
+			}
+			if brk%3 == 0 {
+				flush()
+			}
+		}
+		flush()
+	})
+}
+
+func TestPatchedChainFromPatchedParent(t *testing.T) {
+	// Patch-of-patch with overlapping touched sets: the superseding row
+	// must come from the child's edits over the parent's overlay row.
+	g := mustFromEdges(t, 6, []Edge{{0, 1, 5}, {1, 2, 3}, {2, 3, 7}})
+	p1, err := g.Patched([]Edge{{1, 2, 0}}, []Edge{{1, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p1.Patched([]Edge{{1, 4, 0}}, []Edge{{1, 2, 6}, {4, 5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromEdges(t, 6, []Edge{{0, 1, 5}, {2, 3, 7}, {1, 2, 6}, {4, 5, 2}})
+	checkEquiv(t, p2, want)
+	// Both ancestors still read correctly.
+	if w, _ := p1.EdgeWeight(1, 4); w != 8 {
+		t.Errorf("parent patch row changed: EdgeWeight(1,4) = %d", w)
+	}
+	if w, _ := g.EdgeWeight(1, 2); w != 3 {
+		t.Errorf("base row changed: EdgeWeight(1,2) = %d", w)
+	}
+}
+
+func TestPatchedMaxWeightRescan(t *testing.T) {
+	// Deleting the unique maximum edge must lower MaxWeight exactly.
+	g := mustFromEdges(t, 4, []Edge{{0, 1, 250}, {1, 2, 9}, {2, 3, 7}})
+	p, err := g.Patched([]Edge{{0, 1, 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxWeight() != 9 {
+		t.Errorf("MaxWeight = %d, want 9", p.MaxWeight())
+	}
+	// Min-merging the max edge down also triggers the rescan path.
+	p2, err := g.Patched(nil, []Edge{{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.MaxWeight() != 9 {
+		t.Errorf("MaxWeight after min-merge = %d, want 9", p2.MaxWeight())
+	}
+}

@@ -1,13 +1,14 @@
 package graph
 
-// Copy-on-write graph updates. A Graph is immutable; applying a batch of
-// edge deletions and insertions produces a fresh Graph built from the
-// filtered edge list (rebuilt-slice swap rather than a CSR delta
-// overlay: O(N+M) per batch, but the result is a plain Graph every
-// consumer — engine planes, validators, generators — already handles,
-// with no overlay indirection on the hot relax path). Readers of the old
-// version are unaffected; the versioned-plane layer (internal/sssp
-// PlaneSet) decides when the old snapshot retires.
+// Copy-on-write graph updates, the full-rebuild flavor. A Graph is
+// immutable; WithUpdates applies a batch of edge deletions and
+// insertions by building a fresh Graph from the filtered edge list —
+// O(N+M) per batch, but trivially correct for any input (it renormalizes
+// self-loops and parallel edges through FromEdges). It serves as the
+// semantic oracle for Patched (patch.go), the row-granularity
+// copy-on-write path whose cost tracks batch size and which the
+// versioned-plane layer (internal/sssp PlaneSet) uses on its apply path.
+// Readers of the old version are unaffected either way.
 
 // pairKey canonicalizes an unordered endpoint pair to a map key.
 func pairKey(u, v Vertex) uint64 {

@@ -20,9 +20,10 @@ package lint
 // field of a guarded struct is flagged, unless it appears inside that
 // struct's sanctioned writers:
 //
-//   - rankGraph: the constructor newRankGraph, or a method on rankGraph
-//     itself (the constructor's helpers, e.g. the histogram builder,
-//     carry that receiver).
+//   - rankGraph: the constructors newRankGraph and newRankGraphPatched
+//     (the derive-from-previous-version constructor of the incremental
+//     update path), or a method on rankGraph itself (the constructors'
+//     helpers, e.g. the histogram builder, carry that receiver).
 //   - planeVersion: the constructor NewPlaneSet, a method on PlaneSet
 //     (build, Apply, Acquire/Release and their locked helpers), or a
 //     method on planeVersion itself.
@@ -46,8 +47,9 @@ import (
 var PlanePurity = &Analyzer{
 	Name: "planepurity",
 	Doc: "rankGraph planes and planeVersion snapshots are shared read-only across " +
-		"concurrent query slots; only their constructors (newRankGraph, NewPlaneSet), " +
-		"PlaneSet and their own methods may write their fields",
+		"concurrent query slots; only their constructors (newRankGraph, " +
+		"newRankGraphPatched, NewPlaneSet), PlaneSet and their own methods may " +
+		"write their fields",
 	Run: runPlanePurity,
 }
 
@@ -67,9 +69,10 @@ func runPlanePurity(p *Package) []Finding {
 			fields: fields,
 			allowed: func(fd *ast.FuncDecl) bool {
 				return receiverNamed(fd, "rankGraph") ||
-					(fd.Recv == nil && fd.Name.Name == "newRankGraph")
+					(fd.Recv == nil && (fd.Name.Name == "newRankGraph" ||
+						fd.Name.Name == "newRankGraphPatched"))
 			},
-			message: "write to rankGraph.%s outside newRankGraph: the graph plane is shared read-only across concurrent query slots",
+			message: "write to rankGraph.%s outside its constructors: the graph plane is shared read-only across concurrent query slots",
 		})
 	}
 	if fields := guardedFields(p, "planeVersion"); fields != nil {

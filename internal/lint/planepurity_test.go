@@ -46,6 +46,13 @@ func tamper(p *rankGraph, q *queryState) {
 	local := p.shortEnd
 	local[0] = 9
 }
+
+func newRankGraphPatched(prev *rankGraph, n int) *rankGraph {
+	p := &rankGraph{nLocal: prev.nLocal}
+	p.shortEnd = append([]int32(nil), prev.shortEnd...)
+	p.shortEnd[0] = 5
+	return p
+}
 `
 
 func TestPlanePurityFlagsWritesOutsideConstructor(t *testing.T) {
@@ -57,8 +64,9 @@ func TestPlanePurityFlagsWritesOutsideConstructor(t *testing.T) {
 		"bad.go:32:2 planepurity", // q.rankGraph.shortEnd[1] = 4 (explicit embed)
 	})
 	// q.dist (line 25) is queryState's own field; the alias write on
-	// line 34 is a documented blind spot. Neither may be flagged — the
-	// exact-match list above already proves that.
+	// line 34 is a documented blind spot; newRankGraphPatched is the
+	// second sanctioned constructor (the incremental update path). None
+	// may be flagged — the exact-match list above already proves that.
 }
 
 // badVersion exercises the planeVersion rules: NewPlaneSet, PlaneSet

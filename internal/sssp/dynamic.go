@@ -95,8 +95,27 @@ func (b UpdateBatch) Validate(n int) error {
 	return nil
 }
 
+// touched returns the sorted, deduplicated endpoints the batch names —
+// the only vertices whose adjacency rows (and therefore plane
+// classification and histogram rows) can change when it applies. The
+// versioned-plane layer threads it into the patched plane constructor.
+func (b UpdateBatch) touched() []graph.Vertex {
+	out := make([]graph.Vertex, 0, 2*len(b))
+	for _, u := range b {
+		out = append(out, u.U, u.V)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
 // split partitions a batch into the delete and insert edge lists
-// graph.WithUpdates consumes.
+// graph.WithUpdates and graph.Patched consume.
 func (b UpdateBatch) split() (deletes, inserts []graph.Edge) {
 	for _, u := range b {
 		e := graph.Edge{U: u.U, V: u.V, W: u.W}

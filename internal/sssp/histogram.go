@@ -13,20 +13,29 @@ import "parsssp/internal/graph"
 const histBins = 8
 
 // buildHistograms precomputes the cumulative histogram table. Called at
-// engine construction when Options.Estimator == EstimatorHistogram.
+// engine construction when Options.Estimator == EstimatorHistogram, and
+// by the patched-plane constructor when a changed maximum weight moves
+// every bin boundary.
 func (p *rankGraph) buildHistograms() {
+	p.hist = make([]int32, p.nLocal*(histBins+1))
+	for li := 0; li < p.nLocal; li++ {
+		p.histRow(li)
+	}
+}
+
+// histRow recomputes the cumulative histogram row of local vertex li
+// from its current adjacency. The patched-plane constructor calls it
+// for touched vertices only.
+func (p *rankGraph) histRow(li int) {
 	span := graph.Dist(p.maxW) + 1 - graph.Dist(p.opts.Delta)
 	if span < 1 {
 		span = 1
 	}
-	p.hist = make([]int32, p.nLocal*(histBins+1))
-	for li := 0; li < p.nLocal; li++ {
-		v := p.pd.Global(p.rank, li)
-		base := li * (histBins + 1)
-		for j := 1; j <= histBins; j++ {
-			b := graph.Dist(p.opts.Delta) + span*graph.Dist(j)/histBins
-			p.hist[base+j] = int32(p.g.CountWeightRange(v, p.opts.Delta, graph.Weight(b)))
-		}
+	v := p.pd.Global(p.rank, li)
+	base := li * (histBins + 1)
+	for j := 1; j <= histBins; j++ {
+		b := graph.Dist(p.opts.Delta) + span*graph.Dist(j)/histBins
+		p.hist[base+j] = int32(p.g.CountWeightRange(v, p.opts.Delta, graph.Weight(b)))
 	}
 }
 

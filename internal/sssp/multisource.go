@@ -32,12 +32,16 @@ func RunMultiSource(g *graph.Graph, numRanks int, sources []graph.Vertex, opts O
 	if len(sources) == 1 {
 		return Run(g, numRanks, sources[0], opts)
 	}
-	// Augment with the super-source as vertex n.
-	edges := g.Edges()
-	for _, s := range sources {
-		edges = append(edges, graph.Edge{U: graph.Vertex(n), V: s, W: 0})
+	// Augment with the super-source as vertex n, grafted through the
+	// insert patch path: the augmented graph shares every existing row
+	// with g (only the K source rows and the new super-source row are
+	// rewritten into the overlay), instead of materializing and
+	// re-sorting the full edge list per query.
+	super := make([]graph.Edge, len(sources))
+	for i, s := range sources {
+		super[i] = graph.Edge{U: graph.Vertex(n), V: s, W: 0}
 	}
-	ag, err := graph.FromEdges(n+1, edges, graph.BuildOptions{})
+	ag, err := g.Grown(1).Patched(nil, super)
 	if err != nil {
 		return nil, err
 	}
@@ -46,9 +50,11 @@ func RunMultiSource(g *graph.Graph, numRanks int, sources []graph.Vertex, opts O
 		return nil, err
 	}
 	// Strip the virtual vertex and repair the sources' parents (they
-	// point at the super-source in the augmented tree).
-	res.Dist = res.Dist[:n]
-	res.Parent = res.Parent[:n]
+	// point at the super-source in the augmented tree). Copy into
+	// exactly-n arrays so the result does not pin the augmented n+1
+	// backing storage alive behind truncated reslices.
+	res.Dist = append(make([]graph.Dist, 0, n), res.Dist[:n]...)
+	res.Parent = append(make([]graph.Vertex, 0, n), res.Parent[:n]...)
 	for _, s := range sources {
 		res.Parent[s] = s
 	}

@@ -74,6 +74,73 @@ func newRankGraph(g *graph.Graph, pd partition.Dist, rank int,
 	return p, nil
 }
 
+// newRankGraphPatched derives the plane for graph g from prev, the same
+// rank's plane one version earlier, refreshing only the touched
+// vertices' rows: shortEnd classification entries and histogram rows of
+// untouched vertices depend solely on their (unchanged) adjacency, so
+// they are copied — or, when this rank owns no touched vertex, aliased
+// outright (planes are immutable after construction, so sharing is
+// safe). The one global input is maxW: a changed maximum edge weight
+// moves every histogram bin boundary, so that (rare) case rebuilds the
+// histograms in full. g must differ from prev.g only at the touched
+// vertices' rows; maxW must be g's maximum edge weight. Cost is
+// O(touched + nLocal copy) per rank instead of newRankGraph's
+// O(nLocal · log deg) row reclassification.
+//
+// Like newRankGraph, this is a sanctioned rankGraph constructor: the
+// planepurity analyzer allows its field writes and forbids everyone
+// else's.
+func newRankGraphPatched(prev *rankGraph, g *graph.Graph, touched []graph.Vertex,
+	maxW graph.Weight) (*rankGraph, error) {
+	if prev.pd.NumVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("sssp: distribution covers %d vertices, patched graph has %d",
+			prev.pd.NumVertices(), g.NumVertices())
+	}
+	p := &rankGraph{
+		g:      g,
+		pd:     prev.pd,
+		opts:   prev.opts,
+		rank:   prev.rank,
+		size:   prev.size,
+		nLocal: prev.nLocal,
+		dd:     prev.dd,
+		maxW:   maxW,
+	}
+	var local []int // local indices of touched vertices this rank owns
+	for _, v := range touched {
+		if prev.pd.Owner(v) == prev.rank {
+			local = append(local, prev.pd.LocalIndex(v))
+		}
+	}
+	if len(local) == 0 {
+		p.shortEnd = prev.shortEnd
+	} else {
+		p.shortEnd = append([]int32(nil), prev.shortEnd...)
+		for _, li := range local {
+			v := prev.pd.Global(p.rank, li)
+			if p.opts.EdgeClassification {
+				p.shortEnd[li] = int32(g.ShortEdgeEnd(v, p.opts.Delta))
+			} else {
+				p.shortEnd[li] = int32(g.Degree(v))
+			}
+		}
+	}
+	switch {
+	case prev.hist == nil:
+		// estimator off: nothing to carry
+	case maxW != prev.maxW:
+		p.buildHistograms()
+	case len(local) == 0:
+		p.hist = prev.hist
+	default:
+		p.hist = append([]int32(nil), prev.hist...)
+		for _, li := range local {
+			p.histRow(li)
+		}
+	}
+	return p, nil
+}
+
 // local returns the local index of global vertex v, which must be owned
 // by this rank.
 func (p *rankGraph) local(v graph.Vertex) int { return p.pd.LocalIndex(v) }

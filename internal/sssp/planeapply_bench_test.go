@@ -1,0 +1,102 @@
+package sssp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parsssp/internal/graph"
+	"parsssp/internal/partition"
+	"parsssp/internal/rmat"
+)
+
+// applyBatchPair builds an invertible (forward, reverse) batch pair
+// against g: deletions of existing edges paired with re-inserts at the
+// original weight, and inserts of brand-new edges paired with deletes.
+// Applying fwd then rev returns the graph to its starting adjacency, so
+// a benchmark can apply pairs forever without drifting the workload.
+func applyBatchPair(rng *rand.Rand, g *graph.Graph, dels, ins int) (fwd, rev UpdateBatch) {
+	edges := g.Edges()
+	picked := make(map[int]bool, dels)
+	for len(picked) < dels {
+		i := rng.Intn(len(edges))
+		if picked[i] {
+			continue
+		}
+		picked[i] = true
+		e := edges[i]
+		fwd = append(fwd, EdgeUpdate{Op: OpDelete, U: e.U, V: e.V})
+		rev = append(rev, EdgeUpdate{Op: OpInsert, U: e.U, V: e.V, W: e.W})
+	}
+	n := g.NumVertices()
+	for added := 0; added < ins; {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if _, ok := g.EdgeWeight(u, v); ok {
+			continue
+		}
+		fwd = append(fwd, EdgeUpdate{Op: OpInsert, U: u, V: v, W: graph.Weight(1 + rng.Intn(255))})
+		rev = append(rev, EdgeUpdate{Op: OpDelete, U: u, V: v})
+		added++
+	}
+	return fwd, rev
+}
+
+// BenchmarkPlaneApply isolates the version-advance cost the update
+// latency floor is made of: PlaneSet.Apply on the scale-13 / 4-rank
+// plane set, patched path (row-granularity CSR overlay + touched-row
+// plane refresh) against the legacy rebuild path (full WithUpdates CSR
+// re-sort + every-row plane reclassification). No query or tree repair
+// runs — this is purely what applying a batch costs before any repair
+// work starts. make bench-dynamic-json archives the numbers as
+// BENCH_dynamic.json; see EXPERIMENTS.md "Dynamic updates".
+func BenchmarkPlaneApply(b *testing.B) {
+	g, err := rmat.Generate(rmat.Family1(13, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ranks = 4
+	opts := OptOptions(25)
+	opts.Estimator = EstimatorHistogram
+	pd, err := partition.New(partition.Block, g.NumVertices(), ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosted := []int{0, 1, 2, 3}
+	const numPairs = 8
+	pick := func(pairs [][2]UpdateBatch, i int) UpdateBatch {
+		return pairs[(i/2)%len(pairs)][i%2]
+	}
+	for _, size := range []int{4, 32, 256} {
+		pairs := make([][2]UpdateBatch, numPairs)
+		for k := range pairs {
+			rng := rand.New(rand.NewSource(int64(0xFA<<8|size<<4|k) ^ 0x9E3779B9))
+			pairs[k][0], pairs[k][1] = applyBatchPair(rng, g, size/2, size-size/2)
+		}
+		for _, mode := range []struct {
+			name    string
+			rebuild bool
+		}{{"patched", false}, {"rebuild", true}} {
+			b.Run(fmt.Sprintf("%s/batch=%d", mode.name, size), func(b *testing.B) {
+				set, err := NewPlaneSet(g, pd, &opts, hosted)
+				if err != nil {
+					b.Fatal(err)
+				}
+				set.rebuild = mode.rebuild
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pv, err := set.Apply(pick(pairs, i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					set.Release(pv)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "applies/sec")
+			})
+		}
+	}
+}

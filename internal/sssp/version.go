@@ -11,8 +11,10 @@ import (
 // Plane versioning. A PlaneSet owns the succession of immutable graph
 // snapshots a dynamic workload moves through: version 0 is the loaded
 // graph, and every applied UpdateBatch produces version n+1 copy-on-write
-// (graph.WithUpdates rebuilds the CSR; newRankGraph rebuilds the hosted
-// ranks' planes). Queries pin the version they run on — Acquire/Release
+// at row granularity (graph.Patched overlays only the touched vertices'
+// CSR rows; newRankGraphPatched refreshes only those rows of each hosted
+// rank's plane), so apply latency tracks batch size, not graph size.
+// Queries pin the version they run on — Acquire/Release
 // refcounts — so an update never mutates state under an in-flight query;
 // a superseded version is retired (dropped for the collector) when its
 // last pin drains. The set also keeps a bounded history of the applied
@@ -58,9 +60,14 @@ type PlaneSet struct {
 	mu      sync.Mutex
 	cur     *planeVersion
 	retired map[uint64]*planeVersion // superseded but still pinned
-	history []UpdateBatch            // history[i] produced version base+i+1
+	history []UpdateBatch            // history[i] produced version base+i+1; set-owned copies
 	base    uint64                   // version the oldest kept batch applied to
 	keep    int
+
+	// rebuild forces the pre-patching apply path (full WithUpdates CSR
+	// rebuild + newRankGraph per rank). Tests and benchmarks set it to
+	// prove the patched path equivalent and to measure what it saves.
+	rebuild bool
 }
 
 // versionHistoryDepth bounds how many applied batches a PlaneSet
@@ -116,12 +123,18 @@ func (s *PlaneSet) Acquire() *planeVersion {
 }
 
 // Release unpins a version acquired with Acquire. A superseded version
-// whose last pin drains retires for good.
+// whose last pin drains retires for good. Releasing a version with no
+// outstanding pins is a refcount bug in the caller — left unchecked it
+// would let a later Acquire/Release pair strand a retired version in
+// the set forever — so it panics rather than corrupting the count.
 func (s *PlaneSet) Release(pv *planeVersion) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if pv.refs <= 0 {
+		panic(fmt.Sprintf("sssp: PlaneSet.Release of version %d with no outstanding pins (double release?)", pv.version))
+	}
 	pv.refs--
-	if pv.refs <= 0 && pv != s.cur {
+	if pv.refs == 0 && pv != s.cur {
 		delete(s.retired, pv.version)
 	}
 }
@@ -157,12 +170,29 @@ func (s *PlaneSet) applyLocked(batch UpdateBatch) (*planeVersion, error) {
 		return nil, err
 	}
 	deletes, inserts := batch.split()
-	ng, err := s.cur.g.WithUpdates(deletes, inserts)
-	if err != nil {
-		return nil, err
+	var (
+		pv  *planeVersion
+		err error
+	)
+	if s.rebuild {
+		// Legacy full-rebuild path: O(N+M) CSR re-sort plus an
+		// every-row plane reclassification per hosted rank.
+		var ng *graph.Graph
+		ng, err = s.cur.g.WithUpdates(deletes, inserts)
+		if err == nil {
+			//parssspvet:allow poolsafety -- build constructs a fresh snapshot, not a pool slot; ownership transfers to s.cur and the pinned return
+			pv, err = s.build(ng, s.cur.version+1)
+		}
+	} else {
+		// Patched path: the CSR advances by a row-granularity
+		// copy-on-write overlay, and each hosted plane refreshes only
+		// the touched vertices' classification and histogram rows.
+		var ng *graph.Graph
+		ng, err = s.cur.g.Patched(deletes, inserts)
+		if err == nil {
+			pv, err = s.patchBuild(ng, batch.touched(), s.cur.version+1)
+		}
 	}
-	//parssspvet:allow poolsafety -- build constructs a fresh snapshot, not a pool slot; ownership transfers to s.cur and the pinned return
-	pv, err := s.build(ng, s.cur.version+1)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +204,9 @@ func (s *PlaneSet) applyLocked(batch UpdateBatch) (*planeVersion, error) {
 	if len(s.history) == 0 {
 		s.base = old.version
 	}
-	s.history = append(s.history, batch)
+	// The set owns its history: copy the batch so a caller reusing or
+	// mutating its slice cannot corrupt later Since catch-ups.
+	s.history = append(s.history, append(UpdateBatch(nil), batch...))
 	if len(s.history) > s.keep {
 		drop := len(s.history) - s.keep
 		s.history = append(s.history[:0], s.history[drop:]...)
@@ -182,6 +214,27 @@ func (s *PlaneSet) applyLocked(batch UpdateBatch) (*planeVersion, error) {
 	}
 	s.cur.refs++
 	return s.cur, nil
+}
+
+// patchBuild constructs the next snapshot from the current one: each
+// hosted rank's plane refreshes only the touched vertices' rows
+// (newRankGraphPatched), sharing everything else with s.cur's planes. g
+// must be s.cur.g advanced by the batch that touched those vertices.
+func (s *PlaneSet) patchBuild(g *graph.Graph, touched []graph.Vertex, version uint64) (*planeVersion, error) {
+	pv := &planeVersion{
+		version: version,
+		g:       g,
+		maxW:    g.MaxWeight(),
+		planes:  make(map[int]*rankGraph, len(s.ranks)),
+	}
+	for _, rank := range s.ranks {
+		plane, err := newRankGraphPatched(s.cur.planes[rank], g, touched, pv.maxW)
+		if err != nil {
+			return nil, err
+		}
+		pv.planes[rank] = plane
+	}
+	return pv, nil
 }
 
 // EnsureVersion makes the set current at target, applying batch if and
@@ -211,7 +264,9 @@ func (s *PlaneSet) EnsureVersion(target uint64, batch UpdateBatch) (*planeVersio
 // version, oldest first, with ok=true (an empty list when v is already
 // current). ok=false means the bounded history no longer reaches back to
 // v — the caller's incremental state is too stale and it must recompute
-// from scratch.
+// from scratch. The returned batches are deep copies: they share no
+// storage with the set's history, so a consumer may mutate or retain
+// them without corrupting later catch-ups.
 func (s *PlaneSet) Since(v uint64) (batches []UpdateBatch, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -227,6 +282,8 @@ func (s *PlaneSet) Since(v uint64) (batches []UpdateBatch, ok bool) {
 		return nil, false
 	}
 	out := make([]UpdateBatch, cur-v)
-	copy(out, s.history[idx:])
+	for i, b := range s.history[idx:] {
+		out[i] = append(UpdateBatch(nil), b...)
+	}
 	return out, true
 }
