@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race chaos lint vet bench bench-json bench-serve-json bench-dynamic-json bench-async-json experiments fuzz clean
+.PHONY: all build test race chaos lint vet bench bench-json bench-serve-json bench-dynamic-json bench-async-json bench-stepping-json experiments fuzz clean
 
 all: build test lint
 
@@ -68,6 +68,14 @@ bench-dynamic-json:
 bench-async-json:
 	go test -run '^$$' -bench BenchmarkAsyncVsBSP -benchtime 10x . \
 		| go run ./cmd/benchjson -out BENCH_async.json
+
+# Archive the stepping-policy comparison (Δ-, Radius- and ρ-stepping on
+# scale-13 R-MAT and a long-diameter road-like grid, plus the TunePolicy
+# winner per family as picked-* metrics) as BENCH_stepping.json. See
+# EXPERIMENTS.md "Stepping policies".
+bench-stepping-json:
+	go test -run '^$$' -bench BenchmarkSteppingPolicies -benchtime 10x . \
+		| go run ./cmd/benchjson -out BENCH_stepping.json
 
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 experiments:

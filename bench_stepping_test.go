@@ -1,0 +1,104 @@
+// Stepping-policy benchmarks: the three bucket disciplines (Δ-, Radius-
+// and ρ-stepping) head to head on the two graph families where their
+// trade-offs diverge — the paper's scale-13 R-MAT (low diameter, heavy
+// skew: Δ's home turf) and a long-diameter road-like grid (hundreds of
+// phases under any fixed Δ: where per-vertex radii pay off). A fourth
+// sub-benchmark per graph runs the configuration TunePolicy picks, so
+// BENCH_stepping.json records both every policy's raw numbers and the
+// tuner's selection next to them. make bench-stepping-json archives the
+// results; see EXPERIMENTS.md "Stepping policies".
+package parsssp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"parsssp/internal/expt"
+	"parsssp/internal/gen"
+	"parsssp/internal/graph"
+	"parsssp/internal/sssp"
+)
+
+// roadGraph is the long-diameter family: a 512×512 grid with weights
+// 1..16, ~1000 hops corner to corner — the antithesis of R-MAT's
+// ~10-hop diameter and the shape where bucket count dominates Δ's cost.
+func roadGraph(b *testing.B) *graph.Graph {
+	return cachedGraph(b, "road-grid", func() (*graph.Graph, error) {
+		return gen.Grid(512, 512, 1, 16, 0xC0FFEE)
+	})
+}
+
+// steppingLineup pits each policy at its engine default parameter; Δ
+// additionally gets the paper's tuned Δ=25. Non-Δ policies run without
+// the Δ-only heuristics (prune/IOS are bucket-settle machinery), so the
+// Δ rows use the same plain configuration for a like-for-like frontier.
+var steppingLineup = []struct {
+	name string
+	opts sssp.Options
+}{
+	{"delta25", sssp.DelOptions(25)},
+	{"radius32", sssp.RadiusSteppingOptions(0)},
+	{"rho4096", sssp.RhoSteppingOptions(0)},
+}
+
+var (
+	tunedMu    sync.Mutex
+	tunedCache = map[string]sssp.PolicyCandidate{}
+)
+
+// tunedCandidate memoizes one TunePolicy sweep per graph family — the
+// sweep runs full trial queries per candidate and must not repeat for
+// every b.N recalibration.
+func tunedCandidate(b *testing.B, key string, g *graph.Graph) sssp.PolicyCandidate {
+	b.Helper()
+	tunedMu.Lock()
+	defer tunedMu.Unlock()
+	if c, ok := tunedCache[key]; ok {
+		return c
+	}
+	roots, err := sssp.PickRoots(g, 2, 0xC0FFEE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sssp.TunePolicy(g, benchRanks, roots, sssp.Options{Threads: 2}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tunedCache[key] = res.Best
+	return res.Best
+}
+
+// BenchmarkSteppingPolicies is the cross-policy comparison matrix. The
+// "tuned" rows report which policy TunePolicy selected for the family as
+// picked-<policy> metrics (1 for the winner, 0 otherwise), so the JSON
+// archive shows the selection alongside the measured win.
+func BenchmarkSteppingPolicies(b *testing.B) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"RMAT1", rmatGraph(b, expt.RMAT1, benchScale)},
+		{"Road", roadGraph(b)},
+	}
+	for _, fam := range families {
+		for _, entry := range steppingLineup {
+			b.Run(fam.name+"/"+entry.name, func(b *testing.B) {
+				benchRun(b, fam.g, entry.opts)
+			})
+		}
+		b.Run(fam.name+"/tuned", func(b *testing.B) {
+			best := tunedCandidate(b, fam.name, fam.g)
+			benchRun(b, fam.g, best.Apply(sssp.Options{}))
+			for _, pol := range []sssp.SteppingPolicy{
+				sssp.PolicyDelta, sssp.PolicyRadius, sssp.PolicyRho,
+			} {
+				v := 0.0
+				if pol == best.Policy {
+					v = 1.0
+				}
+				b.ReportMetric(v, fmt.Sprintf("picked-%s", pol))
+			}
+		})
+	}
+}

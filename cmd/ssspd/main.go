@@ -79,7 +79,10 @@ func run() (err error) {
 		scale       = flag.Int("scale", 12, "log2 vertex count")
 		seed        = flag.Uint64("seed", 42, "graph seed (must match across ranks)")
 		threads     = flag.Int("threads", 2, "worker threads per rank")
-		delta       = flag.Uint("delta", 25, "bucket width Δ")
+		policy      = flag.String("policy", "delta", "stepping policy: delta, radius or rho (must match across ranks)")
+		delta       = flag.Uint("delta", 25, "bucket width Δ (policy delta)")
+		radiusK     = flag.Int("radius-k", 0, "radius parameter k (policy radius; 0 = default)")
+		rho         = flag.Int("rho", 0, "batch size ρ (policy rho; 0 = default)")
 		root        = flag.Int("root", 0, "source vertex")
 		verify      = flag.Bool("verify", false, "rank 0 checks distances against Dijkstra")
 		dialTimeout = flag.Duration("dial-timeout", 10*time.Second,
@@ -144,7 +147,22 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	opts := sssp.OptOptions(graph.Weight(*delta))
+	// The policy (like every flag but -rank) must be identical across
+	// ranks: it shapes the collective schedule. The non-Δ presets carry
+	// none of the Δ-only heuristics (Options.Validate rejects those).
+	pol, err := sssp.ParseSteppingPolicy(*policy)
+	if err != nil {
+		return err
+	}
+	var opts sssp.Options
+	switch pol {
+	case sssp.PolicyRadius:
+		opts = sssp.RadiusSteppingOptions(*radiusK)
+	case sssp.PolicyRho:
+		opts = sssp.RhoSteppingOptions(*rho)
+	default:
+		opts = sssp.OptOptions(graph.Weight(*delta))
+	}
 	opts.Threads = *threads
 	opts.ExecMode, err = sssp.ParseExecMode(*execMode)
 	if err != nil {
@@ -219,6 +237,7 @@ type admission struct {
 	lines   chan serveCmd
 	shed    atomic.Int64
 	g       *graph.Graph
+	policy  string
 	version func() uint64
 }
 
@@ -233,9 +252,12 @@ func (a *admission) admit(cmd serveCmd) {
 	}
 }
 
+// statsLine reports the serving state: the current graph version, the
+// active stepping policy with its resolved parameter (e.g. delta(25),
+// radius(32)), and the admission queue's depth and shed count.
 func (a *admission) statsLine() string {
-	return fmt.Sprintf("stats version=%d queued=%d shed=%d",
-		a.version(), len(a.lines), a.shed.Load())
+	return fmt.Sprintf("stats version=%d policy=%s queued=%d shed=%d",
+		a.version(), a.policy, len(a.lines), a.shed.Load())
 }
 
 // printer serializes answer lines from concurrent slot workers.
@@ -315,6 +337,7 @@ func runServe(t *tcptransport.Transport, g *graph.Graph, pd partition.Dist,
 		adm := &admission{
 			lines:   make(chan serveCmd, queueCap),
 			g:       g,
+			policy:  opts.PolicyString(),
 			version: server.Version,
 		}
 		var intake sync.WaitGroup

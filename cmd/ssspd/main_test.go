@@ -52,6 +52,7 @@ func TestParseUpdate(t *testing.T) {
 func TestAdmissionShedsWhenFull(t *testing.T) {
 	adm := &admission{
 		lines:   make(chan serveCmd, 1),
+		policy:  "radius(32)",
 		version: func() uint64 { return 3 },
 	}
 	var replies []string
@@ -65,7 +66,7 @@ func TestAdmissionShedsWhenFull(t *testing.T) {
 		t.Fatalf("shed = %d, want 1", got)
 	}
 	line := adm.statsLine()
-	for _, want := range []string{"version=3", "queued=1", "shed=1"} {
+	for _, want := range []string{"version=3", "policy=radius(32)", "queued=1", "shed=1"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("stats line %q missing %q", line, want)
 		}

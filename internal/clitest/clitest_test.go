@@ -169,11 +169,13 @@ func TestSSSPDTwoProcesses(t *testing.T) {
 // two-process serve-mode machine: update lines advance the graph
 // version on every rank (batches broadcast over the slot channels,
 // finished trees repaired incrementally), bad update lines are refused
-// at the front door, and stats lines report the admission counters.
+// at the front door, and stats lines report the active stepping policy
+// and the admission counters. The machine runs under -policy rho, so
+// the test also covers a non-Δ policy across the TCP transport.
 func TestSSSPDServeUpdates(t *testing.T) {
 	addrs := "127.0.0.1:9737,127.0.0.1:9738"
 	bin := filepath.Join(binaries(t), "ssspd")
-	common := []string{"-addrs", addrs, "-scale", "10", "-serve", "-slots", "2"}
+	common := []string{"-addrs", addrs, "-scale", "10", "-serve", "-slots", "2", "-policy", "rho"}
 	c1 := exec.Command(bin, append([]string{"-rank", "1"}, common...)...)
 	if err := c1.Start(); err != nil {
 		t.Fatal(err)
@@ -210,6 +212,9 @@ func TestSSSPDServeUpdates(t *testing.T) {
 			stats++
 			if !strings.Contains(line, "queued=") || !strings.Contains(line, "shed=") {
 				t.Errorf("stats line missing counters: %q", line)
+			}
+			if !strings.Contains(line, "policy=rho(4096)") {
+				t.Errorf("stats line missing resolved policy: %q", line)
 			}
 		}
 	}

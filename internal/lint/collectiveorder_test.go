@@ -177,3 +177,107 @@ func rank0Admits(t comm.Transport, rank0 bool, work chan int) error {
 	}, lint.CollectiveOrder)
 	wantFindings(t, got, nil)
 }
+
+// TestCollectiveOrderPolicyDispatch pins the stepping-policy seam's SPMD
+// contract: dispatching between per-policy drivers with different
+// collective sequences is clean when the policy is uniform (an options
+// field every rank holds identically — the engine's run() switch), and
+// flagged when the selection depends on the rank (exactly why ssspd has
+// no per-rank policy autodetection).
+func TestCollectiveOrderPolicyDispatch(t *testing.T) {
+	src := `package sssp
+
+import (
+	"parsssp/internal/comm"
+)
+
+// Each driver has its own collective schedule, mirroring the real
+// engine: Δ's settle loop, Radius's threshold loop with an inner
+// fixpoint, ρ's extract-exchange epochs. All are allreduce-driven.
+func deltaDriver(t comm.Transport) error {
+	for {
+		k, err := t.AllreduceInt64([]int64{1}, comm.ReduceOp(0))
+		if err != nil {
+			return err
+		}
+		if k[0] == 0 {
+			break
+		}
+		if _, err := t.Exchange(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func radiusDriver(t comm.Transport) error {
+	for {
+		m, err := t.AllreduceInt64([]int64{1}, comm.ReduceOp(0))
+		if err != nil {
+			return err
+		}
+		if m[0] == 0 {
+			break
+		}
+		for {
+			act, err := t.AllreduceInt64([]int64{1}, comm.ReduceOp(1))
+			if err != nil {
+				return err
+			}
+			if act[0] == 0 {
+				break
+			}
+			if _, err := t.Exchange(nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func rhoDriver(t comm.Transport) error {
+	for {
+		k, err := t.AllreduceInt64([]int64{1}, comm.ReduceOp(0))
+		if err != nil {
+			return err
+		}
+		if k[0] == 0 {
+			break
+		}
+		if _, err := t.Exchange(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The engine's run() shape: the policy is an options field, identical on
+// every rank, so the dispatch is uniform even though the drivers'
+// collective schedules differ.
+func uniformPolicyDispatch(t comm.Transport, policy int) error {
+	switch policy {
+	case 1:
+		return radiusDriver(t)
+	case 2:
+		return rhoDriver(t)
+	default:
+		return deltaDriver(t)
+	}
+}
+
+// A rank-derived policy diverges the schedule: flagged.
+func rankDerivedPolicy(t comm.Transport) error {
+	if t.Rank()%2 == 1 {
+		return radiusDriver(t)
+	}
+	return deltaDriver(t)
+}
+`
+	got := runFixture(t, map[string]string{
+		"internal/comm/comm.go": fixtureComm,
+		"internal/sssp/p.go":    src,
+	}, lint.CollectiveOrder)
+	wantFindings(t, got, []string{
+		"p.go:84:10 collectiveorder", // rankDerivedPolicy via radiusDriver
+	})
+}

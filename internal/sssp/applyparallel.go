@@ -89,14 +89,35 @@ func (r *queryState) applyRelaxParallel(in [][]byte, activate bool, T int) error
 						}
 						continue
 					}
-					nb := nd / r.dd
-					if nb != r.bucketOf[li] {
+					// Mirror of applyRelaxIn's policy bookkeeping; the
+					// pending flags are thread-owned like dist/bucketOf, and
+					// store insertions stage per thread.
+					switch r.opts.Policy {
+					case PolicyRadius:
+						if activate && nd <= r.phBound && r.mark[li] != r.stamp {
+							r.mark[li] = r.stamp
+							st.active = append(st.active, uint32(li))
+						}
+					case PolicyRho:
+						nb := r.step.key(nd)
+						moved := nb != r.bucketOf[li]
 						r.bucketOf[li] = nb
-						st.adds = append(st.adds, bucketAdd{nb, uint32(li)})
-					}
-					if activate && nb == k && r.mark[li] != r.stamp {
-						r.mark[li] = r.stamp
-						st.active = append(st.active, uint32(li))
+						if !r.pending[li] {
+							r.pending[li] = true
+							st.adds = append(st.adds, bucketAdd{nb, uint32(li)})
+						} else if moved {
+							st.adds = append(st.adds, bucketAdd{nb, uint32(li)})
+						}
+					default:
+						nb := nd / r.dd
+						if nb != r.bucketOf[li] {
+							r.bucketOf[li] = nb
+							st.adds = append(st.adds, bucketAdd{nb, uint32(li)})
+						}
+						if activate && nb == k && r.mark[li] != r.stamp {
+							r.mark[li] = r.stamp
+							st.active = append(st.active, uint32(li))
+						}
 					}
 				}
 				if err := rd.err(); err != nil {

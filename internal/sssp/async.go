@@ -80,6 +80,8 @@ func (r *queryState) runAsync() error {
 	totalStart := now()
 	if r.pending == nil {
 		r.pending = make([]bool, r.nLocal)
+	}
+	if r.longPending == nil {
 		r.longPending = make([]bool, r.nLocal)
 		r.longStore = newBucketStore()
 	}
@@ -97,7 +99,7 @@ func (r *queryState) runAsync() error {
 		r.longPending[li] = true
 		r.longStore.add(0, li)
 	}
-	r.tracef("sssp: async start source=%d ranks=%d delta=%d", r.src, r.size, r.opts.Delta)
+	r.tracef("sssp: async start source=%d ranks=%d policy=%s", r.src, r.size, r.opts.PolicyString())
 
 	idleWait := r.opts.asyncFlushInterval()
 	for {
@@ -215,13 +217,15 @@ func (r *queryState) collectAsyncMembers(k int64, store *bucketStore, pending []
 }
 
 // asyncShortRelaxFn lazily builds the eager half of the async scan:
-// short edges only (w < Δ), the intra-bucket wavefront.
+// short edges only (w below the policy's deferral threshold — Δ for
+// Δ-stepping, the respective quantum for ρ/radius), the intra-bucket
+// wavefront.
 func (r *queryState) asyncShortRelaxFn() func(tid int, it workItem) {
 	if r.asyncShortFn == nil {
 		r.asyncShortFn = func(tid int, it workItem) {
 			v := r.global(it.li)
 			du := r.dist[it.li]
-			dd := graph.Weight(r.dd)
+			dd := r.step.deferWeight()
 			nbr, ws := r.g.Neighbors(v)
 			cnt := &r.tcnt[tid]
 			for i := it.lo; i < it.hi; i++ {
@@ -239,14 +243,14 @@ func (r *queryState) asyncShortRelaxFn() func(tid int, it workItem) {
 }
 
 // asyncLongRelaxFn lazily builds the deferred half of the async scan:
-// long edges only (w ≥ Δ), released once the source's bucket has no
-// pending short work below it.
+// long edges only (w at or above the policy's deferral threshold),
+// released once the source's bucket has no pending short work below it.
 func (r *queryState) asyncLongRelaxFn() func(tid int, it workItem) {
 	if r.asyncLongFn == nil {
 		r.asyncLongFn = func(tid int, it workItem) {
 			v := r.global(it.li)
 			du := r.dist[it.li]
-			dd := graph.Weight(r.dd)
+			dd := r.step.deferWeight()
 			nbr, ws := r.g.Neighbors(v)
 			cnt := &r.tcnt[tid]
 			for i := it.lo; i < it.hi; i++ {
@@ -291,7 +295,7 @@ func (r *queryState) applyAsyncRelax(src int, buf []byte, wf WireFormat) error {
 		}
 		r.dist[li] = nd
 		r.parent[li] = par
-		nb := nd / r.dd
+		nb := r.step.key(nd)
 		moved := nb != r.bucketOf[li]
 		r.bucketOf[li] = nb
 		if !r.pending[li] {

@@ -125,6 +125,18 @@ func (s *bucketStore) countValid(k int64, bucketOf []int64) int64 {
 	return c
 }
 
+// setList replaces bucket k's list with l, which must alias k's own
+// storage after an in-place compaction (the ρ driver's capped extraction
+// keeps leftover members this way). An empty l drops the bucket,
+// recycling the storage.
+func (s *bucketStore) setList(k int64, l []uint32) {
+	if len(l) == 0 {
+		s.drop(k)
+		return
+	}
+	s.lists[k] = l
+}
+
 // drop discards bucket k, recycling its storage.
 func (s *bucketStore) drop(k int64) {
 	if l, ok := s.lists[k]; ok {

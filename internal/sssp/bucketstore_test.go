@@ -1,0 +1,129 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBucketStoreFreeListNoAliasing is a model-based property test of
+// the store's storage recycling: a list surrendered by take must never
+// alias storage the store later hands back out (via add's free-list
+// reuse), and recycled storage (drop, reset, setList-to-empty) must
+// never alias a list still live in the store. The stepping policies
+// drive re-entry patterns bulk-synchronous Δ-stepping never produced —
+// ρ's capped extraction compacts and re-files the same bucket many
+// times — so the invariant gets a dedicated regression guard.
+//
+// The detection mechanism is scribbling: every slice take surrenders is
+// overwritten to its full capacity with a sentinel after every
+// subsequent operation. If recycling ever handed that storage back to
+// the store while a model-tracked list lived in it, the sentinel would
+// show up in (or clobber) store contents, and the per-iteration model
+// comparison fails.
+func TestBucketStoreFreeListNoAliasing(t *testing.T) {
+	const (
+		iters    = 20000
+		keyRange = 8
+		sentinel = 0xDEADBEEF
+	)
+	rng := rand.New(rand.NewSource(1))
+	s := newBucketStore()
+	model := map[int64][]uint32{}
+	var surrendered [][]uint32 // storage we own after take; scribbled each round
+
+	randKey := func() int64 { return int64(rng.Intn(keyRange)) }
+	modelKey := func() (int64, bool) {
+		for _, k := range rng.Perm(keyRange) {
+			if len(model[int64(k)]) > 0 {
+				return int64(k), true
+			}
+		}
+		return 0, false
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // add
+			k, li := randKey(), uint32(rng.Intn(1<<20))
+			s.add(k, li)
+			model[k] = append(model[k], li)
+
+		case op < 7: // take: storage transfers to the caller
+			k, ok := modelKey()
+			if !ok {
+				continue
+			}
+			got := s.take(k)
+			want := model[k]
+			if len(got) != len(want) {
+				t.Fatalf("iter %d: take(%d) returned %d entries, model has %d",
+					iter, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("iter %d: take(%d)[%d] = %d, model %d",
+						iter, k, i, got[i], want[i])
+				}
+			}
+			delete(model, k)
+			if cap(got) > 0 {
+				surrendered = append(surrendered, got[:cap(got)])
+			}
+
+		case op < 8: // drop: storage recycled inside the store
+			k := randKey()
+			s.drop(k)
+			delete(model, k)
+
+		case op < 9: // setList compaction (the ρ extraction path)
+			k, ok := modelKey()
+			if !ok {
+				continue
+			}
+			l := s.list(k)
+			keep := l[:0]
+			var kept []uint32
+			for i, li := range l {
+				if i%2 == 0 { // extract odd positions, keep even ones
+					keep = append(keep, li)
+					kept = append(kept, li)
+				}
+			}
+			s.setList(k, keep)
+			if len(kept) == 0 {
+				delete(model, k)
+			} else {
+				model[k] = kept
+			}
+
+		default: // reset: everything recycled
+			s.reset()
+			model = map[int64][]uint32{}
+		}
+
+		// Scribble every surrendered slice to its full capacity: if the
+		// store recycled any of this storage for a live list, the next
+		// comparison catches it.
+		for _, l := range surrendered {
+			for i := range l {
+				l[i] = sentinel
+			}
+		}
+		for k, want := range model {
+			got := s.list(k)
+			if len(got) != len(want) {
+				t.Fatalf("iter %d: bucket %d has %d entries, model %d",
+					iter, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("iter %d: bucket %d[%d] = %d (model %d) — recycled storage aliases a live list",
+						iter, k, i, got[i], want[i])
+				}
+			}
+		}
+		if len(surrendered) > 64 {
+			surrendered = surrendered[:0] // bound the scribble cost
+		}
+	}
+}

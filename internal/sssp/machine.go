@@ -228,6 +228,9 @@ func (r *queryState) reset(src graph.Vertex) {
 	for i := range r.pending {
 		r.pending[i] = false
 	}
+	for i := range r.settled {
+		r.settled[i] = false
+	}
 	for i := range r.longPending {
 		r.longPending[i] = false
 	}

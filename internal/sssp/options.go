@@ -121,9 +121,26 @@ func (m Mode) String() string {
 // runnable; start from a preset (Del, Prune, Opt, ...) or fill in at
 // least Delta and Threads.
 type Options struct {
-	// Delta is the bucket width (Δ). 1 yields Dial's variant of
-	// Dijkstra's algorithm; BellmanFordDelta yields Bellman-Ford.
+	// Policy selects the stepping discipline: Δ-stepping (the zero value
+	// and the paper's algorithm), Radius Stepping or ρ-stepping. All
+	// policies produce identical distances and canonical parent trees;
+	// the paper's Δ-specific heuristics (Prune, IOS, Hybrid, Census,
+	// ForceMode, DecisionSequence) are only valid under PolicyDelta.
+	Policy SteppingPolicy
+
+	// Delta is the bucket width (Δ) of PolicyDelta. 1 yields Dial's
+	// variant of Dijkstra's algorithm; BellmanFordDelta yields
+	// Bellman-Ford. Other policies ignore it (but it must still
+	// validate, so presets leave it at a sane value).
 	Delta graph.Weight
+
+	// RadiusK is Radius Stepping's k: the per-vertex radius r(v) is the
+	// k-th smallest incident edge weight. Zero means 32.
+	RadiusK int
+
+	// Rho is ρ-stepping's global batch size: each epoch extracts up to
+	// ⌈ρ/P⌉ frontier vertices per rank. Zero means 4096.
+	Rho int
 
 	// Threads is the number of worker goroutines per rank (the paper's 64
 	// SMT threads per node). Zero means 1.
@@ -256,6 +273,33 @@ func (o *Options) Validate() error {
 	if o.Census && !o.Prune {
 		return fmt.Errorf("sssp: Census requires Prune")
 	}
+	switch o.Policy {
+	case PolicyDelta:
+	case PolicyRadius, PolicyRho:
+		// The paper's per-bucket heuristics assume Δ-stepping's
+		// settle-one-bucket epochs; under the other policies they would
+		// silently misfire, so they are rejected outright.
+		switch {
+		case o.Prune:
+			return fmt.Errorf("sssp: Prune requires PolicyDelta, not %v", o.Policy)
+		case o.IOS:
+			return fmt.Errorf("sssp: IOS requires PolicyDelta, not %v", o.Policy)
+		case o.Hybrid:
+			return fmt.Errorf("sssp: Hybrid requires PolicyDelta, not %v", o.Policy)
+		case o.Census:
+			return fmt.Errorf("sssp: Census requires PolicyDelta, not %v", o.Policy)
+		case o.ForceMode != nil || o.DecisionSequence != nil:
+			return fmt.Errorf("sssp: push/pull overrides require PolicyDelta, not %v", o.Policy)
+		}
+		if o.RadiusK < 0 {
+			return fmt.Errorf("sssp: negative RadiusK %d", o.RadiusK)
+		}
+		if o.Rho < 0 {
+			return fmt.Errorf("sssp: negative Rho %d", o.Rho)
+		}
+	default:
+		return fmt.Errorf("sssp: unknown SteppingPolicy %d", int(o.Policy))
+	}
 	if o.WireFormat != WireV1 && o.WireFormat != WireV2 {
 		return fmt.Errorf("sssp: unknown WireFormat %d", int(o.WireFormat))
 	}
@@ -311,6 +355,37 @@ func (o *Options) heavyThreshold() int {
 	return o.HeavyThreshold
 }
 
+func (o *Options) radiusK() int {
+	if o.RadiusK == 0 {
+		return 32
+	}
+	return o.RadiusK
+}
+
+func (o *Options) rho() int {
+	if o.Rho == 0 {
+		return 4096
+	}
+	return o.Rho
+}
+
+// PolicyString renders the active policy with its resolved parameter —
+// "delta(25)", "radius(32)", "rho(4096)" — the form used by traces, the
+// ssspd stats line and the tuner's trial table.
+func (o *Options) PolicyString() string {
+	switch o.Policy {
+	case PolicyRadius:
+		return fmt.Sprintf("radius(%d)", o.radiusK())
+	case PolicyRho:
+		return fmt.Sprintf("rho(%d)", o.rho())
+	default:
+		if o.Delta == BellmanFordDelta {
+			return "delta(inf)"
+		}
+		return fmt.Sprintf("delta(%d)", o.Delta)
+	}
+}
+
 // The presets below name the algorithm variants evaluated in the paper.
 
 // DelOptions is the baseline Δ-stepping algorithm with short/long edge
@@ -351,4 +426,18 @@ func DijkstraOptions() Options { return DelOptions(1) }
 // BellmanFordOptions is Δ-stepping with Δ=∞.
 func BellmanFordOptions() Options {
 	return Options{Delta: BellmanFordDelta, EdgeClassification: true}
+}
+
+// RadiusSteppingOptions is the Radius Stepping policy with radius
+// parameter k (0 = default). Delta is set to a valid placeholder; the
+// policy does not use it.
+func RadiusSteppingOptions(k int) Options {
+	return Options{Policy: PolicyRadius, RadiusK: k, Delta: 1}
+}
+
+// RhoSteppingOptions is the ρ-stepping policy with batch size rho
+// (0 = default). Delta is set to a valid placeholder; the policy does
+// not use it.
+func RhoSteppingOptions(rho int) Options {
+	return Options{Policy: PolicyRho, Rho: rho, Delta: 1}
 }

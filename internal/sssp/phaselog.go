@@ -25,6 +25,11 @@ const (
 	// rank's rounds run unaligned with its peers', so a merged timeline
 	// concatenates rather than zips them (see mergePhaseLogs).
 	PhaseAsync
+	// PhaseRadius is one fixpoint round of a Radius Stepping threshold
+	// epoch (the Bucket field holds the threshold M, not a bucket index).
+	PhaseRadius
+	// PhaseRho is one batched extraction round of the ρ-stepping policy.
+	PhaseRho
 )
 
 // String returns the phase kind name.
@@ -42,6 +47,10 @@ func (k PhaseKind) String() string {
 		return "bellman-ford"
 	case PhaseAsync:
 		return "async-round"
+	case PhaseRadius:
+		return "radius"
+	case PhaseRho:
+		return "rho"
 	default:
 		return fmt.Sprintf("PhaseKind(%d)", int(k))
 	}

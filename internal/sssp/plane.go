@@ -35,6 +35,9 @@ type rankGraph struct {
 
 	shortEnd []int32 // per local vertex: first long-edge index in its adjacency
 	hist     []int32 // per-vertex cumulative weight histograms (EstimatorHistogram)
+
+	step   stepper      // the stepping discipline over this plane; see policy.go
+	radius []graph.Dist // per local vertex: Radius Stepping r(v) (PolicyRadius only)
 }
 
 // newRankGraph builds the immutable graph plane of one rank. opts must
@@ -59,19 +62,69 @@ func newRankGraph(g *graph.Graph, pd partition.Dist, rank int,
 		maxW: maxW,
 	}
 	p.nLocal = pd.Count(rank)
+	p.buildStepper()
 	p.shortEnd = make([]int32, p.nLocal)
 	for li := 0; li < p.nLocal; li++ {
 		v := pd.Global(rank, li)
 		if opts.EdgeClassification {
-			p.shortEnd[li] = int32(g.ShortEdgeEnd(v, opts.Delta))
+			p.shortEnd[li] = int32(p.step.shortEdgeEnd(g, v))
 		} else {
 			p.shortEnd[li] = int32(g.Degree(v))
 		}
 	}
+	p.buildRadii(nil, nil)
 	if opts.Prune && opts.Estimator == EstimatorHistogram {
 		p.buildHistograms()
 	}
 	return p, nil
+}
+
+// buildStepper resolves the plane's stepping policy against the graph:
+// scalar parameters only (Δ, the ρ/radius quantums and the ρ batch cap);
+// the Radius policy's per-vertex table is buildRadii's. Every parameter
+// is a deterministic function of the full graph and the options, so all
+// ranks resolve the identical stepper — a rank-varying policy parameter
+// would diverge the collective schedule.
+func (p *rankGraph) buildStepper() {
+	switch p.opts.Policy {
+	case PolicyRadius:
+		k := p.opts.radiusK()
+		p.step = &radiusStepper{k: k, q: radiusQuantum(p.g, k)}
+	case PolicyRho:
+		p.step = &rhoStepper{
+			q:   rhoQuantum(p.g),
+			cap: (p.opts.rho() + p.size - 1) / p.size,
+		}
+	default:
+		p.step = &deltaStepper{delta: p.opts.Delta, dd: p.dd}
+	}
+}
+
+// buildRadii fills the Radius policy's per-vertex r(v) table (a no-op
+// under the other policies). With a previous plane's table and a touched
+// local-index list, only the touched rows are recomputed — the
+// patched-plane path; r(v) depends solely on v's own adjacency, so
+// untouched rows carry over (or the whole table is aliased when this
+// rank owns no touched vertex).
+func (p *rankGraph) buildRadii(prev []graph.Dist, touchedLocal []int) {
+	if p.opts.Policy != PolicyRadius {
+		return
+	}
+	k := p.opts.radiusK()
+	switch {
+	case prev == nil:
+		p.radius = make([]graph.Dist, p.nLocal)
+		for li := 0; li < p.nLocal; li++ {
+			p.radius[li] = vertexRadius(p.g, p.pd.Global(p.rank, li), k)
+		}
+	case len(touchedLocal) == 0:
+		p.radius = prev
+	default:
+		p.radius = append([]graph.Dist(nil), prev...)
+		for _, li := range touchedLocal {
+			p.radius[li] = vertexRadius(p.g, p.pd.Global(p.rank, li), k)
+		}
+	}
 }
 
 // newRankGraphPatched derives the plane for graph g from prev, the same
@@ -106,12 +159,17 @@ func newRankGraphPatched(prev *rankGraph, g *graph.Graph, touched []graph.Vertex
 		dd:     prev.dd,
 		maxW:   maxW,
 	}
+	// The stepper's scalar parameters (quantums, batch cap) are sampled
+	// from the full graph, so a patch can move them; resampling is O(1)
+	// in the graph size. The Radius table refreshes touched rows only.
+	p.buildStepper()
 	var local []int // local indices of touched vertices this rank owns
 	for _, v := range touched {
 		if prev.pd.Owner(v) == prev.rank {
 			local = append(local, prev.pd.LocalIndex(v))
 		}
 	}
+	p.buildRadii(prev.radius, local)
 	if len(local) == 0 {
 		p.shortEnd = prev.shortEnd
 	} else {
@@ -119,7 +177,7 @@ func newRankGraphPatched(prev *rankGraph, g *graph.Graph, touched []graph.Vertex
 		for _, li := range local {
 			v := prev.pd.Global(p.rank, li)
 			if p.opts.EdgeClassification {
-				p.shortEnd[li] = int32(g.ShortEdgeEnd(v, p.opts.Delta))
+				p.shortEnd[li] = int32(p.step.shortEdgeEnd(g, v))
 			} else {
 				p.shortEnd[li] = int32(g.Degree(v))
 			}
@@ -150,5 +208,5 @@ func (p *rankGraph) global(li uint32) graph.Vertex {
 	return p.pd.Global(p.rank, int(li))
 }
 
-// bucketEnd returns the largest distance in bucket k.
-func (p *rankGraph) bucketEnd(k int64) graph.Dist { return (k+1)*p.dd - 1 }
+// bucketEnd returns the largest distance the policy files under key k.
+func (p *rankGraph) bucketEnd(k int64) graph.Dist { return p.step.settleBound(k) }

@@ -67,8 +67,14 @@ type queryState struct {
 
 	phBEnd  graph.Dist // bucket end of the current short/outer-short phase
 	phKBase graph.Dist // kΔ of the current pull phase
+	phBound graph.Dist // settle threshold M of the current Radius epoch
 
-	shortFn, outerFn, longFn, pullFn, bfFn, asyncShortFn, asyncLongFn func(tid int, it workItem)
+	shortFn, outerFn, longFn, pullFn, bfFn, asyncShortFn, asyncLongFn,
+	radiusFn, rhoFn func(tid int, it workItem)
+
+	// Radius Stepping state (PolicyRadius; see radius.go). Allocated
+	// lazily by the first radius run on this state.
+	settled []bool // vertex is finalized (dist is its shortest distance)
 
 	// Asynchronous execution scratch (ExecMode async; see async.go).
 	// Allocated lazily by the first async run on this state.
@@ -507,14 +513,37 @@ func (r *queryState) applyRelaxIn(in [][]byte, activate bool, census *BucketStat
 				}
 				continue
 			}
-			nb := nd / r.dd
-			if nb != r.bucketOf[li] {
+			// Policy bookkeeping: how an improved vertex re-enters the
+			// frontier. Δ-stepping re-files by bucket and activates
+			// current-bucket landings; Radius activates anything under the
+			// epoch threshold (no store); ρ re-files by quantized key under
+			// the async mode's re-entrant pending discipline.
+			switch r.opts.Policy {
+			case PolicyRadius:
+				if activate && nd <= r.phBound && r.mark[li] != r.stamp {
+					r.mark[li] = r.stamp
+					r.nextActive = append(r.nextActive, uint32(li))
+				}
+			case PolicyRho:
+				nb := r.step.key(nd)
+				moved := nb != r.bucketOf[li]
 				r.bucketOf[li] = nb
-				r.store.add(nb, uint32(li))
-			}
-			if activate && nb == k && r.mark[li] != r.stamp {
-				r.mark[li] = r.stamp
-				r.nextActive = append(r.nextActive, uint32(li))
+				if !r.pending[li] {
+					r.pending[li] = true
+					r.store.add(nb, uint32(li))
+				} else if moved {
+					r.store.add(nb, uint32(li))
+				}
+			default:
+				nb := nd / r.dd
+				if nb != r.bucketOf[li] {
+					r.bucketOf[li] = nb
+					r.store.add(nb, uint32(li))
+				}
+				if activate && nb == k && r.mark[li] != r.stamp {
+					r.mark[li] = r.stamp
+					r.nextActive = append(r.nextActive, uint32(li))
+				}
 			}
 		}
 		if err := rd.err(); err != nil {
@@ -537,6 +566,12 @@ func (r *queryState) corruptErr(src int, kind string, cause error) error {
 func (r *queryState) run() error {
 	if r.opts.ExecMode == ExecAsync {
 		return r.runAsync()
+	}
+	switch r.opts.Policy {
+	case PolicyRadius:
+		return r.runRadius()
+	case PolicyRho:
+		return r.runRho()
 	}
 	totalStart := now()
 	localMin := int64(infBucket)
@@ -678,7 +713,7 @@ func (r *queryState) processEpoch(k int64) error {
 	afterShort := r.relaxTotals()
 	bs.ShortRelax = afterShort.Total() - before.Total()
 
-	if r.opts.EdgeClassification && r.opts.Delta != BellmanFordDelta {
+	if r.opts.EdgeClassification && !r.step.unbounded() {
 		if err := r.longPhase(k, &bs); err != nil {
 			return err
 		}

@@ -1,0 +1,217 @@
+package sssp
+
+import (
+	"fmt"
+
+	"parsssp/internal/graph"
+)
+
+// This file implements the sequential reference models of the non-Δ
+// stepping policies: Radius Stepping (arXiv 1602.03881) and ρ-stepping
+// (arXiv 2105.06145). Like SeqDeltaStepping for the Δ engine, they are
+// the ground truth the distributed drivers (radius.go, rho.go) are
+// tested against: identical distances always, and identical canonical
+// parent trees on strictly-positive-weight graphs.
+//
+// Parent election mirrors applyRelaxIn exactly: a strict improvement
+// takes the relaxing vertex as parent; a positive-weight offer matching
+// the current distance takes the relaxing vertex if its id is smaller
+// than the incumbent's. Both the sequential and distributed executions
+// relax every reached vertex's full adjacency at its final distance at
+// least once, so on positive-weight graphs the final parent of v is
+// min{u : d(u)+w(u,v) = d(v)} regardless of schedule.
+
+// seqRelax applies one relaxation with the engine's canonical parent
+// election and returns whether the distance strictly improved.
+func seqRelax(res *SeqResult, src, u, v graph.Vertex, w graph.Weight, nd graph.Dist) bool {
+	if nd < res.Dist[v] {
+		res.Dist[v] = nd
+		res.Parent[v] = u
+		return true
+	}
+	if nd == res.Dist[v] && nd < graph.Inf && w > 0 && u < res.Parent[v] && v != src {
+		res.Parent[v] = u
+	}
+	return false
+}
+
+// SeqRadiusStepping is the sequential Radius Stepping reference: each
+// epoch picks the threshold M = min over unsettled reached v of
+// d(v)+r(v), relaxes the full adjacency of the sub-threshold frontier to
+// a fixpoint, and settles everything at or below M. k selects the radius
+// r(v) (the k-th smallest incident weight; 0 = the engine default).
+func SeqRadiusStepping(g *graph.Graph, src graph.Vertex, k int) (*SeqResult, error) {
+	n := g.NumVertices()
+	if int(src) >= n {
+		return nil, fmt.Errorf("sssp: source %d out of range for n=%d", src, n)
+	}
+	if k == 0 {
+		k = (&Options{}).radiusK()
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("sssp: negative RadiusK %d", k)
+	}
+	res := &SeqResult{Dist: newDistArray(n), Parent: newParentArray(n)}
+	res.Dist[src] = 0
+	res.Parent[src] = src
+	radius := make([]graph.Dist, n)
+	for v := 0; v < n; v++ {
+		radius[v] = vertexRadius(g, graph.Vertex(v), k)
+	}
+	settled := make([]bool, n)
+	inNext := make([]bool, n)
+
+	for {
+		M := graph.Inf
+		for v := 0; v < n; v++ {
+			if !settled[v] && res.Dist[v] < graph.Inf {
+				if m := res.Dist[v] + radius[v]; m < M {
+					M = m
+				}
+			}
+		}
+		if M >= graph.Inf {
+			break
+		}
+		res.Buckets++
+
+		var active []graph.Vertex
+		for v := 0; v < n; v++ {
+			if !settled[v] && res.Dist[v] <= M {
+				active = append(active, graph.Vertex(v))
+			}
+		}
+		for len(active) > 0 {
+			res.Phases++
+			var next []graph.Vertex
+			for _, u := range active {
+				du := res.Dist[u]
+				nbr, ws := g.Neighbors(u)
+				for i, v := range nbr {
+					res.Relaxations++
+					nd := du + graph.Dist(ws[i])
+					if seqRelax(res, src, u, v, ws[i], nd) &&
+						nd <= M && !inNext[v] {
+						inNext[v] = true
+						next = append(next, v)
+					}
+				}
+			}
+			for _, v := range next {
+				inNext[v] = false
+			}
+			active = next
+		}
+
+		for v := 0; v < n; v++ {
+			if !settled[v] && res.Dist[v] <= M {
+				settled[v] = true
+			}
+		}
+	}
+	res.countReached()
+	return res, nil
+}
+
+// SeqRhoStepping is the sequential ρ-stepping reference: a lazy-batched
+// priority queue over quantized distance keys. Each epoch extracts up to
+// rho pending vertices from the lowest-keyed bucket, relaxes their full
+// adjacency, and re-files improved vertices; nothing settles until the
+// queue drains. rho is the batch size (0 = the engine default).
+func SeqRhoStepping(g *graph.Graph, src graph.Vertex, rho int) (*SeqResult, error) {
+	n := g.NumVertices()
+	if int(src) >= n {
+		return nil, fmt.Errorf("sssp: source %d out of range for n=%d", src, n)
+	}
+	if rho == 0 {
+		rho = (&Options{}).rho()
+	}
+	if rho < 0 {
+		return nil, fmt.Errorf("sssp: negative Rho %d", rho)
+	}
+	res := &SeqResult{Dist: newDistArray(n), Parent: newParentArray(n)}
+	res.Dist[src] = 0
+	res.Parent[src] = src
+	q := rhoQuantum(g)
+	key := func(d graph.Dist) int64 { return int64(d / q) }
+
+	buckets := map[int64][]graph.Vertex{0: {src}}
+	bucketOf := make([]int64, n)
+	pending := make([]bool, n)
+	for v := range bucketOf {
+		bucketOf[v] = infBucket
+	}
+	bucketOf[src] = 0
+	pending[src] = true
+
+	for {
+		// Smallest key holding a valid pending entry; compaction mirrors
+		// bucketStore.nextPending.
+		k := int64(infBucket)
+		//parssspvet:allow nodeterminism -- pure min reduction plus stale-bucket pruning; both order-insensitive
+		for idx := range buckets {
+			if idx >= k {
+				continue
+			}
+			valid := false
+			for _, v := range buckets[idx] {
+				if bucketOf[v] == idx && pending[v] {
+					valid = true
+					break
+				}
+			}
+			if valid {
+				k = idx
+			} else {
+				delete(buckets, idx)
+			}
+		}
+		if k == int64(infBucket) {
+			break
+		}
+		res.Buckets++
+		res.Phases++
+
+		l := buckets[k]
+		keep := l[:0]
+		var batch []graph.Vertex
+		for _, v := range l {
+			if bucketOf[v] != k || !pending[v] {
+				continue
+			}
+			if len(batch) >= rho {
+				keep = append(keep, v)
+				continue
+			}
+			pending[v] = false
+			batch = append(batch, v)
+		}
+		if len(keep) == 0 {
+			delete(buckets, k)
+		} else {
+			buckets[k] = keep
+		}
+
+		for _, u := range batch {
+			du := res.Dist[u]
+			nbr, ws := g.Neighbors(u)
+			for i, v := range nbr {
+				res.Relaxations++
+				nd := du + graph.Dist(ws[i])
+				if seqRelax(res, src, u, v, ws[i], nd) {
+					nb := key(nd)
+					moved := nb != bucketOf[v]
+					bucketOf[v] = nb
+					if !pending[v] {
+						pending[v] = true
+						buckets[nb] = append(buckets[nb], v)
+					} else if moved {
+						buckets[nb] = append(buckets[nb], v)
+					}
+				}
+			}
+		}
+	}
+	res.countReached()
+	return res, nil
+}

@@ -29,6 +29,12 @@ type RelaxCounts struct {
 	// asynchronous execution mode (which has no short/long or push/pull
 	// split; see async.go).
 	AsyncPush int64
+	// RadiusPush counts full-adjacency relaxations performed by the
+	// Radius Stepping policy's threshold epochs (radius.go).
+	RadiusPush int64
+	// RhoPush counts full-adjacency relaxations performed by the
+	// ρ-stepping policy's batched extractions (rho.go).
+	RhoPush int64
 	// Skipped counts IOS- or pull-condition-suppressed relaxations
 	// (edges inspected but provably useless).
 	Skipped int64
@@ -39,7 +45,8 @@ type RelaxCounts struct {
 // fair comparison).
 func (r RelaxCounts) Total() int64 {
 	return r.ShortPush + r.OuterShortPush + r.LongPush +
-		r.PullRequests + r.PullResponses + r.BellmanFord + r.AsyncPush
+		r.PullRequests + r.PullResponses + r.BellmanFord + r.AsyncPush +
+		r.RadiusPush + r.RhoPush
 }
 
 // Add accumulates other into r.
@@ -51,6 +58,8 @@ func (r *RelaxCounts) Add(other RelaxCounts) {
 	r.PullResponses += other.PullResponses
 	r.BellmanFord += other.BellmanFord
 	r.AsyncPush += other.AsyncPush
+	r.RadiusPush += other.RadiusPush
+	r.RhoPush += other.RhoPush
 	r.Skipped += other.Skipped
 }
 

@@ -76,9 +76,26 @@ type (
 	Mode = sssp.Mode
 	// ExecMode selects bulk-synchronous or asynchronous execution.
 	ExecMode = sssp.ExecMode
+	// SteppingPolicy selects the engine's priority/bucket discipline:
+	// Δ-stepping (the default), Radius Stepping or ρ-stepping.
+	SteppingPolicy = sssp.SteppingPolicy
 	// SeqResult is the output of the sequential reference algorithms.
 	SeqResult = sssp.SeqResult
 )
+
+// Stepping policies. All three produce identical distances and (on
+// positive-weight graphs) identical canonical parent trees; they differ
+// in how many rounds and relaxations they spend getting there. See
+// DESIGN.md "Stepping policies".
+const (
+	PolicyDelta  = sssp.PolicyDelta
+	PolicyRadius = sssp.PolicyRadius
+	PolicyRho    = sssp.PolicyRho
+)
+
+// ParseSteppingPolicy parses "delta", "radius" or "rho" (as accepted by
+// `ssspd -policy`).
+var ParseSteppingPolicy = sssp.ParseSteppingPolicy
 
 // Long-edge phase mechanisms.
 const (
@@ -100,14 +117,16 @@ const (
 // `ssspd -exec-mode`).
 var ParseExecMode = sssp.ParseExecMode
 
-// Algorithm presets from the paper.
+// Algorithm presets from the paper, plus the non-Δ stepping policies.
 var (
-	DelOptions         = sssp.DelOptions
-	PruneOptions       = sssp.PruneOptions
-	OptOptions         = sssp.OptOptions
-	LBOptOptions       = sssp.LBOptOptions
-	DijkstraOptions    = sssp.DijkstraOptions
-	BellmanFordOptions = sssp.BellmanFordOptions
+	DelOptions            = sssp.DelOptions
+	PruneOptions          = sssp.PruneOptions
+	OptOptions            = sssp.OptOptions
+	LBOptOptions          = sssp.LBOptOptions
+	DijkstraOptions       = sssp.DijkstraOptions
+	BellmanFordOptions    = sssp.BellmanFordOptions
+	RadiusSteppingOptions = sssp.RadiusSteppingOptions
+	RhoSteppingOptions    = sssp.RhoSteppingOptions
 )
 
 // FromEdges builds a graph with n vertices from an undirected edge list,
@@ -182,6 +201,18 @@ func SeqDeltaStepping(g *Graph, src Vertex, delta Weight) (*SeqResult, error) {
 	return sssp.SeqDeltaStepping(g, src, delta)
 }
 
+// SeqRadiusStepping runs the sequential Radius Stepping reference with
+// radius parameter k (0 = the engine default).
+func SeqRadiusStepping(g *Graph, src Vertex, k int) (*SeqResult, error) {
+	return sssp.SeqRadiusStepping(g, src, k)
+}
+
+// SeqRhoStepping runs the sequential ρ-stepping reference with batch
+// size rho (0 = the engine default).
+func SeqRhoStepping(g *Graph, src Vertex, rho int) (*SeqResult, error) {
+	return sssp.SeqRhoStepping(g, src, rho)
+}
+
 // NoParent marks vertices without a shortest-path-tree predecessor in
 // Result.Parent.
 const NoParent = sssp.NoParent
@@ -233,6 +264,29 @@ type TuneResult = sssp.TuneResult
 // paper's tested range) and returns the fastest setting.
 func TuneDelta(g *Graph, numRanks int, roots []Vertex, opts Options, candidates []Weight) (*TuneResult, error) {
 	return sssp.TuneDelta(g, numRanks, roots, opts, candidates)
+}
+
+// Cross-policy auto-tuning; see TunePolicy.
+type (
+	// PolicyCandidate is one policy+parameter configuration to trial.
+	PolicyCandidate = sssp.PolicyCandidate
+	// PolicyTrial is one measured candidate.
+	PolicyTrial = sssp.PolicyTrial
+	// PolicyTuneResult reports a cross-policy sweep.
+	PolicyTuneResult = sssp.PolicyTuneResult
+)
+
+// TunePolicy times trial queries over policy+parameter candidates (nil =
+// ShortlistPolicyCandidates) and returns the fastest configuration.
+func TunePolicy(g *Graph, numRanks int, roots []Vertex, opts Options, candidates []PolicyCandidate) (*PolicyTuneResult, error) {
+	return sssp.TunePolicy(g, numRanks, roots, opts, candidates)
+}
+
+// ShortlistPolicyCandidates derives a candidate grid from the graph's
+// weight distribution (Δ at the weight CDF's quartiles, fixed grids for
+// the other policies).
+func ShortlistPolicyCandidates(g *Graph) []PolicyCandidate {
+	return sssp.ShortlistPolicyCandidates(g)
 }
 
 // Network-analysis measures built on SSSP (the paper's §I motivation).
